@@ -1,0 +1,35 @@
+//! E1/E2/E3: end-to-end parallel executions of the three §4 algorithms on
+//! the same workload — the wall-clock counterpart of the harness's
+//! communication table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gst_core::prelude::{example1_wolfson, example2_valduriez, example3_hash_partition};
+use gst_frontend::LinearSirup;
+use gst_storage::round_robin_fragment;
+use gst_workloads::{linear_ancestor, random_digraph};
+
+fn bench_schemes(c: &mut Criterion) {
+    let n = 4;
+    let fx = linear_ancestor();
+    let edges = random_digraph(80, 200, 42);
+    let db = fx.database(&edges);
+    let sirup = LinearSirup::from_program(&fx.program).unwrap();
+
+    let mut group = c.benchmark_group("ancestor-schemes");
+    group.sample_size(10);
+
+    let e1 = example1_wolfson(&sirup, n, &db).unwrap();
+    group.bench_function("example1-zero-comm", |b| b.iter(|| e1.run().unwrap()));
+
+    let e3 = example3_hash_partition(&sirup, n, &db).unwrap();
+    group.bench_function("example3-hash-p2p", |b| b.iter(|| e3.run().unwrap()));
+
+    let frag = round_robin_fragment(&edges, n).unwrap();
+    let e2 = example2_valduriez(&sirup, frag, &db).unwrap();
+    group.bench_function("example2-broadcast", |b| b.iter(|| e2.run().unwrap()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

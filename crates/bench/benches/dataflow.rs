@@ -1,0 +1,24 @@
+//! F1/F2 micro-benchmarks: dataflow-graph construction and the Theorem-3
+//! chooser are compile-time operations; they must be trivially cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gst_core::dataflow::{zero_comm_choice, DataflowGraph};
+use gst_frontend::LinearSirup;
+use gst_workloads::{chain_sirup, linear_ancestor};
+
+fn bench_dataflow(c: &mut Criterion) {
+    let anc = LinearSirup::from_program(&linear_ancestor().program).unwrap();
+    let chain = LinearSirup::from_program(&chain_sirup().program).unwrap();
+    c.bench_function("dataflow/build-ancestor", |b| {
+        b.iter(|| DataflowGraph::of(&anc))
+    });
+    c.bench_function("dataflow/build-chain-sirup", |b| {
+        b.iter(|| DataflowGraph::of(&chain))
+    });
+    c.bench_function("dataflow/theorem3-chooser", |b| {
+        b.iter(|| zero_comm_choice(&anc).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_dataflow);
+criterion_main!(benches);

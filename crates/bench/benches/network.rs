@@ -1,0 +1,34 @@
+//! F3/F4: compile-time derivation of the minimal network graphs of
+//! Examples 6 and 7 (bit-vector and linear discriminating functions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gst_core::discriminator::{BitFn, BitVector, Linear};
+use gst_core::network::derive_network;
+use gst_frontend::{LinearSirup, Variable};
+use gst_workloads::{chain_sirup, example6_sirup};
+
+fn bench_network(c: &mut Criterion) {
+    let fx6 = example6_sirup();
+    let s6 = LinearSirup::from_program(&fx6.program).unwrap();
+    let v = |n: &str| Variable(fx6.program.interner.get(n).unwrap());
+    let (vr6, ve6) = (vec![v("Y"), v("Z")], vec![v("X"), v("Y")]);
+    let bv = BitVector::new(BitFn::new(1), 2);
+    c.bench_function("network/figure3-example6", |b| {
+        b.iter(|| derive_network(&s6, &vr6, &ve6, &bv).unwrap())
+    });
+
+    let fx7 = chain_sirup();
+    let s7 = LinearSirup::from_program(&fx7.program).unwrap();
+    let v7 = |n: &str| Variable(fx7.program.interner.get(n).unwrap());
+    let (vr7, ve7) = (
+        vec![v7("V"), v7("W"), v7("Z")],
+        vec![v7("U"), v7("V"), v7("W")],
+    );
+    let lin = Linear::new(BitFn::new(1), vec![1, -1, 1]);
+    c.bench_function("network/figure4-example7", |b| {
+        b.iter(|| derive_network(&s7, &vr7, &ve7, &lin).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_network);
+criterion_main!(benches);

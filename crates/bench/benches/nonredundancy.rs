@@ -1,0 +1,31 @@
+//! T2: cost of the non-redundant scheme as processor count grows, against
+//! the sequential baseline, on a duplicate-heavy grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gst_core::prelude::example3_hash_partition;
+use gst_eval::seminaive_eval;
+use gst_frontend::LinearSirup;
+use gst_workloads::{grid, linear_ancestor};
+
+fn bench_nonredundancy(c: &mut Criterion) {
+    let fx = linear_ancestor();
+    let edges = grid(9, 9);
+    let db = fx.database(&edges);
+    let sirup = LinearSirup::from_program(&fx.program).unwrap();
+
+    let mut group = c.benchmark_group("nonredundancy-grid9x9");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| seminaive_eval(&fx.program, &db).unwrap())
+    });
+    for n in [2usize, 4, 8] {
+        let scheme = example3_hash_partition(&sirup, n, &db).unwrap();
+        group.bench_with_input(BenchmarkId::new("parallel", n), &scheme, |b, s| {
+            b.iter(|| s.run().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nonredundancy);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Sequential engine baseline: semi-naive vs naive across workload shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gst_eval::{naive_eval, seminaive_eval};
+use gst_workloads::{chain, grid, linear_ancestor, random_digraph};
+
+fn bench_seminaive(c: &mut Criterion) {
+    let fx = linear_ancestor();
+    let mut group = c.benchmark_group("seminaive");
+    group.sample_size(10);
+    for (name, edges) in [
+        ("chain-128", chain(128)),
+        ("grid-12x12", grid(12, 12)),
+        ("random-100x250", random_digraph(100, 250, 1)),
+    ] {
+        let db = fx.database(&edges);
+        group.bench_with_input(BenchmarkId::new("seminaive", name), &db, |b, db| {
+            b.iter(|| seminaive_eval(&fx.program, db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_naive_vs_seminaive(c: &mut Criterion) {
+    let fx = linear_ancestor();
+    let edges = chain(48);
+    let db = fx.database(&edges);
+    let mut group = c.benchmark_group("naive-vs-seminaive");
+    group.sample_size(10);
+    group.bench_function("seminaive/chain-48", |b| {
+        b.iter(|| seminaive_eval(&fx.program, &db).unwrap())
+    });
+    group.bench_function("naive/chain-48", |b| {
+        b.iter(|| naive_eval(&fx.program, &db).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_seminaive, bench_naive_vs_seminaive);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! P1: scaling of the zero-communication scheme with worker count on a
+//! wide layered workload (plus the sequential baseline for reference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gst_core::prelude::example1_wolfson;
+use gst_eval::seminaive_eval;
+use gst_frontend::LinearSirup;
+use gst_workloads::{layered, linear_ancestor};
+
+fn bench_speedup(c: &mut Criterion) {
+    let fx = linear_ancestor();
+    let edges = layered(6, 120, 3, 99);
+    let db = fx.database(&edges);
+    let sirup = LinearSirup::from_program(&fx.program).unwrap();
+
+    let mut group = c.benchmark_group("speedup-layered");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| seminaive_eval(&fx.program, &db).unwrap())
+    });
+    for n in [1usize, 2, 4, 8] {
+        let scheme = example1_wolfson(&sirup, n, &db).unwrap();
+        group.bench_with_input(BenchmarkId::new("workers", n), &scheme, |b, s| {
+            b.iter(|| s.run().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! S1: execution cost along the §6 spectrum — each α value is one point
+//! between the non-redundant and zero-communication extremes.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gst_core::discriminator::{DiscriminatorRef, HashMod, Mixed};
+use gst_core::prelude::{rewrite_generalized, GeneralizedConfig};
+use gst_frontend::{LinearSirup, Variable};
+use gst_workloads::{grid, linear_ancestor};
+
+fn bench_tradeoff(c: &mut Criterion) {
+    let n = 4;
+    let fx = linear_ancestor();
+    let db = fx.database(&grid(7, 7));
+    let sirup = LinearSirup::from_program(&fx.program).unwrap();
+    let var = |name: &str| Variable(fx.program.interner.get(name).unwrap());
+    let base: DiscriminatorRef = Arc::new(HashMod::new(n, 23));
+
+    let mut group = c.benchmark_group("tradeoff-grid7x7");
+    group.sample_size(10);
+    for alpha in [0.0, 0.5, 1.0] {
+        let h_locals: Vec<DiscriminatorRef> = (0..n)
+            .map(|i| Arc::new(Mixed::new(i, base.clone(), alpha, 31)) as DiscriminatorRef)
+            .collect();
+        let cfg = GeneralizedConfig {
+            v_r: vec![var("Z")],
+            v_e: vec![var("X")],
+            h_prime: base.clone(),
+            h_locals,
+        };
+        let scheme = rewrite_generalized(&sirup, &cfg, &db).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("alpha", format!("{alpha:.1}")),
+            &scheme,
+            |b, s| b.iter(|| s.run().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tradeoff);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! A minimal JSON emitter for harness reports.
+//!
+//! The experiment results are small, fixed-shape records; a dependency-free
+//! writer keeps the workspace inside its approved crate set while still
+//! producing machine-readable artifacts (`harness --json out.json`) that a
+//! CI job can diff against a golden file.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number (rendered via `f64`; integers stay integral).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serialize compactly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 9e15 {
+                    out.push_str(&format!("{}", *x as i64));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32))
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (k, (key, value)) in pairs.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(key.clone()).write(out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Shorthand for numeric fields.
+pub fn num<T: Into<f64>>(x: T) -> Json {
+    Json::Num(x.into())
+}
+
+/// Shorthand for `u64` counters (lossless for the sizes we emit).
+pub fn count(x: u64) -> Json {
+    Json::Num(x as f64)
+}
+
+/// Shorthand for string fields.
+pub fn s(x: impl Into<String>) -> Json {
+    Json::Str(x.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(num(42.0).render(), "42");
+        assert_eq!(num(2.5).render(), "2.5");
+        assert_eq!(count(1234567).render(), "1234567");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(s("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
+        assert_eq!(s("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn renders_structures() {
+        let j = Json::obj(vec![
+            ("name", s("t2")),
+            ("rows", Json::Arr(vec![count(1), count(2)])),
+            ("ok", Json::Bool(true)),
+        ]);
+        assert_eq!(j.render(), r#"{"name":"t2","rows":[1,2],"ok":true}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Arr(vec![]).render(), "[]");
+        assert_eq!(Json::Obj(vec![]).render(), "{}");
+    }
+}

@@ -1,0 +1,165 @@
+//! A fast, non-cryptographic hasher in the style of `rustc-hash`'s FxHash.
+//!
+//! Hashing is on the hottest path of a bottom-up Datalog engine: every
+//! duplicate-elimination, every hash join probe, and every discriminating
+//! function evaluation hashes a tuple. SipHash (std's default) is
+//! needlessly slow for short integer-shaped keys, so we implement the
+//! multiply-and-rotate scheme used by the Rust compiler itself. We write it
+//! here rather than pulling in `rustc-hash` to keep the dependency set to
+//! the approved list.
+//!
+//! The hasher is *not* DoS-resistant; all keys in this workspace are
+//! machine-generated tuples, not attacker-controlled strings.
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// Multiplicative seed used by FxHash on 64-bit platforms
+/// (derived from the golden ratio, as in rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Rotation amount applied before every multiply.
+const ROTATE: u32 = 5;
+
+/// A fast hasher for short, trusted keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            // chunk is exactly 8 bytes by construction.
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Hash a single `Hash` value to a `u64` with [`FxHasher`].
+///
+/// Used by discriminating functions, which must be *deterministic across
+/// threads and processes in the same run* — FxHash has no per-instance
+/// randomness, so every worker computes the same processor assignment.
+#[inline]
+pub fn hash_one<T: Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_eq!(hash_one(&"hello"), hash_one(&"hello"));
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        // Not a guarantee in general, but these must differ for the hasher
+        // to be at all useful.
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+        assert_ne!(hash_one(&"a"), hash_one(&"b"));
+    }
+
+    #[test]
+    fn write_handles_non_multiple_of_eight() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3]);
+        let a = h.finish();
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 0, 0]);
+        let b = h.finish();
+        // Padding semantics: trailing zeros land in the same word for the
+        // remainder path, but a 5-byte write still hashes one word, so the
+        // two must agree only if the padded words agree; assert stability
+        // instead of collision freedom.
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3]);
+        assert_eq!(a, h2.finish());
+        let _ = b;
+    }
+
+    #[test]
+    fn empty_input_hashes_to_zero_state() {
+        let h = FxHasher::default();
+        assert_eq!(h.finish(), 0);
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn u128_write_mixes_both_halves() {
+        let lo = hash_one(&1u128);
+        let hi = hash_one(&(1u128 << 64));
+        assert_ne!(lo, hi);
+    }
+}

@@ -1,0 +1,193 @@
+//! String interning.
+//!
+//! Datalog constants and predicate names repeat enormously (a million-edge
+//! `par` relation mentions `par` once per fact in source form). The
+//! interner maps each distinct string to a dense [`SymbolId`] so that the
+//! rest of the system moves 4-byte ids instead of heap strings, and
+//! equality/hashing of values is integer-sized.
+//!
+//! The interner is shared: the parser, the workload generators and all
+//! worker threads of a parallel run must agree on the id of a symbol, so an
+//! [`Interner`] is cheaply cloneable (an `Arc` internally) and
+//! thread-safe. Reads vastly outnumber writes after load, hence the
+//! `RwLock`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::fxhash::FxHashMap;
+
+/// A dense identifier for an interned string.
+///
+/// Ordering of ids follows interning order, which is deterministic for a
+/// deterministic input sequence; do not rely on it for anything semantic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(pub u32);
+
+impl SymbolId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    map: FxHashMap<Arc<str>, SymbolId>,
+    strings: Vec<Arc<str>>,
+}
+
+/// A thread-safe, cheaply cloneable string interner.
+#[derive(Clone, Default)]
+pub struct Interner {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its stable id. Idempotent.
+    pub fn intern(&self, s: &str) -> SymbolId {
+        if let Some(&id) = self.inner.read().map.get(s) {
+            return id;
+        }
+        let mut inner = self.inner.write();
+        // Re-check: another thread may have interned between the locks.
+        if let Some(&id) = inner.map.get(s) {
+            return id;
+        }
+        let id = SymbolId(
+            u32::try_from(inner.strings.len()).expect("interner overflow: more than 2^32 symbols"),
+        );
+        let arc: Arc<str> = Arc::from(s);
+        inner.strings.push(Arc::clone(&arc));
+        inner.map.insert(arc, id);
+        id
+    }
+
+    /// Look up an id without interning. Returns `None` for unknown strings.
+    pub fn get(&self, s: &str) -> Option<SymbolId> {
+        self.inner.read().map.get(s).copied()
+    }
+
+    /// Resolve an id back to its string.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: SymbolId) -> Arc<str> {
+        Arc::clone(
+            self.inner
+                .read()
+                .strings
+                .get(id.index())
+                .expect("SymbolId from foreign interner"),
+        )
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if `other` shares storage with `self` (clones of one interner).
+    pub fn same_instance(&self, other: &Interner) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = Interner::new();
+        let a = i.intern("anc");
+        let b = i.intern("anc");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_first_use() {
+        let i = Interner::new();
+        assert_eq!(i.intern("a"), SymbolId(0));
+        assert_eq!(i.intern("b"), SymbolId(1));
+        assert_eq!(i.intern("a"), SymbolId(0));
+        assert_eq!(i.intern("c"), SymbolId(2));
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let i = Interner::new();
+        let id = i.intern("par");
+        assert_eq!(&*i.resolve(id), "par");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let i = Interner::new();
+        assert_eq!(i.get("missing"), None);
+        assert!(i.is_empty());
+        let id = i.intern("present");
+        assert_eq!(i.get("present"), Some(id));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let i = Interner::new();
+        let j = i.clone();
+        let id = i.intern("x");
+        assert_eq!(j.get("x"), Some(id));
+        assert!(i.same_instance(&j));
+        assert!(!i.same_instance(&Interner::new()));
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let i = Interner::new();
+        let names: Vec<String> = (0..256).map(|k| format!("sym{}", k % 64)).collect();
+        std::thread::scope(|scope| {
+            for chunk in names.chunks(64) {
+                let i = i.clone();
+                scope.spawn(move || {
+                    for n in chunk {
+                        i.intern(n);
+                    }
+                });
+            }
+        });
+        assert_eq!(i.len(), 64);
+        // Every name resolves back to itself.
+        for k in 0..64 {
+            let n = format!("sym{k}");
+            let id = i.get(&n).unwrap();
+            assert_eq!(&*i.resolve(id), n.as_str());
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Runtime constants.
+//!
+//! A [`Value`] is what fills an argument position of a ground atom: either
+//! a 64-bit integer or an interned symbol. Both variants are `Copy`, so
+//! tuples of values move through joins, channels and hash tables without
+//! allocation.
+
+use std::fmt;
+
+use crate::interner::{Interner, SymbolId};
+
+/// A Datalog constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A 64-bit integer constant, e.g. node ids from a workload generator.
+    Int(i64),
+    /// An interned symbolic constant, e.g. `alice` in `par(alice, bob)`.
+    Sym(SymbolId),
+}
+
+impl Value {
+    /// The integer payload, if this is an [`Value::Int`].
+    #[inline]
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(n),
+            Value::Sym(_) => None,
+        }
+    }
+
+    /// The symbol payload, if this is a [`Value::Sym`].
+    #[inline]
+    pub fn as_sym(self) -> Option<SymbolId> {
+        match self {
+            Value::Sym(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Render the value using `interner` to resolve symbols.
+    pub fn display(self, interner: &Interner) -> String {
+        match self {
+            Value::Int(n) => n.to_string(),
+            Value::Sym(s) => interner.resolve(s).to_string(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<SymbolId> for Value {
+    fn from(s: SymbolId) -> Self {
+        Value::Sym(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_sym(), None);
+        let s = SymbolId(3);
+        assert_eq!(Value::Sym(s).as_sym(), Some(s));
+        assert_eq!(Value::Sym(s).as_int(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(SymbolId(2)), Value::Sym(SymbolId(2)));
+    }
+
+    #[test]
+    fn ints_and_syms_never_compare_equal() {
+        assert_ne!(Value::Int(0), Value::Sym(SymbolId(0)));
+    }
+
+    #[test]
+    fn display_resolves_symbols() {
+        let interner = Interner::new();
+        let id = interner.intern("alice");
+        assert_eq!(Value::Sym(id).display(&interner), "alice");
+        assert_eq!(Value::Int(-3).display(&interner), "-3");
+    }
+
+    #[test]
+    fn value_is_small() {
+        // Two words: keeps tuples compact and copies cheap.
+        assert!(std::mem::size_of::<Value>() <= 16);
+    }
+}

@@ -1,0 +1,231 @@
+//! Compile-time choice of discriminating sequences.
+//!
+//! Section 5 closes with: the network derivation "can be performed at
+//! compile time and can be used to adapt the parallel execution onto an
+//! existing parallel architecture". This module is that compiler pass for
+//! linear sirups: enumerate the position-based candidate sequences,
+//! derive each candidate's properties — zero-communication (Theorem 3),
+//! network density under a bit-vector function, whether sends can be
+//! routed point-to-point, whether the base relations can be fragmented —
+//! and rank them against a target architecture's preferences.
+//!
+//! Candidates are *position subsets* of the recursive body `t`-atom `Ȳ`
+//! whose positions are variables in both `Ȳ` and the exit head `Z̄`
+//! (the pairing Examples 1/3 and Theorem 3 use: `v(r) = Ȳ|C`,
+//! `v(e) = Z̄|C`). This covers all of §4's algorithms except Example 2,
+//! whose fragment-ownership function is not position-based.
+
+use gst_common::Result;
+use gst_frontend::{LinearSirup, Term, Variable};
+
+use crate::dataflow::DataflowGraph;
+use crate::discriminator::{BitFn, BitVector};
+use crate::network::derive_network;
+
+/// One evaluated candidate discriminating choice.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The chosen positions of `Ȳ`/`Z̄` (0-based).
+    pub positions: Vec<usize>,
+    /// `v(r)`: the `Ȳ` variables at those positions.
+    pub v_r: Vec<Variable>,
+    /// `v(e)`: the exit-head variables at those positions.
+    pub v_e: Vec<Variable>,
+    /// Data-independently communication-free (empty derived network).
+    pub communication_free: bool,
+    /// Derived channels / possible channels under a 1-bit-per-position
+    /// bit-vector function (lower = sparser network).
+    pub network_density: (usize, usize),
+    /// Sending rules can evaluate `h` per tuple (no broadcast needed);
+    /// true by construction for position-based candidates.
+    pub point_to_point: bool,
+    /// Some base atom of the recursive rule binds every `v(r)` variable:
+    /// [`crate::schemes::BaseDistribution::MinimalFragments`] will
+    /// fragment it instead of replicating (Example 3's storage win).
+    pub base_fragmentable: bool,
+}
+
+/// What the target architecture cares about, in priority order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchitecturePreference {
+    /// Shared/replicated base data is cheap; avoid communication above
+    /// all (Example 1's habitat).
+    MinimizeCommunication,
+    /// Memory per node is scarce; prefer fragmentable bases, then less
+    /// communication (Example 3's habitat).
+    MinimizeReplication,
+}
+
+/// Enumerate and evaluate all position-based candidates (subsets of size
+/// 1 and 2; larger sequences only densify the network). Returns an empty
+/// list when no position of `Ȳ` is a variable that also has a variable
+/// exit-head position.
+pub fn candidates(sirup: &LinearSirup) -> Result<Vec<Candidate>> {
+    let m = sirup.head.len();
+    let usable: Vec<usize> = (0..m)
+        .filter(|&p| {
+            matches!(sirup.recursive_args.get(p), Some(Term::Var(_)))
+                && matches!(sirup.exit_head.get(p), Some(Term::Var(_)))
+        })
+        .collect();
+
+    let mut subsets: Vec<Vec<usize>> = usable.iter().map(|&p| vec![p]).collect();
+    for (a, &p) in usable.iter().enumerate() {
+        for &q in &usable[a + 1..] {
+            subsets.push(vec![p, q]);
+        }
+    }
+
+    let graph = DataflowGraph::of(sirup);
+    let base_vars: Vec<Variable> = sirup
+        .base_atoms
+        .iter()
+        .flat_map(|a| a.variables().collect::<Vec<_>>())
+        .collect();
+
+    let mut out = Vec::with_capacity(subsets.len());
+    for positions in subsets {
+        let v_r: Vec<Variable> = positions
+            .iter()
+            .map(|&p| match sirup.recursive_args[p] {
+                Term::Var(v) => v,
+                Term::Const(_) => unreachable!("filtered above"),
+            })
+            .collect();
+        let v_e: Vec<Variable> = positions
+            .iter()
+            .map(|&p| match sirup.exit_head[p] {
+                Term::Var(v) => v,
+                Term::Const(_) => unreachable!("filtered above"),
+            })
+            .collect();
+        let h = BitVector::new(BitFn::new(1), positions.len());
+        let network = derive_network(sirup, &v_r, &v_e, &h)?;
+        // Fragmentable: one base atom binds every v(r) variable.
+        let base_fragmentable = sirup.base_atoms.iter().any(|atom| {
+            v_r.iter().all(|v| {
+                atom.terms
+                    .iter()
+                    .any(|t| matches!(t, Term::Var(tv) if tv == v))
+            })
+        });
+        out.push(Candidate {
+            communication_free: network.edges.is_empty(),
+            network_density: network.density(),
+            point_to_point: true,
+            base_fragmentable,
+            positions,
+            v_r,
+            v_e,
+        });
+    }
+    let _ = (graph, base_vars); // graph informs docs; density is decisive
+    Ok(out)
+}
+
+/// Rank candidates for `preference`; the first element is the advisor's
+/// pick. Ties break toward smaller sequences (cheaper hashing).
+pub fn advise(sirup: &LinearSirup, preference: ArchitecturePreference) -> Result<Vec<Candidate>> {
+    let mut list = candidates(sirup)?;
+    let density = |c: &Candidate| -> (usize, usize) { c.network_density };
+    match preference {
+        ArchitecturePreference::MinimizeCommunication => list.sort_by_key(|c| {
+            (
+                !c.communication_free as usize,
+                density(c).0,
+                c.positions.len(),
+            )
+        }),
+        ArchitecturePreference::MinimizeReplication => list.sort_by_key(|c| {
+            (
+                !c.base_fragmentable as usize,
+                !c.communication_free as usize,
+                density(c).0,
+                c.positions.len(),
+            )
+        }),
+    }
+    Ok(list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gst_frontend::parse_program;
+
+    fn sirup(src: &str) -> LinearSirup {
+        LinearSirup::from_program(&parse_program(src).unwrap().program).unwrap()
+    }
+
+    fn names(vars: &[Variable], s: &LinearSirup) -> Vec<String> {
+        vars.iter().map(|v| v.name(&s.program.interner)).collect()
+    }
+
+    #[test]
+    fn ancestor_candidates_cover_examples_1_and_3() {
+        let s = sirup("anc(X,Y) :- par(X,Y).\nanc(X,Y) :- par(X,Z), anc(Z,Y).");
+        let list = candidates(&s).unwrap();
+        // Positions {0}, {1}, {0,1} of Ȳ = (Z, Y).
+        assert_eq!(list.len(), 3);
+        let ex3 = list.iter().find(|c| c.positions == vec![0]).unwrap();
+        assert_eq!(names(&ex3.v_r, &s), vec!["Z"]);
+        assert_eq!(names(&ex3.v_e, &s), vec!["X"]);
+        assert!(!ex3.communication_free);
+        assert!(ex3.base_fragmentable, "Z occurs in par(X,Z)");
+
+        let ex1 = list.iter().find(|c| c.positions == vec![1]).unwrap();
+        assert_eq!(names(&ex1.v_r, &s), vec!["Y"]);
+        assert!(ex1.communication_free, "Theorem 3 through the §5 lens");
+        assert!(!ex1.base_fragmentable, "Y occurs in no base atom");
+    }
+
+    #[test]
+    fn advisor_picks_example1_for_comm_and_example3_for_memory() {
+        let s = sirup("anc(X,Y) :- par(X,Y).\nanc(X,Y) :- par(X,Z), anc(Z,Y).");
+        let comm = advise(&s, ArchitecturePreference::MinimizeCommunication).unwrap();
+        assert_eq!(names(&comm[0].v_r, &s), vec!["Y"], "Example 1's choice");
+
+        let memory = advise(&s, ArchitecturePreference::MinimizeReplication).unwrap();
+        assert_eq!(names(&memory[0].v_r, &s), vec!["Z"], "Example 3's choice");
+        assert!(memory[0].base_fragmentable);
+    }
+
+    #[test]
+    fn chain_sirup_has_no_zero_comm_candidate() {
+        let s = sirup("p(U,V,W) :- s(U,V,W).\np(U,V,W) :- p(V,W,Z), q(U,Z).");
+        let list = candidates(&s).unwrap();
+        assert!(!list.is_empty());
+        assert!(
+            list.iter().all(|c| !c.communication_free),
+            "acyclic dataflow graph: Theorem 3 cannot apply"
+        );
+        // Some candidate still prunes channels: the 2-position choice
+        // (V, W) is Example-6-shaped with a 6-of-12 network.
+        assert!(
+            list.iter()
+                .any(|c| c.network_density.0 < c.network_density.1),
+            "{list:?}"
+        );
+    }
+
+    #[test]
+    fn constant_positions_are_excluded() {
+        let s = sirup("t(X,Y) :- s(X,Y).\nt(X,Y) :- t(0,Z), e(Z,X,Y).");
+        // Position 0 of Ȳ is the constant 0: only position 1 is usable.
+        let list = candidates(&s).unwrap();
+        assert!(list.iter().all(|c| !c.positions.contains(&0)));
+    }
+
+    #[test]
+    fn same_generation_candidates_exist_but_need_sharing() {
+        let s = sirup(
+            "sg(X,Y) :- flat(X,Y).\nsg(X,Y) :- up(X,U), sg(U,V), down(V,Y).",
+        );
+        let list = candidates(&s).unwrap();
+        // Ȳ = (U, V): both vars exist and map to exit-head X, Y.
+        assert_eq!(list.len(), 3);
+        assert!(list.iter().all(|c| !c.communication_free));
+        // U is bound by up(X,U), V by down(V,Y): singletons fragment.
+        assert!(list.iter().filter(|c| c.positions.len() == 1).all(|c| c.base_fragmentable));
+    }
+}

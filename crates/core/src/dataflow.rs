@@ -1,0 +1,344 @@
+//! Dataflow graphs of linear recursive rules (paper §5, Definition 2) and
+//! the Theorem-3 zero-communication chooser.
+//!
+//! For a rule with head `t(X₁…X_m)` and body occurrence `t(Y₁…Y_m)`, the
+//! dataflow graph has a vertex for every argument position that flows
+//! somewhere and an edge `i → j` whenever `Y_i = X_j` — position `i` of a
+//! consumed tuple becomes position `j` of the produced tuple.
+//!
+//! **Theorem 3**: if the graph contains a cycle, some choice of
+//! discriminating sequence and function needs no communication. The
+//! construction: take the positions `C` of one cycle; because the edge map
+//! is injective on `C`, the *multiset* of values at positions `C` is
+//! invariant from consumed to produced tuple, so discriminating on
+//! `v(r) = Ȳ|C` with an order-invariant hash
+//! ([`crate::discriminator::SymmetricHashMod`]) keeps every derivation on
+//! the processor that already owns the tuple. With `v(e) = Z̄|C` and
+//! `h' = h`, initialization places tuples correctly too.
+
+use gst_common::{Error, Result};
+use gst_frontend::{LinearSirup, Term, Variable};
+
+/// The dataflow graph of a linear sirup's recursive rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataflowGraph {
+    /// Arity `m` of the recursive predicate.
+    pub arity: usize,
+    /// Vertices: 0-based positions `i` with at least one outgoing edge
+    /// (Definition 2's `i ∈ V iff ∃j. Y_i = X_j`).
+    pub vertices: Vec<usize>,
+    /// Edges `i → j` (0-based positions), sorted.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl DataflowGraph {
+    /// Build the dataflow graph of `sirup` (Definition 2).
+    pub fn of(sirup: &LinearSirup) -> Self {
+        let arity = sirup.head.len();
+        let mut edges = Vec::new();
+        for (i, y) in sirup.recursive_args.iter().enumerate() {
+            let Term::Var(yv) = y else { continue };
+            for (j, x) in sirup.head.iter().enumerate() {
+                if matches!(x, Term::Var(xv) if xv == yv) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let mut vertices: Vec<usize> = edges.iter().map(|&(i, _)| i).collect();
+        vertices.sort_unstable();
+        vertices.dedup();
+        DataflowGraph {
+            arity,
+            vertices,
+            edges,
+        }
+    }
+
+    /// Successors of position `i`.
+    pub fn successors(&self, i: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|&&(from, _)| from == i)
+            .map(|&(_, to)| to)
+            .collect()
+    }
+
+    /// Find one cycle, returned as the ordered position list
+    /// `[p₀, p₁, …]` with edges `p₀→p₁→…→p₀`. `None` if acyclic.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        // Tiny graphs (arity ≤ a handful): plain DFS with a path stack.
+        fn dfs(
+            g: &DataflowGraph,
+            at: usize,
+            path: &mut Vec<usize>,
+            visited: &mut Vec<usize>,
+        ) -> Option<Vec<usize>> {
+            if let Some(pos) = path.iter().position(|&p| p == at) {
+                return Some(path[pos..].to_vec());
+            }
+            if visited.contains(&at) {
+                return None;
+            }
+            visited.push(at);
+            path.push(at);
+            for next in g.successors(at) {
+                if let Some(cycle) = dfs(g, next, path, visited) {
+                    return Some(cycle);
+                }
+            }
+            path.pop();
+            None
+        }
+        let mut visited = Vec::new();
+        for &start in &self.vertices {
+            let mut path = Vec::new();
+            if let Some(cycle) = dfs(self, start, &mut path, &mut visited) {
+                return Some(cycle);
+            }
+        }
+        None
+    }
+
+    /// True when the graph has a cycle (Theorem 3's precondition).
+    pub fn has_cycle(&self) -> bool {
+        self.find_cycle().is_some()
+    }
+
+    /// Render in the paper's figure style, 1-based: `1 → 2 → 3` for
+    /// chains; general graphs list every edge.
+    pub fn display(&self) -> String {
+        if self.edges.is_empty() {
+            return "(empty)".to_string();
+        }
+        // Try to render a simple path or cycle compactly.
+        if let Some(chain) = self.as_chain() {
+            return chain
+                .iter()
+                .map(|p| (p + 1).to_string())
+                .collect::<Vec<_>>()
+                .join(" → ");
+        }
+        self.edges
+            .iter()
+            .map(|&(i, j)| format!("{} → {}", i + 1, j + 1))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// If the edge relation is a simple path `p₀ → p₁ → … → p_k` (each
+    /// vertex at most one successor/predecessor, no cycle), return it.
+    fn as_chain(&self) -> Option<Vec<usize>> {
+        if self.has_cycle() || self.edges.is_empty() {
+            return None;
+        }
+        let froms: Vec<usize> = self.edges.iter().map(|&(i, _)| i).collect();
+        let tos: Vec<usize> = self.edges.iter().map(|&(_, j)| j).collect();
+        let unique = |v: &[usize]| {
+            let mut s = v.to_vec();
+            s.sort_unstable();
+            s.windows(2).all(|w| w[0] != w[1])
+        };
+        if !unique(&froms) || !unique(&tos) {
+            return None;
+        }
+        // Find the start: a `from` that is not a `to`.
+        let start = froms.iter().find(|f| !tos.contains(f))?;
+        let mut chain = vec![*start];
+        let mut at = *start;
+        for _ in 0..self.edges.len() {
+            let next = self.successors(at);
+            if next.len() != 1 {
+                if next.is_empty() {
+                    break;
+                }
+                return None;
+            }
+            at = next[0];
+            chain.push(at);
+        }
+        if chain.len() == self.edges.len() + 1 {
+            Some(chain)
+        } else {
+            None
+        }
+    }
+}
+
+/// The outcome of the Theorem-3 construction.
+#[derive(Debug, Clone)]
+pub struct ZeroCommChoice {
+    /// The cycle positions `C` (0-based, in cycle order).
+    pub positions: Vec<usize>,
+    /// `v(r)`: the variables of `Ȳ` at positions `C`.
+    pub v_r: Vec<Variable>,
+    /// `v(e)`: the variables of the exit head `Z̄` at positions `C`.
+    pub v_e: Vec<Variable>,
+}
+
+/// Apply Theorem 3: find a cycle and derive discriminating sequences that
+/// make the parallel execution communication-free (when paired with an
+/// order-invariant discriminating function).
+///
+/// Returns [`Error::Shape`] when the dataflow graph is acyclic (the
+/// chain sirup of Example 4) or the cycle positions are not variables in
+/// both the recursive body atom and the exit head.
+pub fn zero_comm_choice(sirup: &LinearSirup) -> Result<ZeroCommChoice> {
+    let graph = DataflowGraph::of(sirup);
+    let cycle = graph.find_cycle().ok_or_else(|| {
+        Error::Shape(
+            "dataflow graph is acyclic: Theorem 3 does not apply (no \
+             communication-free discriminating sequence exists on positions)"
+                .into(),
+        )
+    })?;
+    let mut v_r = Vec::with_capacity(cycle.len());
+    let mut v_e = Vec::with_capacity(cycle.len());
+    for &p in &cycle {
+        match sirup.recursive_args.get(p) {
+            Some(Term::Var(v)) => v_r.push(*v),
+            _ => {
+                return Err(Error::Shape(format!(
+                    "cycle position {} of the recursive body atom is not a variable",
+                    p + 1
+                )))
+            }
+        }
+        match sirup.exit_head.get(p) {
+            Some(Term::Var(v)) => v_e.push(*v),
+            _ => {
+                return Err(Error::Shape(format!(
+                    "cycle position {} of the exit head is not a variable",
+                    p + 1
+                )))
+            }
+        }
+    }
+    Ok(ZeroCommChoice {
+        positions: cycle,
+        v_r,
+        v_e,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gst_frontend::parse_program;
+
+    fn sirup(src: &str) -> LinearSirup {
+        LinearSirup::from_program(&parse_program(src).unwrap().program).unwrap()
+    }
+
+    fn ancestor() -> LinearSirup {
+        sirup("anc(X,Y) :- par(X,Y).\nanc(X,Y) :- par(X,Z), anc(Z,Y).")
+    }
+
+    fn chain3() -> LinearSirup {
+        sirup("p(U,V,W) :- s(U,V,W).\np(U,V,W) :- p(V,W,Z), q(U,Z).")
+    }
+
+    #[test]
+    fn figure1_chain_sirup_dataflow() {
+        // Paper Figure 1: 1 → 2 → 3 for p(U,V,W) :- p(V,W,Z), q(U,Z).
+        let g = DataflowGraph::of(&chain3());
+        assert_eq!(g.edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(g.vertices, vec![0, 1]);
+        assert!(!g.has_cycle());
+        assert_eq!(g.display(), "1 → 2 → 3");
+    }
+
+    #[test]
+    fn figure2_ancestor_dataflow_has_cycle() {
+        // anc(X,Y) :- par(X,Z), anc(Z,Y): Y₂ = Y = X₂ → self-loop on 2.
+        let g = DataflowGraph::of(&ancestor());
+        assert_eq!(g.edges, vec![(1, 1)]);
+        assert!(g.has_cycle());
+        assert_eq!(g.find_cycle(), Some(vec![1]));
+    }
+
+    #[test]
+    fn swap_rule_has_two_cycle() {
+        // t(X,Y) :- t(Y,X), e(X,Y): positions swap each step.
+        let g = DataflowGraph::of(&sirup(
+            "t(X,Y) :- s(X,Y).\nt(X,Y) :- t(Y,X), e(X,Y).",
+        ));
+        assert_eq!(g.edges, vec![(0, 1), (1, 0)]);
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
+    fn example6_dataflow() {
+        // p(X,Y) :- p(Y,Z), r(X,Z): Y₁ = Y = X₂ → edge 1 → 2, acyclic.
+        let g = DataflowGraph::of(&sirup(
+            "p(X,Y) :- q(X,Y).\np(X,Y) :- p(Y,Z), r(X,Z).",
+        ));
+        assert_eq!(g.edges, vec![(0, 1)]);
+        assert!(!g.has_cycle());
+        assert_eq!(g.display(), "1 → 2");
+    }
+
+    #[test]
+    fn zero_comm_choice_on_ancestor_picks_y() {
+        let s = ancestor();
+        let choice = zero_comm_choice(&s).unwrap();
+        let i = &s.program.interner;
+        assert_eq!(choice.positions, vec![1]);
+        assert_eq!(choice.v_r.len(), 1);
+        assert_eq!(choice.v_r[0].name(i), "Y");
+        assert_eq!(choice.v_e[0].name(i), "Y");
+    }
+
+    #[test]
+    fn zero_comm_choice_fails_on_chain_sirup() {
+        let err = zero_comm_choice(&chain3()).unwrap_err();
+        assert!(err.to_string().contains("acyclic"));
+    }
+
+    #[test]
+    fn zero_comm_choice_on_swap_rule() {
+        let s = sirup("t(X,Y) :- s(X,Y).\nt(X,Y) :- t(Y,X), e(X,Y).");
+        let choice = zero_comm_choice(&s).unwrap();
+        assert_eq!(choice.positions.len(), 2);
+        assert_eq!(choice.v_r.len(), 2);
+    }
+
+    #[test]
+    fn same_generation_dataflow() {
+        // sg(X,Y) :- up(X,U), sg(U,V), down(V,Y): no Y_i equals a head
+        // variable (U, V are local) → empty graph, no cycle.
+        let g = DataflowGraph::of(&sirup(
+            "sg(X,Y) :- flat(X,Y).\nsg(X,Y) :- up(X,U), sg(U,V), down(V,Y).",
+        ));
+        assert!(g.edges.is_empty());
+        assert!(!g.has_cycle());
+        assert_eq!(g.display(), "(empty)");
+        assert!(zero_comm_choice(&sirup(
+            "sg(X,Y) :- flat(X,Y).\nsg(X,Y) :- up(X,U), sg(U,V), down(V,Y)."
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn display_lists_edges_when_not_a_chain() {
+        // Two parallel dataflows: t(X,Y) :- t(X,Y), e(...) keeps both.
+        let g = DataflowGraph::of(&sirup(
+            "t(X,Y) :- s(X,Y).\nt(X,Y) :- t(X,Y), e(X,Y).",
+        ));
+        assert_eq!(g.edges, vec![(0, 0), (1, 1)]);
+        assert!(g.display().contains("1 → 1"));
+        assert!(g.display().contains("2 → 2"));
+    }
+
+    #[test]
+    fn repeated_head_variable_fans_out() {
+        // t(X,X) :- t(X,Y), e(Y): Y₁ = X = X₁ and X₂.
+        let g = DataflowGraph::of(&sirup(
+            "t(X,X) :- s(X).\nt(X,X) :- t(X,Y), e(Y).",
+        ));
+        assert_eq!(g.edges, vec![(0, 0), (0, 1)]);
+        assert!(g.has_cycle());
+    }
+}

@@ -1,0 +1,607 @@
+//! Discriminating functions (paper §3).
+//!
+//! A discriminating function maps ground instances of a *discriminating
+//! sequence of variables* to processors:
+//!
+//! ```text
+//! h : set of ground instances of v(r) → P
+//! ```
+//!
+//! Every concrete function here is deterministic and free of per-instance
+//! state, so all workers of a run — and repeated runs — agree on every
+//! assignment. The implementations cover each function the paper uses:
+//!
+//! * [`HashMod`] — an arbitrary hash partition (the "discriminating
+//!   functions based on hashing" of §3, and Examples 1/3);
+//! * [`SymmetricHashMod`] — order-invariant hashing, the function family
+//!   that realizes Theorem 3's zero-communication choice for cyclic
+//!   dataflow graphs (the cycle permutes the sequence, so `h` must not
+//!   care about order);
+//! * [`BitVector`] — `h(a₁…a_L) = (g(a₁), …, g(a_L))` over a bit-valued
+//!   `g`, the four-processor function of Example 6;
+//! * [`Linear`] — `h(a₁…a_L) = Σ c_k · g(a_k)`, the linear function of
+//!   Example 7 whose network graph is derived by solving linear systems;
+//! * [`FragmentOwner`] — `h(t) = i ⇔ t ∈ fragmentⁱ`, Example 2's
+//!   function; **not locally evaluable** (processor `i` cannot test
+//!   membership in a fragment it does not store), which is exactly why
+//!   Example 2 broadcasts;
+//! * [`Constant`] — `h_i(x) = i`, the keep-everything-local choice that
+//!   §6 shows degenerates to the redundant, communication-free scheme of
+//!   [Wolfson 88];
+//! * [`Mixed`] — keep a tuple local with probability `α` (deterministic
+//!   per tuple), else defer to a base function: the knob that sweeps §6's
+//!   redundancy/communication spectrum.
+
+use std::sync::Arc;
+
+use gst_common::fxhash::hash_one;
+use gst_common::{Interner, Value};
+use gst_frontend::{Constraint, Variable};
+use gst_storage::Fragmentation;
+
+/// A discriminating function: ground tuple → processor.
+pub trait Discriminator: Send + Sync {
+    /// Number of processors in the range `P = {0, …, processors()-1}`.
+    fn processors(&self) -> usize;
+
+    /// Assign a ground instance to a processor.
+    fn assign(&self, ground: &[Value]) -> usize;
+
+    /// Whether a processor can evaluate this function from a tuple alone.
+    /// When `false`, sending rules cannot carry the `h(v(r)) = j`
+    /// condition and the scheme falls back to broadcasting (paper §4,
+    /// Example 2: "the second conjunct ... cannot be verified at
+    /// processor i. Hence, all tuples ... are communicated").
+    fn locally_evaluable(&self) -> bool {
+        true
+    }
+
+    /// Human-readable name for reports.
+    fn describe(&self) -> String;
+}
+
+/// Shared handle to a discriminating function.
+pub type DiscriminatorRef = Arc<dyn Discriminator>;
+
+/// The bit-valued helper `g : constants → {0, 1}` of Examples 6 and 7.
+///
+/// "Let g be any arbitrary function on the domain ... with range {0,1}" —
+/// we use one hash bit, parameterized by `seed` so experiments can draw
+/// several independent `g`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFn {
+    /// Seed mixed into the hash, selecting one function from the family.
+    pub seed: u64,
+}
+
+impl BitFn {
+    /// The function `g` with the given seed.
+    pub fn new(seed: u64) -> Self {
+        BitFn { seed }
+    }
+
+    /// Evaluate `g(value) ∈ {0, 1}`.
+    pub fn bit(&self, value: Value) -> u8 {
+        // Take the top bit: FxHash's final multiply mixes high bits far
+        // better than low ones (the low bit survives odd multiplication).
+        (hash_one(&(self.seed, value)) >> 63) as u8
+    }
+}
+
+/// `h(ā) = hash(ā) mod n` — an arbitrary hash partition.
+#[derive(Debug, Clone)]
+pub struct HashMod {
+    n: usize,
+    seed: u64,
+}
+
+impl HashMod {
+    /// A hash partition over `n` processors.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 1, "need at least one processor");
+        HashMod { n, seed }
+    }
+}
+
+impl Discriminator for HashMod {
+    fn processors(&self) -> usize {
+        self.n
+    }
+
+    fn assign(&self, ground: &[Value]) -> usize {
+        (hash_one(&(self.seed, ground)) % self.n as u64) as usize
+    }
+
+    fn describe(&self) -> String {
+        format!("hash mod {}", self.n)
+    }
+}
+
+/// Order-invariant hash partition: `h(ā) = (Σ hash(a_k)) mod n`.
+///
+/// Realizes Theorem 3: when the discriminating positions lie on a cycle of
+/// the dataflow graph, the multiset of values at those positions is
+/// preserved from consumed tuple to produced tuple, so a symmetric `h`
+/// keeps every derivation on one processor.
+#[derive(Debug, Clone)]
+pub struct SymmetricHashMod {
+    n: usize,
+    seed: u64,
+}
+
+impl SymmetricHashMod {
+    /// A symmetric hash partition over `n` processors.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 1);
+        SymmetricHashMod { n, seed }
+    }
+}
+
+impl Discriminator for SymmetricHashMod {
+    fn processors(&self) -> usize {
+        self.n
+    }
+
+    fn assign(&self, ground: &[Value]) -> usize {
+        let sum: u64 = ground
+            .iter()
+            .map(|v| hash_one(&(self.seed, v)))
+            .fold(0u64, u64::wrapping_add);
+        (sum % self.n as u64) as usize
+    }
+
+    fn describe(&self) -> String {
+        format!("symmetric hash mod {}", self.n)
+    }
+}
+
+/// Example 6's function: `h(a₁…a_L) = (g(a₁), …, g(a_L))`, a bit string
+/// read big-endian as the processor index; `2^L` processors.
+#[derive(Debug, Clone)]
+pub struct BitVector {
+    g: BitFn,
+    len: usize,
+}
+
+impl BitVector {
+    /// Bit-vector function over sequences of length `len`.
+    pub fn new(g: BitFn, len: usize) -> Self {
+        assert!((1..=16).contains(&len), "2^len processors must stay sane");
+        BitVector { g, len }
+    }
+
+    /// Render a processor index as the paper's bit-string, e.g. `(01)`.
+    pub fn processor_name(&self, index: usize) -> String {
+        let mut s = String::with_capacity(self.len + 2);
+        s.push('(');
+        for k in 0..self.len {
+            let bit = (index >> (self.len - 1 - k)) & 1;
+            s.push(if bit == 1 { '1' } else { '0' });
+        }
+        s.push(')');
+        s
+    }
+}
+
+impl Discriminator for BitVector {
+    fn processors(&self) -> usize {
+        1 << self.len
+    }
+
+    fn assign(&self, ground: &[Value]) -> usize {
+        debug_assert_eq!(ground.len(), self.len);
+        ground
+            .iter()
+            .fold(0usize, |acc, &v| (acc << 1) | self.g.bit(v) as usize)
+    }
+
+    fn describe(&self) -> String {
+        format!("(g(a1),…,g(a{})) bit vector", self.len)
+    }
+}
+
+/// Example 7's function: `h(a₁…a_L) = Σ c_k · g(a_k)`; the processor set
+/// is the set of achievable sums (e.g. `{0, 1, −1, 2}` for `+1 −1 +1`),
+/// indexed in sorted order.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    g: BitFn,
+    coefficients: Vec<i64>,
+    /// Sorted distinct achievable values; index = processor id.
+    values: Vec<i64>,
+}
+
+impl Linear {
+    /// Linear function with the given ±1 (or any integer) coefficients.
+    pub fn new(g: BitFn, coefficients: Vec<i64>) -> Self {
+        assert!(!coefficients.is_empty() && coefficients.len() <= 20);
+        let values = achievable_sums(&coefficients);
+        Linear {
+            g,
+            coefficients,
+            values,
+        }
+    }
+
+    /// The achievable sums, sorted: the paper's processor set `P`.
+    pub fn processor_values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Processor index of an achievable sum.
+    pub fn processor_of_value(&self, value: i64) -> Option<usize> {
+        self.values.binary_search(&value).ok()
+    }
+
+    /// The coefficients `c_k`.
+    pub fn coefficients(&self) -> &[i64] {
+        &self.coefficients
+    }
+}
+
+/// All sums `Σ c_k·b_k` over `b ∈ {0,1}^L`, sorted and deduplicated.
+pub fn achievable_sums(coefficients: &[i64]) -> Vec<i64> {
+    let mut values = vec![0i64];
+    for &c in coefficients {
+        let mut next = Vec::with_capacity(values.len() * 2);
+        for &v in &values {
+            next.push(v);
+            next.push(v + c);
+        }
+        next.sort_unstable();
+        next.dedup();
+        values = next;
+    }
+    values
+}
+
+impl Discriminator for Linear {
+    fn processors(&self) -> usize {
+        self.values.len()
+    }
+
+    fn assign(&self, ground: &[Value]) -> usize {
+        debug_assert_eq!(ground.len(), self.coefficients.len());
+        let sum: i64 = ground
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(&v, &c)| c * self.g.bit(v) as i64)
+            .sum();
+        self.processor_of_value(sum)
+            .expect("every bit assignment yields an achievable sum")
+    }
+
+    fn describe(&self) -> String {
+        let terms: Vec<String> = self
+            .coefficients
+            .iter()
+            .enumerate()
+            .map(|(k, c)| match c {
+                1 => format!("+g(a{})", k + 1),
+                -1 => format!("-g(a{})", k + 1),
+                c => format!("{:+}·g(a{})", c, k + 1),
+            })
+            .collect();
+        format!("linear {}", terms.join(" "))
+    }
+}
+
+/// Example 2's function: `h(t) = i ⇔ t ∈ fragmentⁱ`. Only the site
+/// storing the fragment can evaluate membership, so this function is not
+/// locally evaluable and forces broadcasting.
+#[derive(Debug, Clone)]
+pub struct FragmentOwner {
+    fragmentation: Arc<Fragmentation>,
+}
+
+impl FragmentOwner {
+    /// Ownership function of an existing fragmentation.
+    pub fn new(fragmentation: Arc<Fragmentation>) -> Self {
+        FragmentOwner { fragmentation }
+    }
+}
+
+impl Discriminator for FragmentOwner {
+    fn processors(&self) -> usize {
+        self.fragmentation.len()
+    }
+
+    fn assign(&self, ground: &[Value]) -> usize {
+        // Tuples outside every fragment can never fire a processing rule;
+        // parking them on processor 0 is safe and keeps `assign` total.
+        self.fragmentation
+            .owner_of(&gst_common::Tuple::new(ground))
+            .unwrap_or(0)
+    }
+
+    fn locally_evaluable(&self) -> bool {
+        false
+    }
+
+    fn describe(&self) -> String {
+        format!("fragment owner over {} fragments", self.fragmentation.len())
+    }
+}
+
+/// `h_i(x) = i` — route everything to a fixed processor (§6: with every
+/// processor using its own constant, no tuple ever leaves its producer).
+#[derive(Debug, Clone)]
+pub struct Constant {
+    n: usize,
+    target: usize,
+}
+
+impl Constant {
+    /// The constant function onto `target` out of `n` processors.
+    pub fn new(n: usize, target: usize) -> Self {
+        assert!(target < n);
+        Constant { n, target }
+    }
+}
+
+impl Discriminator for Constant {
+    fn processors(&self) -> usize {
+        self.n
+    }
+
+    fn assign(&self, _ground: &[Value]) -> usize {
+        self.target
+    }
+
+    fn describe(&self) -> String {
+        format!("constant {}", self.target)
+    }
+}
+
+/// §6 spectrum knob: keep a tuple on `local` with probability `alpha`
+/// (decided by a deterministic hash of the tuple), otherwise defer to
+/// `base`. `alpha = 0` reproduces the non-redundant scheme, `alpha = 1`
+/// the redundant zero-communication scheme.
+#[derive(Clone)]
+pub struct Mixed {
+    local: usize,
+    base: DiscriminatorRef,
+    alpha: f64,
+    seed: u64,
+}
+
+impl Mixed {
+    /// Keep-local mix for processor `local`.
+    pub fn new(local: usize, base: DiscriminatorRef, alpha: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha));
+        assert!(local < base.processors());
+        Mixed {
+            local,
+            base,
+            alpha,
+            seed,
+        }
+    }
+}
+
+impl Discriminator for Mixed {
+    fn processors(&self) -> usize {
+        self.base.processors()
+    }
+
+    fn assign(&self, ground: &[Value]) -> usize {
+        let draw = hash_one(&(self.seed, ground)) as f64 / u64::MAX as f64;
+        if draw < self.alpha {
+            self.local
+        } else {
+            self.base.assign(ground)
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "keep-local(p={}, α={:.2}) else {}",
+            self.local,
+            self.alpha,
+            self.base.describe()
+        )
+    }
+}
+
+/// The constraint literal `h(v) = expect` that the rewriting schemes
+/// insert into rule bodies.
+pub struct DiscConstraint {
+    /// The discriminating sequence `v`.
+    pub vars: Vec<Variable>,
+    /// The function `h`.
+    pub disc: DiscriminatorRef,
+    /// The processor the instance must hash to.
+    pub expect: usize,
+}
+
+impl DiscConstraint {
+    /// Build the constraint `disc(vars) = expect` as a shareable literal.
+    pub fn literal(
+        vars: Vec<Variable>,
+        disc: DiscriminatorRef,
+        expect: usize,
+    ) -> gst_frontend::ast::ConstraintRef {
+        Arc::new(DiscConstraint { vars, disc, expect })
+    }
+}
+
+impl Constraint for DiscConstraint {
+    fn variables(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    fn holds(&self, bound: &[Value]) -> bool {
+        self.disc.assign(bound) == self.expect
+    }
+
+    fn describe(&self, interner: &Interner) -> String {
+        let names: Vec<String> = self.vars.iter().map(|v| v.name(interner)).collect();
+        format!(
+            "h({}) = {} [{}]",
+            names.join(", "),
+            self.expect,
+            self.disc.describe()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gst_common::ituple;
+    use gst_storage::{hash_fragment, Relation};
+
+    fn vals(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    #[test]
+    fn hash_mod_is_deterministic_and_in_range() {
+        let h = HashMod::new(4, 1);
+        for k in 0..100i64 {
+            let a = h.assign(&vals(&[k, k + 1]));
+            assert!(a < 4);
+            assert_eq!(a, h.assign(&vals(&[k, k + 1])));
+        }
+    }
+
+    #[test]
+    fn hash_mod_spreads() {
+        let h = HashMod::new(4, 1);
+        let mut hit = [false; 4];
+        for k in 0..64i64 {
+            hit[h.assign(&vals(&[k]))] = true;
+        }
+        assert!(hit.iter().all(|&b| b), "all processors used");
+    }
+
+    #[test]
+    fn symmetric_is_order_invariant() {
+        let h = SymmetricHashMod::new(8, 3);
+        for k in 0..50i64 {
+            assert_eq!(h.assign(&vals(&[k, k + 7])), h.assign(&vals(&[k + 7, k])));
+        }
+    }
+
+    #[test]
+    fn plain_hash_is_order_sensitive_somewhere() {
+        let h = HashMod::new(8, 3);
+        let sensitive = (0..100i64)
+            .any(|k| h.assign(&vals(&[k, k + 1])) != h.assign(&vals(&[k + 1, k])));
+        assert!(sensitive);
+    }
+
+    #[test]
+    fn bit_vector_composes_g() {
+        let g = BitFn::new(5);
+        let h = BitVector::new(g, 2);
+        assert_eq!(h.processors(), 4);
+        for a in 0..10i64 {
+            for b in 0..10i64 {
+                let expect =
+                    ((g.bit(Value::Int(a)) as usize) << 1) | g.bit(Value::Int(b)) as usize;
+                assert_eq!(h.assign(&vals(&[a, b])), expect);
+            }
+        }
+        assert_eq!(h.processor_name(0b10), "(10)");
+        assert_eq!(h.processor_name(0), "(00)");
+    }
+
+    #[test]
+    fn linear_matches_example7() {
+        // h = g(a1) - g(a2) + g(a3): P = {-1, 0, 1, 2} (sorted).
+        let h = Linear::new(BitFn::new(9), vec![1, -1, 1]);
+        assert_eq!(h.processor_values(), &[-1, 0, 1, 2]);
+        assert_eq!(h.processors(), 4);
+        // Every assignment lands on an achievable value.
+        for a in 0..20i64 {
+            let p = h.assign(&vals(&[a, a + 1, a + 2]));
+            assert!(p < 4);
+        }
+        assert_eq!(h.processor_of_value(2), Some(3));
+        assert_eq!(h.processor_of_value(5), None);
+    }
+
+    #[test]
+    fn achievable_sums_enumerates() {
+        assert_eq!(achievable_sums(&[1, 1]), vec![0, 1, 2]);
+        assert_eq!(achievable_sums(&[1, -1]), vec![-1, 0, 1]);
+        assert_eq!(achievable_sums(&[2]), vec![0, 2]);
+    }
+
+    #[test]
+    fn fragment_owner_matches_fragments() {
+        let rel: Relation = (0..40i64).map(|k| ituple![k, k + 1]).collect();
+        let frag = Arc::new(hash_fragment(&rel, &[0], 4).unwrap());
+        let h = FragmentOwner::new(frag.clone());
+        assert!(!h.locally_evaluable());
+        for t in rel.iter() {
+            let owner = h.assign(t.as_slice());
+            assert!(frag.fragment(owner).contains(t));
+        }
+        // Unknown tuples park on 0.
+        assert_eq!(h.assign(&vals(&[999, 999])), 0);
+    }
+
+    #[test]
+    fn constant_routes_to_target() {
+        let h = Constant::new(5, 3);
+        assert_eq!(h.assign(&vals(&[1])), 3);
+        assert_eq!(h.assign(&vals(&[99, 4])), 3);
+        assert_eq!(h.processors(), 5);
+    }
+
+    #[test]
+    fn mixed_extremes_degenerate() {
+        let base: DiscriminatorRef = Arc::new(HashMod::new(4, 2));
+        let all_local = Mixed::new(1, base.clone(), 1.0, 7);
+        let never_local = Mixed::new(1, base.clone(), 0.0, 7);
+        for k in 0..50i64 {
+            let v = vals(&[k, k * 3]);
+            assert_eq!(all_local.assign(&v), 1);
+            assert_eq!(never_local.assign(&v), base.assign(&v));
+        }
+    }
+
+    #[test]
+    fn mixed_midpoint_is_a_true_mix() {
+        let base: DiscriminatorRef = Arc::new(HashMod::new(4, 2));
+        let mixed = Mixed::new(1, base.clone(), 0.5, 7);
+        let mut kept = 0;
+        let mut routed = 0;
+        for k in 0..400i64 {
+            let v = vals(&[k]);
+            let a = mixed.assign(&v);
+            if a == base.assign(&v) && a != 1 {
+                routed += 1;
+            } else if a == 1 {
+                kept += 1;
+            }
+        }
+        assert!(kept > 100, "keeps a fair share: {kept}");
+        assert!(routed > 100, "routes a fair share: {routed}");
+    }
+
+    #[test]
+    fn constraint_literal_evaluates() {
+        let interner = Interner::new();
+        let x = Variable(interner.intern("X"));
+        let h: DiscriminatorRef = Arc::new(HashMod::new(3, 0));
+        let expect = h.assign(&vals(&[42]));
+        let c = DiscConstraint::literal(vec![x], h, expect);
+        assert!(c.holds(&vals(&[42])));
+        let miss = (0..10i64)
+            .map(Value::Int)
+            .any(|v| !c.holds(&[v]));
+        assert!(miss, "some value hashes elsewhere");
+        assert!(c.describe(&interner).contains("h(X)"));
+    }
+
+    #[test]
+    fn bitfn_seeds_differ() {
+        let g1 = BitFn::new(1);
+        let g2 = BitFn::new(2);
+        let differs = (0..64i64).any(|k| g1.bit(Value::Int(k)) != g2.bit(Value::Int(k)));
+        assert!(differs);
+    }
+}

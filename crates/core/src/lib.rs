@@ -1,0 +1,52 @@
+//! The paper's contribution: parallelizing bottom-up Datalog evaluation
+//! with discriminating hash functions.
+//!
+//! Ganguly, Silberschatz & Tsur, *A Framework for the Parallel Processing
+//! of Datalog Queries* (SIGMOD 1990) partitions the ground substitutions
+//! of semi-naive evaluation across processors via *discriminating
+//! sequences* of variables and *discriminating functions* based on
+//! hashing. This crate implements the whole framework:
+//!
+//! * [`discriminator`] — the function family (§3): hash partitions,
+//!   bit-vector and linear `g`-combinations, fragment ownership, and the
+//!   §6 keep-local mixes;
+//! * [`schemes`] — the rewritings: `Q_i` (§3, non-redundant),
+//!   the communication-free scheme of [Wolfson 88] (§6), `R_i` (§6,
+//!   per-processor functions: the redundancy/communication trade-off),
+//!   `T_i` (§7, arbitrary programs), and the §4 example presets;
+//! * [`dataflow`] — argument-position dataflow graphs (§5, Def. 2) and
+//!   the Theorem-3 zero-communication chooser;
+//! * [`network`] — compile-time derivation of the minimal processor
+//!   network (§5, Def. 3, Examples 6–7 / Figures 3–4);
+//! * [`strategy`] — the §8 "compiler" decision: pick a scheme from
+//!   measured profiles and an architecture's computation/communication
+//!   cost ratio.
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod dataflow;
+pub mod discriminator;
+pub mod network;
+pub mod schemes;
+pub mod strategy;
+
+/// Convenient imports for building and running schemes.
+pub mod prelude {
+    pub use crate::advisor::{advise, candidates, ArchitecturePreference, Candidate};
+    pub use crate::dataflow::{zero_comm_choice, DataflowGraph, ZeroCommChoice};
+    pub use crate::discriminator::{
+        BitFn, BitVector, Constant, DiscConstraint, Discriminator, DiscriminatorRef,
+        FragmentOwner, HashMod, Linear, Mixed, SymmetricHashMod,
+    };
+    pub use crate::network::{derive_network, NetworkGraph, SymbolicDisc};
+    pub use crate::schemes::general::{rewrite_general, RuleChoice};
+    pub use crate::schemes::generalized::{rewrite_generalized, GeneralizedConfig};
+    pub use crate::schemes::nocomm::{rewrite_no_comm, NoCommConfig};
+    pub use crate::schemes::nonredundant::{rewrite_non_redundant, NonRedundantConfig};
+    pub use crate::schemes::presets::{
+        example1_wolfson, example2_valduriez, example3_hash_partition,
+    };
+    pub use crate::schemes::{BaseDistribution, CompiledScheme};
+    pub use crate::strategy::{choose, crossover, CostModel, SchemeProfile};
+}

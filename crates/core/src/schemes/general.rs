@@ -1,0 +1,396 @@
+//! The §7 general scheme `T_i`: parallelizing **any** Datalog program —
+//! non-linear rules, multiple recursive rules, mutual recursion.
+//!
+//! Every rule `r_k : A :- B, …, C` gets its own discriminating sequence
+//! `v(r_k)` and function `h_k`. Processor `i` executes, per rule,
+//!
+//! ```text
+//! processing:       A_out^i :- B_in^i, …, C_in^i, h_k(v(r_k)) = i
+//! sending (∀ derived C in r_k, ∀j):  C_ij :- C_out^i, h_k(v(r_k)) = j
+//! receiving (∀ derived t, ∀j):       t_in^i(W̄) :- t_ji(W̄)
+//! final pooling (∀ derived t):       t(W̄) :- t_out^i(W̄)
+//! ```
+//!
+//! A tuple of a predicate consumed by several rules (or at several
+//! positions of one rule, as in Example 8's non-linear ancestor) is
+//! shipped once per *consuming occurrence's* routing — e.g. `anc(a,b)`
+//! goes both to `h(b)` (to join as `anc(X,Z)`) and to `h(a)` (to join as
+//! `anc(Z,Y)`), matching the paper's two sending rules for Example 8.
+//! Inbox deduplication (the receive step's difference operation) absorbs
+//! the overlap.
+//!
+//! Base relations are distributed per [`BaseDistribution`]: the paper's
+//! `D_in^i :- D, h(v(r)) = i` fragments fall out of
+//! [`BaseDistribution::MinimalFragments`].
+
+use gst_common::{Error, Result};
+use gst_eval::plan::RelationId;
+use gst_frontend::ast::Literal;
+use gst_frontend::{Program, ProgramAnalysis, Variable};
+use gst_runtime::{ChannelOut, ProcessorProgram, WorkerSpec};
+use gst_storage::Database;
+
+use crate::discriminator::{DiscConstraint, DiscriminatorRef};
+use crate::schemes::common::{
+    atom, can_route, program, rel_id, validate_sequence, worker_databases, BaseDistribution,
+    Namer,
+};
+use crate::schemes::CompiledScheme;
+
+/// Discriminating choice for one rule.
+#[derive(Clone)]
+pub struct RuleChoice {
+    /// `v(r_k)`: variables of the rule.
+    pub v: Vec<Variable>,
+    /// `h_k`: the rule's discriminating function.
+    pub h: DiscriminatorRef,
+}
+
+/// Rewrite an arbitrary Datalog program into the §7 parallel scheme.
+///
+/// `choices[k]` is the discriminating choice for `source.rules[k]`; all
+/// functions must share one processor count. Facts for derived predicates
+/// are not supported (provide them via an auxiliary base predicate).
+pub fn rewrite_general(
+    source: &Program,
+    choices: &[RuleChoice],
+    db: &Database,
+    base: BaseDistribution,
+) -> Result<CompiledScheme> {
+    if choices.len() != source.rules.len() {
+        return Err(Error::Discriminator(format!(
+            "need one discriminating choice per rule: {} rules, {} choices",
+            source.rules.len(),
+            choices.len()
+        )));
+    }
+    ProgramAnalysis::new(source)?;
+    let n = choices
+        .first()
+        .map(|c| c.h.processors())
+        .ok_or_else(|| Error::Discriminator("program has no rules".into()))?;
+    if choices.iter().any(|c| c.h.processors() != n) {
+        return Err(Error::Discriminator(
+            "all rules' discriminating functions must share one processor set".into(),
+        ));
+    }
+    for (k, choice) in choices.iter().enumerate() {
+        validate_sequence(&source.rules[k], &choice.v, &format!("v(r{k})"))?;
+    }
+
+    let interner = source.interner.clone();
+    let namer = Namer::new(interner.clone());
+    let derived: Vec<RelationId> = source
+        .derived_predicates()
+        .into_iter()
+        .map(rel_id)
+        .collect();
+    for d in &derived {
+        if db.relation(*d).is_some_and(|r| !r.is_empty()) {
+            return Err(Error::Shape(format!(
+                "input facts for derived predicate {} are not supported by the \
+                 general scheme; load them under a base predicate",
+                interner.resolve(d.0)
+            )));
+        }
+    }
+
+    let rule_count = source.rules.len();
+    let mut programs = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut rules = Vec::new();
+
+        // Processing copies, one per source rule, same order.
+        for (k, rule) in source.rules.iter().enumerate() {
+            let head_id = rel_id(rule.head.pred());
+            let mut body: Vec<Literal> = Vec::with_capacity(rule.body.len() + 1);
+            for literal in &rule.body {
+                match literal {
+                    Literal::Atom(a) => {
+                        let id: RelationId = (a.predicate, a.terms.len());
+                        if derived.contains(&id) {
+                            body.push(Literal::Atom(atom(
+                                namer.input(id, i),
+                                a.terms.clone(),
+                            )));
+                        } else {
+                            body.push(Literal::Atom(a.clone()));
+                        }
+                    }
+                    Literal::Constraint(c) => body.push(Literal::Constraint(c.clone())),
+                }
+            }
+            body.push(Literal::Constraint(DiscConstraint::literal(
+                choices[k].v.clone(),
+                choices[k].h.clone(),
+                i,
+            )));
+            rules.push(gst_frontend::Rule::new(
+                atom(namer.out(head_id, i), rule.head.terms.clone()),
+                body,
+            ));
+        }
+
+        // Sending rules: per rule, per derived occurrence, per target.
+        let mut channels: Vec<RelationId> = Vec::new(); // derived preds with traffic
+        for (k, rule) in source.rules.iter().enumerate() {
+            let choice = &choices[k];
+            // Distinct (pred, args) occurrences of derived predicates.
+            let mut occurrences: Vec<(RelationId, Vec<gst_frontend::Term>)> = Vec::new();
+            for a in rule.body_atoms() {
+                let id: RelationId = (a.predicate, a.terms.len());
+                if derived.contains(&id) && !occurrences.contains(&(id, a.terms.clone())) {
+                    occurrences.push((id, a.terms.clone()));
+                }
+            }
+            for (c_id, args) in occurrences {
+                if !channels.contains(&c_id) {
+                    channels.push(c_id);
+                }
+                let routed = can_route(&args, &choice.v, choice.h.locally_evaluable());
+                let pattern = if routed {
+                    args.clone()
+                } else {
+                    namer.fresh_vars(c_id.1)
+                };
+                for j in 0..n {
+                    let head_pred = if j == i {
+                        namer.input(c_id, i)
+                    } else {
+                        namer.channel(c_id, i, j)
+                    };
+                    let mut body = vec![Literal::Atom(atom(
+                        namer.out(c_id, i),
+                        pattern.clone(),
+                    ))];
+                    if routed {
+                        body.push(Literal::Constraint(DiscConstraint::literal(
+                            choice.v.clone(),
+                            choice.h.clone(),
+                            j,
+                        )));
+                    } else if j != i {
+                        // Broadcast: unconditional. For j == i the local
+                        // copy is also unconditional.
+                    }
+                    let candidate = gst_frontend::Rule::new(atom(head_pred, pattern.clone()), body);
+                    if !rules.contains(&candidate) {
+                        rules.push(candidate);
+                    }
+                }
+            }
+        }
+
+        let outgoing = channels
+            .iter()
+            .flat_map(|&c_id| {
+                (0..n).filter(move |&j| j != i).map(move |j| (c_id, j))
+            })
+            .map(|(c_id, j)| ChannelOut {
+                channel: namer.channel(c_id, i, j),
+                dest: j,
+                inbox: namer.input(c_id, j),
+            })
+            .collect();
+
+        programs.push(ProcessorProgram {
+            processor: i,
+            program: program(rules, &interner),
+            outgoing,
+            inboxes: derived.iter().map(|&d| namer.input(d, i)).collect(),
+            processing_rules: (0..rule_count).collect(),
+            pooling: derived.iter().map(|&d| (namer.out(d, i), d)).collect(),
+        });
+    }
+
+    let edbs = worker_databases(db, &programs, base)?;
+    let workers = programs
+        .into_iter()
+        .zip(edbs)
+        .map(|(program, edb)| WorkerSpec { program, edb })
+        .collect();
+
+    Ok(CompiledScheme {
+        workers,
+        answers: derived,
+        kind: "general scheme (§7 T_i)",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discriminator::HashMod;
+    use gst_common::ituple;
+    use gst_eval::seminaive_eval;
+    use gst_workloads::{
+        chain, even_odd, grid, linear_ancestor, nonlinear_ancestor, random_digraph,
+    };
+    use std::sync::Arc;
+
+    fn var(p: &Program, name: &str) -> Variable {
+        Variable(p.interner.get(name).unwrap())
+    }
+
+    /// Paper Example 8: v(r₁) = ⟨Y⟩, v(r₂) = ⟨Z⟩, h₁ = h₂ = h.
+    fn example8_choices(p: &Program, n: usize) -> Vec<RuleChoice> {
+        let h: DiscriminatorRef = Arc::new(HashMod::new(n, 13));
+        vec![
+            RuleChoice {
+                v: vec![var(p, "Y")],
+                h: h.clone(),
+            },
+            RuleChoice {
+                v: vec![var(p, "Z")],
+                h,
+            },
+        ]
+    }
+
+    #[test]
+    fn example8_nonlinear_ancestor_is_correct() {
+        let fx = nonlinear_ancestor();
+        let db = fx.database(&random_digraph(20, 40, 6));
+        let scheme = rewrite_general(
+            &fx.program,
+            &example8_choices(&fx.program, 4),
+            &db,
+            BaseDistribution::Shared,
+        )
+        .unwrap();
+        let outcome = scheme.run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        let anc = fx.output_id();
+        assert!(outcome.relation(anc).set_eq(&seq.relation(anc)));
+    }
+
+    #[test]
+    fn example8_is_theorem6_non_redundant() {
+        let fx = nonlinear_ancestor();
+        let db = fx.database(&grid(5, 5));
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        let scheme = rewrite_general(
+            &fx.program,
+            &example8_choices(&fx.program, 4),
+            &db,
+            BaseDistribution::Shared,
+        )
+        .unwrap();
+        let outcome = scheme.run().unwrap();
+        assert!(
+            outcome.stats.total_processing_firings() <= seq.stats.firings,
+            "Theorem 6: parallel {} ≤ sequential {}",
+            outcome.stats.total_processing_firings(),
+            seq.stats.firings
+        );
+    }
+
+    #[test]
+    fn linear_ancestor_through_general_scheme() {
+        // §7 subsumes §3: running the linear program through T_i.
+        let fx = linear_ancestor();
+        let db = fx.database(&chain(15));
+        let h: DiscriminatorRef = Arc::new(HashMod::new(3, 19));
+        let choices = vec![
+            RuleChoice {
+                v: vec![var(&fx.program, "Y")],
+                h: h.clone(),
+            },
+            RuleChoice {
+                v: vec![var(&fx.program, "Z")],
+                h,
+            },
+        ];
+        let scheme =
+            rewrite_general(&fx.program, &choices, &db, BaseDistribution::Shared).unwrap();
+        let outcome = scheme.run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        let anc = fx.output_id();
+        assert!(outcome.relation(anc).set_eq(&seq.relation(anc)));
+        assert_eq!(outcome.relation(anc).len(), 120);
+    }
+
+    #[test]
+    fn mutual_recursion_even_odd() {
+        let fx = even_odd();
+        let succ: gst_storage::Relation =
+            (0..12i64).map(|k| ituple![k, k + 1]).collect();
+        let zero: gst_storage::Relation = [ituple![0]].into_iter().collect();
+        let db = fx.database_multi(&[zero, succ]);
+        let h: DiscriminatorRef = Arc::new(HashMod::new(3, 29));
+        let choices: Vec<RuleChoice> = [
+            vec![var(&fx.program, "X")],
+            vec![var(&fx.program, "Y")],
+            vec![var(&fx.program, "Y")],
+        ]
+        .into_iter()
+        .map(|v| RuleChoice { v, h: h.clone() })
+        .collect();
+        let scheme =
+            rewrite_general(&fx.program, &choices, &db, BaseDistribution::Shared).unwrap();
+        let outcome = scheme.run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        let even = fx.output_id();
+        let odd = (fx.program.interner.get("odd").unwrap(), 1);
+        assert!(outcome.relation(even).set_eq(&seq.relation(even)));
+        assert!(outcome.relation(odd).set_eq(&seq.relation(odd)));
+        assert_eq!(outcome.relation(even).len(), 7); // 0,2,…,12
+    }
+
+    #[test]
+    fn minimal_fragments_distribution_works() {
+        let fx = nonlinear_ancestor();
+        let db = fx.database(&chain(12));
+        let scheme = rewrite_general(
+            &fx.program,
+            &example8_choices(&fx.program, 3),
+            &db,
+            BaseDistribution::MinimalFragments,
+        )
+        .unwrap();
+        let outcome = scheme.run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        let anc = fx.output_id();
+        assert!(outcome.relation(anc).set_eq(&seq.relation(anc)));
+    }
+
+    #[test]
+    fn rejects_wrong_choice_count() {
+        let fx = nonlinear_ancestor();
+        let db = fx.database(&chain(3));
+        let err = rewrite_general(&fx.program, &[], &db, BaseDistribution::Shared).unwrap_err();
+        assert!(err.to_string().contains("one discriminating choice per rule"));
+    }
+
+    #[test]
+    fn rejects_facts_for_derived_predicates() {
+        let fx = nonlinear_ancestor();
+        let mut db = fx.database(&chain(3));
+        db.insert(fx.output_id(), ituple![9, 9]).unwrap();
+        let err = rewrite_general(
+            &fx.program,
+            &example8_choices(&fx.program, 2),
+            &db,
+            BaseDistribution::Shared,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("derived predicate"));
+    }
+
+    #[test]
+    fn rejects_mixed_processor_counts() {
+        let fx = nonlinear_ancestor();
+        let db = fx.database(&chain(3));
+        let choices = vec![
+            RuleChoice {
+                v: vec![var(&fx.program, "Y")],
+                h: Arc::new(HashMod::new(2, 1)),
+            },
+            RuleChoice {
+                v: vec![var(&fx.program, "Z")],
+                h: Arc::new(HashMod::new(3, 1)),
+            },
+        ];
+        assert!(rewrite_general(&fx.program, &choices, &db, BaseDistribution::Shared).is_err());
+    }
+}

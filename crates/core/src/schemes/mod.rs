@@ -1,0 +1,62 @@
+//! The paper's parallelization schemes as program rewritings.
+//!
+//! | Module | Paper | Scheme |
+//! |---|---|---|
+//! | [`nonredundant`] | §3 | `Q_i`: shared `h`, provably non-redundant |
+//! | [`nocomm`] | §6 / [Wolfson 88] | `t^i`: zero communication, redundant |
+//! | [`generalized`] | §6 | `R_i`: per-processor `h_i`, the trade-off spectrum |
+//! | [`general`] | §7 | `T_i`: arbitrary Datalog programs |
+//! | [`presets`] | §4 | Examples 1–3 ready-made for transitive closure |
+//!
+//! Every rewriting produces a [`CompiledScheme`]: one
+//! [`gst_runtime::WorkerSpec`] per processor plus the identity of the
+//! global answer predicates. Executing it runs the real multi-threaded
+//! runtime and returns pooled relations plus communication statistics.
+
+pub mod common;
+pub mod general;
+pub mod generalized;
+pub mod nocomm;
+pub mod nonredundant;
+pub mod presets;
+
+use gst_common::Result;
+use gst_eval::plan::RelationId;
+use gst_runtime::{execute_processors, ExecutionOutcome, RuntimeConfig, WorkerSpec};
+
+pub use common::BaseDistribution;
+
+/// A fully compiled parallel execution plan.
+#[derive(Debug, Clone)]
+pub struct CompiledScheme {
+    /// One spec per processor, position-indexed.
+    pub workers: Vec<WorkerSpec>,
+    /// The global (source-program) predicates the answer pools into.
+    pub answers: Vec<RelationId>,
+    /// Which rewriting produced this (for reports).
+    pub kind: &'static str,
+}
+
+impl CompiledScheme {
+    /// Number of processors.
+    pub fn processors(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run the scheme on the runtime.
+    pub fn execute(&self, config: &RuntimeConfig) -> Result<ExecutionOutcome> {
+        execute_processors(self.workers.clone(), config)
+    }
+
+    /// Run with default runtime settings.
+    pub fn run(&self) -> Result<ExecutionOutcome> {
+        self.execute(&RuntimeConfig::default())
+    }
+
+    /// Run in the strict, deterministic bulk-synchronous mode (the
+    /// paper's phased `repeat … until` loop; see
+    /// [`gst_runtime::execute_synchronous`]).
+    pub fn run_synchronous(&self) -> Result<ExecutionOutcome> {
+        gst_runtime::execute_synchronous(&self.workers)
+    }
+}

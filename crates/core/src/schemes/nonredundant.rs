@@ -1,0 +1,414 @@
+//! The §3 non-redundant scheme `Q_i`.
+//!
+//! Given a linear sirup
+//!
+//! ```text
+//! e:  t(Z̄) :- s(Z̄)
+//! r:  t(X̄) :- t(Ȳ), b₁, …, b_k
+//! ```
+//!
+//! discriminating sequences `v(e)`, `v(r)` and hash functions `h'`, `h`
+//! over `P = {0,…,n−1}`, processor `i` executes
+//!
+//! ```text
+//! initialization:  t_out^i(Z̄) :- s(Z̄), h'(v(e)) = i
+//! processing:      t_out^i(X̄) :- t_in^i(Ȳ), b₁, …, b_k, h(v(r)) = i
+//! sending (∀j):    t_ij(Ȳ)    :- t_out^i(Ȳ), h(v(r)) = j
+//! receiving (∀j):  t_in^i(W̄)  :- t_ji(W̄)
+//! final pooling:   t(W̄)       :- t_out^i(W̄)
+//! ```
+//!
+//! Implementation notes:
+//! * the `i → i` "channel" is realized as a direct local rule
+//!   `t_in^i(Ȳ) :- t_out^i(Ȳ), h(v(r)) = i` — semantically identical and
+//!   it spares a loopback message;
+//! * receiving and pooling are performed by the runtime (inbox injection
+//!   and answer pooling), not as materialized rules;
+//! * when `h` cannot be evaluated on an outgoing tuple — its variables
+//!   are not all in `Ȳ`, or `h` is [`FragmentOwner`]-like — the sending
+//!   rules drop their condition and broadcast, exactly the resolution the
+//!   paper adopts for Example 2 ("the extra communication does not make
+//!   the parallel execution either incorrect or redundant");
+//! * the selection `h(v(r)) = i` of the processing rule is pushed into
+//!   the join by the planner's eager constraint placement, realizing the
+//!   fragment reads `b_k^i :- b_k, h(v(r)) = i` of the paper.
+//!
+//! [`FragmentOwner`]: crate::discriminator::FragmentOwner
+
+use gst_common::Result;
+use gst_frontend::ast::Literal;
+use gst_frontend::{LinearSirup, Variable};
+use gst_runtime::{ChannelOut, ProcessorProgram, WorkerSpec};
+use gst_storage::Database;
+
+use crate::discriminator::{DiscConstraint, DiscriminatorRef};
+use crate::schemes::common::{
+    atom, can_route, program, rel_id, validate_sequence, worker_databases, BaseDistribution,
+    Namer,
+};
+use crate::schemes::CompiledScheme;
+
+/// Parameters of the §3 rewriting.
+#[derive(Clone)]
+pub struct NonRedundantConfig {
+    /// `v(r)` — discriminating sequence of the recursive rule.
+    pub v_r: Vec<Variable>,
+    /// `v(e)` — discriminating sequence of the exit rule.
+    pub v_e: Vec<Variable>,
+    /// `h` — discriminating function of the recursive rule.
+    pub h: DiscriminatorRef,
+    /// `h'` — discriminating function of the exit rule.
+    pub h_prime: DiscriminatorRef,
+    /// How base relations reach the workers.
+    pub base: BaseDistribution,
+}
+
+/// Rewrite `sirup` under `cfg` into the non-redundant parallel scheme.
+pub fn rewrite_non_redundant(
+    sirup: &LinearSirup,
+    cfg: &NonRedundantConfig,
+    db: &Database,
+) -> Result<CompiledScheme> {
+    let n = cfg.h.processors();
+    if cfg.h_prime.processors() != n {
+        return Err(gst_common::Error::Discriminator(format!(
+            "h and h' must map to the same processor set ({} vs {})",
+            n,
+            cfg.h_prime.processors()
+        )));
+    }
+    validate_sequence(sirup.recursive_rule(), &cfg.v_r, "v(r)")?;
+    validate_sequence(sirup.exit_rule(), &cfg.v_e, "v(e)")?;
+
+    let interner = sirup.program.interner.clone();
+    let namer = Namer::new(interner.clone());
+    let t = rel_id(sirup.target);
+
+    // Can the sending rules evaluate h on an outgoing tuple?
+    let routed = can_route(&sirup.recursive_args, &cfg.v_r, cfg.h.locally_evaluable());
+
+    let mut programs: Vec<ProcessorProgram> = Vec::with_capacity(n);
+    for i in 0..n {
+        let out_i = namer.out(t, i);
+        let in_i = namer.input(t, i);
+        let mut rules = Vec::new();
+
+        // 0: initialization  t_out^i(Z̄) :- s-body, h'(v(e)) = i.
+        {
+            // Clone the whole exit body — atoms AND any built-in
+            // constraint literals (e.g. comparisons) the rule carries.
+            let mut body: Vec<Literal> = sirup.exit_rule().body.to_vec();
+            body.push(Literal::Constraint(DiscConstraint::literal(
+                cfg.v_e.clone(),
+                cfg.h_prime.clone(),
+                i,
+            )));
+            rules.push(gst_frontend::Rule::new(
+                atom(out_i, sirup.exit_head.clone()),
+                body,
+            ));
+        }
+
+        // 1: processing  t_out^i(X̄) :- …, t_in^i(Ȳ), …, h(v(r)) = i.
+        {
+            let mut body: Vec<Literal> = Vec::with_capacity(sirup.base_atoms.len() + 2);
+            let mut seen_atoms = 0usize;
+            for literal in &sirup.recursive_rule().body {
+                match literal {
+                    Literal::Atom(a) => {
+                        if seen_atoms == sirup.recursive_atom_index {
+                            body.push(Literal::Atom(atom(in_i, a.terms.clone())));
+                        } else {
+                            body.push(Literal::Atom(a.clone()));
+                        }
+                        seen_atoms += 1;
+                    }
+                    Literal::Constraint(c) => body.push(Literal::Constraint(c.clone())),
+                }
+            }
+            body.push(Literal::Constraint(DiscConstraint::literal(
+                cfg.v_r.clone(),
+                cfg.h.clone(),
+                i,
+            )));
+            rules.push(gst_frontend::Rule::new(atom(out_i, sirup.head.clone()), body));
+        }
+
+        // Sending rules. Local (j = i) targets t_in^i directly.
+        let mut outgoing = Vec::new();
+        if routed {
+            let pattern = sirup.recursive_args.clone();
+            rules.push(gst_frontend::Rule::new(
+                atom(in_i, pattern.clone()),
+                vec![
+                    Literal::Atom(atom(out_i, pattern.clone())),
+                    Literal::Constraint(DiscConstraint::literal(
+                        cfg.v_r.clone(),
+                        cfg.h.clone(),
+                        i,
+                    )),
+                ],
+            ));
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let ch = namer.channel(t, i, j);
+                rules.push(gst_frontend::Rule::new(
+                    atom(ch, pattern.clone()),
+                    vec![
+                        Literal::Atom(atom(out_i, pattern.clone())),
+                        Literal::Constraint(DiscConstraint::literal(
+                            cfg.v_r.clone(),
+                            cfg.h.clone(),
+                            j,
+                        )),
+                    ],
+                ));
+                outgoing.push(ChannelOut {
+                    channel: ch,
+                    dest: j,
+                    inbox: namer.input(t, j),
+                });
+            }
+        } else {
+            // Broadcast: every t_out tuple to every processor.
+            let fresh = namer.fresh_vars(t.1);
+            rules.push(gst_frontend::Rule::new(
+                atom(in_i, fresh.clone()),
+                vec![Literal::Atom(atom(out_i, fresh.clone()))],
+            ));
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let ch = namer.channel(t, i, j);
+                rules.push(gst_frontend::Rule::new(
+                    atom(ch, fresh.clone()),
+                    vec![Literal::Atom(atom(out_i, fresh.clone()))],
+                ));
+                outgoing.push(ChannelOut {
+                    channel: ch,
+                    dest: j,
+                    inbox: namer.input(t, j),
+                });
+            }
+        }
+
+        programs.push(ProcessorProgram {
+            processor: i,
+            program: program(rules, &interner),
+            outgoing,
+            inboxes: vec![in_i],
+            processing_rules: vec![0, 1],
+            pooling: vec![(out_i, t)],
+        });
+    }
+
+    let edbs = worker_databases(db, &programs, cfg.base)?;
+    let workers = programs
+        .into_iter()
+        .zip(edbs)
+        .map(|(program, edb)| WorkerSpec { program, edb })
+        .collect();
+
+    Ok(CompiledScheme {
+        workers,
+        answers: vec![t],
+        kind: "non-redundant (§3 Q_i)",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discriminator::HashMod;
+    use gst_common::ituple;
+    use gst_eval::seminaive_eval;
+    use gst_frontend::parse_program;
+    use gst_workloads::{chain, linear_ancestor, random_digraph};
+    use std::sync::Arc;
+
+    fn ancestor_sirup() -> (LinearSirup, gst_workloads::Fixture) {
+        let fx = linear_ancestor();
+        (LinearSirup::from_program(&fx.program).unwrap(), fx)
+    }
+
+    fn var(s: &LinearSirup, name: &str) -> Variable {
+        Variable(s.program.interner.get(name).unwrap())
+    }
+
+    fn example3_config(s: &LinearSirup, n: usize) -> NonRedundantConfig {
+        let h: DiscriminatorRef = Arc::new(HashMod::new(n, 7));
+        NonRedundantConfig {
+            v_r: vec![var(s, "Z")],
+            v_e: vec![var(s, "X")],
+            h: h.clone(),
+            h_prime: h,
+            base: BaseDistribution::MinimalFragments,
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_chain() {
+        let (s, fx) = ancestor_sirup();
+        let db = fx.database(&chain(12));
+        let scheme = rewrite_non_redundant(&s, &example3_config(&s, 3), &db).unwrap();
+        assert_eq!(scheme.processors(), 3);
+        let outcome = scheme.run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        let anc = fx.output_id();
+        assert!(outcome.relation(anc).set_eq(&seq.relation(anc)));
+        assert_eq!(outcome.relation(anc).len(), 78);
+    }
+
+    #[test]
+    fn matches_sequential_on_random_graphs() {
+        let (s, fx) = ancestor_sirup();
+        for seed in 0..3u64 {
+            let db = fx.database(&random_digraph(30, 60, seed));
+            let scheme = rewrite_non_redundant(&s, &example3_config(&s, 4), &db).unwrap();
+            let outcome = scheme.run().unwrap();
+            let seq = seminaive_eval(&fx.program, &db).unwrap();
+            let anc = fx.output_id();
+            assert!(
+                outcome.relation(anc).set_eq(&seq.relation(anc)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn is_seminaive_non_redundant() {
+        // Theorem 2: parallel processing firings ≤ sequential firings.
+        let (s, fx) = ancestor_sirup();
+        // A bushy graph with many duplicate derivations.
+        let db = fx.database(&gst_workloads::grid(6, 6));
+        let scheme = rewrite_non_redundant(&s, &example3_config(&s, 4), &db).unwrap();
+        let outcome = scheme.run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        assert!(
+            outcome.stats.total_processing_firings() <= seq.stats.firings,
+            "parallel {} > sequential {}",
+            outcome.stats.total_processing_firings(),
+            seq.stats.firings
+        );
+    }
+
+    #[test]
+    fn fragments_partition_base_relation() {
+        let (s, fx) = ancestor_sirup();
+        let edges = chain(40);
+        let db = fx.database(&edges);
+        let scheme = rewrite_non_redundant(&s, &example3_config(&s, 4), &db).unwrap();
+        let par = fx.input_id(0);
+        let total: usize = scheme
+            .workers
+            .iter()
+            .map(|w| w.edb.relation(par).map(|r| r.len()).unwrap_or(0))
+            .sum();
+        // Each worker holds the X-fragment ∪ Z-fragment: ≤ 2·|par| total,
+        // and strictly less than full replication (4·|par|).
+        assert!(total <= 2 * edges.len());
+        assert!(total >= edges.len());
+    }
+
+    #[test]
+    fn single_processor_degenerates_to_sequential() {
+        let (s, fx) = ancestor_sirup();
+        let db = fx.database(&chain(8));
+        let scheme = rewrite_non_redundant(&s, &example3_config(&s, 1), &db).unwrap();
+        let outcome = scheme.run().unwrap();
+        assert!(outcome.stats.communication_free());
+        assert_eq!(outcome.relation(fx.output_id()).len(), 36);
+    }
+
+    #[test]
+    fn rejects_mismatched_processor_counts() {
+        let (s, fx) = ancestor_sirup();
+        let db = fx.database(&chain(4));
+        let cfg = NonRedundantConfig {
+            v_r: vec![var(&s, "Z")],
+            v_e: vec![var(&s, "X")],
+            h: Arc::new(HashMod::new(2, 0)),
+            h_prime: Arc::new(HashMod::new(3, 0)),
+            base: BaseDistribution::Shared,
+        };
+        assert!(rewrite_non_redundant(&s, &cfg, &db).is_err());
+    }
+
+    #[test]
+    fn rejects_foreign_discriminating_variable() {
+        let (s, fx) = ancestor_sirup();
+        let db = fx.database(&chain(4));
+        let w = Variable(s.program.interner.intern("Wxyz"));
+        let h: DiscriminatorRef = Arc::new(HashMod::new(2, 0));
+        let cfg = NonRedundantConfig {
+            v_r: vec![w],
+            v_e: vec![var(&s, "X")],
+            h: h.clone(),
+            h_prime: h,
+            base: BaseDistribution::Shared,
+        };
+        assert!(rewrite_non_redundant(&s, &cfg, &db).is_err());
+    }
+
+    #[test]
+    fn works_on_same_generation() {
+        let fx = gst_workloads::same_generation();
+        let s = LinearSirup::from_program(&fx.program).unwrap();
+        let (up, down, flat) = gst_workloads::same_generation_tree(4);
+        let db = fx.database_multi(&[up, down, flat]);
+        // v(r) = ⟨U⟩ (first arg of the body sg-atom), v(e) = ⟨X⟩.
+        let h: DiscriminatorRef = Arc::new(HashMod::new(3, 5));
+        let cfg = NonRedundantConfig {
+            v_r: vec![var(&s, "U")],
+            v_e: vec![var(&s, "X")],
+            h: h.clone(),
+            h_prime: h,
+            base: BaseDistribution::Shared,
+        };
+        let scheme = rewrite_non_redundant(&s, &cfg, &db).unwrap();
+        let outcome = scheme.run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        let sg = fx.output_id();
+        assert!(outcome.relation(sg).set_eq(&seq.relation(sg)));
+        assert!(outcome.relation(sg).contains(&ituple![2, 3]));
+    }
+
+    #[test]
+    fn chain_sirup_arity3_is_supported() {
+        let fx = gst_workloads::chain_sirup();
+        let s = LinearSirup::from_program(&fx.program).unwrap();
+        // s(u,v,w): seed tuples; q(u,z) drives the recursion.
+        let mut sdata = gst_storage::Relation::new(3);
+        sdata.insert(ituple![1, 2, 3]).unwrap();
+        sdata.insert(ituple![5, 6, 7]).unwrap();
+        let mut qdata = gst_storage::Relation::new(2);
+        for k in 0..6i64 {
+            qdata.insert(ituple![k, k + 2]).unwrap();
+        }
+        let db = fx.database_multi(&[sdata, qdata]);
+        let h: DiscriminatorRef = Arc::new(HashMod::new(2, 3));
+        let cfg = NonRedundantConfig {
+            v_r: vec![var(&s, "V"), var(&s, "W"), var(&s, "Z")],
+            v_e: vec![var(&s, "U"), var(&s, "V"), var(&s, "W")],
+            h: h.clone(),
+            h_prime: h,
+            base: BaseDistribution::Shared,
+        };
+        let scheme = rewrite_non_redundant(&s, &cfg, &db).unwrap();
+        let outcome = scheme.run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        let p = fx.output_id();
+        assert!(outcome.relation(p).set_eq(&seq.relation(p)));
+        assert!(!outcome.relation(p).is_empty());
+    }
+
+    #[test]
+    fn parse_program_shape_guard() {
+        // A non-sirup must be rejected before reaching this scheme.
+        let p = parse_program("t(X) :- t(X).").unwrap().program;
+        assert!(LinearSirup::from_program(&p).is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! Ready-made §4 algorithms: the three parallel transitive-closure
+//! evaluations the paper derives from one framework by varying the
+//! discriminating sequence.
+//!
+//! | Preset | Paper | `v(r)` | communication | base relation |
+//! |---|---|---|---|---|
+//! | [`example1_wolfson`] | Ex. 1, ref \[19\] | `⟨Y⟩` (cycle) | none | shared |
+//! | [`example2_valduriez`] | Ex. 2, ref \[16\] | `⟨X,Z⟩` (fragment) | broadcast | any fragmentation |
+//! | [`example3_hash_partition`] | Ex. 3, new | `⟨Z⟩` | point-to-point | disjoint hash fragments |
+//!
+//! Each preset works for any linear sirup in *transitive-closure shape*:
+//! `t(X,Y) :- b(X,Z), t(Z,Y)` with exit `t(X,Y) :- s(X,Y)` — positions
+//! may differ; the shape requirements are validated per preset.
+
+use std::sync::Arc;
+
+use gst_common::{Error, Result};
+use gst_frontend::ast::Term;
+use gst_frontend::{LinearSirup, Variable};
+use gst_storage::{Database, Fragmentation};
+
+use crate::dataflow::zero_comm_choice;
+use crate::discriminator::{DiscriminatorRef, FragmentOwner, HashMod, SymmetricHashMod};
+use crate::schemes::common::BaseDistribution;
+use crate::schemes::nonredundant::{rewrite_non_redundant, NonRedundantConfig};
+use crate::schemes::CompiledScheme;
+
+/// Example 1 — the Wolfson–Silberschatz algorithm \[19\]: discriminate on a
+/// dataflow-graph cycle, so no tuple ever changes processors. Works for
+/// any sirup whose dataflow graph has a cycle (Theorem 3); the base
+/// relations are shared.
+pub fn example1_wolfson(sirup: &LinearSirup, n: usize, db: &Database) -> Result<CompiledScheme> {
+    let choice = zero_comm_choice(sirup)?;
+    let h: DiscriminatorRef = Arc::new(SymmetricHashMod::new(n, 0xE1));
+    let cfg = NonRedundantConfig {
+        v_r: choice.v_r,
+        v_e: choice.v_e,
+        h: h.clone(),
+        h_prime: h,
+        base: BaseDistribution::Shared,
+    };
+    let mut scheme = rewrite_non_redundant(sirup, &cfg, db)?;
+    scheme.kind = "Example 1 (Wolfson–Silberschatz, zero communication)";
+    Ok(scheme)
+}
+
+/// Example 2 — the Valduriez–Khoshafian algorithm \[16\]: an *arbitrary*
+/// horizontal fragmentation of the base relation; `h(t) = owner fragment`.
+/// The ownership test is not evaluable remotely, so every processor
+/// broadcasts its new tuples — correct and non-redundant, at maximal
+/// communication.
+///
+/// Requires the recursive rule's base atoms and the exit body to be a
+/// single atom over the fragmented predicate (the TC shape).
+pub fn example2_valduriez(
+    sirup: &LinearSirup,
+    fragmentation: Fragmentation,
+    db: &Database,
+) -> Result<CompiledScheme> {
+    if sirup.base_atoms.len() != 1 {
+        return Err(Error::Shape(
+            "Example 2 needs exactly one base atom in the recursive rule".into(),
+        ));
+    }
+    let pivot = &sirup.base_atoms[0];
+    if pivot.pred() != sirup.source {
+        return Err(Error::Shape(
+            "Example 2 needs the exit rule's base predicate to match the \
+             recursive rule's base atom (both read the fragmented relation)"
+                .into(),
+        ));
+    }
+    let v_r = vars_of(&pivot.terms, "the recursive base atom")?;
+    let exit_atom = sirup
+        .exit_rule()
+        .body_atoms()
+        .next()
+        .expect("canonical exit rule");
+    let v_e = vars_of(&exit_atom.terms, "the exit body atom")?;
+    let h: DiscriminatorRef = Arc::new(FragmentOwner::new(Arc::new(fragmentation)));
+    let cfg = NonRedundantConfig {
+        v_r,
+        v_e,
+        h: h.clone(),
+        h_prime: h,
+        // FragmentOwner constraints carve out exactly each worker's
+        // fragment — the paper's `par^i`.
+        base: BaseDistribution::MinimalFragments,
+    };
+    let mut scheme = rewrite_non_redundant(sirup, &cfg, db)?;
+    scheme.kind = "Example 2 (Valduriez–Khoshafian, fragmented + broadcast)";
+    Ok(scheme)
+}
+
+/// Example 3 — the paper's new algorithm: hash-discriminate on the
+/// variable `Ȳ` and the exit head share at a dataflow position, giving
+/// point-to-point communication over disjoint base fragments — strictly
+/// between Examples 1 and 2 on both axes.
+///
+/// The position picked is the first position `p` such that `Ȳ_p` is a
+/// variable occurring in some base atom of the recursive rule (ancestor:
+/// `p = 0`, `v(r) = ⟨Z⟩`, `v(e) = ⟨X⟩`).
+pub fn example3_hash_partition(
+    sirup: &LinearSirup,
+    n: usize,
+    db: &Database,
+) -> Result<CompiledScheme> {
+    let base_vars: Vec<Variable> = sirup
+        .base_atoms
+        .iter()
+        .flat_map(|a| a.variables().collect::<Vec<_>>())
+        .collect();
+    let mut picked = None;
+    for (p, term) in sirup.recursive_args.iter().enumerate() {
+        if let Term::Var(v) = term {
+            if base_vars.contains(v) {
+                if let Some(Term::Var(e)) = sirup.exit_head.get(p) {
+                    picked = Some((p, *v, *e));
+                    break;
+                }
+            }
+        }
+    }
+    let Some((_p, v_r_var, v_e_var)) = picked else {
+        return Err(Error::Shape(
+            "Example 3 needs a recursive-atom position whose variable occurs in a \
+             base atom and whose exit-head position is a variable"
+                .into(),
+        ));
+    };
+    let h: DiscriminatorRef = Arc::new(HashMod::new(n, 0xE3));
+    let cfg = NonRedundantConfig {
+        v_r: vec![v_r_var],
+        v_e: vec![v_e_var],
+        h: h.clone(),
+        h_prime: h,
+        base: BaseDistribution::MinimalFragments,
+    };
+    let mut scheme = rewrite_non_redundant(sirup, &cfg, db)?;
+    scheme.kind = "Example 3 (hash partition, point-to-point)";
+    Ok(scheme)
+}
+
+fn vars_of(terms: &[Term], what: &str) -> Result<Vec<Variable>> {
+    let vars: Vec<Variable> = terms.iter().filter_map(Term::as_var).collect();
+    if vars.len() != terms.len() {
+        return Err(Error::Shape(format!(
+            "Example preset requires {what} to have only variables"
+        )));
+    }
+    Ok(vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gst_eval::seminaive_eval;
+    use gst_storage::round_robin_fragment;
+    use gst_workloads::{chain, grid, linear_ancestor, random_digraph};
+
+    fn setup() -> (LinearSirup, gst_workloads::Fixture) {
+        let fx = linear_ancestor();
+        let s = LinearSirup::from_program(&fx.program).unwrap();
+        (s, fx)
+    }
+
+    #[test]
+    fn example1_no_communication_and_correct() {
+        let (s, fx) = setup();
+        let db = fx.database(&random_digraph(25, 55, 8));
+        let scheme = example1_wolfson(&s, 4, &db).unwrap();
+        let outcome = scheme.run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        let anc = fx.output_id();
+        assert!(outcome.relation(anc).set_eq(&seq.relation(anc)));
+        // The paper's headline property: zero recursive communication.
+        assert!(outcome.stats.communication_free());
+        // And non-redundant (Theorem 2).
+        assert!(outcome.stats.total_processing_firings() <= seq.stats.firings);
+    }
+
+    #[test]
+    fn example1_base_relation_is_shared() {
+        let (s, fx) = setup();
+        let db = fx.database(&chain(10));
+        let scheme = example1_wolfson(&s, 3, &db).unwrap();
+        let par = fx.input_id(0);
+        for w in &scheme.workers {
+            assert_eq!(w.edb.relation(par).unwrap().len(), 10, "full copy");
+        }
+    }
+
+    #[test]
+    fn example2_arbitrary_fragmentation_and_broadcast() {
+        let (s, fx) = setup();
+        let edges = random_digraph(20, 45, 3);
+        let db = fx.database(&edges);
+        // Round-robin is the adversarial "any horizontal fragmentation".
+        let frag = round_robin_fragment(&edges, 4).unwrap();
+        let scheme = example2_valduriez(&s, frag, &db).unwrap();
+        let outcome = scheme.run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        let anc = fx.output_id();
+        assert!(outcome.relation(anc).set_eq(&seq.relation(anc)));
+        // Broadcast: every derived tuple crosses every channel, so the
+        // channel matrix is (almost) complete.
+        let used = outcome.stats.used_channels();
+        assert!(
+            used.len() >= 9,
+            "broadcast should light up most of the 12 channels: {used:?}"
+        );
+        // Still non-redundant (paper: "the extra communication does not
+        // make the parallel execution either incorrect or redundant").
+        assert!(outcome.stats.total_processing_firings() <= seq.stats.firings);
+    }
+
+    #[test]
+    fn example2_workers_hold_their_fragment_only() {
+        let (s, fx) = setup();
+        let edges = chain(20);
+        let db = fx.database(&edges);
+        let frag = round_robin_fragment(&edges, 4).unwrap();
+        let sizes = frag.sizes();
+        let scheme = example2_valduriez(&s, frag, &db).unwrap();
+        let par = fx.input_id(0);
+        for (i, w) in scheme.workers.iter().enumerate() {
+            assert_eq!(
+                w.edb.relation(par).map(|r| r.len()).unwrap_or(0),
+                sizes[i],
+                "worker {i} holds exactly fragment {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn example3_point_to_point_and_correct() {
+        let (s, fx) = setup();
+        let db = fx.database(&grid(5, 5));
+        let scheme = example3_hash_partition(&s, 4, &db).unwrap();
+        let outcome = scheme.run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        let anc = fx.output_id();
+        assert!(outcome.relation(anc).set_eq(&seq.relation(anc)));
+        assert!(outcome.stats.total_processing_firings() <= seq.stats.firings);
+    }
+
+    #[test]
+    fn the_three_examples_order_by_communication() {
+        // Paper §4.3: Example 1 < Example 3 < Example 2 in communication.
+        let (s, fx) = setup();
+        let edges = random_digraph(24, 60, 12);
+        let db = fx.database(&edges);
+        let n = 4;
+
+        let c1 = example1_wolfson(&s, n, &db).unwrap().run().unwrap();
+        let c3 = example3_hash_partition(&s, n, &db).unwrap().run().unwrap();
+        let frag = round_robin_fragment(&edges, n).unwrap();
+        let c2 = example2_valduriez(&s, frag, &db).unwrap().run().unwrap();
+
+        let (t1, t3, t2) = (
+            c1.stats.total_tuples_sent(),
+            c3.stats.total_tuples_sent(),
+            c2.stats.total_tuples_sent(),
+        );
+        assert_eq!(t1, 0, "Example 1 is communication-free");
+        assert!(t3 > 0, "Example 3 communicates point-to-point");
+        assert!(
+            t2 > t3,
+            "Example 2 broadcasts more than Example 3 routes: {t2} vs {t3}"
+        );
+    }
+
+    #[test]
+    fn example3_fragments_are_smaller_than_replication() {
+        let (s, fx) = setup();
+        let edges = chain(40);
+        let db = fx.database(&edges);
+        let n = 4;
+        let scheme = example3_hash_partition(&s, n, &db).unwrap();
+        let par = fx.input_id(0);
+        let total: usize = scheme
+            .workers
+            .iter()
+            .map(|w| w.edb.relation(par).map(|r| r.len()).unwrap_or(0))
+            .sum();
+        assert!(
+            total <= 2 * edges.len(),
+            "X- and Z-fragments: ≤ 2·|par| total, got {total}"
+        );
+        assert!(total < n * edges.len(), "strictly better than replication");
+    }
+
+    #[test]
+    fn example2_rejects_wrong_shape() {
+        let fx = gst_workloads::same_generation();
+        let s = LinearSirup::from_program(&fx.program).unwrap();
+        let (up, down, flat) = gst_workloads::same_generation_tree(3);
+        let db = fx.database_multi(&[up.clone(), down, flat]);
+        let frag = round_robin_fragment(&up, 2).unwrap();
+        assert!(example2_valduriez(&s, frag, &db).is_err());
+    }
+
+    #[test]
+    fn example1_rejects_acyclic_dataflow() {
+        let fx = gst_workloads::chain_sirup();
+        let s = LinearSirup::from_program(&fx.program).unwrap();
+        let db = Database::new(fx.program.interner.clone());
+        assert!(example1_wolfson(&s, 2, &db).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Architecture-aware scheme selection (paper §8).
+//!
+//! "The particular scheme used in a compiler may be dependent on the
+//! underlying characteristics of the architecture e.g., computation cost
+//! as opposed to communication cost." This module is that compiler
+//! decision: given measured (or estimated) firing and communication
+//! volumes per candidate scheme and a machine's cost ratio, pick the
+//! cheapest execution.
+
+/// Relative costs of the three resources a scheme spends: computation
+/// (rule firings), communication (tuples shipped), and storage (base
+/// tuples replicated or fragmented to the workers — Example 1 pays
+/// `n·|base|`, Example 3 about `2·|base|`, Example 2 exactly `|base|`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of one rule firing (computation).
+    pub firing_cost: f64,
+    /// Cost of shipping one tuple between processors (communication).
+    pub tuple_send_cost: f64,
+    /// Cost of storing one base tuple at one worker (replication).
+    pub base_tuple_cost: f64,
+}
+
+impl CostModel {
+    /// A machine where communication costs `ratio`× as much as a firing
+    /// and storage is free.
+    pub fn with_comm_ratio(ratio: f64) -> Self {
+        CostModel {
+            firing_cost: 1.0,
+            tuple_send_cost: ratio,
+            base_tuple_cost: 0.0,
+        }
+    }
+
+    /// Additionally charge `storage` per base tuple per worker.
+    pub fn with_storage_cost(mut self, storage: f64) -> Self {
+        self.base_tuple_cost = storage;
+        self
+    }
+
+    /// Total modeled cost of a profile.
+    pub fn cost(&self, profile: &SchemeProfile) -> f64 {
+        self.firing_cost * profile.firings as f64
+            + self.tuple_send_cost * profile.tuples_sent as f64
+            + self.base_tuple_cost * profile.base_tuples as f64
+    }
+}
+
+/// Measured resource consumption of one candidate scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeProfile {
+    /// Display name.
+    pub name: String,
+    /// Total processing-rule firings across processors.
+    pub firings: u64,
+    /// Total tuples shipped between distinct processors.
+    pub tuples_sent: u64,
+    /// Total base tuples held across all workers.
+    pub base_tuples: u64,
+}
+
+impl SchemeProfile {
+    /// Build a profile from an execution outcome; `scheme` supplies the
+    /// per-worker base storage.
+    pub fn from_run(
+        name: impl Into<String>,
+        scheme: &crate::schemes::CompiledScheme,
+        outcome: &gst_runtime::ExecutionOutcome,
+    ) -> Self {
+        SchemeProfile {
+            name: name.into(),
+            firings: outcome.stats.total_processing_firings(),
+            tuples_sent: outcome.stats.total_tuples_sent(),
+            base_tuples: scheme
+                .workers
+                .iter()
+                .map(|w| w.edb.total_tuples() as u64)
+                .sum(),
+        }
+    }
+
+    /// Build a profile from an execution outcome alone (no storage term).
+    pub fn from_outcome(name: impl Into<String>, outcome: &gst_runtime::ExecutionOutcome) -> Self {
+        SchemeProfile {
+            name: name.into(),
+            firings: outcome.stats.total_processing_firings(),
+            tuples_sent: outcome.stats.total_tuples_sent(),
+            base_tuples: 0,
+        }
+    }
+}
+
+/// Pick the cheapest profile under the model. Ties go to the earlier
+/// entry (stable). Returns `None` on an empty slate.
+pub fn choose<'a>(profiles: &'a [SchemeProfile], model: &CostModel) -> Option<&'a SchemeProfile> {
+    profiles.iter().min_by(|a, b| {
+        model
+            .cost(a)
+            .partial_cmp(&model.cost(b))
+            .expect("costs are finite")
+    })
+}
+
+/// The comm-cost ratio at which two profiles break even, if one exists
+/// for positive ratios: solves `f_a + r·s_a = f_b + r·s_b` for `r`.
+pub fn crossover(a: &SchemeProfile, b: &SchemeProfile) -> Option<f64> {
+    let df = b.firings as f64 - a.firings as f64;
+    let ds = a.tuples_sent as f64 - b.tuples_sent as f64;
+    if ds == 0.0 {
+        return None;
+    }
+    let r = df / ds;
+    (r > 0.0).then_some(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(name: &str, firings: u64, sent: u64) -> SchemeProfile {
+        SchemeProfile {
+            name: name.into(),
+            firings,
+            tuples_sent: sent,
+            base_tuples: 0,
+        }
+    }
+
+    #[test]
+    fn cheap_communication_prefers_non_redundant() {
+        // Non-redundant: fewer firings, more traffic.
+        let profiles = vec![
+            profile("non-redundant", 1_000, 500),
+            profile("no-comm", 3_000, 0),
+        ];
+        let fast_net = CostModel::with_comm_ratio(0.1);
+        assert_eq!(choose(&profiles, &fast_net).unwrap().name, "non-redundant");
+    }
+
+    #[test]
+    fn expensive_communication_prefers_redundant() {
+        let profiles = vec![
+            profile("non-redundant", 1_000, 500),
+            profile("no-comm", 3_000, 0),
+        ];
+        let slow_net = CostModel::with_comm_ratio(10.0);
+        assert_eq!(choose(&profiles, &slow_net).unwrap().name, "no-comm");
+    }
+
+    #[test]
+    fn crossover_sits_between_the_regimes() {
+        let a = profile("non-redundant", 1_000, 500);
+        let b = profile("no-comm", 3_000, 0);
+        let r = crossover(&a, &b).unwrap();
+        assert!((r - 4.0).abs() < 1e-9);
+        // Below r, a wins; above, b wins.
+        assert_eq!(
+            choose(&[a.clone(), b.clone()], &CostModel::with_comm_ratio(3.9))
+                .unwrap()
+                .name,
+            "non-redundant"
+        );
+        assert_eq!(
+            choose(&[a, b], &CostModel::with_comm_ratio(4.1)).unwrap().name,
+            "no-comm"
+        );
+    }
+
+    #[test]
+    fn crossover_none_for_equal_communication() {
+        let a = profile("a", 10, 5);
+        let b = profile("b", 20, 5);
+        assert_eq!(crossover(&a, &b), None);
+    }
+
+    #[test]
+    fn crossover_none_when_one_dominates() {
+        // b is worse on both axes: no positive break-even ratio.
+        let a = profile("a", 10, 5);
+        let b = profile("b", 20, 9);
+        assert_eq!(crossover(&a, &b), None);
+    }
+
+    #[test]
+    fn storage_cost_penalizes_replication() {
+        let mut replicated = profile("example1", 1_000, 0);
+        replicated.base_tuples = 4_000; // 4 workers × full base
+        let mut fragmented = profile("example3", 1_000, 300);
+        fragmented.base_tuples = 1_500;
+        let free_storage = CostModel::with_comm_ratio(1.0);
+        assert_eq!(
+            choose(&[replicated.clone(), fragmented.clone()], &free_storage)
+                .unwrap()
+                .name,
+            "example1"
+        );
+        let tight_storage = CostModel::with_comm_ratio(1.0).with_storage_cost(1.0);
+        assert_eq!(
+            choose(&[replicated, fragmented], &tight_storage).unwrap().name,
+            "example3"
+        );
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        assert!(choose(&[], &CostModel::with_comm_ratio(1.0)).is_none());
+    }
+
+    #[test]
+    fn tie_breaks_stably() {
+        let a = profile("first", 100, 0);
+        let b = profile("second", 100, 0);
+        assert_eq!(
+            choose(&[a, b], &CostModel::with_comm_ratio(2.0)).unwrap().name,
+            "first"
+        );
+    }
+}

@@ -1,0 +1,840 @@
+//! The semi-naive fixpoint engine, exposed round-at-a-time.
+//!
+//! A [`FixpointEngine`] owns the derived-relation state of one evaluation
+//! site (the whole computation when sequential; one processor `i` when
+//! parallel) and is driven in three strokes:
+//!
+//! 1. [`FixpointEngine::bootstrap`] — fire the rules with no derived body
+//!    atoms (the initialization rules of the paper's schemes) into the
+//!    pending pool;
+//! 2. [`FixpointEngine::advance`] — end a round: deduplicate pending
+//!    tuples into fresh deltas (the paper's "difference operation");
+//! 3. [`FixpointEngine::process_round`] — fire every delta version of
+//!    every recursive rule against the current deltas, producing the next
+//!    pending pool.
+//!
+//! The parallel runtime interleaves [`FixpointEngine::inject`] (receive)
+//! and delta draining (send) between strokes; the sequential drivers
+//! [`seminaive_eval`] and [`naive_eval`] just loop.
+
+use std::sync::Arc;
+
+use gst_common::{Error, FxHashMap, Result, Tuple};
+use gst_frontend::{Program, ProgramAnalysis};
+use gst_storage::{Database, HashIndex, Relation};
+
+use crate::exec::{run_plan, Access};
+use crate::plan::{compile_rule_with, idb_occurrence_count, AtomSource, PlanOptions, PlanStep, RelationId, RulePlan};
+use crate::stats::EvalStats;
+
+/// Derived-relation state under semi-naive iteration.
+#[derive(Debug)]
+struct IdbState {
+    full: Relation,
+    delta: Relation,
+    pending: Vec<Tuple>,
+}
+
+impl IdbState {
+    fn new(arity: usize) -> Self {
+        IdbState {
+            full: Relation::new(arity),
+            delta: Relation::new(arity),
+            pending: Vec::new(),
+        }
+    }
+
+    /// `pending ∖ full → delta`; returns `(submitted, fresh)`.
+    fn advance(&mut self) -> (u64, u64) {
+        let submitted = self.pending.len() as u64;
+        self.delta = Relation::new(self.full.arity());
+        for t in self.pending.drain(..) {
+            if self.full.insert_unchecked(t.clone()) {
+                self.delta.insert_unchecked(t);
+            }
+        }
+        (submitted, self.delta.len() as u64)
+    }
+}
+
+type IndexKey = (RelationId, Vec<usize>);
+
+/// A resumable semi-naive evaluator for one evaluation site.
+pub struct FixpointEngine {
+    program: Program,
+    edb: Arc<Database>,
+    idb: FxHashMap<RelationId, IdbState>,
+    /// Plans fired every round (delta versions of rules with derived
+    /// body atoms).
+    round_plans: Vec<RulePlan>,
+    /// Plans fired once at bootstrap (no derived body atoms).
+    bootstrap_plans: Vec<RulePlan>,
+    edb_indexes: FxHashMap<IndexKey, HashIndex>,
+    full_indexes: FxHashMap<IndexKey, HashIndex>,
+    delta_indexes: FxHashMap<IndexKey, HashIndex>,
+    stats: EvalStats,
+    bootstrapped: bool,
+}
+
+impl FixpointEngine {
+    /// Build an engine for `program` over the base relations in `edb`.
+    ///
+    /// `extra_idb` declares predicates that receive tuples only via
+    /// [`FixpointEngine::inject`] (the incoming-channel predicates `t_ji`
+    /// of the paper's receive rules); they are treated as derived even
+    /// though no rule in `program` defines them.
+    pub fn new(program: &Program, edb: Arc<Database>, extra_idb: &[RelationId]) -> Result<Self> {
+        Self::with_options(program, edb, extra_idb, PlanOptions::default())
+    }
+
+    /// [`FixpointEngine::new`] with explicit [`PlanOptions`] — used by the
+    /// ablation benchmarks to disable individual planner optimizations.
+    pub fn with_options(
+        program: &Program,
+        edb: Arc<Database>,
+        extra_idb: &[RelationId],
+        options: PlanOptions,
+    ) -> Result<Self> {
+        ProgramAnalysis::new(program)?; // safety check
+
+        let mut idb: FxHashMap<RelationId, IdbState> = FxHashMap::default();
+        for rule in &program.rules {
+            let id: RelationId = (rule.head.predicate, rule.head.terms.len());
+            idb.entry(id).or_insert_with(|| IdbState::new(id.1));
+        }
+        for &id in extra_idb {
+            idb.entry(id).or_insert_with(|| IdbState::new(id.1));
+        }
+
+        let idb_ids: Vec<RelationId> = idb.keys().copied().collect();
+        let is_idb = move |rel: RelationId| idb_ids.contains(&rel);
+
+        let mut round_plans = Vec::new();
+        let mut bootstrap_plans = Vec::new();
+        for (rule_index, rule) in program.rules.iter().enumerate() {
+            let occurrences = idb_occurrence_count(rule, &is_idb);
+            if occurrences == 0 {
+                bootstrap_plans.push(compile_rule_with(rule, rule_index, &is_idb, None, options)?);
+            } else {
+                for version in 0..occurrences {
+                    round_plans.push(compile_rule_with(
+                        rule,
+                        rule_index,
+                        &is_idb,
+                        Some(version),
+                        options,
+                    )?);
+                }
+            }
+        }
+
+        let stats = EvalStats::new(program.rules.len());
+        Ok(FixpointEngine {
+            program: program.clone(),
+            edb,
+            idb,
+            round_plans,
+            bootstrap_plans,
+            edb_indexes: FxHashMap::default(),
+            full_indexes: FxHashMap::default(),
+            delta_indexes: FxHashMap::default(),
+            stats,
+            bootstrapped: false,
+        })
+    }
+
+    /// The program this engine runs.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Derived predicates (including injected channel predicates).
+    pub fn idb_predicates(&self) -> Vec<RelationId> {
+        self.idb.keys().copied().collect()
+    }
+
+    /// Everything derived so far for `pred` (None if not derived here).
+    pub fn relation(&self, pred: RelationId) -> Option<&Relation> {
+        self.idb.get(&pred).map(|s| &s.full)
+    }
+
+    /// The previous round's fresh tuples for `pred`.
+    pub fn delta(&self, pred: RelationId) -> Option<&Relation> {
+        self.idb.get(&pred).map(|s| &s.delta)
+    }
+
+    /// Clone the delta tuples of `pred` (what a worker transmits on the
+    /// channels after an advance).
+    pub fn delta_tuples(&self, pred: RelationId) -> Vec<Tuple> {
+        self.idb
+            .get(&pred)
+            .map(|s| s.delta.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
+    /// Queue externally received tuples for `pred` (the receive step).
+    pub fn inject(&mut self, pred: RelationId, tuples: impl IntoIterator<Item = Tuple>) -> Result<()> {
+        let state = self.idb.get_mut(&pred).ok_or_else(|| {
+            Error::Eval(format!("inject into non-derived predicate {pred:?}"))
+        })?;
+        for t in tuples {
+            if t.arity() != pred.1 {
+                return Err(Error::Eval(format!(
+                    "injected tuple arity {} != predicate arity {}",
+                    t.arity(),
+                    pred.1
+                )));
+            }
+            state.pending.push(t);
+        }
+        Ok(())
+    }
+
+    /// True when no delta and no pending tuples exist anywhere — the local
+    /// idle condition of the paper's termination test.
+    pub fn quiescent(&self) -> bool {
+        self.idb
+            .values()
+            .all(|s| s.delta.is_empty() && s.pending.is_empty())
+    }
+
+    /// Fire initialization rules (no derived body atoms) and seed derived
+    /// predicates that have facts in the EDB. Idempotent.
+    pub fn bootstrap(&mut self) -> Result<()> {
+        if self.bootstrapped {
+            return Ok(());
+        }
+        self.bootstrapped = true;
+
+        // Facts supplied for derived predicates become part of the input.
+        let seeded: Vec<(RelationId, Vec<Tuple>)> = self
+            .idb
+            .keys()
+            .filter_map(|&id| {
+                self.edb
+                    .relation(id)
+                    .map(|rel| (id, rel.iter().cloned().collect()))
+            })
+            .collect();
+        for (id, tuples) in seeded {
+            self.idb.get_mut(&id).expect("seeded key exists").pending.extend(tuples);
+        }
+
+        for i in 0..self.bootstrap_plans.len() {
+            self.sync_indexes_for(PlanSet::Bootstrap, i);
+            let (firings, out) = self.run_one(PlanSet::Bootstrap, i);
+            let rule_index = self.bootstrap_plans[i].rule_index;
+            self.stats.record_firings(rule_index, firings);
+            let head = self.bootstrap_plans[i].head;
+            self.idb
+                .get_mut(&head)
+                .expect("head predicate has state")
+                .pending
+                .extend(out);
+        }
+        Ok(())
+    }
+
+    /// End the round: move pending to deltas, update incremental indexes.
+    /// Returns the number of fresh tuples across all derived predicates.
+    pub fn advance(&mut self) -> u64 {
+        let mut fresh_total = 0;
+        let ids: Vec<RelationId> = self.idb.keys().copied().collect();
+        for id in ids {
+            let state = self.idb.get_mut(&id).expect("iterating own keys");
+            let (submitted, fresh) = state.advance();
+            self.stats.record_advance(submitted, fresh);
+            fresh_total += fresh;
+            if fresh > 0 {
+                // Feed the delta into every cached full index of this
+                // relation so the fixpoint stays O(total tuples), not
+                // O(rounds × tuples).
+                let generation = state.full.generation();
+                let delta: Vec<Tuple> = state.delta.iter().cloned().collect();
+                for ((rel, _cols), index) in self.full_indexes.iter_mut() {
+                    if *rel == id {
+                        for t in &delta {
+                            index.insert(t.clone());
+                        }
+                        index.mark_synced(generation);
+                    }
+                }
+            }
+        }
+        self.delta_indexes.clear();
+        self.stats.rounds += 1;
+        fresh_total
+    }
+
+    /// Fire every delta-version plan once, pushing results into pending.
+    pub fn process_round(&mut self) {
+        for i in 0..self.round_plans.len() {
+            self.sync_indexes_for(PlanSet::Round, i);
+            let (firings, out) = self.run_one(PlanSet::Round, i);
+            let rule_index = self.round_plans[i].rule_index;
+            self.stats.record_firings(rule_index, firings);
+            let head = self.round_plans[i].head;
+            self.idb
+                .get_mut(&head)
+                .expect("head predicate has state")
+                .pending
+                .extend(out);
+        }
+    }
+
+    /// Run to the local fixpoint: bootstrap, then advance/process rounds
+    /// until nothing new appears. Returns total fresh tuples.
+    pub fn run_to_fixpoint(&mut self) -> Result<u64> {
+        self.bootstrap()?;
+        let mut total = 0;
+        loop {
+            let fresh = self.advance();
+            total += fresh;
+            if fresh == 0 {
+                return Ok(total);
+            }
+            self.process_round();
+        }
+    }
+
+    /// Move a derived relation out of the engine (used by final pooling
+    /// to avoid cloning large results). The engine keeps an empty
+    /// relation in its place; only call after the fixpoint.
+    pub fn take_relation(&mut self, pred: RelationId) -> Option<Relation> {
+        self.idb
+            .get_mut(&pred)
+            .map(|s| std::mem::replace(&mut s.full, Relation::new(pred.1)))
+    }
+
+    /// Extract the final derived relations (consumes nothing; clones).
+    pub fn snapshot(&self) -> FxHashMap<RelationId, Relation> {
+        self.idb
+            .iter()
+            .map(|(&id, state)| (id, state.full.clone()))
+            .collect()
+    }
+
+    // ----- internals -------------------------------------------------
+
+    fn plan(&self, set: PlanSet, i: usize) -> &RulePlan {
+        match set {
+            PlanSet::Bootstrap => &self.bootstrap_plans[i],
+            PlanSet::Round => &self.round_plans[i],
+        }
+    }
+
+    /// Make sure every index a plan's scans need exists and is current.
+    fn sync_indexes_for(&mut self, set: PlanSet, i: usize) {
+        let needs: Vec<(RelationId, AtomSource, Vec<usize>)> = self
+            .plan(set, i)
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                PlanStep::Scan(sc) if !sc.probe_columns.is_empty() => {
+                    Some((sc.relation, sc.source, sc.probe_columns.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+
+        for (rel, source, cols) in needs {
+            let key = (rel, cols.clone());
+            match source {
+                AtomSource::Edb => {
+                    if !self.edb_indexes.contains_key(&key) {
+                        let relation = self.edb.relation_or_empty(rel);
+                        self.edb_indexes.insert(key, HashIndex::build(&relation, &cols));
+                    }
+                }
+                AtomSource::IdbFull | AtomSource::IdbOld => {
+                    if !self.full_indexes.contains_key(&key) {
+                        let relation = &self.idb[&rel].full;
+                        self.full_indexes
+                            .insert(key, HashIndex::build(relation, &cols));
+                    }
+                    // Incremental inserts at advance() keep it fresh; a
+                    // defensive rebuild covers indexes created before an
+                    // out-of-band mutation (none exist today).
+                    let relation = &self.idb[&rel].full;
+                    let idx = self.full_indexes.get_mut(&(rel, cols.clone())).unwrap();
+                    if idx.is_stale(relation) {
+                        idx.refresh(relation);
+                    }
+                }
+                AtomSource::IdbDelta => {
+                    if !self.delta_indexes.contains_key(&key) {
+                        let relation = &self.idb[&rel].delta;
+                        self.delta_indexes
+                            .insert(key, HashIndex::build(relation, &cols));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute one plan against current state. Returns (firings, output).
+    fn run_one(&self, set: PlanSet, i: usize) -> (u64, Vec<Tuple>) {
+        let plan = self.plan(set, i);
+        // EDB relations referenced without data need a live empty relation
+        // to borrow; collect owned empties first.
+        let accesses: Vec<Option<Access<'_>>> = plan
+            .steps
+            .iter()
+            .map(|s| match s {
+                PlanStep::Filter { .. } => None,
+                PlanStep::Scan(sc) => Some(self.access_for(sc)),
+            })
+            .collect();
+        let mut out = Vec::new();
+        let firings = run_plan(plan, &accesses, &mut |t| out.push(t));
+        (firings, out)
+    }
+
+    fn access_for<'a>(&'a self, scan: &crate::plan::ScanStep) -> Access<'a> {
+        let key = (scan.relation, scan.probe_columns.clone());
+        match scan.source {
+            AtomSource::Edb => {
+                if !scan.probe_columns.is_empty() {
+                    match self.edb_indexes.get(&key) {
+                        Some(idx) => Access::Probe(idx),
+                        None => Access::Empty,
+                    }
+                } else {
+                    match self.edb.relation(scan.relation) {
+                        Some(rel) => Access::ScanAll(rel),
+                        None => Access::Empty,
+                    }
+                }
+            }
+            AtomSource::IdbFull => {
+                let state = &self.idb[&scan.relation];
+                if state.full.is_empty() {
+                    Access::Empty
+                } else if !scan.probe_columns.is_empty() {
+                    Access::Probe(&self.full_indexes[&key])
+                } else {
+                    Access::ScanAll(&state.full)
+                }
+            }
+            AtomSource::IdbOld => {
+                let state = &self.idb[&scan.relation];
+                if state.full.len() == state.delta.len() {
+                    // Old = full ∖ delta is empty.
+                    Access::Empty
+                } else if !scan.probe_columns.is_empty() {
+                    Access::ProbeMinus(&self.full_indexes[&key], &state.delta)
+                } else {
+                    Access::ScanMinus(&state.full, &state.delta)
+                }
+            }
+            AtomSource::IdbDelta => {
+                let state = &self.idb[&scan.relation];
+                if state.delta.is_empty() {
+                    Access::Empty
+                } else if !scan.probe_columns.is_empty() {
+                    Access::Probe(&self.delta_indexes[&key])
+                } else {
+                    Access::ScanAll(&state.delta)
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum PlanSet {
+    Bootstrap,
+    Round,
+}
+
+/// The outcome of a sequential evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Final interpretation of every derived predicate.
+    pub idb: FxHashMap<RelationId, Relation>,
+    /// Firing/round statistics.
+    pub stats: EvalStats,
+}
+
+impl EvalResult {
+    /// The relation for a derived predicate, empty if never derived.
+    pub fn relation(&self, pred: RelationId) -> Relation {
+        self.idb
+            .get(&pred)
+            .cloned()
+            .unwrap_or_else(|| Relation::new(pred.1))
+    }
+}
+
+/// Sequential semi-naive evaluation of `program` over `edb` — the paper's
+/// baseline (§2) against which non-redundancy is defined.
+pub fn seminaive_eval(program: &Program, edb: &Database) -> Result<EvalResult> {
+    seminaive_eval_with(program, edb, PlanOptions::default())
+}
+
+/// [`seminaive_eval`] with explicit [`PlanOptions`] (ablation studies).
+pub fn seminaive_eval_with(
+    program: &Program,
+    edb: &Database,
+    options: PlanOptions,
+) -> Result<EvalResult> {
+    let mut engine =
+        FixpointEngine::with_options(program, Arc::new(edb.clone()), &[], options)?;
+    engine.run_to_fixpoint()?;
+    Ok(EvalResult {
+        idb: engine.snapshot(),
+        stats: engine.stats().clone(),
+    })
+}
+
+/// Naive evaluation: refire *every* rule against *full* relations each
+/// round until a fixpoint. Used as a differential-testing oracle (its
+/// least model must equal semi-naive's) and to quantify how much work
+/// semi-naive saves.
+pub fn naive_eval(program: &Program, edb: &Database) -> Result<EvalResult> {
+    ProgramAnalysis::new(program)?;
+    let edb = Arc::new(edb.clone());
+    let mut idb: FxHashMap<RelationId, Relation> = FxHashMap::default();
+    for rule in &program.rules {
+        let id: RelationId = (rule.head.predicate, rule.head.terms.len());
+        idb.entry(id).or_insert_with(|| Relation::new(id.1));
+    }
+    // Seed derived predicates that have input facts.
+    let ids: Vec<RelationId> = idb.keys().copied().collect();
+    for id in &ids {
+        if let Some(rel) = edb.relation(*id) {
+            idb.get_mut(id).expect("own key").absorb(rel).expect("arity agrees");
+        }
+    }
+    let idb_ids = ids.clone();
+    let is_idb = move |rel: RelationId| idb_ids.contains(&rel);
+    let plans: Vec<RulePlan> = program
+        .rules
+        .iter()
+        .enumerate()
+        .map(|(i, r)| compile_rule_with(r, i, &is_idb, None, PlanOptions::default()))
+        .collect::<Result<_>>()?;
+
+    let mut stats = EvalStats::new(program.rules.len());
+    loop {
+        let mut emitted: Vec<(RelationId, Vec<Tuple>)> = Vec::new();
+        for plan in &plans {
+            let accesses: Vec<Option<Access<'_>>> = plan
+                .steps
+                .iter()
+                .map(|s| match s {
+                    PlanStep::Filter { .. } => None,
+                    PlanStep::Scan(sc) => Some(match sc.source {
+                        AtomSource::Edb => match edb.relation(sc.relation) {
+                            Some(rel) => Access::ScanAll(rel),
+                            None => Access::Empty,
+                        },
+                        _ => {
+                            let rel = &idb[&sc.relation];
+                            if rel.is_empty() {
+                                Access::Empty
+                            } else {
+                                Access::ScanAll(rel)
+                            }
+                        }
+                    }),
+                })
+                .collect();
+            let mut out = Vec::new();
+            let firings = run_plan(plan, &accesses, &mut |t| out.push(t));
+            stats.record_firings(plan.rule_index, firings);
+            emitted.push((plan.head, out));
+        }
+        let mut fresh = 0u64;
+        let mut submitted = 0u64;
+        for (head, out) in emitted {
+            let rel = idb.get_mut(&head).expect("head state");
+            submitted += out.len() as u64;
+            for t in out {
+                if rel.insert_unchecked(t) {
+                    fresh += 1;
+                }
+            }
+        }
+        stats.record_advance(submitted, fresh);
+        stats.rounds += 1;
+        if fresh == 0 {
+            break;
+        }
+    }
+    Ok(EvalResult { idb, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gst_common::{ituple, Interner};
+    use gst_frontend::parse_program;
+
+    /// Load `source`, returning (program, database).
+    fn load(source: &str) -> (Program, Database) {
+        let unit = parse_program(source).unwrap();
+        let mut db = Database::new(unit.program.interner.clone());
+        db.load_facts(unit.facts.clone()).unwrap();
+        (unit.program, db)
+    }
+
+    fn rel(program: &Program, result: &EvalResult, name: &str, arity: usize) -> Relation {
+        let id = (program.interner.get(name).unwrap(), arity);
+        result.relation(id)
+    }
+
+    #[test]
+    fn ancestor_on_a_chain() {
+        let (p, db) = load(
+            "anc(X,Y) :- par(X,Y).\n\
+             anc(X,Y) :- par(X,Z), anc(Z,Y).\n\
+             par(1,2). par(2,3). par(3,4).",
+        );
+        let r = seminaive_eval(&p, &db).unwrap();
+        let anc = rel(&p, &r, "anc", 2);
+        assert_eq!(anc.len(), 6);
+        assert!(anc.contains(&ituple![1, 4]));
+        assert!(!anc.contains(&ituple![4, 1]));
+    }
+
+    #[test]
+    fn seminaive_equals_naive_on_ancestor() {
+        let (p, db) = load(
+            "anc(X,Y) :- par(X,Y).\n\
+             anc(X,Y) :- par(X,Z), anc(Z,Y).\n\
+             par(1,2). par(2,3). par(3,4). par(2,5). par(5,6). par(6,2).",
+        );
+        let a = seminaive_eval(&p, &db).unwrap();
+        let b = naive_eval(&p, &db).unwrap();
+        assert!(rel(&p, &a, "anc", 2).set_eq(&rel(&p, &b, "anc", 2)));
+        // Naive refires everything; it can never fire fewer times.
+        assert!(b.stats.firings >= a.stats.firings);
+    }
+
+    #[test]
+    fn nonlinear_equals_linear_ancestor() {
+        let facts = "par(1,2). par(2,3). par(3,4). par(4,5). par(5,1). par(3,6).";
+        let (pl, dbl) = load(&format!(
+            "anc(X,Y) :- par(X,Y).\nanc(X,Y) :- par(X,Z), anc(Z,Y).\n{facts}"
+        ));
+        let (pn, dbn) = load(&format!(
+            "anc(X,Y) :- par(X,Y).\nanc(X,Y) :- anc(X,Z), anc(Z,Y).\n{facts}"
+        ));
+        let a = seminaive_eval(&pl, &dbl).unwrap();
+        let b = seminaive_eval(&pn, &dbn).unwrap();
+        assert!(rel(&pl, &a, "anc", 2).set_eq(&rel(&pn, &b, "anc", 2)));
+    }
+
+    #[test]
+    fn seminaive_fires_each_derivation_once_on_a_chain() {
+        // On a chain of n edges, linear TC derives each anc(i,j) exactly
+        // once: firings == |anc| (+|par| copies from the exit rule).
+        let n = 20i64;
+        let facts: String = (1..=n).map(|k| format!("par({},{}).", k, k + 1)).collect();
+        let (p, db) = load(&format!(
+            "anc(X,Y) :- par(X,Y).\nanc(X,Y) :- par(X,Z), anc(Z,Y).\n{facts}"
+        ));
+        let r = seminaive_eval(&p, &db).unwrap();
+        let anc_size = (n * (n + 1) / 2) as u64;
+        assert_eq!(rel(&p, &r, "anc", 2).len() as u64, anc_size);
+        assert_eq!(r.stats.firings, anc_size);
+        assert_eq!(r.stats.duplicates, 0);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let (p, db) = load(
+            "t(X,Y) :- e(X,Y).\n\
+             t(X,Y) :- e(X,Z), t(Z,Y).\n\
+             e(1,2). e(2,3). e(3,1).",
+        );
+        let r = seminaive_eval(&p, &db).unwrap();
+        assert_eq!(rel(&p, &r, "t", 2).len(), 9); // complete digraph on the cycle
+    }
+
+    #[test]
+    fn multi_rule_multi_predicate_program() {
+        let (p, db) = load(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Y) :- e(X,Z), tc(Z,Y).\n\
+             sym(X,Y) :- tc(X,Y), tc(Y,X).\n\
+             e(1,2). e(2,1). e(2,3).",
+        );
+        let r = seminaive_eval(&p, &db).unwrap();
+        let sym = rel(&p, &r, "sym", 2);
+        assert!(sym.contains(&ituple![1, 2]));
+        assert!(sym.contains(&ituple![1, 1]));
+        assert!(!sym.contains(&ituple![1, 3]));
+    }
+
+    #[test]
+    fn same_generation_program() {
+        //      1
+        //     / \
+        //    2   3
+        //   /     \
+        //  4       5
+        let (p, db) = load(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).\n\
+             up(4,2). up(2,1). up(5,3). up(3,1).\n\
+             down(1,1).\n\
+             flat(1,1).",
+        );
+        let r = seminaive_eval(&p, &db).unwrap();
+        let sg = rel(&p, &r, "sg", 2);
+        assert!(sg.contains(&ituple![1, 1]));
+        // 2 and 3 are the same generation via up;sg;down? down only has
+        // (1,1): sg(2,1)? up(2,1),sg(1,1),down(1,1) => sg(2,1).
+        assert!(sg.contains(&ituple![2, 1]));
+        assert!(!sg.contains(&ituple![4, 2]));
+    }
+
+    #[test]
+    fn facts_for_derived_predicates_are_seeded() {
+        let (p, db) = load(
+            "t(X,Y) :- t(X,Z), t(Z,Y).\n\
+             t(X,Y) :- seed(X,Y).\n\
+             t(7,8). seed(8,9).",
+        );
+        let r = seminaive_eval(&p, &db).unwrap();
+        let t = rel(&p, &r, "t", 2);
+        assert!(t.contains(&ituple![7, 8]));
+        assert!(t.contains(&ituple![8, 9]));
+        assert!(t.contains(&ituple![7, 9]));
+    }
+
+    #[test]
+    fn inject_drives_external_tuples() {
+        let (p, db) = load("t(X,Y) :- e(X,Z), t(Z,Y).\nt(X,Y) :- s(X,Y).\ne(1,2). s(2,3).");
+        let t_id = (p.interner.get("t").unwrap(), 2);
+        let mut engine = FixpointEngine::new(&p, Arc::new(db), &[]).unwrap();
+        engine.run_to_fixpoint().unwrap();
+        assert_eq!(engine.relation(t_id).unwrap().len(), 2); // (2,3), (1,3)
+        // Inject t(2,9): expect (1,9) to be derived when we continue.
+        engine.inject(t_id, vec![ituple![2, 9]]).unwrap();
+        assert!(!engine.quiescent());
+        loop {
+            if engine.advance() == 0 {
+                break;
+            }
+            engine.process_round();
+        }
+        assert!(engine.relation(t_id).unwrap().contains(&ituple![1, 9]));
+        assert!(engine.quiescent());
+    }
+
+    #[test]
+    fn inject_rejects_unknown_or_wrong_arity() {
+        let (p, db) = load("t(X) :- s(X).");
+        let mut engine = FixpointEngine::new(&p, Arc::new(db), &[]).unwrap();
+        let t_id = (p.interner.get("t").unwrap(), 1);
+        let bogus = (p.interner.intern("zz"), 1);
+        assert!(engine.inject(bogus, vec![ituple![1]]).is_err());
+        assert!(engine.inject(t_id, vec![ituple![1, 2]]).is_err());
+    }
+
+    #[test]
+    fn extra_idb_predicates_accept_injection() {
+        // channel predicate `in_ch` feeds t but has no defining rule.
+        let (p, db) = load("t(X,Y) :- in_ch(X,Y).\nt(X,Y) :- e(X,Z), t(Z,Y).\ne(0,1).");
+        let in_ch = (p.interner.get("in_ch").unwrap(), 2);
+        let t_id = (p.interner.get("t").unwrap(), 2);
+        let mut engine = FixpointEngine::new(&p, Arc::new(db), &[in_ch]).unwrap();
+        engine.bootstrap().unwrap();
+        engine.inject(in_ch, vec![ituple![1, 5]]).unwrap();
+        loop {
+            if engine.advance() == 0 {
+                break;
+            }
+            engine.process_round();
+        }
+        let t = engine.relation(t_id).unwrap();
+        assert!(t.contains(&ituple![1, 5]));
+        assert!(t.contains(&ituple![0, 5]));
+    }
+
+    #[test]
+    fn delta_tuples_expose_last_round() {
+        let (p, db) = load("t(X,Y) :- e(X,Y).\nt(X,Y) :- e(X,Z), t(Z,Y).\ne(1,2). e(2,3).");
+        let t_id = (p.interner.get("t").unwrap(), 2);
+        let mut engine = FixpointEngine::new(&p, Arc::new(db), &[]).unwrap();
+        engine.bootstrap().unwrap();
+        assert!(engine.advance() > 0);
+        let first_delta = engine.delta_tuples(t_id);
+        assert_eq!(first_delta.len(), 2); // e copied
+        engine.process_round();
+        assert_eq!(engine.advance(), 1); // t(1,3)
+        assert_eq!(engine.delta_tuples(t_id), vec![ituple![1, 3]]);
+    }
+
+    #[test]
+    fn empty_edb_yields_empty_idb() {
+        let (p, db) = load("t(X,Y) :- e(X,Y).\nt(X,Y) :- e(X,Z), t(Z,Y).");
+        let r = seminaive_eval(&p, &db).unwrap();
+        assert_eq!(rel(&p, &r, "t", 2).len(), 0);
+        assert!(r.stats.firings == 0);
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree_on_same_generation() {
+        let (p, db) = load(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).\n\
+             up(2,1). up(3,1). up(4,2). up(5,3).\n\
+             flat(1,1). flat(2,3).\n\
+             down(1,2). down(1,3). down(2,4). down(3,5).",
+        );
+        let a = seminaive_eval(&p, &db).unwrap();
+        let b = naive_eval(&p, &db).unwrap();
+        assert!(rel(&p, &a, "sg", 2).set_eq(&rel(&p, &b, "sg", 2)));
+    }
+
+    #[test]
+    fn plan_options_are_semantics_preserving() {
+        let (p, db) = load(
+            "anc(X,Y) :- par(X,Y).\n\
+             anc(X,Y) :- par(X,Z), anc(Z,Y).\n\
+             par(1,2). par(2,3). par(3,4). par(2,5). par(5,2).",
+        );
+        let reference = seminaive_eval(&p, &db).unwrap();
+        let anc = (p.interner.get("anc").unwrap(), 2);
+        for delta_leading in [true, false] {
+            for eager_constraints in [true, false] {
+                let opts = crate::plan::PlanOptions {
+                    delta_leading,
+                    eager_constraints,
+                };
+                let r = seminaive_eval_with(&p, &db, opts).unwrap();
+                assert!(
+                    r.relation(anc).set_eq(&reference.relation(anc)),
+                    "options {opts:?} changed the least model"
+                );
+                assert_eq!(
+                    r.stats.firings, reference.stats.firings,
+                    "options {opts:?} changed the firing count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_includes_all_idb() {
+        let (p, db) = load("a(X) :- e(X).\nb(X) :- a(X).\ne(1).");
+        let mut engine = FixpointEngine::new(&p, Arc::new(db), &[]).unwrap();
+        engine.run_to_fixpoint().unwrap();
+        let snap = engine.snapshot();
+        assert_eq!(snap.len(), 2);
+        let interner: &Interner = &p.interner;
+        let a_id = (interner.get("a").unwrap(), 1);
+        let b_id = (interner.get("b").unwrap(), 1);
+        assert_eq!(snap[&a_id].len(), 1);
+        assert_eq!(snap[&b_id].len(), 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! Plan execution.
+//!
+//! The executor walks a [`RulePlan`]'s steps depth-first, maintaining one
+//! binding slot per rule variable. Scans probe a prepared [`Access`] —
+//! either a hash index on the step's probe columns or a raw relation scan —
+//! and the `Old` views (`T_{i-1}`) are realized as *full-view minus delta
+//! membership* filters so no separate old relation is materialized.
+//!
+//! The caller prepares one `Access` per scan step (the two-phase split
+//! keeps index refreshing, which needs `&mut`, out of the immutable
+//! execution pass) and receives every successful ground substitution via
+//! the `emit` callback; the return value is the firing count that the
+//! paper's non-redundancy theorems (2 and 6) are stated over.
+
+use gst_common::{Tuple, Value};
+use gst_storage::{HashIndex, Relation};
+
+use crate::plan::{HeadTerm, KeySource, PlanStep, RulePlan, ScanStep};
+
+/// How a scan step reads its relation this round.
+#[derive(Debug, Clone, Copy)]
+pub enum Access<'a> {
+    /// Iterate every tuple.
+    ScanAll(&'a Relation),
+    /// Iterate every tuple of `.0` except members of `.1` (the `Old` view).
+    ScanMinus(&'a Relation, &'a Relation),
+    /// Probe a hash index on exactly the step's probe columns.
+    Probe(&'a HashIndex),
+    /// Probe `.0`, skipping members of `.1` (indexed `Old` view).
+    ProbeMinus(&'a HashIndex, &'a Relation),
+    /// The relation holds no tuples (or does not exist yet).
+    Empty,
+}
+
+/// Run `plan` with one prepared access per step (`None` for filter steps),
+/// invoking `emit` for each successful ground substitution's head tuple.
+/// Returns the number of firings.
+pub fn run_plan(
+    plan: &RulePlan,
+    accesses: &[Option<Access<'_>>],
+    emit: &mut dyn FnMut(Tuple),
+) -> u64 {
+    debug_assert_eq!(accesses.len(), plan.steps.len());
+    let mut bindings = vec![Value::Int(0); plan.slot_count];
+    let mut head_buf: Vec<Value> = vec![Value::Int(0); plan.head_terms.len()];
+    let mut firings = 0u64;
+    descend(plan, accesses, 0, &mut bindings, &mut head_buf, &mut firings, emit);
+    firings
+}
+
+fn descend(
+    plan: &RulePlan,
+    accesses: &[Option<Access<'_>>],
+    step_index: usize,
+    bindings: &mut [Value],
+    head_buf: &mut Vec<Value>,
+    firings: &mut u64,
+    emit: &mut dyn FnMut(Tuple),
+) {
+    if step_index == plan.steps.len() {
+        *firings += 1;
+        for (out, term) in head_buf.iter_mut().zip(&plan.head_terms) {
+            *out = match term {
+                HeadTerm::Slot(s) => bindings[*s],
+                HeadTerm::Const(c) => *c,
+            };
+        }
+        emit(Tuple::new(head_buf));
+        return;
+    }
+
+    match &plan.steps[step_index] {
+        PlanStep::Filter { constraint, slots } => {
+            // Constraint arity is tiny (a discriminating sequence); a small
+            // stack buffer would not beat this in practice.
+            let values: Vec<Value> = slots.iter().map(|&s| bindings[s]).collect();
+            if constraint.holds(&values) {
+                descend(plan, accesses, step_index + 1, bindings, head_buf, firings, emit);
+            }
+        }
+        PlanStep::Scan(scan) => {
+            let access = accesses[step_index]
+                .as_ref()
+                .expect("scan step must have a prepared access");
+            match access {
+                Access::Empty => {}
+                Access::Probe(index) => {
+                    let key = probe_key(scan, bindings);
+                    for t in index.probe(&key) {
+                        try_candidate(
+                            plan, accesses, step_index, scan, t, false, None, bindings, head_buf,
+                            firings, emit,
+                        );
+                    }
+                }
+                Access::ProbeMinus(index, minus) => {
+                    let key = probe_key(scan, bindings);
+                    for t in index.probe(&key) {
+                        try_candidate(
+                            plan,
+                            accesses,
+                            step_index,
+                            scan,
+                            t,
+                            false,
+                            Some(minus),
+                            bindings,
+                            head_buf,
+                            firings,
+                            emit,
+                        );
+                    }
+                }
+                Access::ScanAll(rel) => {
+                    for t in rel.iter() {
+                        try_candidate(
+                            plan, accesses, step_index, scan, t, true, None, bindings, head_buf,
+                            firings, emit,
+                        );
+                    }
+                }
+                Access::ScanMinus(rel, minus) => {
+                    for t in rel.iter() {
+                        try_candidate(
+                            plan,
+                            accesses,
+                            step_index,
+                            scan,
+                            t,
+                            true,
+                            Some(minus),
+                            bindings,
+                            head_buf,
+                            firings,
+                            emit,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Build the probe key for `scan` from current bindings and constants.
+fn probe_key(scan: &ScanStep, bindings: &[Value]) -> Tuple {
+    scan.probe_values
+        .iter()
+        .map(|src| match src {
+            KeySource::Slot(s) => bindings[*s],
+            KeySource::Const(c) => *c,
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)] // internal hot path, flattened on purpose
+fn try_candidate(
+    plan: &RulePlan,
+    accesses: &[Option<Access<'_>>],
+    step_index: usize,
+    scan: &ScanStep,
+    tuple: &Tuple,
+    check_probe: bool,
+    minus: Option<&Relation>,
+    bindings: &mut [Value],
+    head_buf: &mut Vec<Value>,
+    firings: &mut u64,
+    emit: &mut dyn FnMut(Tuple),
+) {
+    if let Some(m) = minus {
+        if m.contains(tuple) {
+            return;
+        }
+    }
+    if check_probe {
+        // Raw scans must verify probe columns that an index would have
+        // guaranteed.
+        for (col, src) in scan.probe_columns.iter().zip(&scan.probe_values) {
+            let expected = match src {
+                KeySource::Slot(s) => bindings[*s],
+                KeySource::Const(c) => *c,
+            };
+            if tuple.get(*col) != expected {
+                return;
+            }
+        }
+    }
+    for (col, earlier) in &scan.intra_checks {
+        if tuple.get(*col) != tuple.get(*earlier) {
+            return;
+        }
+    }
+    for (col, slot) in &scan.bindings {
+        bindings[*slot] = tuple.get(*col);
+    }
+    descend(plan, accesses, step_index + 1, bindings, head_buf, firings, emit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::compile_rule;
+    use gst_common::ituple;
+    use gst_frontend::parse_program;
+
+    fn edges() -> Relation {
+        [ituple![1, 2], ituple![2, 3], ituple![3, 4], ituple![2, 5]]
+            .into_iter()
+            .collect()
+    }
+
+    fn collect(plan: &RulePlan, accesses: &[Option<Access<'_>>]) -> (u64, Vec<Tuple>) {
+        let mut out = Vec::new();
+        let n = run_plan(plan, accesses, &mut |t| out.push(t));
+        out.sort();
+        (n, out)
+    }
+
+    #[test]
+    fn single_scan_copies_relation() {
+        let p = parse_program("t(X,Y) :- e(X,Y).").unwrap().program;
+        let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
+        let e = edges();
+        let (n, out) = collect(&plan, &[Some(Access::ScanAll(&e))]);
+        assert_eq!(n, 4);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn two_way_join_with_index() {
+        // t(X,Z) :- e(X,Y), e(Y,Z): paths of length 2.
+        let p = parse_program("t(X,Z) :- e(X,Y), e(Y,Z).").unwrap().program;
+        let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
+        let e = edges();
+        let idx = HashIndex::build(&e, &[0]);
+        let (n, out) = collect(&plan, &[Some(Access::ScanAll(&e)), Some(Access::Probe(&idx))]);
+        assert_eq!(n, 3); // 1→2→3, 1→2→5, 2→3→4
+        assert_eq!(out, vec![ituple![1, 3], ituple![1, 5], ituple![2, 4]]);
+    }
+
+    #[test]
+    fn join_without_index_matches_index_join() {
+        let p = parse_program("t(X,Z) :- e(X,Y), e(Y,Z).").unwrap().program;
+        let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
+        let e = edges();
+        let idx = HashIndex::build(&e, &[0]);
+        let (_, with_idx) =
+            collect(&plan, &[Some(Access::ScanAll(&e)), Some(Access::Probe(&idx))]);
+        let (_, without) =
+            collect(&plan, &[Some(Access::ScanAll(&e)), Some(Access::ScanAll(&e))]);
+        assert_eq!(with_idx, without);
+    }
+
+    #[test]
+    fn constant_probe_filters() {
+        let p = parse_program("t(Y) :- e(2, Y).").unwrap().program;
+        let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
+        let e = edges();
+        let (n, out) = collect(&plan, &[Some(Access::ScanAll(&e))]);
+        assert_eq!(n, 2);
+        assert_eq!(out, vec![ituple![3], ituple![5]]);
+    }
+
+    #[test]
+    fn intra_check_selects_loops() {
+        let p = parse_program("t(X) :- e(X, X).").unwrap().program;
+        let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
+        let mut e = edges();
+        e.insert(ituple![7, 7]).unwrap();
+        let (n, out) = collect(&plan, &[Some(Access::ScanAll(&e))]);
+        assert_eq!(n, 1);
+        assert_eq!(out, vec![ituple![7]]);
+    }
+
+    #[test]
+    fn minus_views_exclude_delta() {
+        let p = parse_program("t(X,Y) :- e(X,Y).").unwrap().program;
+        let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
+        let e = edges();
+        let minus: Relation = [ituple![1, 2], ituple![2, 3]].into_iter().collect();
+        let (n, _) = collect(&plan, &[Some(Access::ScanMinus(&e, &minus))]);
+        assert_eq!(n, 2);
+
+        // Indexed variant agrees.
+        let p2 = parse_program("t(Y) :- e(2, Y).").unwrap().program;
+        let plan2 = compile_rule(&p2.rules[0], 0, &|_| false, None).unwrap();
+        let idx = HashIndex::build(&e, &[0]);
+        let (n2, out2) = collect(&plan2, &[Some(Access::ProbeMinus(&idx, &minus))]);
+        assert_eq!(n2, 1);
+        assert_eq!(out2, vec![ituple![5]]);
+    }
+
+    #[test]
+    fn empty_access_yields_nothing() {
+        let p = parse_program("t(X,Y) :- e(X,Y).").unwrap().program;
+        let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
+        let (n, out) = collect(&plan, &[Some(Access::Empty)]);
+        assert_eq!(n, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cartesian_product_when_no_shared_vars() {
+        let p = parse_program("t(X,Y) :- a(X), b(Y).").unwrap().program;
+        let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
+        let a: Relation = [ituple![1], ituple![2]].into_iter().collect();
+        let b: Relation = [ituple![10], ituple![20], ituple![30]].into_iter().collect();
+        let (n, _) = collect(&plan, &[Some(Access::ScanAll(&a)), Some(Access::ScanAll(&b))]);
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn head_constants_are_materialized() {
+        let p = parse_program("t(X, 99) :- a(X).").unwrap().program;
+        let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
+        let a: Relation = [ituple![1]].into_iter().collect();
+        let (_, out) = collect(&plan, &[Some(Access::ScanAll(&a))]);
+        assert_eq!(out, vec![ituple![1, 99]]);
+    }
+}

@@ -1,0 +1,362 @@
+//! Static analysis of Datalog programs.
+//!
+//! Implements the Section-2 notions the rewriting schemes rely on:
+//!
+//! * **safety** — every head variable occurs in a body atom (finite
+//!   answers);
+//! * the ***derives* relation** — predicate `Q` derives `R` if `Q` occurs
+//!   in the body of a rule whose head is an `R`-atom;
+//! * **recursive rules/predicates** — a rule is recursive if its head
+//!   predicate transitively derives some predicate in its body, computed
+//!   via Tarjan's strongly-connected components over the derives graph.
+
+use gst_common::{Error, FxHashMap, Result};
+
+use crate::ast::{Predicate, Program, Rule};
+
+/// Analysis results for one program.
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysis {
+    predicates: Vec<Predicate>,
+    derived: Vec<Predicate>,
+    base: Vec<Predicate>,
+    /// `edges[i]` lists successor indexes of predicate `i` in the derives
+    /// graph (edge `Q → R` when `Q` derives `R`).
+    edges: Vec<Vec<usize>>,
+    index_of: FxHashMap<Predicate, usize>,
+    /// Strongly connected component id per predicate index.
+    scc_of: Vec<usize>,
+    /// Whether each SCC contains a cycle (size > 1 or a self-loop).
+    scc_cyclic: Vec<bool>,
+    /// Per rule (by program index), whether the rule is recursive.
+    rule_recursive: Vec<bool>,
+}
+
+impl ProgramAnalysis {
+    /// Analyze `program`, rejecting unsafe rules.
+    pub fn new(program: &Program) -> Result<Self> {
+        for (idx, rule) in program.rules.iter().enumerate() {
+            if !rule.is_safe() {
+                return Err(Error::Analysis(format!(
+                    "rule {idx} is unsafe: a head variable does not occur in any body atom"
+                )));
+            }
+        }
+
+        let predicates = program.predicates();
+        let derived = program.derived_predicates();
+        let base = program.base_predicates();
+        let mut index_of: FxHashMap<Predicate, usize> = FxHashMap::default();
+        for (i, &p) in predicates.iter().enumerate() {
+            index_of.insert(p, i);
+        }
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); predicates.len()];
+        for rule in &program.rules {
+            let head = index_of[&rule.head.pred()];
+            for atom in rule.body_atoms() {
+                let body = index_of[&atom.pred()];
+                if !edges[body].contains(&head) {
+                    edges[body].push(head);
+                }
+            }
+        }
+
+        let (scc_of, scc_count) = tarjan_scc(&edges);
+        let mut scc_size = vec![0usize; scc_count];
+        for &s in &scc_of {
+            scc_size[s] += 1;
+        }
+        let mut scc_cyclic = vec![false; scc_count];
+        for (s, &size) in scc_size.iter().enumerate() {
+            scc_cyclic[s] = size > 1;
+        }
+        for (from, succs) in edges.iter().enumerate() {
+            if succs.contains(&from) {
+                scc_cyclic[scc_of[from]] = true;
+            }
+        }
+
+        let rule_recursive = program
+            .rules
+            .iter()
+            .map(|rule| {
+                let head = index_of[&rule.head.pred()];
+                rule.body_atoms().any(|atom| {
+                    let body = index_of[&atom.pred()];
+                    scc_of[body] == scc_of[head] && scc_cyclic[scc_of[head]]
+                })
+            })
+            .collect();
+
+        Ok(ProgramAnalysis {
+            predicates,
+            derived,
+            base,
+            edges,
+            index_of,
+            scc_of,
+            scc_cyclic,
+            rule_recursive,
+        })
+    }
+
+    /// All predicates of the program.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Derived (intensional) predicates.
+    pub fn derived(&self) -> &[Predicate] {
+        &self.derived
+    }
+
+    /// Base (extensional) predicates.
+    pub fn base(&self) -> &[Predicate] {
+        &self.base
+    }
+
+    /// Whether the rule at `index` (program order) is recursive.
+    pub fn is_recursive_rule(&self, index: usize) -> bool {
+        self.rule_recursive[index]
+    }
+
+    /// Whether `p` participates in any recursion (cyclic SCC).
+    pub fn is_recursive_predicate(&self, p: Predicate) -> bool {
+        self.index_of
+            .get(&p)
+            .map(|&i| self.scc_cyclic[self.scc_of[i]])
+            .unwrap_or(false)
+    }
+
+    /// Whether `q` (transitively) derives `r`, i.e. there is a non-empty
+    /// path `q → … → r` in the derives graph.
+    pub fn transitively_derives(&self, q: Predicate, r: Predicate) -> bool {
+        let (Some(&from), Some(&to)) = (self.index_of.get(&q), self.index_of.get(&r)) else {
+            return false;
+        };
+        // BFS over the derives graph; small graphs, no need for caching.
+        let mut seen = vec![false; self.edges.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &s in &self.edges[from] {
+            if !seen[s] {
+                seen[s] = true;
+                queue.push_back(s);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            if n == to {
+                return true;
+            }
+            for &s in &self.edges[n] {
+                if !seen[s] {
+                    seen[s] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Convenience: check a rule (not necessarily from the analyzed
+    /// program) against this analysis for recursion, by predicate SCCs.
+    pub fn rule_is_recursive(&self, rule: &Rule) -> bool {
+        let Some(&head) = self.index_of.get(&rule.head.pred()) else {
+            return false;
+        };
+        rule.body_atoms().any(|atom| {
+            self.index_of
+                .get(&atom.pred())
+                .map(|&b| self.scc_of[b] == self.scc_of[head] && self.scc_cyclic[self.scc_of[head]])
+                .unwrap_or(false)
+        })
+    }
+}
+
+/// Iterative Tarjan SCC. Returns `(scc_of, scc_count)`; component ids are
+/// assigned in reverse topological order of discovery (ids themselves carry
+/// no ordering guarantee we rely on).
+fn tarjan_scc(edges: &[Vec<usize>]) -> (Vec<usize>, usize) {
+    const UNSET: usize = usize::MAX;
+    let n = edges.len();
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut scc_of = vec![UNSET; n];
+    let mut next_index = 0usize;
+    let mut scc_count = 0usize;
+
+    // Explicit DFS stack: (node, next child position).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut child)) = call_stack.last_mut() {
+            if *child < edges[v].len() {
+                let w = edges[v][*child];
+                *child += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w] = false;
+                        scc_of[w] = scc_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc_count += 1;
+                }
+            }
+        }
+    }
+    (scc_of, scc_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn analyze(src: &str) -> (Program, ProgramAnalysis) {
+        let unit = parse_program(src).unwrap();
+        let a = ProgramAnalysis::new(&unit.program).unwrap();
+        (unit.program, a)
+    }
+
+    fn pred(p: &Program, name: &str, arity: usize) -> Predicate {
+        Predicate::new(p.interner.get(name).unwrap(), arity)
+    }
+
+    #[test]
+    fn linear_ancestor_classification() {
+        let (p, a) = analyze(
+            "anc(X,Y) :- par(X,Y).\n\
+             anc(X,Y) :- par(X,Z), anc(Z,Y).",
+        );
+        assert!(!a.is_recursive_rule(0));
+        assert!(a.is_recursive_rule(1));
+        assert!(a.is_recursive_predicate(pred(&p, "anc", 2)));
+        assert!(!a.is_recursive_predicate(pred(&p, "par", 2)));
+    }
+
+    #[test]
+    fn nonlinear_ancestor_classification() {
+        let (_, a) = analyze(
+            "anc(X,Y) :- par(X,Y).\n\
+             anc(X,Y) :- anc(X,Z), anc(Z,Y).",
+        );
+        assert!(!a.is_recursive_rule(0));
+        assert!(a.is_recursive_rule(1));
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let (p, a) = analyze(
+            "even(X) :- zero(X).\n\
+             even(X) :- succ(Y,X), odd(Y).\n\
+             odd(X) :- succ(Y,X), even(Y).",
+        );
+        assert!(a.is_recursive_predicate(pred(&p, "even", 1)));
+        assert!(a.is_recursive_predicate(pred(&p, "odd", 1)));
+        assert!(!a.is_recursive_rule(0));
+        assert!(a.is_recursive_rule(1));
+        assert!(a.is_recursive_rule(2));
+    }
+
+    #[test]
+    fn transitive_derives() {
+        let (p, a) = analyze(
+            "b(X) :- a(X).\n\
+             c(X) :- b(X).\n\
+             d(X) :- c(X).",
+        );
+        let ap = pred(&p, "a", 1);
+        let dp = pred(&p, "d", 1);
+        assert!(a.transitively_derives(ap, dp));
+        assert!(!a.transitively_derives(dp, ap));
+        // derives is irreflexive without cycles
+        assert!(!a.transitively_derives(ap, ap));
+    }
+
+    #[test]
+    fn self_derivation_through_cycle() {
+        let (p, a) = analyze("t(X,Y) :- t(Y,X).\nt(X,Y) :- e(X,Y).");
+        let t = pred(&p, "t", 2);
+        assert!(a.transitively_derives(t, t));
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let unit = parse_program("p(X,Y) :- q(X).").unwrap();
+        let err = ProgramAnalysis::new(&unit.program).unwrap_err();
+        assert!(err.to_string().contains("unsafe"));
+    }
+
+    #[test]
+    fn base_derived_split() {
+        let (p, a) = analyze("anc(X,Y) :- par(X,Y).\nanc(X,Y) :- par(X,Z), anc(Z,Y).");
+        assert_eq!(a.derived(), &[pred(&p, "anc", 2)]);
+        assert_eq!(a.base(), &[pred(&p, "par", 2)]);
+        assert_eq!(a.predicates().len(), 2);
+    }
+
+    #[test]
+    fn nonrecursive_chain_has_no_recursive_rules() {
+        let (_, a) = analyze("b(X) :- a(X).\nc(X) :- b(X), a(X).");
+        assert!(!a.is_recursive_rule(0));
+        assert!(!a.is_recursive_rule(1));
+    }
+
+    #[test]
+    fn rule_is_recursive_on_foreign_rule() {
+        let (p, a) = analyze("t(X,Y) :- e(X,Y).\nt(X,Y) :- t(X,Z), e(Z,Y).");
+        assert!(a.rule_is_recursive(&p.rules[1]));
+        assert!(!a.rule_is_recursive(&p.rules[0]));
+    }
+
+    #[test]
+    fn tarjan_on_diamond() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 : four singleton SCCs.
+        let edges = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let (scc_of, count) = tarjan_scc(&edges);
+        assert_eq!(count, 4);
+        let distinct: std::collections::HashSet<_> = scc_of.iter().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn tarjan_on_cycle() {
+        // 0 -> 1 -> 2 -> 0 plus 2 -> 3.
+        let edges = vec![vec![1], vec![2], vec![0, 3], vec![]];
+        let (scc_of, count) = tarjan_scc(&edges);
+        assert_eq!(count, 2);
+        assert_eq!(scc_of[0], scc_of[1]);
+        assert_eq!(scc_of[1], scc_of[2]);
+        assert_ne!(scc_of[3], scc_of[0]);
+    }
+}

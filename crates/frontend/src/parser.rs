@@ -1,0 +1,371 @@
+//! Recursive-descent parser for the Datalog surface syntax.
+//!
+//! ```text
+//! unit   := clause* EOF
+//! clause := atom [ ':-' literal (',' literal)* ] '.'
+//! literal := atom | term cmp term
+//! cmp    := '<' | '<=' | '>' | '>=' | '=' | '!='
+//! atom   := ident [ '(' term (',' term)* ')' ]
+//! term   := Variable | ident | integer | string
+//! ```
+//!
+//! A clause without a body must be ground and is returned as a *fact*
+//! rather than a rule, matching the paper's split between the program (a
+//! finite set of rules) and its input (a relation per base predicate).
+
+use gst_common::{Error, Interner, Result, Tuple, Value};
+
+use std::sync::Arc;
+
+use crate::ast::{Atom, Literal, Predicate, Program, Rule, Term, Variable};
+use crate::builtins::{CompareOp, Comparison};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// The result of parsing a source unit: the rules (as a [`Program`]) and
+/// the ground facts, ready to be loaded into a database.
+#[derive(Debug, Clone)]
+pub struct ParsedUnit {
+    /// The rules of the unit.
+    pub program: Program,
+    /// Ground facts `(predicate, tuple)` in source order.
+    pub facts: Vec<(Predicate, Tuple)>,
+}
+
+/// Parse `source` with a fresh interner.
+pub fn parse_program(source: &str) -> Result<ParsedUnit> {
+    parse_program_with(source, &Interner::new())
+}
+
+/// Parse `source`, interning all symbols into `interner`.
+///
+/// Sharing an interner lets separately parsed programs and generated data
+/// agree on symbol ids — required when a workload generator produces facts
+/// for a program parsed from text.
+pub fn parse_program_with(source: &str, interner: &Interner) -> Result<ParsedUnit> {
+    let tokens = tokenize(source)?;
+    Parser {
+        tokens,
+        pos: 0,
+        interner: interner.clone(),
+    }
+    .unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    interner: Interner,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token> {
+        let t = self.bump();
+        if &t.kind == kind {
+            Ok(t)
+        } else {
+            Err(Error::parse(
+                t.line,
+                t.column,
+                format!("expected {}, found {}", kind.describe(), t.kind.describe()),
+            ))
+        }
+    }
+
+    fn unit(mut self) -> Result<ParsedUnit> {
+        let mut rules = Vec::new();
+        let mut facts = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            let head = self.atom()?;
+            match self.peek().kind {
+                TokenKind::ColonDash => {
+                    self.bump();
+                    let mut body = vec![self.literal()?];
+                    while self.peek().kind == TokenKind::Comma {
+                        self.bump();
+                        body.push(self.literal()?);
+                    }
+                    self.expect(&TokenKind::Dot)?;
+                    rules.push(Rule::new(head, body));
+                }
+                TokenKind::Dot => {
+                    let t = self.bump();
+                    if !head.is_ground() {
+                        return Err(Error::parse(
+                            t.line,
+                            t.column,
+                            "a fact (bodyless clause) must be ground",
+                        ));
+                    }
+                    let tuple: Tuple = head
+                        .terms
+                        .iter()
+                        .map(|t| t.as_const().expect("ground atom"))
+                        .collect();
+                    facts.push((head.pred(), tuple));
+                }
+                _ => {
+                    let t = self.peek();
+                    return Err(Error::parse(
+                        t.line,
+                        t.column,
+                        format!("expected `:-` or `.`, found {}", t.kind.describe()),
+                    ));
+                }
+            }
+        }
+        Ok(ParsedUnit {
+            program: Program::new(rules, self.interner),
+            facts,
+        })
+    }
+
+    /// One body literal: an atom, or a comparison `term op term`.
+    fn literal(&mut self) -> Result<Literal> {
+        // A comparison begins with a non-predicate term (variable,
+        // integer, string) or with an identifier followed by an operator.
+        let starts_comparison = match &self.peek().kind {
+            TokenKind::UpperIdent(_) | TokenKind::Int(_) | TokenKind::Str(_) => true,
+            TokenKind::Ident(_) => matches!(
+                self.peek_ahead(1),
+                TokenKind::Lt
+                    | TokenKind::Le
+                    | TokenKind::Gt
+                    | TokenKind::Ge
+                    | TokenKind::EqSign
+                    | TokenKind::Ne
+            ),
+            _ => false,
+        };
+        if !starts_comparison {
+            return Ok(Literal::Atom(self.atom()?));
+        }
+        let lhs = self.term()?;
+        let op_token = self.bump();
+        let op = match op_token.kind {
+            TokenKind::Lt => CompareOp::Lt,
+            TokenKind::Le => CompareOp::Le,
+            TokenKind::Gt => CompareOp::Gt,
+            TokenKind::Ge => CompareOp::Ge,
+            TokenKind::EqSign => CompareOp::Eq,
+            TokenKind::Ne => CompareOp::Ne,
+            other => {
+                return Err(Error::parse(
+                    op_token.line,
+                    op_token.column,
+                    format!("expected a comparison operator, found {}", other.describe()),
+                ))
+            }
+        };
+        let rhs = self.term()?;
+        Ok(Literal::Constraint(Arc::new(Comparison::new(lhs, op, rhs))))
+    }
+
+    fn peek_ahead(&self, k: usize) -> &TokenKind {
+        let idx = (self.pos + k).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn atom(&mut self) -> Result<Atom> {
+        let t = self.bump();
+        let name = match t.kind {
+            TokenKind::Ident(s) => self.interner.intern(&s),
+            other => {
+                return Err(Error::parse(
+                    t.line,
+                    t.column,
+                    format!("expected a predicate name, found {}", other.describe()),
+                ))
+            }
+        };
+        let mut terms = Vec::new();
+        if self.peek().kind == TokenKind::LParen {
+            self.bump();
+            if self.peek().kind != TokenKind::RParen {
+                terms.push(self.term()?);
+                while self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                    terms.push(self.term()?);
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(Atom::new(name, terms))
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::UpperIdent(s) => Ok(Term::Var(Variable(self.interner.intern(&s)))),
+            TokenKind::Ident(s) => Ok(Term::Const(Value::Sym(self.interner.intern(&s)))),
+            TokenKind::Int(n) => Ok(Term::Const(Value::Int(n))),
+            TokenKind::Str(text) => Ok(Term::Const(Value::Sym(self.interner.intern(&text)))),
+            other => Err(Error::parse(
+                t.line,
+                t.column,
+                format!("expected a term, found {}", other.describe()),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_ancestor_program() {
+        let unit = parse_program(
+            "anc(X,Y) :- par(X,Y).\n\
+             anc(X,Y) :- par(X,Z), anc(Z,Y).",
+        )
+        .unwrap();
+        assert_eq!(unit.program.rules.len(), 2);
+        assert!(unit.facts.is_empty());
+        let i = &unit.program.interner;
+        let anc = Predicate::new(i.get("anc").unwrap(), 2);
+        assert_eq!(unit.program.derived_predicates(), vec![anc]);
+        assert_eq!(unit.program.rules[1].body.len(), 2);
+    }
+
+    #[test]
+    fn parses_facts_and_rules_mixed() {
+        let unit = parse_program(
+            "par(alice, bob).\n\
+             par(1, 2).\n\
+             anc(X,Y) :- par(X,Y).",
+        )
+        .unwrap();
+        assert_eq!(unit.facts.len(), 2);
+        assert_eq!(unit.program.rules.len(), 1);
+        let (pred, tuple) = &unit.facts[1];
+        assert_eq!(pred.arity, 2);
+        assert_eq!(tuple.get(0), Value::Int(1));
+    }
+
+    #[test]
+    fn symbolic_constants_are_interned_values() {
+        let unit = parse_program("par(alice, bob).").unwrap();
+        let i = &unit.program.interner;
+        let (_, tuple) = &unit.facts[0];
+        assert_eq!(tuple.get(0), Value::Sym(i.get("alice").unwrap()));
+    }
+
+    #[test]
+    fn string_constants_are_interned_symbols() {
+        let unit = parse_program(r#"par("John Smith", bob)."#).unwrap();
+        let i = &unit.program.interner;
+        let (_, tuple) = &unit.facts[0];
+        assert_eq!(tuple.get(0), Value::Sym(i.get("John Smith").unwrap()));
+        assert_eq!(tuple.get(1), Value::Sym(i.get("bob").unwrap()));
+    }
+
+    #[test]
+    fn string_and_bare_symbol_unify() {
+        // "alice" and alice intern to the same symbol.
+        let unit = parse_program(r#"p("alice"). q(alice)."#).unwrap();
+        let i = &unit.program.interner;
+        assert_eq!(unit.facts[0].1.get(0), unit.facts[1].1.get(0));
+        assert_eq!(i.len(), 3); // p, alice, q
+    }
+
+    #[test]
+    fn zero_arity_atoms() {
+        let unit = parse_program("go.\nrun() :- go.").unwrap();
+        assert_eq!(unit.facts[0].0.arity, 0);
+        assert_eq!(unit.program.rules[0].head.pred().arity, 0);
+    }
+
+    #[test]
+    fn non_ground_fact_is_rejected() {
+        let err = parse_program("par(X, bob).").unwrap_err();
+        assert!(err.to_string().contains("must be ground"));
+    }
+
+    #[test]
+    fn missing_dot_is_rejected() {
+        assert!(parse_program("p(X) :- q(X)").is_err());
+    }
+
+    #[test]
+    fn garbage_after_head_is_rejected() {
+        assert!(parse_program("p(X) q(X).").is_err());
+    }
+
+    #[test]
+    fn variable_as_predicate_is_rejected() {
+        assert!(parse_program("X(a).").is_err());
+    }
+
+    #[test]
+    fn parses_comparison_literals() {
+        let unit = parse_program("older(X,Y) :- age(X,A), age(Y,B), A > B.").unwrap();
+        let rule = &unit.program.rules[0];
+        assert_eq!(rule.body.len(), 3);
+        assert!(matches!(rule.body[2], Literal::Constraint(_)));
+        // Comparisons don't count as body atoms.
+        assert_eq!(rule.body_atoms().count(), 2);
+        // Safety still holds: X, Y bound by atoms.
+        assert!(rule.is_safe());
+    }
+
+    #[test]
+    fn comparison_with_constant_operand() {
+        let unit = parse_program("adult(X) :- age(X,A), A >= 18.").unwrap();
+        assert!(matches!(unit.program.rules[0].body[1], Literal::Constraint(_)));
+        let unit = parse_program("p(X) :- q(X), 3 < X.").unwrap();
+        assert!(matches!(unit.program.rules[0].body[1], Literal::Constraint(_)));
+    }
+
+    #[test]
+    fn symbol_comparison_disambiguates_from_atom() {
+        // `alice != X` starts with an identifier but is a comparison.
+        let unit = parse_program("p(X) :- q(X), alice != X.").unwrap();
+        assert!(matches!(unit.program.rules[0].body[1], Literal::Constraint(_)));
+        // `q(X)` stays an atom.
+        assert!(matches!(unit.program.rules[0].body[0], Literal::Atom(_)));
+    }
+
+    #[test]
+    fn comparison_in_fact_position_is_rejected() {
+        assert!(parse_program("X < 3.").is_err());
+    }
+
+    #[test]
+    fn dangling_comparison_is_rejected() {
+        assert!(parse_program("p(X) :- q(X), X <.").is_err());
+    }
+
+    #[test]
+    fn shared_interner_agrees_across_units() {
+        let i = Interner::new();
+        let a = parse_program_with("p(X) :- e(X).", &i).unwrap();
+        let b = parse_program_with("q(X) :- e(X).", &i).unwrap();
+        let ea = a.program.rules[0].body_atoms().next().unwrap().predicate;
+        let eb = b.program.rules[0].body_atoms().next().unwrap().predicate;
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn empty_source_parses_to_empty_unit() {
+        let unit = parse_program("  % nothing here\n").unwrap();
+        assert!(unit.program.rules.is_empty());
+        assert!(unit.facts.is_empty());
+    }
+
+    #[test]
+    fn dangling_comma_in_body_is_rejected() {
+        assert!(parse_program("p(X) :- q(X), .").is_err());
+    }
+}

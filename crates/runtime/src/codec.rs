@@ -1,0 +1,187 @@
+//! Wire format for tuple batches.
+//!
+//! The paper's abstract channels carry tuples; a real message-passing
+//! deployment serializes them. Workers encode every cross-processor batch
+//! through this codec so the measured communication cost can be reported
+//! in *bytes on the wire*, not just tuple counts — the unit a §8 cost
+//! model for a cluster actually charges.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! batch   := inbox_sym: u32 | arity: u16 | count: u32 | count × tuple
+//! tuple   := arity × value
+//! value   := tag: u8 (0 = Int, 1 = Sym) | Int: i64 | Sym: u32
+//! ```
+//!
+//! Symbol ids are stable across workers because every processor program
+//! shares one interner; a multi-machine deployment would ship the symbol
+//! table once up front the same way.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gst_common::{Error, Result, SymbolId, Tuple, Value};
+use gst_eval::plan::RelationId;
+
+const TAG_INT: u8 = 0;
+const TAG_SYM: u8 = 1;
+
+/// Serialize a batch destined for `inbox`.
+///
+/// # Errors
+/// Rejects tuples whose arity differs from the inbox's — a misconfigured
+/// channel (caught at the sender, where the diagnostic is actionable).
+pub fn encode_batch(inbox: RelationId, tuples: &[Tuple]) -> Result<Bytes> {
+    let arity = inbox.1;
+    // Worst case per value: 1 tag + 8 payload.
+    let mut buf = BytesMut::with_capacity(10 + tuples.len() * arity * 9);
+    buf.put_u32_le(inbox.0 .0);
+    buf.put_u16_le(arity as u16);
+    buf.put_u32_le(tuples.len() as u32);
+    for t in tuples {
+        if t.arity() != arity {
+            return Err(Error::Runtime(format!(
+                "channel misconfigured: tuple arity {} does not match inbox arity {arity}",
+                t.arity()
+            )));
+        }
+        for &v in t.as_slice() {
+            match v {
+                Value::Int(n) => {
+                    buf.put_u8(TAG_INT);
+                    buf.put_i64_le(n);
+                }
+                Value::Sym(s) => {
+                    buf.put_u8(TAG_SYM);
+                    buf.put_u32_le(s.0);
+                }
+            }
+        }
+    }
+    Ok(buf.freeze())
+}
+
+/// Deserialize a batch; the inverse of [`encode_batch`].
+pub fn decode_batch(mut bytes: Bytes) -> Result<(RelationId, Vec<Tuple>)> {
+    let corrupt = |what: &str| Error::Runtime(format!("corrupt tuple batch: {what}"));
+    if bytes.remaining() < 10 {
+        return Err(corrupt("truncated header"));
+    }
+    let sym = SymbolId(bytes.get_u32_le());
+    let arity = bytes.get_u16_le() as usize;
+    let count = bytes.get_u32_le() as usize;
+    let mut tuples = Vec::with_capacity(count);
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..count {
+        values.clear();
+        for _ in 0..arity {
+            if bytes.remaining() < 1 {
+                return Err(corrupt("truncated value tag"));
+            }
+            match bytes.get_u8() {
+                TAG_INT => {
+                    if bytes.remaining() < 8 {
+                        return Err(corrupt("truncated Int"));
+                    }
+                    values.push(Value::Int(bytes.get_i64_le()));
+                }
+                TAG_SYM => {
+                    if bytes.remaining() < 4 {
+                        return Err(corrupt("truncated Sym"));
+                    }
+                    values.push(Value::Sym(SymbolId(bytes.get_u32_le())));
+                }
+                tag => return Err(corrupt(&format!("unknown value tag {tag}"))),
+            }
+        }
+        tuples.push(Tuple::new(&values));
+    }
+    if bytes.has_remaining() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(((sym, arity), tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gst_common::{ituple, Interner};
+
+    fn inbox(arity: usize) -> RelationId {
+        let interner = Interner::new();
+        (interner.intern("t@in0"), arity)
+    }
+
+    #[test]
+    fn round_trips_int_tuples() {
+        let id = inbox(2);
+        let tuples = vec![ituple![1, -2], ituple![i64::MAX, i64::MIN]];
+        let bytes = encode_batch(id, &tuples).unwrap();
+        let (got_id, got) = decode_batch(bytes).unwrap();
+        assert_eq!(got_id, id);
+        assert_eq!(got, tuples);
+    }
+
+    #[test]
+    fn round_trips_symbols_and_mixed() {
+        let interner = Interner::new();
+        let id = (interner.intern("sg@in3"), 2);
+        let a = interner.intern("alice");
+        let tuples = vec![
+            Tuple::new(&[Value::Sym(a), Value::Int(7)]),
+            Tuple::new(&[Value::Int(0), Value::Sym(SymbolId(0))]),
+        ];
+        let bytes = encode_batch(id, &tuples).unwrap();
+        let (got_id, got) = decode_batch(bytes).unwrap();
+        assert_eq!(got_id, id);
+        assert_eq!(got, tuples);
+    }
+
+    #[test]
+    fn empty_batch_and_zero_arity() {
+        let id = inbox(0);
+        let bytes = encode_batch(id, &[Tuple::unit()]).unwrap();
+        let (_, got) = decode_batch(bytes).unwrap();
+        assert_eq!(got, vec![Tuple::unit()]);
+
+        let id = inbox(3);
+        let bytes = encode_batch(id, &[]).unwrap();
+        let (_, got) = decode_batch(bytes).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn wire_size_is_predictable() {
+        let id = inbox(2);
+        let tuples = vec![ituple![1, 2]; 10];
+        let bytes = encode_batch(id, &tuples).unwrap();
+        // header 10 + 10 tuples × 2 values × (1 tag + 8 payload).
+        assert_eq!(bytes.len(), 10 + 10 * 2 * 9);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected_at_sender() {
+        let id = inbox(2);
+        assert!(encode_batch(id, &[ituple![1]]).is_err());
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected() {
+        assert!(decode_batch(Bytes::from_static(&[1, 2, 3])).is_err());
+
+        let id = inbox(1);
+        let good = encode_batch(id, &[ituple![5]]).unwrap();
+        // Truncate mid-value.
+        let truncated = good.slice(0..good.len() - 2);
+        assert!(decode_batch(truncated).is_err());
+
+        // Bad tag.
+        let mut bad = BytesMut::from(&good[..]);
+        bad[10] = 9;
+        assert!(decode_batch(bad.freeze()).is_err());
+
+        // Trailing garbage.
+        let mut extended = BytesMut::from(&good[..]);
+        extended.put_u8(0);
+        assert!(decode_batch(extended.freeze()).is_err());
+    }
+}

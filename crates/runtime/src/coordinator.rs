@@ -1,0 +1,323 @@
+//! Spawning, wiring and pooling: the part of the paper's architecture
+//! that lives outside any single processor.
+//!
+//! [`execute_processors`] creates one unbounded channel per processor,
+//! hands every worker a sender to every other worker (the complete
+//! channel set the paper's abstract architecture assumes — schemes that
+//! need fewer channels simply never use the rest), runs all workers to
+//! distributed termination, and performs the *final pooling* step: the
+//! union `t(W̄) :- t_out^i(W̄)` over all processors.
+
+use std::time::Instant;
+
+use crossbeam::channel::unbounded;
+use gst_common::{Error, FxHashMap, Result};
+use gst_eval::plan::RelationId;
+use gst_storage::Relation;
+
+use crate::message::Envelope;
+use crate::spec::WorkerSpec;
+use crate::stats::{ExecutionOutcome, ParallelStats, WorkerReport};
+use crate::worker::{run_with_pool, WorkerConfig};
+
+/// Configuration for a parallel execution.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeConfig {
+    /// Per-worker knobs (poll interval, watchdog).
+    pub worker: WorkerConfig,
+}
+
+/// Execute one [`WorkerSpec`] per processor and pool the results.
+///
+/// `specs[i].program.processor` must equal `i` — the ring used for
+/// termination detection and the channel matrix are indexed by position.
+pub fn execute_processors(
+    specs: Vec<WorkerSpec>,
+    config: &RuntimeConfig,
+) -> Result<ExecutionOutcome> {
+    if specs.is_empty() {
+        return Err(Error::Runtime("no processors to execute".into()));
+    }
+    for (i, spec) in specs.iter().enumerate() {
+        if spec.program.processor != i {
+            return Err(Error::Runtime(format!(
+                "worker at position {i} claims processor {}",
+                spec.program.processor
+            )));
+        }
+        for out in &spec.program.outgoing {
+            if out.dest >= specs.len() {
+                return Err(Error::Runtime(format!(
+                    "processor {i} has a channel to nonexistent processor {}",
+                    out.dest
+                )));
+            }
+        }
+    }
+
+    let n = specs.len();
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Envelope>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let started = Instant::now();
+    type PoolPart = Vec<(RelationId, Relation)>;
+    let joined: Vec<Result<(WorkerReport, PoolPart)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (spec, rx) in specs.into_iter().zip(receivers) {
+            let senders = senders.clone();
+            let worker_config = config.worker.clone();
+            handles.push(scope.spawn(move || run_with_pool(spec, senders, rx, worker_config)));
+        }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(Error::Runtime("worker thread panicked".into())))
+            })
+            .collect()
+    });
+    let wall_time = started.elapsed();
+
+    let mut reports: Vec<WorkerReport> = Vec::with_capacity(n);
+    let mut relations: FxHashMap<RelationId, Relation> = FxHashMap::default();
+    for result in joined {
+        let (report, pooled) = result?;
+        for (global, rel) in pooled {
+            match relations.entry(global) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    // First shard arrives by move: no per-tuple cost.
+                    slot.insert(rel);
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().absorb(&rel)?;
+                }
+            }
+        }
+        reports.push(report);
+    }
+    reports.sort_by_key(|r| r.processor);
+
+    let channel_matrix: Vec<Vec<u64>> = reports.iter().map(|r| r.sent_tuples_to.clone()).collect();
+
+    Ok(ExecutionOutcome {
+        relations,
+        stats: ParallelStats {
+            workers: reports,
+            channel_matrix,
+            wall_time,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ChannelOut, ProcessorProgram};
+    use gst_common::{ituple, Interner};
+    use gst_frontend::parse_program;
+    use gst_storage::Database;
+    use std::sync::Arc;
+
+    /// Hand-built two-processor pipeline:
+    /// processor 0 derives t0 from its fragment and ships everything to 1;
+    /// processor 1 stores what it receives. Exercise wiring, inboxes,
+    /// pooling and termination without the rewrite layer.
+    #[test]
+    fn two_stage_pipeline_pools_results() {
+        let interner = Interner::new();
+        // Processor 0: out0(X) :- e(X). ship0 holds what goes to 1.
+        let unit0 = gst_frontend::parser::parse_program_with(
+            "out0(X) :- e(X).\n\
+             ship0(X) :- out0(X).",
+            &interner,
+        )
+        .unwrap();
+        // Processor 1: out1(X) :- inbox1(X).
+        let unit1 = gst_frontend::parser::parse_program_with("out1(X) :- inbox1(X).", &interner)
+            .unwrap();
+
+        let e = (interner.intern("e"), 1);
+        let ship0 = (interner.get("ship0").unwrap(), 1);
+        let inbox1 = (interner.intern("inbox1"), 1);
+        let out0 = (interner.get("out0").unwrap(), 1);
+        let out1 = (interner.get("out1").unwrap(), 1);
+        let answer = (interner.intern("answer"), 1);
+
+        let mut db0 = Database::new(interner.clone());
+        db0.insert(e, ituple![1]).unwrap();
+        db0.insert(e, ituple![2]).unwrap();
+        let db1 = Database::new(interner.clone());
+
+        let spec0 = WorkerSpec {
+            program: ProcessorProgram {
+                processor: 0,
+                program: unit0.program,
+                outgoing: vec![ChannelOut {
+                    channel: ship0,
+                    dest: 1,
+                    inbox: inbox1,
+                }],
+                inboxes: vec![],
+                processing_rules: vec![0],
+                pooling: vec![(out0, answer)],
+            },
+            edb: Arc::new(db0),
+        };
+        let spec1 = WorkerSpec {
+            program: ProcessorProgram {
+                processor: 1,
+                program: unit1.program,
+                outgoing: vec![],
+                inboxes: vec![inbox1],
+                processing_rules: vec![0],
+                pooling: vec![(out1, answer)],
+            },
+            edb: Arc::new(db1),
+        };
+
+        let outcome =
+            execute_processors(vec![spec0, spec1], &RuntimeConfig::default()).unwrap();
+        let answer_rel = outcome.relation(answer);
+        assert_eq!(answer_rel.len(), 2);
+        assert!(answer_rel.contains(&ituple![1]));
+        // Processor 0 shipped both tuples to processor 1.
+        assert_eq!(outcome.stats.channel_matrix[0][1], 2);
+        assert_eq!(outcome.stats.total_tuples_sent(), 2);
+        assert_eq!(outcome.stats.used_channels(), vec![(0, 1)]);
+        assert_eq!(outcome.stats.workers[1].received_tuples, 2);
+    }
+
+    #[test]
+    fn single_processor_runs_sequentially() {
+        let unit = parse_program("t(X,Y) :- e(X,Y).\nt(X,Y) :- e(X,Z), t(Z,Y).\ne(1,2). e(2,3).")
+            .unwrap();
+        let mut db = Database::new(unit.program.interner.clone());
+        db.load_facts(unit.facts.clone()).unwrap();
+        let t = (unit.program.interner.get("t").unwrap(), 2);
+        let global = (unit.program.interner.intern("t_answer"), 2);
+        let spec = WorkerSpec {
+            program: ProcessorProgram {
+                processor: 0,
+                program: unit.program.clone(),
+                outgoing: vec![],
+                inboxes: vec![],
+                processing_rules: vec![0, 1],
+                pooling: vec![(t, global)],
+            },
+            edb: Arc::new(db),
+        };
+        let outcome = execute_processors(vec![spec], &RuntimeConfig::default()).unwrap();
+        assert_eq!(outcome.relation(global).len(), 3);
+        assert!(outcome.stats.communication_free());
+    }
+
+    #[test]
+    fn misnumbered_processor_is_rejected() {
+        let unit = parse_program("t(X) :- e(X).").unwrap();
+        let spec = WorkerSpec {
+            program: ProcessorProgram {
+                processor: 5,
+                program: unit.program.clone(),
+                outgoing: vec![],
+                inboxes: vec![],
+                processing_rules: vec![],
+                pooling: vec![],
+            },
+            edb: Arc::new(Database::new(unit.program.interner.clone())),
+        };
+        assert!(execute_processors(vec![spec], &RuntimeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn out_of_range_channel_is_rejected() {
+        let unit = parse_program("t(X) :- e(X).").unwrap();
+        let interner = unit.program.interner.clone();
+        let spec = WorkerSpec {
+            program: ProcessorProgram {
+                processor: 0,
+                program: unit.program.clone(),
+                outgoing: vec![ChannelOut {
+                    channel: (interner.intern("c"), 1),
+                    dest: 3,
+                    inbox: (interner.intern("i"), 1),
+                }],
+                inboxes: vec![],
+                processing_rules: vec![],
+                pooling: vec![],
+            },
+            edb: Arc::new(Database::new(interner)),
+        };
+        assert!(execute_processors(vec![spec], &RuntimeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn empty_spec_list_is_rejected() {
+        assert!(execute_processors(vec![], &RuntimeConfig::default()).is_err());
+    }
+
+    /// A peer failure must not hang the fleet: the healthy worker's idle
+    /// watchdog fires and the coordinator reports an error.
+    #[test]
+    fn worker_failure_is_detected_not_hung() {
+        let interner = Interner::new();
+        // Worker 0 ships e-tuples (arity 1) into an inbox that worker 1
+        // declares with arity 2 — worker 1's inject fails immediately.
+        let unit0 = gst_frontend::parser::parse_program_with(
+            "out0(X) :- e(X).\nship0(X) :- out0(X).",
+            &interner,
+        )
+        .unwrap();
+        let unit1 =
+            gst_frontend::parser::parse_program_with("out1(X,Y) :- inbox1(X,Y).", &interner)
+                .unwrap();
+        let e = (interner.intern("e"), 1);
+        let ship0 = (interner.get("ship0").unwrap(), 1);
+        let inbox1_wrong = (interner.intern("inbox1"), 2);
+
+        let mut db0 = Database::new(interner.clone());
+        db0.insert(e, ituple![1]).unwrap();
+
+        let spec0 = WorkerSpec {
+            program: ProcessorProgram {
+                processor: 0,
+                program: unit0.program,
+                outgoing: vec![ChannelOut {
+                    channel: ship0,
+                    dest: 1,
+                    inbox: inbox1_wrong,
+                }],
+                inboxes: vec![],
+                processing_rules: vec![0],
+                pooling: vec![],
+            },
+            edb: Arc::new(db0),
+        };
+        let spec1 = WorkerSpec {
+            program: ProcessorProgram {
+                processor: 1,
+                program: unit1.program,
+                outgoing: vec![],
+                inboxes: vec![inbox1_wrong],
+                processing_rules: vec![0],
+                pooling: vec![],
+            },
+            edb: Arc::new(Database::new(interner.clone())),
+        };
+
+        let mut config = RuntimeConfig::default();
+        config.worker.idle_watchdog = std::time::Duration::from_millis(200);
+        let started = std::time::Instant::now();
+        let err = execute_processors(vec![spec0, spec1], &config).unwrap_err();
+        assert!(started.elapsed() < std::time::Duration::from_secs(10), "no hang");
+        let message = err.to_string();
+        assert!(
+            message.contains("arity") || message.contains("idle") || message.contains("channel"),
+            "unexpected error: {message}"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Wire format between worker threads.
+
+use bytes::Bytes;
+
+use crate::termination::TokenMsg;
+
+/// A message traveling on a channel `i → j`.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// A serialized batch of derived tuples for the destination's inbox
+    /// predicate (see [`crate::codec`]). This is the paper's channel
+    /// relation `t_ij`: "addition of tuples to the predicate `t_ij` ...
+    /// should be interpreted as processor i sending the tuples to
+    /// processor j". Batches travel encoded so communication is measured
+    /// in wire bytes.
+    Batch(Bytes),
+    /// Safra's termination-detection token, traveling the ring.
+    Token(TokenMsg),
+    /// Global termination announcement (from the ring initiator).
+    Terminate,
+}
+
+/// A message with its sender, as delivered to a worker's queue.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending processor index.
+    pub from: usize,
+    /// Payload.
+    pub message: Message,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::termination::{Color, TokenMsg};
+    use gst_common::ituple;
+
+    #[test]
+    fn envelope_carries_payloads() {
+        let interner = gst_common::Interner::new();
+        let pred = (interner.intern("anc_in"), 2);
+        let payload = crate::codec::encode_batch(pred, &[ituple![1, 2]]).unwrap();
+        let env = Envelope {
+            from: 3,
+            message: Message::Batch(payload),
+        };
+        assert_eq!(env.from, 3);
+        match env.message {
+            Message::Batch(bytes) => {
+                let (inbox, tuples) = crate::codec::decode_batch(bytes).unwrap();
+                assert_eq!(inbox, pred);
+                assert_eq!(tuples, vec![ituple![1, 2]]);
+            }
+            _ => panic!("wrong variant"),
+        }
+        let _tok = Envelope {
+            from: 0,
+            message: Message::Token(TokenMsg {
+                color: Color::White,
+                count: 0,
+            }),
+        };
+        let _term = Envelope {
+            from: 0,
+            message: Message::Terminate,
+        };
+    }
+}

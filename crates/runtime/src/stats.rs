@@ -1,0 +1,192 @@
+//! Execution statistics for parallel runs.
+//!
+//! These counters are the measurement apparatus of the reproduction:
+//! Example 1's "no communication is incurred" becomes
+//! `channel_matrix[i][j] == 0` for `i ≠ j`; Theorem 2's non-redundancy
+//! becomes `processing_firings ≤` the sequential engine's firings; the §6
+//! trade-off becomes the curve of `total_tuples_sent` against
+//! `duplicate` firings as the keep-local mix varies.
+
+use std::time::Duration;
+
+use gst_common::FxHashMap;
+use gst_eval::plan::RelationId;
+use gst_eval::EvalStats;
+use gst_storage::Relation;
+
+/// What one worker reports after termination.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Processor index.
+    pub processor: usize,
+    /// Engine statistics (all rules: init, processing, sending).
+    pub eval: EvalStats,
+    /// Firings of the paper's *processing* rules only.
+    pub processing_firings: u64,
+    /// Tuples sent to each destination processor (the channel row `i→*`).
+    pub sent_tuples_to: Vec<u64>,
+    /// Wire bytes sent to each destination (serialized batches).
+    pub sent_bytes_to: Vec<u64>,
+    /// Data messages sent (batches, not tuples).
+    pub sent_messages: u64,
+    /// Tuples received from other processors.
+    pub received_tuples: u64,
+    /// Wire bytes received.
+    pub received_bytes: u64,
+    /// Tuples contributed to the pooled global answer.
+    pub pooled_tuples: u64,
+    /// Time spent computing (local evaluation), excluding idle waits.
+    pub busy: std::time::Duration,
+}
+
+/// Aggregated statistics of one parallel execution.
+#[derive(Debug, Clone)]
+pub struct ParallelStats {
+    /// Per-worker reports, indexed by processor.
+    pub workers: Vec<WorkerReport>,
+    /// `channel_matrix[i][j]` = tuples sent from `i` to `j` during the
+    /// recursive computation (final pooling not included).
+    pub channel_matrix: Vec<Vec<u64>>,
+    /// Wall-clock time of the parallel section.
+    pub wall_time: Duration,
+}
+
+impl ParallelStats {
+    /// Total tuples sent between distinct processors.
+    pub fn total_tuples_sent(&self) -> u64 {
+        self.channel_matrix
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| {
+                row.iter()
+                    .enumerate()
+                    .filter(move |(j, _)| *j != i)
+                    .map(|(_, &v)| v)
+            })
+            .sum()
+    }
+
+    /// Total data messages (batches) sent between distinct processors.
+    pub fn total_messages(&self) -> u64 {
+        self.workers.iter().map(|w| w.sent_messages).sum()
+    }
+
+    /// Total wire bytes sent between distinct processors — the unit a
+    /// cluster cost model charges for communication.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.workers.iter().flat_map(|w| w.sent_bytes_to.iter()).sum()
+    }
+
+    /// Mean worker utilization: each worker's busy time over the longest
+    /// busy time (1.0 = perfectly even, → 0 = one straggler).
+    pub fn utilization(&self) -> f64 {
+        let max = self
+            .workers
+            .iter()
+            .map(|w| w.busy.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        if max == 0.0 {
+            return 1.0;
+        }
+        let mean = self.workers.iter().map(|w| w.busy.as_secs_f64()).sum::<f64>()
+            / self.workers.len() as f64;
+        mean / max
+    }
+
+    /// Total processing-rule firings across processors — the left side of
+    /// Theorems 2 and 6.
+    pub fn total_processing_firings(&self) -> u64 {
+        self.workers.iter().map(|w| w.processing_firings).sum()
+    }
+
+    /// Total firings of every rule (incl. init/send bookkeeping).
+    pub fn total_firings(&self) -> u64 {
+        self.workers.iter().map(|w| w.eval.firings).sum()
+    }
+
+    /// True if no tuple ever crossed between two distinct processors —
+    /// Example 1's and Theorem 3's zero-communication property.
+    pub fn communication_free(&self) -> bool {
+        self.total_tuples_sent() == 0
+    }
+
+    /// The set of used channels `(i, j)`, `i ≠ j` — compared against the
+    /// compile-time network graph in the §5 experiments.
+    pub fn used_channels(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, row) in self.channel_matrix.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if i != j && v > 0 {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The result of a parallel execution: pooled relations plus statistics.
+#[derive(Debug, Clone)]
+pub struct ExecutionOutcome {
+    /// Global answer per pooled predicate (the paper's final `t`).
+    pub relations: FxHashMap<RelationId, Relation>,
+    /// Measurements.
+    pub stats: ParallelStats,
+}
+
+impl ExecutionOutcome {
+    /// The pooled relation for `pred` (empty if never pooled).
+    pub fn relation(&self, pred: RelationId) -> Relation {
+        self.relations
+            .get(&pred)
+            .cloned()
+            .unwrap_or_else(|| Relation::new(pred.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(processor: usize, sent: Vec<u64>) -> WorkerReport {
+        WorkerReport {
+            processor,
+            eval: EvalStats::new(0),
+            processing_firings: 10,
+            sent_bytes_to: sent.iter().map(|t| t * 9).collect(),
+            sent_tuples_to: sent,
+            sent_messages: 1,
+            received_tuples: 0,
+            received_bytes: 0,
+            pooled_tuples: 0,
+            busy: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn matrix_excludes_self_channels() {
+        let stats = ParallelStats {
+            workers: vec![report(0, vec![5, 3]), report(1, vec![2, 7])],
+            channel_matrix: vec![vec![5, 3], vec![2, 7]],
+            wall_time: Duration::ZERO,
+        };
+        assert_eq!(stats.total_tuples_sent(), 5);
+        assert_eq!(stats.used_channels(), vec![(0, 1), (1, 0)]);
+        assert!(!stats.communication_free());
+        assert_eq!(stats.total_processing_firings(), 20);
+        assert_eq!(stats.total_messages(), 2);
+        assert_eq!(stats.total_bytes_sent(), (5 + 3 + 2 + 7) * 9);
+        assert_eq!(stats.utilization(), 1.0, "all-zero busy counts as even");
+    }
+
+    #[test]
+    fn zero_matrix_is_communication_free() {
+        let stats = ParallelStats {
+            workers: vec![report(0, vec![0, 0]), report(1, vec![0, 0])],
+            channel_matrix: vec![vec![0, 0], vec![0, 0]],
+            wall_time: Duration::ZERO,
+        };
+        assert!(stats.communication_free());
+        assert!(stats.used_channels().is_empty());
+    }
+}

@@ -1,0 +1,333 @@
+//! The per-processor worker loop.
+//!
+//! Implements the paper's §3 execution skeleton:
+//!
+//! ```text
+//! evaluate initialization rule
+//! repeat
+//!     evaluate processing rules
+//!     evaluate sending rules
+//!     evaluate receiving rules
+//! until "termination"
+//! ```
+//!
+//! Initialization/processing/sending rules run inside the local
+//! [`FixpointEngine`]; the *receiving* rules are realized by injecting
+//! arriving batches into the inbox predicates; and the asynchrony the
+//! paper insists on ("processor i does not wait for data from processor
+//! j") falls out of draining the input queue non-blockingly while active
+//! and blocking only when locally quiescent.
+
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use gst_common::{Error, Result};
+use gst_eval::FixpointEngine;
+
+use crate::message::{Envelope, Message};
+use crate::spec::WorkerSpec;
+use crate::stats::WorkerReport;
+use crate::termination::{Safra, TokenAction, TokenMsg};
+
+/// Runtime knobs shared by all workers.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// How long a passive worker blocks on its queue per wait.
+    pub idle_poll: Duration,
+    /// Give up if passive this long with no token traffic (a peer died).
+    pub idle_watchdog: Duration,
+    /// Perform the final-pooling step. Disable to measure the recursive
+    /// computation alone — the paper treats pooling as a separate cost
+    /// ("might require communication from all processors to a single
+    /// processor", §3 step 5).
+    pub pool_results: bool,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            idle_poll: Duration::from_millis(1),
+            idle_watchdog: Duration::from_secs(30),
+            pool_results: true,
+        }
+    }
+}
+
+pub(crate) struct Worker {
+    id: usize,
+    n: usize,
+    engine: FixpointEngine,
+    spec: WorkerSpec,
+    senders: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+    safra: Safra,
+    held_token: Option<TokenMsg>,
+    terminated: bool,
+    config: WorkerConfig,
+    // statistics
+    sent_tuples_to: Vec<u64>,
+    sent_bytes_to: Vec<u64>,
+    sent_messages: u64,
+    received_tuples: u64,
+    received_bytes: u64,
+    busy: Duration,
+}
+
+impl Worker {
+    fn run_to_termination(&mut self) -> Result<()> {
+        let t0 = std::time::Instant::now();
+        self.engine.bootstrap()?;
+        self.local_work()?;
+        self.busy += t0.elapsed();
+
+        let mut idle_for = Duration::ZERO;
+        while !self.terminated {
+            // Passive here: the engine is quiescent and all produced
+            // tuples have been shipped.
+            if let Some(token) = self.held_token.take() {
+                self.handle_token(token)?;
+                continue;
+            }
+            if self.id == 0 {
+                if let Some(token) = self.safra.launch() {
+                    self.send_token(self.safra.next(), token)?;
+                }
+            }
+            match self.rx.recv_timeout(self.config.idle_poll) {
+                Ok(env) => {
+                    idle_for = Duration::ZERO;
+                    self.handle_passive(env)?;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    idle_for += self.config.idle_poll;
+                    if idle_for >= self.config.idle_watchdog {
+                        return Err(Error::Runtime(format!(
+                            "processor {} idle for {:?} without termination — a peer \
+                             likely failed",
+                            self.id, idle_for
+                        )));
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(Error::Runtime(format!(
+                        "processor {}: input channel disconnected before termination",
+                        self.id
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Handle one envelope while passive.
+    fn handle_passive(&mut self, env: Envelope) -> Result<()> {
+        match env.message {
+            Message::Batch(payload) => {
+                let t0 = std::time::Instant::now();
+                self.accept_batch(payload)?;
+                let r = self.local_work();
+                self.busy += t0.elapsed();
+                r
+            }
+            Message::Token(token) => self.handle_token(token),
+            Message::Terminate => {
+                self.terminated = true;
+                Ok(())
+            }
+        }
+    }
+
+    /// Compute to local quiescence, shipping channel deltas as they form.
+    fn local_work(&mut self) -> Result<()> {
+        loop {
+            self.drain_incoming()?;
+            if self.terminated {
+                return Ok(());
+            }
+            let fresh = self.engine.advance();
+            if fresh == 0 {
+                debug_assert!(self.engine.quiescent());
+                return Ok(());
+            }
+            self.ship_channel_deltas()?;
+            self.engine.process_round();
+        }
+    }
+
+    /// Non-blocking drain: inject data, hold tokens (we are active),
+    /// honor terminate.
+    fn drain_incoming(&mut self) -> Result<()> {
+        while let Ok(env) = self.rx.try_recv() {
+            match env.message {
+                Message::Batch(payload) => self.accept_batch(payload)?,
+                Message::Token(token) => {
+                    // An active process keeps the token until passive.
+                    debug_assert!(self.held_token.is_none(), "two tokens in the ring");
+                    self.held_token = Some(token);
+                }
+                Message::Terminate => self.terminated = true,
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode and absorb an incoming batch (the receive step: the decoded
+    /// tuples realize `t_in^i(W̄) :- t_ji(W̄)`).
+    fn accept_batch(&mut self, payload: bytes::Bytes) -> Result<()> {
+        self.safra.on_basic_receive();
+        self.received_bytes += payload.len() as u64;
+        let (inbox, tuples) = crate::codec::decode_batch(payload)?;
+        self.received_tuples += tuples.len() as u64;
+        self.engine.inject(inbox, tuples)
+    }
+
+    /// Ship every channel predicate's fresh delta (paper: sending step).
+    fn ship_channel_deltas(&mut self) -> Result<()> {
+        for k in 0..self.spec.program.outgoing.len() {
+            let out = self.spec.program.outgoing[k].clone();
+            let tuples = self.engine.delta_tuples(out.channel);
+            if tuples.is_empty() {
+                continue;
+            }
+            if out.dest == self.id {
+                // Local loopback (t_ii): no network, no counters.
+                self.engine.inject(out.inbox, tuples)?;
+                continue;
+            }
+            let payload = crate::codec::encode_batch(out.inbox, &tuples)?;
+            self.sent_tuples_to[out.dest] += tuples.len() as u64;
+            self.sent_bytes_to[out.dest] += payload.len() as u64;
+            self.sent_messages += 1;
+            self.safra.on_send();
+            self.senders[out.dest]
+                .send(Envelope {
+                    from: self.id,
+                    message: Message::Batch(payload),
+                })
+                .map_err(|_| {
+                    Error::Runtime(format!(
+                        "processor {}: channel to {} closed",
+                        self.id, out.dest
+                    ))
+                })?;
+        }
+        Ok(())
+    }
+
+    fn handle_token(&mut self, token: TokenMsg) -> Result<()> {
+        match self.safra.on_token(token) {
+            TokenAction::Forward(t) | TokenAction::Relaunch(t) => {
+                self.send_token(self.safra.next(), t)
+            }
+            TokenAction::Terminate => {
+                self.terminated = true;
+                for dest in 0..self.n {
+                    if dest != self.id {
+                        self.senders[dest]
+                            .send(Envelope {
+                                from: self.id,
+                                message: Message::Terminate,
+                            })
+                            .map_err(|_| {
+                                Error::Runtime(format!(
+                                    "processor {}: terminate broadcast to {} failed",
+                                    self.id, dest
+                                ))
+                            })?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn send_token(&mut self, dest: usize, token: TokenMsg) -> Result<()> {
+        self.senders[dest]
+            .send(Envelope {
+                from: self.id,
+                message: Message::Token(token),
+            })
+            .map_err(|_| {
+                Error::Runtime(format!(
+                    "processor {}: token send to {} failed",
+                    self.id, dest
+                ))
+            })
+    }
+
+    fn into_report(self, pooled_tuples: u64) -> WorkerReport {
+        let stats = self.engine.stats().clone();
+        let processing_firings = stats.firings_for_rules(&self.spec.program.processing_rules);
+        WorkerReport {
+            processor: self.id,
+            eval: stats,
+            processing_firings,
+            sent_tuples_to: self.sent_tuples_to,
+            sent_bytes_to: self.sent_bytes_to,
+            sent_messages: self.sent_messages,
+            received_tuples: self.received_tuples,
+            received_bytes: self.received_bytes,
+            pooled_tuples,
+            busy: self.busy,
+        }
+    }
+
+    /// Move the pooled relations out of the engine (final pooling, §3
+    /// step 5) — a move, not a clone, so pooling cost is one union at the
+    /// coordinator.
+    pub(crate) fn take_pooled(&mut self) -> PooledRelations {
+        let pairs = self.spec.program.pooling.clone();
+        pairs
+            .into_iter()
+            .filter_map(|(local, global)| {
+                self.engine.take_relation(local).map(|rel| (global, rel))
+            })
+            .collect()
+    }
+}
+
+/// `(global predicate, relation)` pairs a worker pools into the answer.
+pub(crate) type PooledRelations = Vec<((gst_common::SymbolId, usize), gst_storage::Relation)>;
+
+/// Run a worker and also return its pooled relations. Separate from
+/// [`run`] so the coordinator gets data and report in one join.
+pub(crate) fn run_with_pool(
+    spec: WorkerSpec,
+    senders: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+    config: WorkerConfig,
+) -> Result<(WorkerReport, PooledRelations)> {
+    let id = spec.program.processor;
+    let n = senders.len();
+    let engine = FixpointEngine::new(
+        &spec.program.program,
+        spec.edb.clone(),
+        &spec.program.extra_idb(),
+    )?;
+    let mut worker = Worker {
+        id,
+        n,
+        engine,
+        spec,
+        senders,
+        rx,
+        safra: Safra::new(id, n),
+        held_token: None,
+        terminated: false,
+        config,
+        sent_tuples_to: vec![0; n],
+        sent_bytes_to: vec![0; n],
+        sent_messages: 0,
+        received_tuples: 0,
+        received_bytes: 0,
+        busy: Duration::ZERO,
+    };
+    worker.run_to_termination()?;
+    let pooled = if worker.config.pool_results {
+        worker.take_pooled()
+    } else {
+        Vec::new()
+    };
+    let pooled_tuples = pooled.iter().map(|(_, r)| r.len() as u64).sum();
+    Ok((worker.into_report(pooled_tuples), pooled))
+}

@@ -1,0 +1,174 @@
+//! The database catalog: a named collection of relations.
+
+use gst_common::{Error, FxHashMap, Interner, Result, Tuple};
+
+use crate::relation::Relation;
+
+/// Identifies a relation: an interned name plus arity.
+///
+/// This mirrors `gst_frontend::Predicate` without depending on the AST
+/// crate; the two convert through `(SymbolId, usize)`.
+pub type RelationId = (gst_common::SymbolId, usize);
+
+/// A catalog of named relations sharing one interner.
+#[derive(Debug, Clone)]
+pub struct Database {
+    interner: Interner,
+    relations: FxHashMap<RelationId, Relation>,
+}
+
+impl Database {
+    /// Create an empty database over `interner`.
+    pub fn new(interner: Interner) -> Self {
+        Database {
+            interner,
+            relations: FxHashMap::default(),
+        }
+    }
+
+    /// The interner naming this database's symbols.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Get (creating if needed) the relation for `id`.
+    pub fn relation_mut(&mut self, id: RelationId) -> &mut Relation {
+        self.relations.entry(id).or_insert_with(|| Relation::new(id.1))
+    }
+
+    /// Get the relation for `id`, if it exists.
+    pub fn relation(&self, id: RelationId) -> Option<&Relation> {
+        self.relations.get(&id)
+    }
+
+    /// The relation for `id`, or an empty one (shared static) if absent.
+    pub fn relation_or_empty(&self, id: RelationId) -> Relation {
+        self.relations
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| Relation::new(id.1))
+    }
+
+    /// Look up by name string; `None` if the name or relation is unknown.
+    pub fn relation_by_name(&self, name: &str, arity: usize) -> Option<&Relation> {
+        let sym = self.interner.get(name)?;
+        self.relations.get(&(sym, arity))
+    }
+
+    /// Insert one fact.
+    pub fn insert(&mut self, id: RelationId, tuple: Tuple) -> Result<bool> {
+        if tuple.arity() != id.1 {
+            return Err(Error::Storage(format!(
+                "fact arity {} does not match relation arity {}",
+                tuple.arity(),
+                id.1
+            )));
+        }
+        self.relation_mut(id).insert(tuple)
+    }
+
+    /// Bulk-load `(id, tuple)` facts, e.g. from the parser.
+    ///
+    /// Accepts anything convertible to `RelationId` pairs; the parser's
+    /// `(Predicate, Tuple)` output converts via `Predicate::{name, arity}`.
+    pub fn load_facts<I, P>(&mut self, facts: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = (P, Tuple)>,
+        P: Into<RelationId>,
+    {
+        let mut loaded = 0;
+        for (pred, tuple) in facts {
+            if self.insert(pred.into(), tuple)? {
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Replace the relation stored at `id`.
+    pub fn put_relation(&mut self, id: RelationId, relation: Relation) -> Result<()> {
+        if relation.arity() != id.1 {
+            return Err(Error::Storage(format!(
+                "relation arity {} does not match id arity {}",
+                relation.arity(),
+                id.1
+            )));
+        }
+        self.relations.insert(id, relation);
+        Ok(())
+    }
+
+    /// Iterate over all `(id, relation)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&RelationId, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gst_common::ituple;
+
+    fn db() -> (Database, RelationId) {
+        let interner = Interner::new();
+        let par = (interner.intern("par"), 2usize);
+        (Database::new(interner), par)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let (mut d, par) = db();
+        assert!(d.insert(par, ituple![1, 2]).unwrap());
+        assert!(!d.insert(par, ituple![1, 2]).unwrap());
+        assert_eq!(d.relation(par).unwrap().len(), 1);
+        assert_eq!(d.relation_by_name("par", 2).unwrap().len(), 1);
+        assert!(d.relation_by_name("par", 3).is_none());
+        assert!(d.relation_by_name("nope", 2).is_none());
+    }
+
+    #[test]
+    fn insert_arity_mismatch_is_error() {
+        let (mut d, par) = db();
+        assert!(d.insert(par, ituple![1]).is_err());
+    }
+
+    #[test]
+    fn relation_or_empty_for_missing() {
+        let (d, par) = db();
+        assert_eq!(d.relation_or_empty(par).len(), 0);
+        assert_eq!(d.relation_or_empty(par).arity(), 2);
+    }
+
+    #[test]
+    fn load_facts_counts_fresh_only() {
+        let (mut d, par) = db();
+        let facts = vec![
+            (par, ituple![1, 2]),
+            (par, ituple![2, 3]),
+            (par, ituple![1, 2]),
+        ];
+        assert_eq!(d.load_facts(facts).unwrap(), 2);
+        assert_eq!(d.total_tuples(), 2);
+        assert_eq!(d.relation_count(), 1);
+    }
+
+    #[test]
+    fn put_relation_replaces() {
+        let (mut d, par) = db();
+        d.insert(par, ituple![9, 9]).unwrap();
+        let fresh: Relation = [ituple![1, 2]].into_iter().collect();
+        d.put_relation(par, fresh).unwrap();
+        assert_eq!(d.relation(par).unwrap().sorted(), vec![ituple![1, 2]]);
+        assert!(d.put_relation(par, Relation::new(3)).is_err());
+    }
+}

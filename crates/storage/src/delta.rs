@@ -1,0 +1,184 @@
+//! Delta relations for semi-naive evaluation.
+//!
+//! Semi-naive evaluation (paper §2, citing Bancilhon/Ullman) fires each
+//! recursive rule only against the tuples discovered in the previous
+//! round. A [`DeltaRelation`] tracks three tuple populations:
+//!
+//! * `all` — every tuple discovered so far (`full ∪ delta`);
+//! * `delta` — the tuples that became known in the *previous* round, the
+//!   ones rules join against this round;
+//! * `pending` — tuples produced (or received from other processors)
+//!   during the *current* round.
+//!
+//! [`DeltaRelation::advance`] ends a round: `delta ← pending \ all`,
+//! `all ← all ∪ delta`, `pending ← ∅`. The duplicate elimination inside
+//! `advance` is exactly the "difference operation" of the paper's receive
+//! step (§3, step 4).
+
+use gst_common::{Result, Tuple};
+
+use crate::relation::Relation;
+
+/// A relation under semi-naive iteration.
+#[derive(Debug, Clone)]
+pub struct DeltaRelation {
+    all: Relation,
+    delta: Vec<Tuple>,
+    pending: Vec<Tuple>,
+    /// Total pending submissions, counting duplicates (diagnostics).
+    submitted: u64,
+}
+
+impl DeltaRelation {
+    /// Create an empty delta relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        DeltaRelation {
+            all: Relation::new(arity),
+            delta: Vec::new(),
+            pending: Vec::new(),
+            submitted: 0,
+        }
+    }
+
+    /// Seed from an initial relation: all seed tuples form the first delta.
+    pub fn seeded(initial: &Relation) -> Self {
+        let mut d = DeltaRelation::new(initial.arity());
+        for t in initial.iter() {
+            d.submit(t.clone());
+        }
+        d.advance();
+        d
+    }
+
+    /// The arity of the underlying relation.
+    pub fn arity(&self) -> usize {
+        self.all.arity()
+    }
+
+    /// Everything discovered so far.
+    pub fn all(&self) -> &Relation {
+        &self.all
+    }
+
+    /// The previous round's new tuples.
+    pub fn delta(&self) -> &[Tuple] {
+        &self.delta
+    }
+
+    /// Tuples queued for the next round (not yet deduplicated).
+    pub fn pending(&self) -> &[Tuple] {
+        &self.pending
+    }
+
+    /// Queue a tuple produced in the current round.
+    pub fn submit(&mut self, tuple: Tuple) {
+        debug_assert_eq!(tuple.arity(), self.arity());
+        self.submitted += 1;
+        self.pending.push(tuple);
+    }
+
+    /// Queue a tuple, checking arity.
+    pub fn submit_checked(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.arity() {
+            return Err(gst_common::Error::Storage(format!(
+                "arity mismatch: delta relation has arity {}, tuple has {}",
+                self.arity(),
+                tuple.arity()
+            )));
+        }
+        self.submit(tuple);
+        Ok(())
+    }
+
+    /// End the round: deduplicate pending against `all`, making the
+    /// survivors the new delta. Returns the number of genuinely new tuples.
+    pub fn advance(&mut self) -> usize {
+        self.delta.clear();
+        for t in self.pending.drain(..) {
+            if self.all.insert_unchecked(t.clone()) {
+                self.delta.push(t);
+            }
+        }
+        self.delta.len()
+    }
+
+    /// True when the last `advance` produced no new tuples and nothing is
+    /// pending — the local fixpoint condition.
+    pub fn quiescent(&self) -> bool {
+        self.delta.is_empty() && self.pending.is_empty()
+    }
+
+    /// Total `submit` calls, counting duplicates (diagnostics: measures
+    /// derivation effort as opposed to distinct results).
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gst_common::ituple;
+
+    #[test]
+    fn advance_moves_pending_to_delta() {
+        let mut d = DeltaRelation::new(2);
+        d.submit(ituple![1, 2]);
+        d.submit(ituple![3, 4]);
+        assert_eq!(d.advance(), 2);
+        assert_eq!(d.delta().len(), 2);
+        assert_eq!(d.all().len(), 2);
+        assert!(d.pending().is_empty());
+    }
+
+    #[test]
+    fn advance_deduplicates_within_round_and_against_all() {
+        let mut d = DeltaRelation::new(1);
+        d.submit(ituple![1]);
+        d.submit(ituple![1]); // duplicate within the round
+        assert_eq!(d.advance(), 1);
+        d.submit(ituple![1]); // duplicate against `all`
+        d.submit(ituple![2]);
+        assert_eq!(d.advance(), 1);
+        assert_eq!(d.all().len(), 2);
+        assert_eq!(d.submitted(), 4);
+    }
+
+    #[test]
+    fn delta_is_cleared_each_round() {
+        let mut d = DeltaRelation::new(1);
+        d.submit(ituple![1]);
+        d.advance();
+        assert_eq!(d.delta().len(), 1);
+        assert_eq!(d.advance(), 0);
+        assert!(d.delta().is_empty());
+    }
+
+    #[test]
+    fn quiescence() {
+        let mut d = DeltaRelation::new(1);
+        assert!(d.quiescent());
+        d.submit(ituple![1]);
+        assert!(!d.quiescent()); // pending
+        d.advance();
+        assert!(!d.quiescent()); // non-empty delta
+        d.advance();
+        assert!(d.quiescent());
+    }
+
+    #[test]
+    fn seeded_starts_with_full_delta() {
+        let rel: Relation = [ituple![1, 2], ituple![2, 3]].into_iter().collect();
+        let d = DeltaRelation::seeded(&rel);
+        assert_eq!(d.delta().len(), 2);
+        assert_eq!(d.all().len(), 2);
+        assert!(!d.quiescent());
+    }
+
+    #[test]
+    fn submit_checked_rejects_bad_arity() {
+        let mut d = DeltaRelation::new(2);
+        assert!(d.submit_checked(ituple![1]).is_err());
+        assert!(d.submit_checked(ituple![1, 2]).is_ok());
+    }
+}

@@ -1,0 +1,198 @@
+//! Hash indexes over relations.
+//!
+//! The semi-naive join executor probes base and derived relations on the
+//! columns bound by earlier subgoals. A [`HashIndex`] maps the projection
+//! of each tuple onto a fixed column set to the list of matching tuples.
+//! Indexes are built from a relation snapshot and record the relation's
+//! generation stamp, so a cache can cheaply decide whether a rebuild (or
+//! an incremental refresh) is needed.
+
+use gst_common::{FxHashMap, Tuple};
+
+use crate::relation::Relation;
+
+/// A hash index on a fixed set of key columns.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    key_columns: Vec<usize>,
+    map: FxHashMap<Tuple, Vec<Tuple>>,
+    /// Generation of the source relation at build/refresh time.
+    built_at: u64,
+    /// Number of tuples indexed (for diagnostics).
+    entries: usize,
+}
+
+impl HashIndex {
+    /// Build an index of `relation` keyed on `key_columns`.
+    ///
+    /// # Panics
+    /// Panics if a key column is out of range for the relation's arity
+    /// (a programming error in plan compilation, not a data error).
+    pub fn build(relation: &Relation, key_columns: &[usize]) -> Self {
+        let mut map: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
+        for t in relation.iter() {
+            map.entry(t.project(key_columns)).or_default().push(t.clone());
+        }
+        HashIndex {
+            key_columns: key_columns.to_vec(),
+            map,
+            built_at: relation.generation(),
+            entries: relation.len(),
+        }
+    }
+
+    /// The key columns this index is on.
+    pub fn key_columns(&self) -> &[usize] {
+        &self.key_columns
+    }
+
+    /// Tuples whose projection equals `key`. Missing keys yield `&[]`.
+    pub fn probe(&self, key: &Tuple) -> &[Tuple] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The generation stamp of the relation when the index was last
+    /// (re)built; compare against [`Relation::generation`] for staleness.
+    pub fn built_at(&self) -> u64 {
+        self.built_at
+    }
+
+    /// True if `relation` has changed since this index was built.
+    pub fn is_stale(&self, relation: &Relation) -> bool {
+        relation.generation() != self.built_at
+    }
+
+    /// Bring the index up to date by re-scanning `relation`.
+    ///
+    /// Relations only grow in bottom-up evaluation, but tuples arrive in
+    /// arbitrary set order, so the refresh rebuilds rather than diffing —
+    /// the evaluator avoids the cost by indexing deltas separately.
+    pub fn refresh(&mut self, relation: &Relation) {
+        if !self.is_stale(relation) {
+            return;
+        }
+        *self = HashIndex::build(relation, &self.key_columns);
+    }
+
+    /// Add one tuple incrementally.
+    ///
+    /// Relations only grow under bottom-up evaluation, so the evaluator
+    /// feeds each round's delta into the full-relation index instead of
+    /// rebuilding it (rebuilds would make the fixpoint quadratic). The
+    /// caller must also call [`HashIndex::mark_synced`] once the batch
+    /// matching the relation's new generation has been applied.
+    pub fn insert(&mut self, tuple: Tuple) {
+        self.map
+            .entry(tuple.project(&self.key_columns))
+            .or_default()
+            .push(tuple);
+        self.entries += 1;
+    }
+
+    /// Declare the index synchronized with `generation` after a batch of
+    /// [`HashIndex::insert`] calls.
+    pub fn mark_synced(&mut self, generation: u64) {
+        self.built_at = generation;
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of tuples indexed.
+    pub fn entry_count(&self) -> usize {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gst_common::ituple;
+
+    fn sample() -> Relation {
+        [
+            ituple![1, 10],
+            ituple![1, 11],
+            ituple![2, 20],
+            ituple![3, 30],
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn probe_finds_all_matches() {
+        let idx = HashIndex::build(&sample(), &[0]);
+        let mut hits: Vec<Tuple> = idx.probe(&ituple![1]).to_vec();
+        hits.sort();
+        assert_eq!(hits, vec![ituple![1, 10], ituple![1, 11]]);
+        assert_eq!(idx.probe(&ituple![2]), &[ituple![2, 20]]);
+    }
+
+    #[test]
+    fn probe_missing_key_is_empty() {
+        let idx = HashIndex::build(&sample(), &[0]);
+        assert!(idx.probe(&ituple![99]).is_empty());
+    }
+
+    #[test]
+    fn index_on_second_column() {
+        let idx = HashIndex::build(&sample(), &[1]);
+        assert_eq!(idx.probe(&ituple![11]), &[ituple![1, 11]]);
+    }
+
+    #[test]
+    fn index_on_both_columns() {
+        let idx = HashIndex::build(&sample(), &[1, 0]);
+        assert_eq!(idx.probe(&ituple![10, 1]), &[ituple![1, 10]]);
+        assert!(idx.probe(&ituple![1, 10]).is_empty(), "key order matters");
+    }
+
+    #[test]
+    fn empty_key_groups_everything() {
+        let idx = HashIndex::build(&sample(), &[]);
+        assert_eq!(idx.probe(&Tuple::unit()).len(), 4);
+        assert_eq!(idx.key_count(), 1);
+    }
+
+    #[test]
+    fn staleness_and_refresh() {
+        let mut rel = sample();
+        let mut idx = HashIndex::build(&rel, &[0]);
+        assert!(!idx.is_stale(&rel));
+        rel.insert(ituple![1, 12]).unwrap();
+        assert!(idx.is_stale(&rel));
+        idx.refresh(&rel);
+        assert!(!idx.is_stale(&rel));
+        assert_eq!(idx.probe(&ituple![1]).len(), 3);
+        assert_eq!(idx.entry_count(), 5);
+    }
+
+    #[test]
+    fn incremental_insert_matches_rebuild() {
+        let mut rel = sample();
+        let mut idx = HashIndex::build(&rel, &[0]);
+        rel.insert(ituple![2, 21]).unwrap();
+        idx.insert(ituple![2, 21]);
+        idx.mark_synced(rel.generation());
+        assert!(!idx.is_stale(&rel));
+        let rebuilt = HashIndex::build(&rel, &[0]);
+        let mut a = idx.probe(&ituple![2]).to_vec();
+        let mut b = rebuilt.probe(&ituple![2]).to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(idx.entry_count(), rebuilt.entry_count());
+    }
+
+    #[test]
+    fn refresh_on_fresh_index_is_noop() {
+        let rel = sample();
+        let mut idx = HashIndex::build(&rel, &[0]);
+        let before = idx.built_at();
+        idx.refresh(&rel);
+        assert_eq!(idx.built_at(), before);
+    }
+}

@@ -1,0 +1,231 @@
+//! A relation: a duplicate-free set of same-arity tuples.
+
+use gst_common::{Error, FxHashSet, Interner, Result, Tuple};
+
+/// A set of tuples of a fixed arity.
+///
+/// Inserts are idempotent (set semantics) and report whether the tuple was
+/// new — the signal semi-naive evaluation and duplicate-elimination on
+/// receive (paper §3, step 4) are built on. A monotonically increasing
+/// `generation` stamp lets index caches detect staleness cheaply.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    arity: usize,
+    tuples: FxHashSet<Tuple>,
+    generation: u64,
+}
+
+impl Relation {
+    /// Create an empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: FxHashSet::default(),
+            generation: 0,
+        }
+    }
+
+    /// Create an empty relation with room for `capacity` tuples.
+    pub fn with_capacity(arity: usize, capacity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: FxHashSet::with_capacity_and_hasher(capacity, Default::default()),
+            generation: 0,
+        }
+    }
+
+    /// The arity every tuple must have.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Monotone stamp bumped on every successful insert.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Insert a tuple; returns `true` if it was not already present.
+    ///
+    /// # Errors
+    /// Arity mismatches are storage errors, not panics: they indicate a
+    /// malformed program or corrupted channel message.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        if tuple.arity() != self.arity {
+            return Err(Error::Storage(format!(
+                "arity mismatch: relation has arity {}, tuple has {}",
+                self.arity,
+                tuple.arity()
+            )));
+        }
+        let fresh = self.tuples.insert(tuple);
+        if fresh {
+            self.generation += 1;
+        }
+        Ok(fresh)
+    }
+
+    /// Insert without arity checking; used on hot paths where the caller
+    /// constructed the tuple against this relation's schema.
+    pub fn insert_unchecked(&mut self, tuple: Tuple) -> bool {
+        debug_assert_eq!(tuple.arity(), self.arity);
+        let fresh = self.tuples.insert(tuple);
+        if fresh {
+            self.generation += 1;
+        }
+        fresh
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterate over the tuples (arbitrary order).
+    pub fn iter(&self) -> std::collections::hash_set::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// All tuples, sorted — deterministic order for tests and reports.
+    pub fn sorted(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Set-equality against another relation.
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.arity == other.arity && self.tuples == other.tuples
+    }
+
+    /// Absorb all tuples of `other`; returns how many were new.
+    pub fn absorb(&mut self, other: &Relation) -> Result<usize> {
+        if other.arity != self.arity {
+            return Err(Error::Storage(format!(
+                "arity mismatch in union: {} vs {}",
+                self.arity, other.arity
+            )));
+        }
+        let mut added = 0;
+        for t in other.iter() {
+            if self.insert_unchecked(t.clone()) {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Render the relation as sorted, one-tuple-per-line text.
+    pub fn display(&self, interner: &Interner) -> String {
+        self.sorted()
+            .iter()
+            .map(|t| t.display(interner))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    /// Collect tuples into a relation; arity is taken from the first
+    /// tuple (or 0 when empty) and later mismatches panic — use
+    /// [`Relation::insert`] when the input is untrusted.
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        let mut it = iter.into_iter().peekable();
+        let arity = it.peek().map(|t| t.arity()).unwrap_or(0);
+        let mut rel = Relation::new(arity);
+        for t in it {
+            assert_eq!(t.arity(), arity, "mixed arity in FromIterator<Tuple>");
+            rel.insert_unchecked(t);
+        }
+        rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gst_common::ituple;
+
+    #[test]
+    fn insert_reports_freshness() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(ituple![1, 2]).unwrap());
+        assert!(!r.insert(ituple![1, 2]).unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(ituple![1]).is_err());
+        assert!(r.insert(ituple![1, 2, 3]).is_err());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn generation_bumps_only_on_fresh_insert() {
+        let mut r = Relation::new(1);
+        assert_eq!(r.generation(), 0);
+        r.insert(ituple![1]).unwrap();
+        assert_eq!(r.generation(), 1);
+        r.insert(ituple![1]).unwrap();
+        assert_eq!(r.generation(), 1);
+        r.insert(ituple![2]).unwrap();
+        assert_eq!(r.generation(), 2);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let mut r = Relation::new(2);
+        for (a, b) in [(3, 1), (1, 2), (2, 9), (1, 1)] {
+            r.insert(ituple![a, b]).unwrap();
+        }
+        assert_eq!(
+            r.sorted(),
+            vec![ituple![1, 1], ituple![1, 2], ituple![2, 9], ituple![3, 1]]
+        );
+    }
+
+    #[test]
+    fn set_eq_ignores_insertion_order() {
+        let a: Relation = [ituple![1, 2], ituple![3, 4]].into_iter().collect();
+        let b: Relation = [ituple![3, 4], ituple![1, 2]].into_iter().collect();
+        assert!(a.set_eq(&b));
+        let c: Relation = [ituple![1, 2]].into_iter().collect();
+        assert!(!a.set_eq(&c));
+    }
+
+    #[test]
+    fn absorb_unions_and_counts() {
+        let mut a: Relation = [ituple![1, 2], ituple![3, 4]].into_iter().collect();
+        let b: Relation = [ituple![3, 4], ituple![5, 6]].into_iter().collect();
+        assert_eq!(a.absorb(&b).unwrap(), 1);
+        assert_eq!(a.len(), 3);
+        let wrong = Relation::new(1);
+        assert!(wrong.arity() == 1 && a.absorb(&wrong).is_err());
+    }
+
+    #[test]
+    fn display_renders_sorted_lines() {
+        let interner = Interner::new();
+        let r: Relation = [ituple![2, 1], ituple![1, 1]].into_iter().collect();
+        assert_eq!(r.display(&interner), "(1, 1)\n(2, 1)");
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut r = Relation::with_capacity(2, 100);
+        assert_eq!(r.arity(), 2);
+        r.insert(ituple![1, 2]).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! The program corpus: every Datalog program the paper names, parsed and
+//! ready, plus helpers to assemble databases for them.
+
+use gst_common::{Interner, SymbolId};
+use gst_frontend::{parse_program, Program};
+use gst_storage::{Database, Relation};
+
+/// A program together with the names of its input and output relations.
+#[derive(Debug, Clone)]
+pub struct Fixture {
+    /// The parsed program.
+    pub program: Program,
+    /// Base relation names and arities expected in the database.
+    pub inputs: Vec<(&'static str, usize)>,
+    /// The output (derived) predicate name and arity.
+    pub output: (&'static str, usize),
+}
+
+impl Fixture {
+    fn parse(src: &str, inputs: Vec<(&'static str, usize)>, output: (&'static str, usize)) -> Self {
+        let program = parse_program(src).expect("corpus programs parse").program;
+        Fixture {
+            program,
+            inputs,
+            output,
+        }
+    }
+
+    /// Interned relation id of the output predicate.
+    pub fn output_id(&self) -> (SymbolId, usize) {
+        (
+            self.program
+                .interner
+                .get(self.output.0)
+                .expect("output predicate occurs in program"),
+            self.output.1,
+        )
+    }
+
+    /// Interned relation id of the `k`-th input predicate.
+    pub fn input_id(&self, k: usize) -> (SymbolId, usize) {
+        let (name, arity) = self.inputs[k];
+        (
+            self.program
+                .interner
+                .get(name)
+                .expect("input predicate occurs in program"),
+            arity,
+        )
+    }
+
+    /// Build a database binding the single input relation (panics if the
+    /// fixture has several — use [`Fixture::database_multi`] then).
+    pub fn database(&self, edges: &Relation) -> Database {
+        assert_eq!(self.inputs.len(), 1, "fixture has multiple inputs");
+        self.database_multi(std::slice::from_ref(edges))
+    }
+
+    /// Build a database binding every input relation, in `inputs` order.
+    pub fn database_multi(&self, relations: &[Relation]) -> Database {
+        assert_eq!(relations.len(), self.inputs.len());
+        let interner: Interner = self.program.interner.clone();
+        let mut db = Database::new(interner);
+        for (k, rel) in relations.iter().enumerate() {
+            let id = self.input_id(k);
+            assert_eq!(rel.arity(), id.1, "input arity mismatch");
+            db.put_relation(id, rel.clone()).expect("arity checked");
+        }
+        db
+    }
+}
+
+/// The paper's running example (§2, §4): linear transitive closure.
+///
+/// ```text
+/// anc(X,Y) :- par(X,Y).
+/// anc(X,Y) :- par(X,Z), anc(Z,Y).
+/// ```
+pub fn linear_ancestor() -> Fixture {
+    Fixture::parse(
+        "anc(X,Y) :- par(X,Y).\n\
+         anc(X,Y) :- par(X,Z), anc(Z,Y).",
+        vec![("par", 2)],
+        ("anc", 2),
+    )
+}
+
+/// Right-linear variant (the recursive call first).
+pub fn right_linear_ancestor() -> Fixture {
+    Fixture::parse(
+        "anc(X,Y) :- par(X,Y).\n\
+         anc(X,Y) :- anc(X,Z), par(Z,Y).",
+        vec![("par", 2)],
+        ("anc", 2),
+    )
+}
+
+/// Example 8 (§7): non-linear ancestor.
+///
+/// ```text
+/// anc(X,Y) :- par(X,Y).
+/// anc(X,Y) :- anc(X,Z), anc(Z,Y).
+/// ```
+pub fn nonlinear_ancestor() -> Fixture {
+    Fixture::parse(
+        "anc(X,Y) :- par(X,Y).\n\
+         anc(X,Y) :- anc(X,Z), anc(Z,Y).",
+        vec![("par", 2)],
+        ("anc", 2),
+    )
+}
+
+/// Examples 4 and 7: the arity-3 chain sirup whose dataflow graph is the
+/// acyclic `1 → 2 → 3`.
+///
+/// ```text
+/// p(U,V,W) :- s(U,V,W).
+/// p(U,V,W) :- p(V,W,Z), q(U,Z).
+/// ```
+pub fn chain_sirup() -> Fixture {
+    Fixture::parse(
+        "p(U,V,W) :- s(U,V,W).\n\
+         p(U,V,W) :- p(V,W,Z), q(U,Z).",
+        vec![("s", 3), ("q", 2)],
+        ("p", 3),
+    )
+}
+
+/// Example 6 (§5): the sirup used to derive the four-processor network
+/// graph of Figure 3.
+///
+/// ```text
+/// p(X,Y) :- q(X,Y).
+/// p(X,Y) :- p(Y,Z), r(X,Z).
+/// ```
+pub fn example6_sirup() -> Fixture {
+    Fixture::parse(
+        "p(X,Y) :- q(X,Y).\n\
+         p(X,Y) :- p(Y,Z), r(X,Z).",
+        vec![("q", 2), ("r", 2)],
+        ("p", 2),
+    )
+}
+
+/// The classic same-generation sirup (linear, two extra base atoms).
+///
+/// ```text
+/// sg(X,Y) :- flat(X,Y).
+/// sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).
+/// ```
+pub fn same_generation() -> Fixture {
+    Fixture::parse(
+        "sg(X,Y) :- flat(X,Y).\n\
+         sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).",
+        vec![("up", 2), ("down", 2), ("flat", 2)],
+        ("sg", 2),
+    )
+}
+
+/// A mutually recursive two-predicate program (outside the sirup class;
+/// exercises the §7 general scheme).
+///
+/// ```text
+/// even(X) :- zero(X).
+/// even(Y) :- succ(X,Y), odd(X).
+/// odd(Y)  :- succ(X,Y), even(X).
+/// ```
+pub fn even_odd() -> Fixture {
+    Fixture::parse(
+        "even(X) :- zero(X).\n\
+         even(Y) :- succ(X,Y), odd(X).\n\
+         odd(Y) :- succ(X,Y), even(X).",
+        vec![("zero", 1), ("succ", 2)],
+        ("even", 1),
+    )
+}
+
+/// Every sirup fixture (programs Sections 3–6 apply to).
+pub fn sirup_corpus() -> Vec<(&'static str, Fixture)> {
+    vec![
+        ("linear_ancestor", linear_ancestor()),
+        ("right_linear_ancestor", right_linear_ancestor()),
+        ("chain_sirup", chain_sirup()),
+        ("example6_sirup", example6_sirup()),
+        ("same_generation", same_generation()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::{chain, same_generation_tree};
+    use gst_eval::seminaive_eval;
+    use gst_frontend::LinearSirup;
+
+    #[test]
+    fn all_sirups_are_recognized_as_linear_sirups() {
+        for (name, fixture) in sirup_corpus() {
+            assert!(
+                LinearSirup::from_program(&fixture.program).is_ok(),
+                "{name} should be a linear sirup"
+            );
+        }
+    }
+
+    #[test]
+    fn nonlinear_ancestor_is_not_a_sirup() {
+        assert!(LinearSirup::from_program(&nonlinear_ancestor().program).is_err());
+    }
+
+    #[test]
+    fn fixtures_evaluate() {
+        let fx = linear_ancestor();
+        let db = fx.database(&chain(5));
+        let result = seminaive_eval(&fx.program, &db).unwrap();
+        assert_eq!(result.relation(fx.output_id()).len(), 15);
+    }
+
+    #[test]
+    fn right_and_left_linear_agree() {
+        let edges = crate::graphs::random_digraph(20, 40, 5);
+        let l = linear_ancestor();
+        let r = right_linear_ancestor();
+        let a = seminaive_eval(&l.program, &l.database(&edges)).unwrap();
+        let b = seminaive_eval(&r.program, &r.database(&edges)).unwrap();
+        assert!(a.relation(l.output_id()).set_eq(&b.relation(r.output_id())));
+    }
+
+    #[test]
+    fn same_generation_runs_on_tree() {
+        let fx = same_generation();
+        let (up, down, flat) = same_generation_tree(4);
+        let db = fx.database_multi(&[up, down, flat]);
+        let result = seminaive_eval(&fx.program, &db).unwrap();
+        let sg = result.relation(fx.output_id());
+        // Root is same-generation with itself; siblings 2,3 also.
+        assert!(sg.contains(&gst_common::ituple![1, 1]));
+        assert!(sg.contains(&gst_common::ituple![2, 3]));
+        assert!(sg.contains(&gst_common::ituple![4, 7]));
+        assert!(!sg.contains(&gst_common::ituple![1, 2]));
+    }
+
+    #[test]
+    fn even_odd_alternates() {
+        let fx = even_odd();
+        // succ chain 0..6, zero(0).
+        let succ: Relation = (0..6i64).map(|k| gst_common::ituple![k, k + 1]).collect();
+        let zero: Relation = [gst_common::ituple![0]].into_iter().collect();
+        let db = fx.database_multi(&[zero, succ]);
+        let result = seminaive_eval(&fx.program, &db).unwrap();
+        let even = result.relation(fx.output_id());
+        let odd_id = (fx.program.interner.get("odd").unwrap(), 1);
+        let odd = result.relation(odd_id);
+        assert_eq!(even.sorted(), vec![
+            gst_common::ituple![0],
+            gst_common::ituple![2],
+            gst_common::ituple![4],
+            gst_common::ituple![6]
+        ]);
+        assert_eq!(odd.len(), 3);
+    }
+
+    #[test]
+    fn input_and_output_ids_resolve() {
+        let fx = chain_sirup();
+        assert_eq!(fx.inputs.len(), 2);
+        let _ = fx.output_id();
+        let _ = fx.input_id(0);
+        let _ = fx.input_id(1);
+    }
+}

@@ -1,0 +1,531 @@
+//! `pdatalog` — command-line front end for the parallel-datalog library.
+//!
+//! ```text
+//! pdatalog run <file.dl> [--workers N] [--scheme S] [--print PRED/ARITY] [--stats]
+//! pdatalog analyze <file.dl>
+//! pdatalog network <file.dl> [--bits | --linear c1,c2,...]
+//! ```
+//!
+//! Schemes for `run`: `seq` (semi-naive, default), `naive`, `example1`
+//! (zero communication), `example2` (fragmented + broadcast), `example3`
+//! (hash partition), `nocomm` (redundant zero-comm), `general` (§7, works
+//! for any program; discriminates each rule on its first body variable).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use parallel_datalog::core::dataflow::{zero_comm_choice, DataflowGraph};
+use parallel_datalog::prelude::*;
+use parallel_datalog::storage::round_robin_fragment;
+
+fn main() -> ExitCode {
+    // Exit quietly when stdout closes early (`pdatalog run … | head`):
+    // without a libc dependency the portable way is to intercept the
+    // broken-pipe print panic.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.contains("Broken pipe"))
+            .unwrap_or(false);
+        if broken_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("pdatalog: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> std::result::Result<(), String> {
+    let mut it = args.into_iter();
+    let command = it.next().ok_or_else(usage)?;
+    match command.as_str() {
+        "run" => cmd_run(it.collect()),
+        "query" => cmd_query(it.collect()),
+        "analyze" => cmd_analyze(it.collect()),
+        "network" => cmd_network(it.collect()),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--print PRED/ARITY] [--stats]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]".into()
+}
+
+/// Parse `PRED/ARITY`, e.g. `anc/2`.
+fn parse_pred_spec(spec: &str) -> std::result::Result<(String, usize), String> {
+    let (name, arity) = spec
+        .rsplit_once('/')
+        .ok_or_else(|| format!("bad predicate spec `{spec}` (want name/arity)"))?;
+    let arity: usize = arity
+        .parse()
+        .map_err(|_| format!("bad arity in `{spec}`"))?;
+    Ok((name.to_string(), arity))
+}
+
+fn load(path: &str) -> std::result::Result<(Program, Database), String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let unit = parse_program(&source).map_err(|e| e.to_string())?;
+    let mut db = Database::new(unit.program.interner.clone());
+    db.load_facts(unit.facts.clone()).map_err(|e| e.to_string())?;
+    Ok((unit.program, db))
+}
+
+fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
+    let mut file = None;
+    let mut workers = 4usize;
+    let mut scheme_name = "seq".to_string();
+    let mut print_pred: Option<(String, usize)> = None;
+    let mut show_stats = false;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--workers needs a positive integer")?;
+            }
+            "--scheme" => {
+                scheme_name = it.next().ok_or("--scheme needs a name")?;
+            }
+            "--print" => {
+                let spec = it.next().ok_or("--print needs PRED/ARITY")?;
+                print_pred = Some(parse_pred_spec(&spec)?);
+            }
+            "--stats" => show_stats = true,
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let file = file.ok_or("missing input file")?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let (program, db) = load(&file)?;
+    let interner = program.interner.clone();
+
+    // Resolve what to print: explicit --print, else every derived pred.
+    let print_ids: Vec<(String, (gst_common::SymbolId, usize))> = match &print_pred {
+        Some((name, arity)) => {
+            let sym = interner
+                .get(name)
+                .ok_or_else(|| format!("unknown predicate `{name}`"))?;
+            vec![(format!("{name}/{arity}"), (sym, *arity))]
+        }
+        None => program
+            .derived_predicates()
+            .iter()
+            .map(|p| (p.display(&interner), (p.name, p.arity)))
+            .collect(),
+    };
+
+    let started = std::time::Instant::now();
+    let (relations, stats_line): (Vec<(String, Relation)>, String) = match scheme_name.as_str() {
+        "seq" | "naive" => {
+            let result = if scheme_name == "seq" {
+                seminaive_eval(&program, &db)
+            } else {
+                naive_eval(&program, &db)
+            }
+            .map_err(|e| e.to_string())?;
+            let rels = print_ids
+                .iter()
+                .map(|(label, id)| (label.clone(), result.relation(*id)))
+                .collect();
+            (
+                rels,
+                format!(
+                    "rounds={} firings={} derived={} duplicates={}",
+                    result.stats.rounds,
+                    result.stats.firings,
+                    result.stats.derived,
+                    result.stats.duplicates
+                ),
+            )
+        }
+        parallel => {
+            let scheme = build_scheme(parallel, &program, &db, workers)?;
+            let outcome = scheme.run().map_err(|e| e.to_string())?;
+            let rels = print_ids
+                .iter()
+                .map(|(label, id)| (label.clone(), outcome.relation(*id)))
+                .collect();
+            (
+                rels,
+                format!(
+                    "processors={} tuples_sent={} messages={} processing_firings={} wall={:?}",
+                    scheme.processors(),
+                    outcome.stats.total_tuples_sent(),
+                    outcome.stats.total_messages(),
+                    outcome.stats.total_processing_firings(),
+                    outcome.stats.wall_time
+                ),
+            )
+        }
+    };
+    let elapsed = started.elapsed();
+
+    for (label, rel) in &relations {
+        println!("% {label}: {} tuples", rel.len());
+        let name = label.split('/').next().unwrap_or(label);
+        for t in rel.sorted() {
+            let cols: Vec<String> = t.iter().map(|v| v.display(&interner)).collect();
+            println!("{name}({}).", cols.join(", "));
+        }
+    }
+    if show_stats {
+        eprintln!("% scheme={scheme_name} {stats_line} total={elapsed:?}");
+    }
+    Ok(())
+}
+
+fn build_scheme(
+    name: &str,
+    program: &Program,
+    db: &Database,
+    workers: usize,
+) -> std::result::Result<parallel_datalog::core::schemes::CompiledScheme, String> {
+    use parallel_datalog::core::schemes::BaseDistribution;
+    let err = |e: Error| e.to_string();
+    match name {
+        "example1" => {
+            let sirup = LinearSirup::from_program(program).map_err(err)?;
+            example1_wolfson(&sirup, workers, db).map_err(err)
+        }
+        "example2" => {
+            let sirup = LinearSirup::from_program(program).map_err(err)?;
+            let source = sirup.source;
+            let base = db
+                .relation((source.name, source.arity))
+                .ok_or("example2 needs facts for the base relation")?;
+            let frag = round_robin_fragment(base, workers).map_err(err)?;
+            example2_valduriez(&sirup, frag, db).map_err(err)
+        }
+        "example3" => {
+            let sirup = LinearSirup::from_program(program).map_err(err)?;
+            example3_hash_partition(&sirup, workers, db).map_err(err)
+        }
+        "nocomm" => {
+            let sirup = LinearSirup::from_program(program).map_err(err)?;
+            // Split the exit substitutions on the first exit-body variable.
+            let v = sirup
+                .exit_rule()
+                .body_atoms()
+                .flat_map(|a| a.variables().collect::<Vec<_>>())
+                .next()
+                .ok_or("nocomm needs a variable in the exit body")?;
+            let cfg = NoCommConfig {
+                v_e: vec![v],
+                h_prime: Arc::new(HashMod::new(workers, 0xC11)),
+            };
+            rewrite_no_comm(&sirup, &cfg, db).map_err(err)
+        }
+        "general" => {
+            let h: DiscriminatorRef = Arc::new(HashMod::new(workers, 0xC17));
+            let choices: Vec<RuleChoice> = program
+                .rules
+                .iter()
+                .map(|rule| {
+                    let v = rule
+                        .body_atoms()
+                        .flat_map(|a| a.variables().collect::<Vec<_>>())
+                        .next()
+                        .ok_or("general scheme needs a variable per rule body")?;
+                    Ok(RuleChoice {
+                        v: vec![v],
+                        h: h.clone(),
+                    })
+                })
+                .collect::<std::result::Result<_, String>>()?;
+            rewrite_general(program, &choices, db, BaseDistribution::Shared).map_err(err)
+        }
+        other => Err(format!("unknown scheme `{other}`")),
+    }
+}
+
+/// `pdatalog query file.dl "anc(1, X)"`: evaluate, then print the
+/// bindings of the goal's variables (and `true`/`false` for ground
+/// goals).
+fn cmd_query(args: Vec<String>) -> std::result::Result<(), String> {
+    let mut it = args.into_iter().filter(|a| !a.starts_with('-'));
+    let file = it.next().ok_or("missing input file")?;
+    let goal_src = it.next().ok_or("missing goal, e.g. \"anc(1, X)\"")?;
+    let (program, db) = load(&file)?;
+
+    // Parse the goal by wrapping it in a throwaway rule over the same
+    // interner (so constants unify with the program's symbols).
+    let wrapped = format!("goal__ :- {goal_src}.");
+    let goal_unit = parallel_datalog::frontend::parser::parse_program_with(
+        &wrapped,
+        &program.interner,
+    )
+    .map_err(|e| format!("bad goal: {e}"))?;
+    let goal = goal_unit.program.rules[0]
+        .body_atoms()
+        .next()
+        .ok_or("bad goal: no atom")?
+        .clone();
+    let goal_id = (goal.predicate, goal.terms.len());
+
+    let result = seminaive_eval(&program, &db).map_err(|e| e.to_string())?;
+    // The goal may name a base relation too.
+    let relation = if result.idb.contains_key(&goal_id) {
+        result.relation(goal_id)
+    } else {
+        db.relation(goal_id)
+            .cloned()
+            .ok_or_else(|| format!("unknown predicate in goal: {goal_src}"))?
+    };
+
+    // Match tuples against the goal pattern.
+    let mut bindings_header: Vec<String> = Vec::new();
+    let mut var_positions: Vec<(usize, usize)> = Vec::new(); // (col, header idx)
+    let mut seen: Vec<Variable> = Vec::new();
+    for (col, term) in goal.terms.iter().enumerate() {
+        if let Term::Var(v) = term {
+            if !seen.contains(v) {
+                seen.push(*v);
+                bindings_header.push(v.name(&program.interner));
+                var_positions.push((col, bindings_header.len() - 1));
+            }
+        }
+    }
+
+    let mut answers: Vec<Vec<String>> = Vec::new();
+    'tuples: for t in relation.sorted() {
+        // Constants and repeated variables must match.
+        let mut bound: Vec<(Variable, Value)> = Vec::new();
+        for (col, term) in goal.terms.iter().enumerate() {
+            match term {
+                Term::Const(c) => {
+                    if t.get(col) != *c {
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => {
+                    if let Some((_, val)) = bound.iter().find(|(bv, _)| bv == v) {
+                        if *val != t.get(col) {
+                            continue 'tuples;
+                        }
+                    } else {
+                        bound.push((*v, t.get(col)));
+                    }
+                }
+            }
+        }
+        answers.push(
+            var_positions
+                .iter()
+                .map(|&(col, _)| t.get(col).display(&program.interner))
+                .collect(),
+        );
+    }
+
+    if bindings_header.is_empty() {
+        println!("{}", if answers.is_empty() { "false" } else { "true" });
+    } else if answers.is_empty() {
+        println!("no answers");
+    } else {
+        println!("% {}", bindings_header.join(", "));
+        for row in &answers {
+            println!("{}", row.join(", "));
+        }
+        eprintln!("% {} answer(s)", answers.len());
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: Vec<String>) -> std::result::Result<(), String> {
+    let file = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or("missing input file")?;
+    let (program, db) = load(file)?;
+    let interner = program.interner.clone();
+
+    println!("rules: {}", program.rules.len());
+    println!("facts: {} tuples across {} relations", db.total_tuples(), db.relation_count());
+
+    let analysis = ProgramAnalysis::new(&program).map_err(|e| e.to_string())?;
+    println!(
+        "base predicates:    {}",
+        analysis
+            .base()
+            .iter()
+            .map(|p| p.display(&interner))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "derived predicates: {}",
+        analysis
+            .derived()
+            .iter()
+            .map(|p| p.display(&interner))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for (k, rule) in program.rules.iter().enumerate() {
+        println!(
+            "rule {k}: {} [{}]",
+            parallel_datalog::frontend::pretty::rule(rule, &interner),
+            if analysis.is_recursive_rule(k) {
+                "recursive"
+            } else {
+                "non-recursive"
+            }
+        );
+    }
+
+    match LinearSirup::from_program(&program) {
+        Err(e) => println!("linear sirup: no ({e})"),
+        Ok(sirup) => {
+            println!(
+                "linear sirup: yes — t = {}, s = {}",
+                sirup.target.display(&interner),
+                sirup.source.display(&interner)
+            );
+            let graph = DataflowGraph::of(&sirup);
+            println!("dataflow graph (Def. 2): {}", graph.display());
+            // Compile-time advisor (§5's closing claim): ranked
+            // discriminating choices per architecture preference.
+            for (label, pref) in [
+                ("minimize communication", ArchitecturePreference::MinimizeCommunication),
+                ("minimize replication", ArchitecturePreference::MinimizeReplication),
+            ] {
+                if let Ok(ranked) = advise(&sirup, pref) {
+                    if let Some(best) = ranked.first() {
+                        let (have, possible) = best.network_density;
+                        println!(
+                            "advisor [{label}]: v(r) = ⟨{}⟩, v(e) = ⟨{}⟩ — {}, network {}/{}, base {}",
+                            best.v_r
+                                .iter()
+                                .map(|v| v.name(&interner))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                            best.v_e
+                                .iter()
+                                .map(|v| v.name(&interner))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                            if best.communication_free {
+                                "communication-free"
+                            } else {
+                                "point-to-point"
+                            },
+                            have,
+                            possible,
+                            if best.base_fragmentable {
+                                "fragmentable"
+                            } else {
+                                "shared/replicated"
+                            },
+                        );
+                    }
+                }
+            }
+            match zero_comm_choice(&sirup) {
+                Ok(choice) => println!(
+                    "Theorem 3: communication-free with v(r) = ⟨{}⟩, v(e) = ⟨{}⟩",
+                    choice
+                        .v_r
+                        .iter()
+                        .map(|v| v.name(&interner))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    choice
+                        .v_e
+                        .iter()
+                        .map(|v| v.name(&interner))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                Err(_) => println!(
+                    "Theorem 3: dataflow graph is acyclic — every discriminating choice \
+                     may communicate"
+                ),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_network(args: Vec<String>) -> std::result::Result<(), String> {
+    let mut file = None;
+    let mut linear_coeffs: Option<Vec<i64>> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bits" => linear_coeffs = None,
+            "--linear" => {
+                let spec = it.next().ok_or("--linear needs c1,c2,...")?;
+                let coeffs: std::result::Result<Vec<i64>, _> =
+                    spec.split(',').map(|c| c.trim().parse()).collect();
+                linear_coeffs = Some(coeffs.map_err(|_| "bad --linear coefficients")?);
+            }
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let file = file.ok_or("missing input file")?;
+    let (program, _db) = load(&file)?;
+    let sirup = LinearSirup::from_program(&program).map_err(|e| e.to_string())?;
+
+    // v(r) = variables of Ȳ; v(e) = variables of the exit head, by
+    // position — the §5 examples' convention.
+    let v_r: Vec<Variable> = sirup
+        .recursive_args
+        .iter()
+        .filter_map(Term::as_var)
+        .collect();
+    let v_e: Vec<Variable> = sirup.exit_head.iter().filter_map(Term::as_var).collect();
+    if v_r.len() != sirup.recursive_args.len() || v_e.len() != sirup.exit_head.len() {
+        return Err("network derivation needs all-variable t-atoms".into());
+    }
+
+    let net = match linear_coeffs {
+        Some(coeffs) => {
+            if coeffs.len() != v_r.len() {
+                return Err(format!(
+                    "--linear needs exactly {} coefficients (the arity of v(r))",
+                    v_r.len()
+                ));
+            }
+            let h = Linear::new(BitFn::new(1), coeffs);
+            println!(
+                "linear function {}; P = {:?}",
+                h.describe(),
+                h.processor_values()
+            );
+            derive_network(&sirup, &v_r, &v_e, &h).map_err(|e| e.to_string())?
+        }
+        None => {
+            let h = BitVector::new(BitFn::new(1), v_r.len());
+            println!("bit-vector function {}; {} processors", h.describe(), {
+                let d: &dyn Discriminator = &h;
+                d.processors()
+            });
+            derive_network(&sirup, &v_r, &v_e, &h).map_err(|e| e.to_string())?
+        }
+    };
+    let (have, possible) = net.density();
+    println!("minimal network graph ({have} of {possible} channels):");
+    println!("{}", net.display());
+    Ok(())
+}

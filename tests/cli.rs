@@ -1,0 +1,232 @@
+//! End-to-end tests of the `pdatalog` binary.
+
+use std::process::Command;
+
+fn pdatalog() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pdatalog"))
+}
+
+fn write_program(name: &str, source: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pdatalog-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, source).unwrap();
+    path
+}
+
+const ANCESTOR: &str = "anc(X,Y) :- par(X,Y).\n\
+                        anc(X,Y) :- par(X,Z), anc(Z,Y).\n\
+                        par(1,2). par(2,3). par(3,4).";
+
+#[test]
+fn run_sequential_prints_the_closure() {
+    let file = write_program("seq.dl", ANCESTOR);
+    let out = pdatalog().args(["run"]).arg(&file).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("% anc/2: 6 tuples"), "{stdout}");
+    assert!(stdout.contains("anc(1, 4)."));
+    assert!(!stdout.contains("anc(4, 1)."));
+}
+
+#[test]
+fn run_all_schemes_agree() {
+    let file = write_program("schemes.dl", ANCESTOR);
+    let mut outputs = Vec::new();
+    for scheme in ["seq", "naive", "example1", "example2", "example3", "nocomm", "general"] {
+        let out = pdatalog()
+            .args(["run"])
+            .arg(&file)
+            .args(["--scheme", scheme, "--workers", "3"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "scheme {scheme}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outputs.push((scheme, String::from_utf8(out.stdout).unwrap()));
+    }
+    let reference = outputs[0].1.clone();
+    for (scheme, stdout) in &outputs[1..] {
+        assert_eq!(stdout, &reference, "scheme {scheme} output differs");
+    }
+}
+
+#[test]
+fn run_with_print_filter_and_stats() {
+    let file = write_program("print.dl", ANCESTOR);
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args(["--print", "anc/2", "--stats", "--scheme", "example3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("processing_firings="), "{stderr}");
+}
+
+#[test]
+fn analyze_reports_sirup_and_theorem3() {
+    let file = write_program("analyze.dl", ANCESTOR);
+    let out = pdatalog().args(["analyze"]).arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("linear sirup: yes"));
+    assert!(stdout.contains("2 → 2"));
+    assert!(stdout.contains("Theorem 3: communication-free"));
+}
+
+#[test]
+fn analyze_flags_non_sirup() {
+    let file = write_program(
+        "nonlin.dl",
+        "anc(X,Y) :- par(X,Y).\nanc(X,Y) :- anc(X,Z), anc(Z,Y).\npar(1,2).",
+    );
+    let out = pdatalog().args(["analyze"]).arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("linear sirup: no"));
+}
+
+#[test]
+fn network_bits_and_linear() {
+    let file = write_program(
+        "net.dl",
+        "p(X,Y) :- q(X,Y).\np(X,Y) :- p(Y,Z), r(X,Z).\nq(1,2).",
+    );
+    let out = pdatalog().args(["network"]).arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("(00) → (10)"), "{stdout}");
+
+    let out = pdatalog()
+        .args(["network"])
+        .arg(&file)
+        .args(["--linear", "1,-1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("P = [-1, 0, 1]"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = pdatalog().output().unwrap();
+    assert!(!out.status.success());
+
+    let out = pdatalog().args(["run", "/nonexistent/file.dl"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let file = write_program("bad.dl", ANCESTOR);
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args(["--scheme", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scheme"));
+}
+
+#[test]
+fn parse_errors_reported_with_location() {
+    let file = write_program("syntax.dl", "anc(X,Y :- par(X,Y).");
+    let out = pdatalog().args(["run"]).arg(&file).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn query_binds_variables() {
+    let file = write_program("query.dl", ANCESTOR);
+    let out = pdatalog()
+        .args(["query"])
+        .arg(&file)
+        .arg("anc(1, X)")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("% X"));
+    assert!(stdout.contains('2') && stdout.contains('4'));
+}
+
+#[test]
+fn query_ground_goals_answer_true_false() {
+    let file = write_program("query2.dl", ANCESTOR);
+    let yes = pdatalog().args(["query"]).arg(&file).arg("anc(1, 4)").output().unwrap();
+    assert_eq!(String::from_utf8_lossy(&yes.stdout).trim(), "true");
+    let no = pdatalog().args(["query"]).arg(&file).arg("anc(4, 1)").output().unwrap();
+    assert_eq!(String::from_utf8_lossy(&no.stdout).trim(), "false");
+}
+
+#[test]
+fn query_repeated_variables_filter() {
+    let file = write_program(
+        "query3.dl",
+        "t(X,Y) :- e(X,Y).\nt(X,Y) :- e(X,Z), t(Z,Y).\ne(1,2). e(2,1). e(2,3).",
+    );
+    let out = pdatalog().args(["query"]).arg(&file).arg("t(X, X)").output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Self-reachable nodes: 1 and 2 (via the 1↔2 cycle).
+    assert!(stdout.contains('1') && stdout.contains('2'), "{stdout}");
+    assert!(!stdout.contains('3'));
+}
+
+#[test]
+fn query_unknown_predicate_fails() {
+    let file = write_program("query4.dl", ANCESTOR);
+    let out = pdatalog().args(["query"]).arg(&file).arg("zzz(X)").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn query_base_relation_directly() {
+    let file = write_program("query5.dl", ANCESTOR);
+    let out = pdatalog().args(["query"]).arg(&file).arg("par(2, X)").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains('3'));
+}
+
+#[test]
+fn sample_programs_ship_and_run() {
+    // The repo's examples/programs/*.dl files must stay valid.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    for (file, check) in [
+        ("examples/programs/ancestor.dl", "anc("),
+        ("examples/programs/chain_sirup.dl", "p("),
+        ("examples/programs/org.dl", "chain("),
+    ] {
+        let out = pdatalog().args(["run"]).arg(root.join(file)).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{file}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains(check),
+            "{file} output missing {check}"
+        );
+    }
+}
+
+#[test]
+fn analyze_shows_advisor_recommendations() {
+    let file = write_program("advise.dl", ANCESTOR);
+    let out = pdatalog().args(["analyze"]).arg(&file).output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("advisor [minimize communication]: v(r) = ⟨Y⟩"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("advisor [minimize replication]: v(r) = ⟨Z⟩"),
+        "{stdout}"
+    );
+}

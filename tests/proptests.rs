@@ -1,0 +1,188 @@
+//! Property-based tests over the whole stack: random graphs, random
+//! discriminating choices, random fragmentations — the invariants of the
+//! paper must hold for *every* input, not just the corpus.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use parallel_datalog::core::schemes::BaseDistribution;
+use parallel_datalog::prelude::*;
+use parallel_datalog::workloads::{linear_ancestor, nonlinear_ancestor};
+
+/// Random edge relations of bounded size over a small node domain (small
+/// domains force collisions, cycles, diamonds — the hard cases).
+fn arb_edges() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0i64..12, 0i64..12), 0..40).prop_map(|pairs| {
+        // Build explicitly so the empty case keeps arity 2.
+        let mut rel = Relation::new(2);
+        for (a, b) in pairs {
+            rel.insert_unchecked(ituple![a, b]);
+        }
+        rel
+    })
+}
+
+fn var(p: &Program, name: &str) -> Variable {
+    Variable(p.interner.get(name).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Semi-naive and naive evaluation agree on every graph (the
+    /// sequential engine's core invariant).
+    #[test]
+    fn seminaive_equals_naive(edges in arb_edges()) {
+        let fx = linear_ancestor();
+        let db = fx.database(&edges);
+        let a = seminaive_eval(&fx.program, &db).unwrap();
+        let b = naive_eval(&fx.program, &db).unwrap();
+        prop_assert!(a.relation(fx.output_id()).set_eq(&b.relation(fx.output_id())));
+        // Semi-naive never fires more often than naive.
+        prop_assert!(a.stats.firings <= b.stats.firings);
+    }
+
+    /// Theorem 1 + Theorem 2 for the §3 scheme under random graphs,
+    /// processor counts and hash seeds.
+    #[test]
+    fn non_redundant_scheme_invariants(
+        edges in arb_edges(),
+        n in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let fx = linear_ancestor();
+        let sirup = LinearSirup::from_program(&fx.program).unwrap();
+        let db = fx.database(&edges);
+        let h: DiscriminatorRef = Arc::new(HashMod::new(n, seed));
+        let cfg = NonRedundantConfig {
+            v_r: vec![var(&fx.program, "Z")],
+            v_e: vec![var(&fx.program, "X")],
+            h: h.clone(),
+            h_prime: h,
+            base: BaseDistribution::MinimalFragments,
+        };
+        let outcome = rewrite_non_redundant(&sirup, &cfg, &db).unwrap().run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        prop_assert!(outcome.relation(fx.output_id()).set_eq(&seq.relation(fx.output_id())));
+        prop_assert!(outcome.stats.total_processing_firings() <= seq.stats.firings);
+    }
+
+    /// Theorem 3: the Example-1 construction never communicates, for any
+    /// graph and processor count.
+    #[test]
+    fn zero_comm_choice_never_communicates(
+        edges in arb_edges(),
+        n in 1usize..6,
+    ) {
+        let fx = linear_ancestor();
+        let sirup = LinearSirup::from_program(&fx.program).unwrap();
+        let db = fx.database(&edges);
+        let outcome = example1_wolfson(&sirup, n, &db).unwrap().run().unwrap();
+        prop_assert!(outcome.stats.communication_free());
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        prop_assert!(outcome.relation(fx.output_id()).set_eq(&seq.relation(fx.output_id())));
+    }
+
+    /// Theorems 5/6 for the §7 scheme on the non-linear program.
+    #[test]
+    fn general_scheme_invariants(
+        edges in arb_edges(),
+        n in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let fx = nonlinear_ancestor();
+        let db = fx.database(&edges);
+        let h: DiscriminatorRef = Arc::new(HashMod::new(n, seed));
+        let choices = vec![
+            RuleChoice { v: vec![var(&fx.program, "Y")], h: h.clone() },
+            RuleChoice { v: vec![var(&fx.program, "Z")], h },
+        ];
+        let scheme = rewrite_general(&fx.program, &choices, &db, BaseDistribution::Shared).unwrap();
+        let outcome = scheme.run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        prop_assert!(outcome.relation(fx.output_id()).set_eq(&seq.relation(fx.output_id())));
+        prop_assert!(outcome.stats.total_processing_firings() <= seq.stats.firings);
+    }
+
+    /// Fragmentations partition: disjoint, covering, owner-consistent.
+    #[test]
+    fn fragmentation_invariants(edges in arb_edges(), n in 1usize..6, col in 0usize..2) {
+        let frag = hash_fragment(&edges, &[col], n).unwrap();
+        prop_assert!(frag.covers(&edges));
+        prop_assert_eq!(frag.sizes().iter().sum::<usize>(), edges.len());
+        for t in edges.iter() {
+            let owner = frag.owner_of(t).unwrap();
+            prop_assert!(frag.fragment(owner).contains(t));
+            for i in 0..n {
+                if i != owner {
+                    prop_assert!(!frag.fragment(i).contains(t));
+                }
+            }
+        }
+    }
+
+    /// Comparison built-ins agree with a post-filter: `up` (edges with
+    /// X < Y, closed transitively through monotone hops) is exactly the
+    /// closure of the <-filtered edge set.
+    #[test]
+    fn comparisons_equal_prefiltered_closure(edges in arb_edges()) {
+        let unit = parse_program(
+            "up(X,Y) :- e(X,Y), X < Y.\n\
+             up(X,Y) :- e(X,Z), X < Z, up(Z,Y).",
+        ).unwrap();
+        let e_id = (unit.program.interner.get("e").unwrap(), 2);
+        let mut db = Database::new(unit.program.interner.clone());
+        db.put_relation(e_id, edges.clone()).unwrap();
+        let with_builtin = seminaive_eval(&unit.program, &db).unwrap();
+
+        // Oracle: filter the edges first, then run plain TC.
+        let filtered: Relation = edges
+            .iter()
+            .filter(|t| t.get(0) < t.get(1))
+            .cloned()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .fold(Relation::new(2), |mut r, t| {
+                r.insert_unchecked(t);
+                r
+            });
+        let fx = linear_ancestor();
+        let db2 = fx.database(&filtered);
+        let oracle = seminaive_eval(&fx.program, &db2).unwrap();
+
+        let up = (unit.program.interner.get("up").unwrap(), 2);
+        prop_assert!(with_builtin.relation(up).set_eq(&oracle.relation(fx.output_id())));
+    }
+
+    /// The parser and pretty-printer round-trip rule structure.
+    #[test]
+    fn parser_pretty_round_trip(
+        arity in 1usize..4,
+        body_len in 1usize..4,
+    ) {
+        // Build a random-but-safe rule: head vars all drawn from body.
+        let head_args: Vec<String> = (0..arity).map(|k| format!("V{k}")).collect();
+        let body: Vec<String> = (0..body_len)
+            .map(|b| format!("e{b}({})", head_args.join(", ")))
+            .collect();
+        let src = format!("t({}) :- {}.", head_args.join(", "), body.join(", "));
+        let first = parse_program(&src).unwrap();
+        let rendered = parallel_datalog::frontend::pretty::program(&first.program);
+        let second = parse_program(&rendered).unwrap();
+        prop_assert_eq!(
+            parallel_datalog::frontend::pretty::program(&second.program),
+            rendered
+        );
+    }
+}
+
+/// Non-proptest guard: the property suite's fixtures stay valid.
+#[test]
+fn fixtures_are_wellformed() {
+    let fx = linear_ancestor();
+    assert!(LinearSirup::from_program(&fx.program).is_ok());
+    assert!(ProgramAnalysis::new(&fx.program).is_ok());
+    let fx = nonlinear_ancestor();
+    assert!(ProgramAnalysis::new(&fx.program).is_ok());
+}
