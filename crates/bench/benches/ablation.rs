@@ -3,7 +3,8 @@
 //! on sequential semi-naive evaluation. All four combinations compute
 //! identical results and firing counts; only wall time differs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gst_bench::micro::{BenchmarkId, Criterion};
+use gst_bench::{criterion_group, criterion_main};
 use gst_eval::{seminaive_eval_with, PlanOptions};
 use gst_workloads::{layered, linear_ancestor};
 

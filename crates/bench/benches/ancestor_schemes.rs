@@ -2,7 +2,8 @@
 //! the same workload — the wall-clock counterpart of the harness's
 //! communication table.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gst_bench::micro::{Criterion};
+use gst_bench::{criterion_group, criterion_main};
 use gst_core::prelude::{example1_wolfson, example2_valduriez, example3_hash_partition};
 use gst_frontend::LinearSirup;
 use gst_storage::round_robin_fragment;

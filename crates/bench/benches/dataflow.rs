@@ -1,7 +1,8 @@
 //! F1/F2 micro-benchmarks: dataflow-graph construction and the Theorem-3
 //! chooser are compile-time operations; they must be trivially cheap.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gst_bench::micro::{Criterion};
+use gst_bench::{criterion_group, criterion_main};
 use gst_core::dataflow::{zero_comm_choice, DataflowGraph};
 use gst_frontend::LinearSirup;
 use gst_workloads::{chain_sirup, linear_ancestor};

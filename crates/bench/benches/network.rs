@@ -1,7 +1,8 @@
 //! F3/F4: compile-time derivation of the minimal network graphs of
 //! Examples 6 and 7 (bit-vector and linear discriminating functions).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gst_bench::micro::{Criterion};
+use gst_bench::{criterion_group, criterion_main};
 use gst_core::discriminator::{BitFn, BitVector, Linear};
 use gst_core::network::derive_network;
 use gst_frontend::{LinearSirup, Variable};

@@ -1,7 +1,8 @@
 //! T2: cost of the non-redundant scheme as processor count grows, against
 //! the sequential baseline, on a duplicate-heavy grid.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gst_bench::micro::{BenchmarkId, Criterion};
+use gst_bench::{criterion_group, criterion_main};
 use gst_core::prelude::example3_hash_partition;
 use gst_eval::seminaive_eval;
 use gst_frontend::LinearSirup;

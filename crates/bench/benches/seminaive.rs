@@ -1,6 +1,7 @@
 //! Sequential engine baseline: semi-naive vs naive across workload shapes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gst_bench::micro::{BenchmarkId, Criterion};
+use gst_bench::{criterion_group, criterion_main};
 use gst_eval::{naive_eval, seminaive_eval};
 use gst_workloads::{chain, grid, linear_ancestor, random_digraph};
 

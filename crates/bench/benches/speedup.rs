@@ -1,7 +1,8 @@
 //! P1: scaling of the zero-communication scheme with worker count on a
 //! wide layered workload (plus the sequential baseline for reference).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gst_bench::micro::{BenchmarkId, Criterion};
+use gst_bench::{criterion_group, criterion_main};
 use gst_core::prelude::example1_wolfson;
 use gst_eval::seminaive_eval;
 use gst_frontend::LinearSirup;

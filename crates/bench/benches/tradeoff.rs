@@ -3,7 +3,8 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gst_bench::micro::{BenchmarkId, Criterion};
+use gst_bench::{criterion_group, criterion_main};
 use gst_core::discriminator::{DiscriminatorRef, HashMod, Mixed};
 use gst_core::prelude::{rewrite_generalized, GeneralizedConfig};
 use gst_frontend::{LinearSirup, Variable};

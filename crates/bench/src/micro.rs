@@ -1,0 +1,185 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! Drop-in subset of the `criterion` API surface the bench targets use
+//! (`Criterion`, `benchmark_group`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`), so the workspace builds and benches run with no
+//! external crates. Methodology is deliberately simple: warm up once,
+//! adaptively pick an iteration count targeting a fixed measurement
+//! window, report mean time per iteration over `sample_size` samples.
+//! Numbers are indicative, not criterion-grade statistics — the paper's
+//! quantitative claims are checked by the `harness` binary's *count*
+//! metrics (firings, tuples, bytes), which are schedule-exact, not timed.
+
+use std::time::{Duration, Instant};
+
+/// How long one measurement sample should take, roughly.
+const TARGET_SAMPLE: Duration = Duration::from_millis(40);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named benchmark group (a labeling device; samples run immediately).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the micro harness picks its
+    /// own sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Run a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; results print as they run).
+    pub fn finish(self) {}
+}
+
+/// A benchmark's identifier, `function/parameter` style.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over this sample's iteration count.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Warm up, calibrate the iteration count, take samples, print the mean.
+fn run_one(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    // Warmup + calibration: one iteration, timed.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    const SAMPLES: u32 = 5;
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..SAMPLES {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed / iters as u32;
+        total += per_iter;
+        best = best.min(per_iter);
+    }
+    let mean = total / SAMPLES;
+    println!("{name:<48} mean {mean:>12.2?}   best {best:>12.2?}   ({iters} iters/sample)");
+}
+
+/// Group benchmark functions under one entry point (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::micro::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce `main` for a bench binary (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_labels() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("micro/self-test", |b| b.iter(|| runs += 1));
+        assert!(runs > 0, "closure must actually execute");
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).bench_with_input(
+            BenchmarkId::new("f", 3),
+            &3u64,
+            |b, &x| b.iter(|| x * 2),
+        );
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", "p").label, "f/p");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}

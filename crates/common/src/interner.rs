@@ -13,9 +13,7 @@
 //! `RwLock`.
 
 use std::fmt;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::fxhash::FxHashMap;
 
@@ -58,12 +56,22 @@ impl Interner {
         Self::default()
     }
 
+    /// Shared read access. Lock poisoning is ignored: the map is only ever
+    /// grown, so a panic in another thread cannot leave it inconsistent.
+    fn read(&self) -> RwLockReadGuard<'_, Inner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Inner> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Intern `s`, returning its stable id. Idempotent.
     pub fn intern(&self, s: &str) -> SymbolId {
-        if let Some(&id) = self.inner.read().map.get(s) {
+        if let Some(&id) = self.read().map.get(s) {
             return id;
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.write();
         // Re-check: another thread may have interned between the locks.
         if let Some(&id) = inner.map.get(s) {
             return id;
@@ -79,7 +87,7 @@ impl Interner {
 
     /// Look up an id without interning. Returns `None` for unknown strings.
     pub fn get(&self, s: &str) -> Option<SymbolId> {
-        self.inner.read().map.get(s).copied()
+        self.read().map.get(s).copied()
     }
 
     /// Resolve an id back to its string.
@@ -88,8 +96,7 @@ impl Interner {
     /// Panics if `id` was not produced by this interner.
     pub fn resolve(&self, id: SymbolId) -> Arc<str> {
         Arc::clone(
-            self.inner
-                .read()
+            self.read()
                 .strings
                 .get(id.index())
                 .expect("SymbolId from foreign interner"),
@@ -98,7 +105,7 @@ impl Interner {
 
     /// Number of distinct interned strings.
     pub fn len(&self) -> usize {
-        self.inner.read().strings.len()
+        self.read().strings.len()
     }
 
     /// True when nothing has been interned yet.

@@ -14,11 +14,13 @@
 pub mod error;
 pub mod fxhash;
 pub mod interner;
+pub mod rng;
 pub mod tuple;
 pub mod value;
 
 pub use error::{Error, Result};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use interner::{Interner, SymbolId};
+pub use rng::SmallRng;
 pub use tuple::Tuple;
 pub use value::Value;

@@ -22,7 +22,10 @@ pub mod presets;
 
 use gst_common::Result;
 use gst_eval::plan::RelationId;
-use gst_runtime::{execute_processors, ExecutionOutcome, RuntimeConfig, WorkerSpec};
+use gst_runtime::{
+    execute_processors, ExecutionOutcome, FaultPlan, RuntimeConfig, SimTransport, Transport,
+    WorkerSpec,
+};
 
 pub use common::BaseDistribution;
 
@@ -58,5 +61,15 @@ impl CompiledScheme {
     /// [`gst_runtime::execute_synchronous`]).
     pub fn run_synchronous(&self) -> Result<ExecutionOutcome> {
         gst_runtime::execute_synchronous(&self.workers)
+    }
+
+    /// Run under the deterministic simulation transport: all processors
+    /// interleaved on one thread under a virtual clock, with the schedule
+    /// and every injected fault drawn from `seed` (see
+    /// [`gst_runtime::SimTransport`]). Same seed, same plan ⇒ bit-for-bit
+    /// the same run.
+    pub fn run_simulated(&self, seed: u64, faults: FaultPlan) -> Result<ExecutionOutcome> {
+        SimTransport::with_faults(seed, faults)
+            .execute(self.workers.clone(), &RuntimeConfig::default())
     }
 }

@@ -17,26 +17,32 @@
 //! Symbol ids are stable across workers because every processor program
 //! shares one interner; a multi-machine deployment would ship the symbol
 //! table once up front the same way.
+//!
+//! Malformed input never panics: every decode failure is a typed
+//! [`Error::Runtime`] naming the corruption, so a fault-injected or
+//! truncated delivery surfaces as a worker error the coordinator reports.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gst_common::{Error, Result, SymbolId, Tuple, Value};
 use gst_eval::plan::RelationId;
 
+use crate::message::Payload;
+
 const TAG_INT: u8 = 0;
 const TAG_SYM: u8 = 1;
+const HEADER_LEN: usize = 10;
 
 /// Serialize a batch destined for `inbox`.
 ///
 /// # Errors
 /// Rejects tuples whose arity differs from the inbox's — a misconfigured
 /// channel (caught at the sender, where the diagnostic is actionable).
-pub fn encode_batch(inbox: RelationId, tuples: &[Tuple]) -> Result<Bytes> {
+pub fn encode_batch(inbox: RelationId, tuples: &[Tuple]) -> Result<Payload> {
     let arity = inbox.1;
     // Worst case per value: 1 tag + 8 payload.
-    let mut buf = BytesMut::with_capacity(10 + tuples.len() * arity * 9);
-    buf.put_u32_le(inbox.0 .0);
-    buf.put_u16_le(arity as u16);
-    buf.put_u32_le(tuples.len() as u32);
+    let mut buf = Vec::with_capacity(HEADER_LEN + tuples.len() * arity * 9);
+    buf.extend_from_slice(&inbox.0 .0.to_le_bytes());
+    buf.extend_from_slice(&(arity as u16).to_le_bytes());
+    buf.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
     for t in tuples {
         if t.arity() != arity {
             return Err(Error::Runtime(format!(
@@ -47,55 +53,106 @@ pub fn encode_batch(inbox: RelationId, tuples: &[Tuple]) -> Result<Bytes> {
         for &v in t.as_slice() {
             match v {
                 Value::Int(n) => {
-                    buf.put_u8(TAG_INT);
-                    buf.put_i64_le(n);
+                    buf.push(TAG_INT);
+                    buf.extend_from_slice(&n.to_le_bytes());
                 }
                 Value::Sym(s) => {
-                    buf.put_u8(TAG_SYM);
-                    buf.put_u32_le(s.0);
+                    buf.push(TAG_SYM);
+                    buf.extend_from_slice(&s.0.to_le_bytes());
                 }
             }
         }
     }
-    Ok(buf.freeze())
+    Ok(Payload::from(buf))
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let end = self.pos.checked_add(N)?;
+        let chunk = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        chunk.try_into().ok()
+    }
+
+    fn get_u8(&mut self) -> Option<u8> {
+        self.take::<1>().map(|b| b[0])
+    }
+
+    fn get_u16_le(&mut self) -> Option<u16> {
+        self.take::<2>().map(u16::from_le_bytes)
+    }
+
+    fn get_u32_le(&mut self) -> Option<u32> {
+        self.take::<4>().map(u32::from_le_bytes)
+    }
+
+    fn get_i64_le(&mut self) -> Option<i64> {
+        self.take::<8>().map(i64::from_le_bytes)
+    }
 }
 
 /// Deserialize a batch; the inverse of [`encode_batch`].
-pub fn decode_batch(mut bytes: Bytes) -> Result<(RelationId, Vec<Tuple>)> {
+///
+/// # Errors
+/// Returns [`Error::Runtime`] (never panics) for truncated headers,
+/// truncated values, unknown value tags, or trailing bytes.
+pub fn decode_batch(bytes: &[u8]) -> Result<(RelationId, Vec<Tuple>)> {
     let corrupt = |what: &str| Error::Runtime(format!("corrupt tuple batch: {what}"));
-    if bytes.remaining() < 10 {
+    let mut cur = Cursor::new(bytes);
+    if cur.remaining() < HEADER_LEN {
         return Err(corrupt("truncated header"));
     }
-    let sym = SymbolId(bytes.get_u32_le());
-    let arity = bytes.get_u16_le() as usize;
-    let count = bytes.get_u32_le() as usize;
-    let mut tuples = Vec::with_capacity(count);
+    let sym = SymbolId(cur.get_u32_le().expect("checked header length"));
+    let arity = cur.get_u16_le().expect("checked header length") as usize;
+    let count = cur.get_u32_le().expect("checked header length") as usize;
+    // An adversarial count cannot force a huge allocation: arity-0 tuples
+    // occupy no payload bytes, so their count is bounded explicitly; for
+    // positive arity the preallocation is capped by what the remaining
+    // bytes could possibly hold.
+    let plausible = match cur.remaining().checked_div(arity) {
+        None => {
+            if count > 1 << 16 {
+                return Err(corrupt("implausible arity-0 tuple count"));
+            }
+            count
+        }
+        Some(fit) => count.min(fit + 1),
+    };
+    let mut tuples = Vec::with_capacity(plausible);
     let mut values = Vec::with_capacity(arity);
     for _ in 0..count {
         values.clear();
         for _ in 0..arity {
-            if bytes.remaining() < 1 {
-                return Err(corrupt("truncated value tag"));
-            }
-            match bytes.get_u8() {
-                TAG_INT => {
-                    if bytes.remaining() < 8 {
-                        return Err(corrupt("truncated Int"));
-                    }
-                    values.push(Value::Int(bytes.get_i64_le()));
-                }
-                TAG_SYM => {
-                    if bytes.remaining() < 4 {
-                        return Err(corrupt("truncated Sym"));
-                    }
-                    values.push(Value::Sym(SymbolId(bytes.get_u32_le())));
-                }
-                tag => return Err(corrupt(&format!("unknown value tag {tag}"))),
+            match cur.get_u8() {
+                None => return Err(corrupt("truncated value tag")),
+                Some(TAG_INT) => match cur.get_i64_le() {
+                    Some(n) => values.push(Value::Int(n)),
+                    None => return Err(corrupt("truncated Int")),
+                },
+                Some(TAG_SYM) => match cur.get_u32_le() {
+                    Some(s) => values.push(Value::Sym(SymbolId(s))),
+                    None => return Err(corrupt("truncated Sym")),
+                },
+                Some(tag) => return Err(corrupt(&format!("unknown value tag {tag}"))),
             }
         }
         tuples.push(Tuple::new(&values));
     }
-    if bytes.has_remaining() {
+    if cur.remaining() > 0 {
         return Err(corrupt("trailing bytes"));
     }
     Ok(((sym, arity), tuples))
@@ -116,7 +173,7 @@ mod tests {
         let id = inbox(2);
         let tuples = vec![ituple![1, -2], ituple![i64::MAX, i64::MIN]];
         let bytes = encode_batch(id, &tuples).unwrap();
-        let (got_id, got) = decode_batch(bytes).unwrap();
+        let (got_id, got) = decode_batch(&bytes).unwrap();
         assert_eq!(got_id, id);
         assert_eq!(got, tuples);
     }
@@ -131,7 +188,7 @@ mod tests {
             Tuple::new(&[Value::Int(0), Value::Sym(SymbolId(0))]),
         ];
         let bytes = encode_batch(id, &tuples).unwrap();
-        let (got_id, got) = decode_batch(bytes).unwrap();
+        let (got_id, got) = decode_batch(&bytes).unwrap();
         assert_eq!(got_id, id);
         assert_eq!(got, tuples);
     }
@@ -140,12 +197,12 @@ mod tests {
     fn empty_batch_and_zero_arity() {
         let id = inbox(0);
         let bytes = encode_batch(id, &[Tuple::unit()]).unwrap();
-        let (_, got) = decode_batch(bytes).unwrap();
+        let (_, got) = decode_batch(&bytes).unwrap();
         assert_eq!(got, vec![Tuple::unit()]);
 
         let id = inbox(3);
         let bytes = encode_batch(id, &[]).unwrap();
-        let (_, got) = decode_batch(bytes).unwrap();
+        let (_, got) = decode_batch(&bytes).unwrap();
         assert!(got.is_empty());
     }
 
@@ -161,27 +218,90 @@ mod tests {
     #[test]
     fn arity_mismatch_rejected_at_sender() {
         let id = inbox(2);
-        assert!(encode_batch(id, &[ituple![1]]).is_err());
+        let err = encode_batch(id, &[ituple![1]]).unwrap_err();
+        assert!(matches!(err, Error::Runtime(_)), "typed error, not a panic");
+        assert!(err.to_string().contains("arity"));
     }
 
+    /// Every malformed-input class yields a typed `Error::Runtime` naming
+    /// the corruption — never a panic, never a silent partial decode.
     #[test]
-    fn corrupt_input_is_rejected() {
-        assert!(decode_batch(Bytes::from_static(&[1, 2, 3])).is_err());
+    fn corrupt_input_is_rejected_with_typed_errors() {
+        // Empty input.
+        let err = decode_batch(&[]).unwrap_err();
+        assert!(matches!(err, Error::Runtime(_)));
+        assert!(err.to_string().contains("truncated header"));
+
+        // Shorter than the fixed header.
+        let err = decode_batch(&[1, 2, 3]).unwrap_err();
+        assert!(err.to_string().contains("truncated header"));
 
         let id = inbox(1);
         let good = encode_batch(id, &[ituple![5]]).unwrap();
-        // Truncate mid-value.
-        let truncated = good.slice(0..good.len() - 2);
-        assert!(decode_batch(truncated).is_err());
 
-        // Bad tag.
-        let mut bad = BytesMut::from(&good[..]);
+        // Truncated mid-value (payload cut two bytes short).
+        let err = decode_batch(&good[..good.len() - 2]).unwrap_err();
+        assert!(matches!(err, Error::Runtime(_)));
+        assert!(err.to_string().contains("truncated Int"));
+
+        // Truncated right after the tag.
+        let err = decode_batch(&good[..11]).unwrap_err();
+        assert!(err.to_string().contains("truncated Int"));
+
+        // Count promises a tuple the payload does not contain.
+        let empty = encode_batch(id, &[]).unwrap();
+        let mut lying = empty.to_vec();
+        lying[6..10].copy_from_slice(&2u32.to_le_bytes());
+        let err = decode_batch(&lying).unwrap_err();
+        assert!(err.to_string().contains("truncated value tag"));
+
+        // Unknown value tag.
+        let mut bad = good.to_vec();
         bad[10] = 9;
-        assert!(decode_batch(bad.freeze()).is_err());
+        let err = decode_batch(&bad).unwrap_err();
+        assert!(matches!(err, Error::Runtime(_)));
+        assert!(err.to_string().contains("unknown value tag 9"));
 
         // Trailing garbage.
-        let mut extended = BytesMut::from(&good[..]);
-        extended.put_u8(0);
-        assert!(decode_batch(extended.freeze()).is_err());
+        let mut extended = good.to_vec();
+        extended.push(0);
+        let err = decode_batch(&extended).unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"));
+    }
+
+    /// A truncated symbol payload is caught by the Sym branch.
+    #[test]
+    fn truncated_symbol_is_rejected() {
+        let interner = Interner::new();
+        let id = (interner.intern("s@in"), 1);
+        let sym = interner.intern("bob");
+        let good = encode_batch(id, &[Tuple::new(&[Value::Sym(sym)])]).unwrap();
+        let err = decode_batch(&good[..good.len() - 1]).unwrap_err();
+        assert!(matches!(err, Error::Runtime(_)));
+        assert!(err.to_string().contains("truncated Sym"));
+    }
+
+    /// An adversarial count field must not cause a huge preallocation or
+    /// a panic — just a typed error.
+    #[test]
+    fn huge_count_is_rejected_cheaply() {
+        let id = inbox(2);
+        let good = encode_batch(id, &[ituple![1, 2]]).unwrap();
+        let mut lying = good.to_vec();
+        lying[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_batch(&lying).unwrap_err();
+        assert!(matches!(err, Error::Runtime(_)));
+    }
+
+    /// Wrong-arity header against the actual payload shape: decoding
+    /// misaligns and is caught (either as a truncation or a bad tag).
+    #[test]
+    fn wrong_arity_header_is_rejected() {
+        let id = inbox(2);
+        let good = encode_batch(id, &[ituple![1, 2]]).unwrap();
+        let mut wrong = good.to_vec();
+        wrong[4..6].copy_from_slice(&3u16.to_le_bytes());
+        let err = decode_batch(&wrong).unwrap_err();
+        assert!(matches!(err, Error::Runtime(_)));
     }
 }

@@ -1,24 +1,20 @@
-//! Spawning, wiring and pooling: the part of the paper's architecture
-//! that lives outside any single processor.
+//! Top-level execution entry points and runtime configuration.
 //!
-//! [`execute_processors`] creates one unbounded channel per processor,
-//! hands every worker a sender to every other worker (the complete
-//! channel set the paper's abstract architecture assumes — schemes that
-//! need fewer channels simply never use the rest), runs all workers to
-//! distributed termination, and performs the *final pooling* step: the
-//! union `t(W̄) :- t_out^i(W̄)` over all processors.
+//! The part of the paper's architecture that lives outside any single
+//! processor: wiring the complete channel set the abstract architecture
+//! assumes (schemes needing fewer channels simply never use the rest),
+//! running every worker to distributed termination, and the *final
+//! pooling* step — the union `t(W̄) :- t_out^i(W̄)` over all processors.
+//!
+//! The mechanics live behind the [`Transport`] trait
+//! ([`crate::transport`]); [`execute_processors`] is the conventional
+//! entry point bound to the OS-thread transport.
 
-use std::time::Instant;
-
-use crossbeam::channel::unbounded;
-use gst_common::{Error, FxHashMap, Result};
-use gst_eval::plan::RelationId;
-use gst_storage::Relation;
-
-use crate::message::Envelope;
 use crate::spec::WorkerSpec;
-use crate::stats::{ExecutionOutcome, ParallelStats, WorkerReport};
-use crate::worker::{run_with_pool, WorkerConfig};
+use crate::stats::ExecutionOutcome;
+use crate::transport::{ThreadedTransport, Transport};
+use crate::worker::WorkerConfig;
+use gst_common::Result;
 
 /// Configuration for a parallel execution.
 #[derive(Debug, Clone, Default)]
@@ -27,91 +23,17 @@ pub struct RuntimeConfig {
     pub worker: WorkerConfig,
 }
 
-/// Execute one [`WorkerSpec`] per processor and pool the results.
+/// Execute one [`WorkerSpec`] per processor on OS threads and pool the
+/// results.
 ///
 /// `specs[i].program.processor` must equal `i` — the ring used for
 /// termination detection and the channel matrix are indexed by position.
+/// Equivalent to `ThreadedTransport.execute(specs, config)`.
 pub fn execute_processors(
     specs: Vec<WorkerSpec>,
     config: &RuntimeConfig,
 ) -> Result<ExecutionOutcome> {
-    if specs.is_empty() {
-        return Err(Error::Runtime("no processors to execute".into()));
-    }
-    for (i, spec) in specs.iter().enumerate() {
-        if spec.program.processor != i {
-            return Err(Error::Runtime(format!(
-                "worker at position {i} claims processor {}",
-                spec.program.processor
-            )));
-        }
-        for out in &spec.program.outgoing {
-            if out.dest >= specs.len() {
-                return Err(Error::Runtime(format!(
-                    "processor {i} has a channel to nonexistent processor {}",
-                    out.dest
-                )));
-            }
-        }
-    }
-
-    let n = specs.len();
-    let mut senders = Vec::with_capacity(n);
-    let mut receivers = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = unbounded::<Envelope>();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-
-    let started = Instant::now();
-    type PoolPart = Vec<(RelationId, Relation)>;
-    let joined: Vec<Result<(WorkerReport, PoolPart)>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n);
-        for (spec, rx) in specs.into_iter().zip(receivers) {
-            let senders = senders.clone();
-            let worker_config = config.worker.clone();
-            handles.push(scope.spawn(move || run_with_pool(spec, senders, rx, worker_config)));
-        }
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err(Error::Runtime("worker thread panicked".into())))
-            })
-            .collect()
-    });
-    let wall_time = started.elapsed();
-
-    let mut reports: Vec<WorkerReport> = Vec::with_capacity(n);
-    let mut relations: FxHashMap<RelationId, Relation> = FxHashMap::default();
-    for result in joined {
-        let (report, pooled) = result?;
-        for (global, rel) in pooled {
-            match relations.entry(global) {
-                std::collections::hash_map::Entry::Vacant(slot) => {
-                    // First shard arrives by move: no per-tuple cost.
-                    slot.insert(rel);
-                }
-                std::collections::hash_map::Entry::Occupied(mut slot) => {
-                    slot.get_mut().absorb(&rel)?;
-                }
-            }
-        }
-        reports.push(report);
-    }
-    reports.sort_by_key(|r| r.processor);
-
-    let channel_matrix: Vec<Vec<u64>> = reports.iter().map(|r| r.sent_tuples_to.clone()).collect();
-
-    Ok(ExecutionOutcome {
-        relations,
-        stats: ParallelStats {
-            workers: reports,
-            channel_matrix,
-            wall_time,
-        },
-    })
+    ThreadedTransport.execute(specs, config)
 }
 
 #[cfg(test)]
@@ -190,6 +112,8 @@ mod tests {
         assert_eq!(outcome.stats.total_tuples_sent(), 2);
         assert_eq!(outcome.stats.used_channels(), vec![(0, 1)]);
         assert_eq!(outcome.stats.workers[1].received_tuples, 2);
+        // A reliable transport delivers nothing twice.
+        assert_eq!(outcome.stats.workers[1].duplicate_batches, 0);
     }
 
     #[test]

@@ -8,11 +8,20 @@
 //! algorithms of Distributed Computing" (the paper cites Dijkstra–Scholten
 //! and Chandy–Misra).
 //!
-//! Here each processor is an OS thread running a [`gst_eval::FixpointEngine`]
-//! over its rewritten program; channels are unbounded crossbeam channels;
-//! and termination is detected with Safra's colored-token ring algorithm
-//! (the same diffusing-computation family the paper cites), implemented as
-//! a pure, unit-testable state machine in [`termination`].
+//! Here each processor is a transport-agnostic state machine
+//! ([`worker::WorkerCore`]) running a [`gst_eval::FixpointEngine`] over its
+//! rewritten program, with termination detected by Safra's colored-token
+//! ring algorithm (the same diffusing-computation family the paper cites),
+//! implemented as a pure, unit-testable state machine in [`termination`].
+//! How the machines are driven is the [`transport::Transport`]'s choice:
+//!
+//! * [`transport::ThreadedTransport`] (the default behind
+//!   [`execute_processors`]) — one OS thread per processor, blocking
+//!   queues, real parallelism;
+//! * [`sim::SimTransport`] — every processor interleaved on one thread
+//!   under a virtual clock with a seeded scheduler and [`fault::FaultPlan`]
+//!   injection: deterministic, replayable, adversarial. [`explore`] sweeps
+//!   seed ranges and shrinks failures to minimal replayable traces.
 //!
 //! The runtime is scheme-agnostic: it executes any [`ProcessorProgram`] —
 //! the rewriting schemes in `gst-core` produce them — and reports the
@@ -25,16 +34,24 @@
 
 pub mod codec;
 pub mod coordinator;
+pub mod explore;
+pub mod fault;
 pub mod message;
+pub mod sim;
 pub mod spec;
 pub mod simulate;
 pub mod stats;
 pub mod sync;
 pub mod termination;
+pub mod transport;
 pub mod worker;
 
 pub use coordinator::{execute_processors, RuntimeConfig};
+pub use explore::{shrink_failure, sweep_seeds, ExpectedModel, Shrunk, SweepReport};
+pub use fault::{CrashSpec, FaultPlan};
+pub use sim::{SimTrace, SimTransport, TraceEvent};
 pub use simulate::{simulate_bsp, MachineModel, RoundTrace};
 pub use sync::{execute_synchronous, execute_synchronous_traced};
 pub use spec::{ChannelOut, ProcessorProgram, WorkerSpec};
 pub use stats::{ExecutionOutcome, ParallelStats, WorkerReport};
+pub use transport::{ThreadedTransport, Transport};

@@ -1,11 +1,16 @@
-//! Wire format between worker threads.
+//! Wire format between workers.
 
-use bytes::Bytes;
+use std::sync::Arc;
 
 use crate::termination::TokenMsg;
 
+/// An immutable, cheaply cloneable serialized batch. Cloning an envelope
+/// (e.g. when the fault injector duplicates a delivery) copies a pointer,
+/// not the payload.
+pub type Payload = Arc<[u8]>;
+
 /// A message traveling on a channel `i → j`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
     /// A serialized batch of derived tuples for the destination's inbox
     /// predicate (see [`crate::codec`]). This is the paper's channel
@@ -13,18 +18,56 @@ pub enum Message {
     /// should be interpreted as processor i sending the tuples to
     /// processor j". Batches travel encoded so communication is measured
     /// in wire bytes.
-    Batch(Bytes),
+    Batch(Payload),
     /// Safra's termination-detection token, traveling the ring.
     Token(TokenMsg),
     /// Global termination announcement (from the ring initiator).
     Terminate,
 }
 
-/// A message with its sender, as delivered to a worker's queue.
-#[derive(Debug, Clone)]
+impl Message {
+    /// Short tag for traces and diagnostics.
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            Message::Batch(_) => MessageKind::Batch,
+            Message::Token(_) => MessageKind::Token,
+            Message::Terminate => MessageKind::Terminate,
+        }
+    }
+}
+
+/// The variant of a [`Message`], without its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageKind {
+    /// A tuple batch (the only kind subject to duplication/drop faults).
+    Batch,
+    /// A termination-detection token.
+    Token,
+    /// The termination broadcast.
+    Terminate,
+}
+
+impl std::fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MessageKind::Batch => write!(f, "batch"),
+            MessageKind::Token => write!(f, "token"),
+            MessageKind::Terminate => write!(f, "terminate"),
+        }
+    }
+}
+
+/// A message with its routing metadata, as delivered to a worker's queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
     /// Sending processor index.
     pub from: usize,
+    /// Per-link sequence number, assigned by the sender. A transport that
+    /// duplicates a delivery (fault injection) reuses the sequence number,
+    /// so the receiver can keep the termination detector's message
+    /// accounting exact while still absorbing the duplicate payload
+    /// (harmless under set semantics).
+    pub seq: u64,
     /// Payload.
     pub message: Message,
 }
@@ -42,27 +85,53 @@ mod tests {
         let payload = crate::codec::encode_batch(pred, &[ituple![1, 2]]).unwrap();
         let env = Envelope {
             from: 3,
+            seq: 0,
             message: Message::Batch(payload),
         };
         assert_eq!(env.from, 3);
+        assert_eq!(env.message.kind(), MessageKind::Batch);
         match env.message {
             Message::Batch(bytes) => {
-                let (inbox, tuples) = crate::codec::decode_batch(bytes).unwrap();
+                let (inbox, tuples) = crate::codec::decode_batch(&bytes).unwrap();
                 assert_eq!(inbox, pred);
                 assert_eq!(tuples, vec![ituple![1, 2]]);
             }
             _ => panic!("wrong variant"),
         }
-        let _tok = Envelope {
+        let tok = Envelope {
             from: 0,
+            seq: 1,
             message: Message::Token(TokenMsg {
                 color: Color::White,
                 count: 0,
             }),
         };
-        let _term = Envelope {
+        assert_eq!(tok.message.kind(), MessageKind::Token);
+        let term = Envelope {
             from: 0,
+            seq: 2,
             message: Message::Terminate,
         };
+        assert_eq!(term.message.kind(), MessageKind::Terminate);
+    }
+
+    #[test]
+    fn envelope_clone_shares_payload() {
+        let interner = gst_common::Interner::new();
+        let pred = (interner.intern("t_in"), 1);
+        let payload = crate::codec::encode_batch(pred, &[ituple![7]]).unwrap();
+        let env = Envelope {
+            from: 1,
+            seq: 9,
+            message: Message::Batch(payload),
+        };
+        let dup = env.clone();
+        match (&env.message, &dup.message) {
+            (Message::Batch(a), Message::Batch(b)) => {
+                assert!(std::sync::Arc::ptr_eq(a, b), "clone is pointer-cheap");
+            }
+            _ => panic!("wrong variants"),
+        }
+        assert_eq!(env, dup);
     }
 }

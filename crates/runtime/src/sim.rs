@@ -1,0 +1,643 @@
+//! Deterministic simulation transport: all processors on one thread,
+//! under a virtual clock, with seeded adversarial scheduling and fault
+//! injection.
+//!
+//! The threaded transport leaves scheduling to the OS — every run explores
+//! one uncontrollable interleaving. [`SimTransport`] turns the schedule
+//! into an *input*: a discrete-event loop pops `(virtual time, tiebreak)`
+//! ordered events off a heap, and every nondeterministic choice — which
+//! worker steps next, how long a step takes, when a message arrives,
+//! whether it is duplicated, delayed or dropped-and-redelivered
+//! ([`FaultPlan`]) — is drawn from a [`SmallRng`] seeded by the caller.
+//! Identical seed, specs and plan ⇒ identical event sequence, trace,
+//! per-worker firing counts and final model, bit for bit. A failing seed
+//! from a sweep ([`crate::explore`]) is therefore a complete, replayable
+//! bug report.
+//!
+//! The same [`crate::worker::WorkerCore`] state machine runs here and in
+//! the threaded transport; nothing is mocked above the wire. This is the
+//! simulation-testing discipline FoundationDB popularized, applied to the
+//! paper's architecture: the algorithmic claims (least-model correctness
+//! under asynchrony, Safra termination, set-semantics idempotence under
+//! duplication) are checked under schedules far nastier than an OS will
+//! produce in a CI run.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use gst_common::{Result, SmallRng};
+
+use crate::coordinator::RuntimeConfig;
+use crate::fault::FaultPlan;
+use crate::message::{Envelope, MessageKind};
+use crate::spec::WorkerSpec;
+use crate::stats::ExecutionOutcome;
+use crate::transport::{assemble_outcome, validate_specs, Transport};
+use crate::worker::{finish_core, watchdog_error, Outbox, Step, WorkerCore};
+
+/// Extra virtual ticks a step may cost beyond its base tick — the
+/// scheduler's knob for letting workers race past each other.
+const STEP_JITTER: u64 = 4;
+
+/// Hard ceiling on processed events: a diverging simulation (which would
+/// mean a liveness bug) fails loudly instead of spinning forever.
+const MAX_EVENTS: u64 = 20_000_000;
+
+/// What one simulated worker step reported (public mirror of the worker's
+/// internal step result).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Progress was made.
+    Worked,
+    /// Locally quiescent; the worker sleeps until a delivery.
+    Idle,
+    /// Globally terminated.
+    Done,
+}
+
+/// One entry of the replayable schedule trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A worker executed one scheduling quantum.
+    Step {
+        /// Virtual time of the step.
+        time: u64,
+        /// Which worker stepped.
+        worker: usize,
+        /// What the step reported.
+        outcome: StepOutcome,
+    },
+    /// An envelope reached a worker's queue.
+    Deliver {
+        /// Virtual delivery time.
+        time: u64,
+        /// Receiving worker.
+        to: usize,
+        /// Sending worker.
+        from: usize,
+        /// Per-link sequence number of the envelope.
+        seq: u64,
+        /// Kind of message delivered.
+        kind: MessageKind,
+        /// True for the fault injector's duplicate copy.
+        duplicate: bool,
+    },
+    /// The fault plan stalled a worker.
+    Stall {
+        /// When the stall began.
+        time: u64,
+        /// Which worker stalled.
+        worker: usize,
+        /// When it resumes.
+        until: u64,
+    },
+    /// The fault plan killed a worker.
+    Crash {
+        /// When it died.
+        time: u64,
+        /// Which worker died.
+        worker: usize,
+    },
+}
+
+/// The full schedule of one simulated run — deterministic in (specs,
+/// seed, plan), so two runs are bit-for-bit comparable.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimTrace {
+    /// Events in execution order.
+    pub events: Vec<TraceEvent>,
+    /// Virtual time at which the run ended.
+    pub virtual_time: u64,
+}
+
+impl SimTrace {
+    /// Number of worker steps per processor (a compact schedule
+    /// fingerprint used by reproducibility assertions).
+    pub fn steps_per_worker(&self, n: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; n];
+        for e in &self.events {
+            if let TraceEvent::Step { worker, .. } = e {
+                counts[*worker] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Number of duplicate deliveries the fault injector produced.
+    pub fn duplicates(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Deliver { duplicate: true, .. }))
+            .count() as u64
+    }
+}
+
+impl std::fmt::Display for SimTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for e in &self.events {
+            match e {
+                TraceEvent::Step { time, worker, outcome } => {
+                    writeln!(f, "[{time:>8}] step    w{worker} -> {outcome:?}")?
+                }
+                TraceEvent::Deliver { time, to, from, seq, kind, duplicate } => {
+                    let marker = if *duplicate { " (dup)" } else { "" };
+                    writeln!(f, "[{time:>8}] deliver w{from} -> w{to} {kind} #{seq}{marker}")?
+                }
+                TraceEvent::Stall { time, worker, until } => {
+                    writeln!(f, "[{time:>8}] stall   w{worker} until {until}")?
+                }
+                TraceEvent::Crash { time, worker } => {
+                    writeln!(f, "[{time:>8}] crash   w{worker}")?
+                }
+            }
+        }
+        writeln!(f, "[{:>8}] end of simulation", self.virtual_time)
+    }
+}
+
+enum EventKind {
+    /// Give worker `w` one step.
+    Ready(usize),
+    /// Hand an envelope to worker `to`.
+    Deliver {
+        to: usize,
+        env: Envelope,
+        duplicate: bool,
+    },
+    /// Kill a worker.
+    Crash(usize),
+}
+
+struct Event {
+    time: u64,
+    tiebreak: u64,
+    kind: EventKind,
+}
+
+// BinaryHeap is a max-heap; invert the comparison for earliest-first.
+// `tiebreak` is unique per event, giving a total (hence deterministic)
+// order.
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.tiebreak) == (other.time, other.tiebreak)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.tiebreak).cmp(&(self.time, self.tiebreak))
+    }
+}
+
+/// Outbox that collects a step's sends for the event loop to route.
+#[derive(Default)]
+struct SimOutbox {
+    sends: Vec<(usize, Envelope)>,
+}
+
+impl Outbox for SimOutbox {
+    fn send(&mut self, to: usize, env: Envelope) -> Result<()> {
+        self.sends.push((to, env));
+        Ok(())
+    }
+}
+
+/// The single-threaded, virtual-clock transport.
+#[derive(Debug, Clone)]
+pub struct SimTransport {
+    /// Seed for every scheduling and fault decision.
+    pub seed: u64,
+    /// The misbehavior distribution.
+    pub faults: FaultPlan,
+}
+
+impl SimTransport {
+    /// A simulator with a perfect network.
+    pub fn new(seed: u64) -> Self {
+        SimTransport {
+            seed,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// A simulator drawing faults from `plan`.
+    pub fn with_faults(seed: u64, plan: FaultPlan) -> Self {
+        SimTransport { seed, faults: plan }
+    }
+
+    /// Run the fleet, returning the outcome together with the replayable
+    /// trace (also populated when the run fails).
+    pub fn run_traced(
+        &self,
+        specs: Vec<WorkerSpec>,
+        config: &RuntimeConfig,
+    ) -> (Result<ExecutionOutcome>, SimTrace) {
+        let mut trace = SimTrace::default();
+        let result = self.run_inner(specs, config, &mut trace);
+        (result, trace)
+    }
+
+    fn run_inner(
+        &self,
+        specs: Vec<WorkerSpec>,
+        config: &RuntimeConfig,
+        trace: &mut SimTrace,
+    ) -> Result<ExecutionOutcome> {
+        validate_specs(&specs)?;
+        if let Some(crash) = self.faults.crash {
+            if crash.worker >= specs.len() {
+                return Err(gst_common::Error::Runtime(format!(
+                    "fault plan crashes nonexistent processor {}",
+                    crash.worker
+                )));
+            }
+        }
+        let started = Instant::now();
+        let n = specs.len();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut cores = specs
+            .into_iter()
+            .map(|spec| WorkerCore::new(spec, n))
+            .collect::<Result<Vec<_>>>()?;
+
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut tiebreak = 0u64;
+        let mut push = |heap: &mut BinaryHeap<Event>, time: u64, kind: EventKind| {
+            heap.push(Event {
+                time,
+                tiebreak,
+                kind,
+            });
+            tiebreak += 1;
+        };
+
+        let mut ready_pending = vec![false; n];
+        let mut crashed = vec![false; n];
+        // Random initial offsets: even the first step order is part of the
+        // explored schedule space.
+        for (w, pending) in ready_pending.iter_mut().enumerate() {
+            let at = rng.gen_below(STEP_JITTER + 1);
+            *pending = true;
+            push(&mut heap, at, EventKind::Ready(w));
+        }
+        if let Some(crash) = self.faults.crash {
+            push(&mut heap, crash.at_time, EventKind::Crash(crash.worker));
+        }
+
+        let mut now = 0u64;
+        let mut processed = 0u64;
+        while let Some(event) = heap.pop() {
+            debug_assert!(event.time >= now, "virtual time went backwards");
+            now = event.time;
+            processed += 1;
+            if processed > MAX_EVENTS {
+                return Err(gst_common::Error::Runtime(
+                    "simulation exceeded its event budget (liveness bug?)".into(),
+                ));
+            }
+            match event.kind {
+                EventKind::Ready(w) => {
+                    ready_pending[w] = false;
+                    if crashed[w] || cores[w].terminated() {
+                        continue;
+                    }
+                    let mut out = SimOutbox::default();
+                    let step = cores[w].step(&mut out)?;
+                    trace.events.push(TraceEvent::Step {
+                        time: now,
+                        worker: w,
+                        outcome: match step {
+                            Step::Worked => StepOutcome::Worked,
+                            Step::Idle => StepOutcome::Idle,
+                            Step::Done => StepOutcome::Done,
+                        },
+                    });
+                    for (to, env) in out.sends {
+                        self.route(&mut rng, &mut push, &mut heap, now, to, env);
+                    }
+                    if step == Step::Worked {
+                        let mut at = now + 1 + rng.gen_below(STEP_JITTER);
+                        if self.faults.stall_ticks > 0
+                            && rng.gen_bool(self.faults.stall_prob)
+                        {
+                            at += self.faults.stall_ticks;
+                            trace.events.push(TraceEvent::Stall {
+                                time: now,
+                                worker: w,
+                                until: at,
+                            });
+                        }
+                        ready_pending[w] = true;
+                        push(&mut heap, at, EventKind::Ready(w));
+                    }
+                    // Idle: sleep until a delivery; Done: out of the game.
+                }
+                EventKind::Deliver { to, env, duplicate } => {
+                    if crashed[to] {
+                        continue; // a dead worker black-holes its queue
+                    }
+                    trace.events.push(TraceEvent::Deliver {
+                        time: now,
+                        to,
+                        from: env.from,
+                        seq: env.seq,
+                        kind: env.message.kind(),
+                        duplicate,
+                    });
+                    if cores[to].terminated() {
+                        continue; // late duplicate after termination
+                    }
+                    cores[to].enqueue(env);
+                    if !ready_pending[to] {
+                        ready_pending[to] = true;
+                        push(&mut heap, now, EventKind::Ready(to));
+                    }
+                }
+                EventKind::Crash(w) => {
+                    if !cores[w].terminated() {
+                        crashed[w] = true;
+                        trace.events.push(TraceEvent::Crash { time: now, worker: w });
+                    }
+                }
+            }
+            if cores.iter().enumerate().all(|(w, c)| c.terminated() || crashed[w])
+                && cores.iter().any(|c| c.terminated())
+            {
+                // All survivors terminated; drain nothing further.
+                break;
+            }
+        }
+        trace.virtual_time = now;
+
+        // The queue ran dry. If a healthy worker never terminated, the
+        // fleet starved — exactly the condition the threaded transport's
+        // idle watchdog reports (a crashed fleet must error, not hang).
+        if let Some(w) = cores
+            .iter()
+            .position(|c| !c.terminated() && !crashed[c.id()])
+        {
+            return Err(watchdog_error(w, format!("virtual time {now}")));
+        }
+        if cores.iter().all(|c| !c.terminated()) {
+            return Err(gst_common::Error::Runtime(
+                "every worker crashed before termination".into(),
+            ));
+        }
+
+        let results = cores
+            .into_iter()
+            .map(|core| finish_core(core, &config.worker))
+            .collect();
+        assemble_outcome(results, started.elapsed())
+    }
+
+    /// Route one send through the fault plan, scheduling delivery events.
+    fn route(
+        &self,
+        rng: &mut SmallRng,
+        push: &mut impl FnMut(&mut BinaryHeap<Event>, u64, EventKind),
+        heap: &mut BinaryHeap<Event>,
+        now: u64,
+        to: usize,
+        env: Envelope,
+    ) {
+        let plan = &self.faults;
+        let mut delay = rng.gen_inclusive(plan.min_delay, plan.max_delay);
+        // Control traffic (token, terminate) is exempt from duplication
+        // and loss: Safra's invariant is one token in the ring, and a real
+        // transport keeps control messages reliable via acks. Delay (and
+        // therefore reordering against batches) still applies.
+        if env.message.kind() == MessageKind::Batch {
+            if rng.gen_bool(plan.drop_prob) {
+                // Loss with guaranteed redelivery: the retransmit pays the
+                // redelivery penalty on top of the original draw.
+                delay += plan.drop_redeliver_after;
+            }
+            if rng.gen_bool(plan.dup_prob) {
+                let dup_delay = rng.gen_inclusive(plan.min_delay, plan.max_delay);
+                push(
+                    heap,
+                    now + dup_delay,
+                    EventKind::Deliver {
+                        to,
+                        env: env.clone(),
+                        duplicate: true,
+                    },
+                );
+            }
+        }
+        push(
+            heap,
+            now + delay,
+            EventKind::Deliver {
+                to,
+                env,
+                duplicate: false,
+            },
+        );
+    }
+}
+
+impl Transport for SimTransport {
+    fn execute(&self, specs: Vec<WorkerSpec>, config: &RuntimeConfig) -> Result<ExecutionOutcome> {
+        self.run_traced(specs, config).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ChannelOut, ProcessorProgram};
+    use gst_common::{ituple, Interner};
+    use gst_storage::Database;
+    use std::sync::Arc;
+
+    /// The ping-pong fleet from the sync tests: two workers alternately
+    /// extending paths over a chain whose edges they own half each.
+    fn ping_pong_specs() -> (Vec<WorkerSpec>, gst_eval::plan::RelationId) {
+        let interner = Interner::new();
+        let unit0 = gst_frontend::parser::parse_program_with(
+            "t0(X,Y) :- e0(X,Y).\n\
+             t0(X,Y) :- e0(X,Z), in0(Z,Y).\n\
+             ship0(Z,Y) :- t0(Z,Y).",
+            &interner,
+        )
+        .unwrap();
+        let unit1 = gst_frontend::parser::parse_program_with(
+            "t1(X,Y) :- e1(X,Z), in1(Z,Y).\n\
+             ship1(Z,Y) :- t1(Z,Y).",
+            &interner,
+        )
+        .unwrap();
+        let e0 = (interner.get("e0").unwrap(), 2);
+        let e1 = (interner.get("e1").unwrap(), 2);
+        let t0 = (interner.get("t0").unwrap(), 2);
+        let t1 = (interner.get("t1").unwrap(), 2);
+        let in0 = (interner.intern("in0"), 2);
+        let in1 = (interner.intern("in1"), 2);
+        let ship0 = (interner.get("ship0").unwrap(), 2);
+        let ship1 = (interner.get("ship1").unwrap(), 2);
+        let answer = (interner.intern("t"), 2);
+
+        let mut db0 = Database::new(interner.clone());
+        let mut db1 = Database::new(interner.clone());
+        for k in 0..6i64 {
+            let id = if k % 2 == 0 { e0 } else { e1 };
+            let db = if k % 2 == 0 { &mut db0 } else { &mut db1 };
+            db.insert(id, ituple![k, k + 1]).unwrap();
+        }
+        let spec0 = WorkerSpec {
+            program: ProcessorProgram {
+                processor: 0,
+                program: unit0.program,
+                outgoing: vec![ChannelOut { channel: ship0, dest: 1, inbox: in1 }],
+                inboxes: vec![in0],
+                processing_rules: vec![0, 1],
+                pooling: vec![(t0, answer)],
+            },
+            edb: Arc::new(db0),
+        };
+        let spec1 = WorkerSpec {
+            program: ProcessorProgram {
+                processor: 1,
+                program: unit1.program,
+                outgoing: vec![ChannelOut { channel: ship1, dest: 0, inbox: in0 }],
+                inboxes: vec![in1],
+                processing_rules: vec![0],
+                pooling: vec![(t1, answer)],
+            },
+            edb: Arc::new(Database::new(interner.clone())),
+        };
+        // db1's edges: re-add (moved above into db1 before Arc).
+        let mut specs = vec![spec0, spec1];
+        specs[1].edb = Arc::new(db1);
+        (specs, answer)
+    }
+
+    #[test]
+    fn sim_matches_threaded_semantics() {
+        let (specs, answer) = ping_pong_specs();
+        let threaded =
+            crate::coordinator::execute_processors(specs.clone(), &RuntimeConfig::default())
+                .unwrap();
+        let sim = SimTransport::new(7)
+            .execute(specs, &RuntimeConfig::default())
+            .unwrap();
+        assert!(sim.relation(answer).set_eq(&threaded.relation(answer)));
+        assert!(!sim.relation(answer).is_empty());
+        assert_eq!(
+            sim.stats.total_tuples_sent(),
+            threaded.stats.total_tuples_sent(),
+            "delta shipping sends each tuple once in both transports"
+        );
+    }
+
+    #[test]
+    fn same_seed_is_bit_for_bit_reproducible() {
+        let (specs, answer) = ping_pong_specs();
+        let sim = SimTransport::with_faults(99, FaultPlan::chaos());
+        let (a, ta) = sim.run_traced(specs.clone(), &RuntimeConfig::default());
+        let (b, tb) = sim.run_traced(specs, &RuntimeConfig::default());
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert_eq!(ta, tb, "identical trace, event for event");
+        assert!(a.relation(answer).set_eq(&b.relation(answer)));
+        for (wa, wb) in a.stats.workers.iter().zip(&b.stats.workers) {
+            assert_eq!(wa.eval.firings, wb.eval.firings);
+            assert_eq!(wa.sent_tuples_to, wb.sent_tuples_to);
+            assert_eq!(wa.duplicate_batches, wb.duplicate_batches);
+        }
+    }
+
+    #[test]
+    fn different_seeds_explore_different_schedules() {
+        let (specs, _) = ping_pong_specs();
+        let sim_a = SimTransport::with_faults(1, FaultPlan::jitter());
+        let sim_b = SimTransport::with_faults(2, FaultPlan::jitter());
+        let (_, ta) = sim_a.run_traced(specs.clone(), &RuntimeConfig::default());
+        let (_, tb) = sim_b.run_traced(specs, &RuntimeConfig::default());
+        assert_ne!(ta.events, tb.events, "seeds should yield distinct schedules");
+    }
+
+    #[test]
+    fn faults_do_not_change_the_least_model() {
+        let (specs, answer) = ping_pong_specs();
+        let clean = SimTransport::new(0)
+            .execute(specs.clone(), &RuntimeConfig::default())
+            .unwrap();
+        for seed in 0..8 {
+            let chaotic = SimTransport::with_faults(seed, FaultPlan::chaos())
+                .execute(specs.clone(), &RuntimeConfig::default())
+                .unwrap();
+            assert!(
+                chaotic.relation(answer).set_eq(&clean.relation(answer)),
+                "seed {seed} diverged under faults"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_are_observed_and_absorbed() {
+        let (specs, _) = ping_pong_specs();
+        let plan = FaultPlan {
+            dup_prob: 1.0,
+            ..FaultPlan::jitter()
+        };
+        let (outcome, trace) =
+            SimTransport::with_faults(5, plan).run_traced(specs, &RuntimeConfig::default());
+        let outcome = outcome.unwrap();
+        assert!(trace.duplicates() > 0, "every batch should be duplicated");
+        let absorbed: u64 = outcome.stats.workers.iter().map(|w| w.duplicate_batches).sum();
+        assert!(absorbed > 0, "workers must see (and dedup) duplicates");
+    }
+
+    #[test]
+    fn crash_surfaces_watchdog_error_not_hang() {
+        let (specs, _) = ping_pong_specs();
+        // Kill worker 1 early, before the fixpoint can complete.
+        let sim = SimTransport::with_faults(3, FaultPlan::with_crash(1, 2));
+        let (result, trace) = sim.run_traced(specs, &RuntimeConfig::default());
+        let err = result.unwrap_err().to_string();
+        assert!(err.contains("idle"), "want the watchdog error, got: {err}");
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Crash { worker: 1, .. })));
+    }
+
+    #[test]
+    fn single_worker_fleet_terminates_in_sim() {
+        let interner = Interner::new();
+        let unit = gst_frontend::parser::parse_program_with(
+            "t(X,Y) :- e(X,Y).\nt(X,Y) :- e(X,Z), t(Z,Y).",
+            &interner,
+        )
+        .unwrap();
+        let e = (interner.intern("e"), 2);
+        let t = (interner.get("t").unwrap(), 2);
+        let answer = (interner.intern("answer"), 2);
+        let mut db = Database::new(interner.clone());
+        db.insert(e, ituple![1, 2]).unwrap();
+        db.insert(e, ituple![2, 3]).unwrap();
+        let spec = WorkerSpec {
+            program: ProcessorProgram {
+                processor: 0,
+                program: unit.program,
+                outgoing: vec![],
+                inboxes: vec![],
+                processing_rules: vec![0, 1],
+                pooling: vec![(t, answer)],
+            },
+            edb: Arc::new(db),
+        };
+        let outcome = SimTransport::new(11)
+            .execute(vec![spec], &RuntimeConfig::default())
+            .unwrap();
+        assert_eq!(outcome.relation(answer).len(), 3);
+    }
+}

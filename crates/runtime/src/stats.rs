@@ -33,10 +33,23 @@ pub struct WorkerReport {
     pub received_tuples: u64,
     /// Wire bytes received.
     pub received_bytes: u64,
+    /// Transport-level duplicate deliveries absorbed (same link sequence
+    /// number seen twice). Zero under a reliable transport; positive only
+    /// when a fault plan duplicates or re-delivers batches.
+    pub duplicate_batches: u64,
     /// Tuples contributed to the pooled global answer.
     pub pooled_tuples: u64,
     /// Time spent computing (local evaluation), excluding idle waits.
     pub busy: std::time::Duration,
+}
+
+impl WorkerReport {
+    /// The same report with `pooled_tuples` filled in (pooling happens
+    /// after the worker's own counters are frozen).
+    pub fn with_pooled(mut self, pooled_tuples: u64) -> Self {
+        self.pooled_tuples = pooled_tuples;
+        self
+    }
 }
 
 /// Aggregated statistics of one parallel execution.
@@ -158,6 +171,7 @@ mod tests {
             sent_messages: 1,
             received_tuples: 0,
             received_bytes: 0,
+            duplicate_batches: 0,
             pooled_tuples: 0,
             busy: Duration::ZERO,
         }

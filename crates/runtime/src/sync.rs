@@ -36,7 +36,7 @@
 
 use std::time::Instant;
 
-use gst_common::{Error, FxHashMap, Result};
+use gst_common::{FxHashMap, Result};
 use gst_eval::plan::RelationId;
 use gst_eval::FixpointEngine;
 use gst_storage::Relation;
@@ -58,25 +58,7 @@ pub fn execute_synchronous(specs: &[WorkerSpec]) -> Result<ExecutionOutcome> {
 pub fn execute_synchronous_traced(
     specs: &[WorkerSpec],
 ) -> Result<(ExecutionOutcome, RoundTrace)> {
-    if specs.is_empty() {
-        return Err(Error::Runtime("no processors to execute".into()));
-    }
-    for (i, spec) in specs.iter().enumerate() {
-        if spec.program.processor != i {
-            return Err(Error::Runtime(format!(
-                "worker at position {i} claims processor {}",
-                spec.program.processor
-            )));
-        }
-        for out in &spec.program.outgoing {
-            if out.dest >= specs.len() {
-                return Err(Error::Runtime(format!(
-                    "processor {i} has a channel to nonexistent processor {}",
-                    out.dest
-                )));
-            }
-        }
-    }
+    crate::transport::validate_specs(specs)?;
 
     let n = specs.len();
     let started = Instant::now();
@@ -139,7 +121,7 @@ pub fn execute_synchronous_traced(
         // Sending: collect each processor's fresh channel deltas.
         let mut round_tuples = vec![vec![0u64; n]; n];
         let mut round_batches = vec![vec![0u64; n]; n];
-        let mut deliveries: Vec<(usize, usize, bytes::Bytes)> = Vec::new();
+        let mut deliveries: Vec<(usize, usize, crate::message::Payload)> = Vec::new();
         for (i, engine) in engines.iter().enumerate() {
             for out in &specs[i].program.outgoing {
                 let tuples = engine.delta_tuples(out.channel);
@@ -173,7 +155,7 @@ pub fn execute_synchronous_traced(
         // Receiving: deliver every batch at the round boundary.
         for (_from, dest, payload) in deliveries {
             received_bytes[dest] += payload.len() as u64;
-            let (inbox, tuples) = decode_batch(payload)?;
+            let (inbox, tuples) = decode_batch(&payload)?;
             received_tuples[dest] += tuples.len() as u64;
             engines[dest].inject(inbox, tuples)?;
         }
@@ -222,6 +204,7 @@ pub fn execute_synchronous_traced(
                 sent_messages: sent_messages[i],
                 received_tuples: received_tuples[i],
                 received_bytes: received_bytes[i],
+                duplicate_batches: 0,
                 pooled_tuples: pooled_tuples[i],
                 busy: busy[i],
             }

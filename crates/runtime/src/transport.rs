@@ -1,0 +1,206 @@
+//! The transport abstraction: how worker state machines get driven and
+//! how their envelopes move.
+//!
+//! The paper's architecture assumes "a processor i in P may communicate
+//! with every other processor j" over reliable channels, but deliberately
+//! says nothing about *what* a processor is. This module keeps that
+//! abstraction honest in code: a [`Transport`] executes a set of
+//! [`WorkerSpec`]s to distributed termination and pools the answer, and
+//! everything above it (schemes, CLI, experiments) is transport-agnostic.
+//!
+//! Two implementations exist:
+//!
+//! * [`ThreadedTransport`] — one OS thread per processor with blocking
+//!   queues; real parallelism, schedule chosen by the OS;
+//! * [`crate::sim::SimTransport`] — all processors interleaved on the
+//!   calling thread under a virtual clock, schedule chosen by a seeded
+//!   PRNG, with optional fault injection. Same [`crate::worker::WorkerCore`],
+//!   adversarial schedules, bit-for-bit reproducible.
+
+use std::collections::hash_map::Entry;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Instant;
+
+use gst_common::{Error, FxHashMap, Result};
+use gst_eval::plan::RelationId;
+use gst_storage::Relation;
+
+use crate::coordinator::RuntimeConfig;
+use crate::message::Envelope;
+use crate::spec::WorkerSpec;
+use crate::stats::{ExecutionOutcome, ParallelStats, WorkerReport};
+use crate::worker::{finish_core, watchdog_error, Outbox, PooledRelations, Step, WorkerCore};
+
+/// Something that can run a fleet of processor programs to distributed
+/// termination and pool the global answer.
+pub trait Transport {
+    /// Execute one [`WorkerSpec`] per processor and pool the results.
+    ///
+    /// `specs[i].program.processor` must equal `i` — the termination ring
+    /// and the channel matrix are indexed by position.
+    fn execute(&self, specs: Vec<WorkerSpec>, config: &RuntimeConfig) -> Result<ExecutionOutcome>;
+}
+
+/// Shared spec validation: positions match processor ids, channel
+/// destinations exist.
+pub(crate) fn validate_specs(specs: &[WorkerSpec]) -> Result<()> {
+    if specs.is_empty() {
+        return Err(Error::Runtime("no processors to execute".into()));
+    }
+    for (i, spec) in specs.iter().enumerate() {
+        if spec.program.processor != i {
+            return Err(Error::Runtime(format!(
+                "worker at position {i} claims processor {}",
+                spec.program.processor
+            )));
+        }
+        for out in &spec.program.outgoing {
+            if out.dest >= specs.len() {
+                return Err(Error::Runtime(format!(
+                    "processor {i} has a channel to nonexistent processor {}",
+                    out.dest
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Union one worker's pooled relations into the global answer. The first
+/// shard per predicate arrives by move (no per-tuple cost).
+pub(crate) fn pool_into(
+    relations: &mut FxHashMap<RelationId, Relation>,
+    pooled: PooledRelations,
+) -> Result<()> {
+    for (global, rel) in pooled {
+        match relations.entry(global) {
+            Entry::Vacant(slot) => {
+                slot.insert(rel);
+            }
+            Entry::Occupied(mut slot) => {
+                slot.get_mut().absorb(&rel)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Assemble the final outcome from per-worker results (shared by both
+/// transports).
+pub(crate) fn assemble_outcome(
+    results: Vec<(WorkerReport, PooledRelations)>,
+    wall_time: std::time::Duration,
+) -> Result<ExecutionOutcome> {
+    let mut reports: Vec<WorkerReport> = Vec::with_capacity(results.len());
+    let mut relations: FxHashMap<RelationId, Relation> = FxHashMap::default();
+    for (report, pooled) in results {
+        pool_into(&mut relations, pooled)?;
+        reports.push(report);
+    }
+    reports.sort_by_key(|r| r.processor);
+    let channel_matrix: Vec<Vec<u64>> = reports.iter().map(|r| r.sent_tuples_to.clone()).collect();
+    Ok(ExecutionOutcome {
+        relations,
+        stats: ParallelStats {
+            workers: reports,
+            channel_matrix,
+            wall_time,
+        },
+    })
+}
+
+/// One OS thread per processor, unbounded queues, OS scheduling — the
+/// deployment transport.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadedTransport;
+
+/// Outbox over per-processor queue senders.
+struct ThreadOutbox {
+    senders: Vec<Sender<Envelope>>,
+}
+
+impl Outbox for ThreadOutbox {
+    fn send(&mut self, to: usize, env: Envelope) -> Result<()> {
+        self.senders[to].send(env).map_err(|_| {
+            Error::Runtime(format!("channel to processor {to} closed (peer exited early)"))
+        })
+    }
+}
+
+/// The per-thread driver: drain the queue, step the core, block (bounded)
+/// when idle, watchdog a starving worker.
+fn run_threaded(
+    spec: WorkerSpec,
+    senders: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+    config: RuntimeConfig,
+) -> Result<(WorkerReport, PooledRelations)> {
+    let n = senders.len();
+    let mut core = WorkerCore::new(spec, n)?;
+    let mut out = ThreadOutbox { senders };
+    let mut idle_since: Option<Instant> = None;
+    loop {
+        while let Ok(env) = rx.try_recv() {
+            core.enqueue(env);
+        }
+        match core.step(&mut out)? {
+            Step::Done => break,
+            Step::Worked => idle_since = None,
+            Step::Idle => {
+                let since = *idle_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= config.worker.idle_watchdog {
+                    return Err(watchdog_error(core.id(), since.elapsed()));
+                }
+                match rx.recv_timeout(config.worker.idle_poll) {
+                    Ok(env) => core.enqueue(env),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // All senders (including the coordinator's anchor)
+                        // dropped: the run is being torn down.
+                        return Err(watchdog_error(core.id(), since.elapsed()));
+                    }
+                }
+            }
+        }
+    }
+    Ok(finish_core(core, &config.worker))
+}
+
+impl Transport for ThreadedTransport {
+    fn execute(&self, specs: Vec<WorkerSpec>, config: &RuntimeConfig) -> Result<ExecutionOutcome> {
+        validate_specs(&specs)?;
+        let n = specs.len();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::<Envelope>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let started = Instant::now();
+        // The coordinator keeps anchor clones of every sender so a worker
+        // blocked in recv_timeout sees Timeout (not Disconnected) while
+        // peers are still being joined; a send to an *exited* worker still
+        // fails fast because its Receiver is dropped.
+        let joined: Vec<Result<(WorkerReport, PooledRelations)>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (spec, rx) in specs.into_iter().zip(receivers) {
+                let senders = senders.clone();
+                let config = config.clone();
+                handles.push(scope.spawn(move || run_threaded(spec, senders, rx, config)));
+            }
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(Error::Runtime("worker thread panicked".into())))
+                })
+                .collect()
+        });
+        drop(senders);
+        let wall_time = started.elapsed();
+        let results = joined.into_iter().collect::<Result<Vec<_>>>()?;
+        assemble_outcome(results, wall_time)
+    }
+}

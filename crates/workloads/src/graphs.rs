@@ -1,9 +1,7 @@
 //! Seeded graph generators producing arity-2 edge relations.
 
-use gst_common::{ituple, Tuple};
+use gst_common::{ituple, SmallRng, Tuple};
 use gst_storage::Relation;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A chain `0 → 1 → … → n`: `n` edges, transitive closure of size
 /// `n(n+1)/2`. The deepest recursion the TC workloads produce.
@@ -40,7 +38,7 @@ pub fn star(n: u64) -> Relation {
 /// self-loops excluded, deterministic in `seed`.
 pub fn random_digraph(nodes: u64, edges: u64, seed: u64) -> Relation {
     assert!(nodes >= 2, "need at least two nodes for non-loop edges");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut rel = Relation::with_capacity(2, edges as usize);
     let mut attempts = 0u64;
     // Distinctness can make exact `edges` unreachable on tiny graphs;
@@ -48,8 +46,8 @@ pub fn random_digraph(nodes: u64, edges: u64, seed: u64) -> Relation {
     let max_attempts = edges.saturating_mul(20).max(1000);
     while (rel.len() as u64) < edges && attempts < max_attempts {
         attempts += 1;
-        let a = rng.gen_range(0..nodes) as i64;
-        let b = rng.gen_range(0..nodes) as i64;
+        let a = rng.gen_below(nodes) as i64;
+        let b = rng.gen_below(nodes) as i64;
         if a != b {
             rel.insert_unchecked(ituple![a, b]);
         }
@@ -63,13 +61,13 @@ pub fn random_digraph(nodes: u64, edges: u64, seed: u64) -> Relation {
 /// shines.
 pub fn layered(layers: u64, width: u64, fanout: u64, seed: u64) -> Relation {
     assert!(layers >= 2 && width >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut rel = Relation::new(2);
     for layer in 0..layers - 1 {
         for pos in 0..width {
             let from = (layer * width + pos) as i64;
             for _ in 0..fanout {
-                let to = ((layer + 1) * width + rng.gen_range(0..width)) as i64;
+                let to = ((layer + 1) * width + rng.gen_below(width)) as i64;
                 rel.insert_unchecked(ituple![from, to]);
             }
         }

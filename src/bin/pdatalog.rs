@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pdatalog run <file.dl> [--workers N] [--scheme S] [--print PRED/ARITY] [--stats]
+//!                        [--sim [--seed N] [--faults PLAN] [--trace]]
 //! pdatalog analyze <file.dl>
 //! pdatalog network <file.dl> [--bits | --linear c1,c2,...]
 //! ```
@@ -10,12 +11,21 @@
 //! (zero communication), `example2` (fragmented + broadcast), `example3`
 //! (hash partition), `nocomm` (redundant zero-comm), `general` (§7, works
 //! for any program; discriminates each rule on its first body variable).
+//!
+//! `--sim` replaces the OS threads with the deterministic simulation
+//! transport: one virtual clock, a seeded scheduler, and (via `--faults`)
+//! injected delay/reorder/duplication/drop/stall/crash faults. The same
+//! `--seed` and `--faults` always replay the identical schedule; `--trace`
+//! prints it event by event on stderr. Fault plans are a preset
+//! (`none`, `jitter`, `chaos`) optionally refined with `key=value` pairs,
+//! e.g. `--faults chaos,dup=0.5,crash=1@40`.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use parallel_datalog::core::dataflow::{zero_comm_choice, DataflowGraph};
 use parallel_datalog::prelude::*;
+use parallel_datalog::runtime::{FaultPlan, SimTransport};
 use parallel_datalog::storage::round_robin_fragment;
 
 fn main() -> ExitCode {
@@ -62,7 +72,7 @@ fn run(args: Vec<String>) -> std::result::Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--print PRED/ARITY] [--stats]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]".into()
+    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--print PRED/ARITY] [--stats] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...]] [--trace]]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]".into()
 }
 
 /// Parse `PRED/ARITY`, e.g. `anc/2`.
@@ -91,6 +101,10 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     let mut scheme_name = "seq".to_string();
     let mut print_pred: Option<(String, usize)> = None;
     let mut show_stats = false;
+    let mut sim = false;
+    let mut seed = 0u64;
+    let mut faults = "none".to_string();
+    let mut show_trace = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -109,6 +123,17 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 print_pred = Some(parse_pred_spec(&spec)?);
             }
             "--stats" => show_stats = true,
+            "--sim" => sim = true,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an unsigned integer")?;
+            }
+            "--faults" => {
+                faults = it.next().ok_or("--faults needs a plan (none|jitter|chaos)")?;
+            }
+            "--trace" => show_trace = true,
             other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -116,6 +141,12 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     let file = file.ok_or("missing input file")?;
     if workers == 0 {
         return Err("--workers must be at least 1".into());
+    }
+    if sim && matches!(scheme_name.as_str(), "seq" | "naive") {
+        return Err("--sim needs a parallel scheme (try --scheme example3)".into());
+    }
+    if (seed != 0 || faults != "none" || show_trace) && !sim {
+        return Err("--seed/--faults/--trace only make sense with --sim".into());
     }
     let (program, db) = load(&file)?;
     let interner = program.interner.clone();
@@ -161,7 +192,25 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
         }
         parallel => {
             let scheme = build_scheme(parallel, &program, &db, workers)?;
-            let outcome = scheme.run().map_err(|e| e.to_string())?;
+            let outcome = if sim {
+                let plan = FaultPlan::parse(&faults).map_err(|e| e.to_string())?;
+                if show_trace {
+                    let transport = SimTransport::with_faults(seed, plan);
+                    let (result, trace) =
+                        transport.run_traced(scheme.workers.clone(), &RuntimeConfig::default());
+                    eprint!("{trace}");
+                    result.map_err(|e| e.to_string())?
+                } else {
+                    scheme.run_simulated(seed, plan).map_err(|e| e.to_string())?
+                }
+            } else {
+                scheme.run().map_err(|e| e.to_string())?
+            };
+            let mode = if sim {
+                format!(" sim seed={seed} faults={faults}")
+            } else {
+                String::new()
+            };
             let rels = print_ids
                 .iter()
                 .map(|(label, id)| (label.clone(), outcome.relation(*id)))
@@ -169,7 +218,7 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             (
                 rels,
                 format!(
-                    "processors={} tuples_sent={} messages={} processing_firings={} wall={:?}",
+                    "processors={} tuples_sent={} messages={} processing_firings={} wall={:?}{mode}",
                     scheme.processors(),
                     outcome.stats.total_tuples_sent(),
                     outcome.stats.total_messages(),

@@ -1,0 +1,183 @@
+//! Acceptance sweep for the deterministic simulation transport.
+//!
+//! The paper's Theorems 1/2 quantify over *schedules*: the per-processor
+//! programs compute the sequential least model no matter how the
+//! asynchronous transport interleaves steps and deliveries. The OS
+//! scheduler only ever shows us a handful of interleavings; the
+//! [`SimTransport`] shows us one per seed. These tests sweep 200 seeds
+//! per workload × scheme combination — half under pure reordering
+//! (`jitter`), half under reordering + duplication + bounded
+//! drop-with-redelivery + stalls (`chaos`) — and require agreement with
+//! sequential semi-naive evaluation on every single seed.
+
+use std::sync::Arc;
+
+use parallel_datalog::core::schemes::{BaseDistribution, CompiledScheme};
+use parallel_datalog::prelude::*;
+use parallel_datalog::runtime::{sweep_seeds, ExpectedModel, FaultPlan, SimTransport};
+use parallel_datalog::workloads::{graphs, linear_ancestor};
+
+/// The sequential least model, keyed by the scheme's answer predicates.
+fn oracle(fx: &parallel_datalog::workloads::Fixture, edges: &Relation, scheme: &CompiledScheme)
+    -> ExpectedModel
+{
+    let db = fx.database(edges);
+    let seq = seminaive_eval(&fx.program, &db).unwrap();
+    let mut expected = ExpectedModel::default();
+    for &answer in &scheme.answers {
+        expected.insert(answer, seq.relation(answer));
+    }
+    assert!(!expected.is_empty(), "scheme must pool at least one answer");
+    expected
+}
+
+/// Sweep `seeds_per_plan` seeds under jitter (reordering only) and then
+/// `seeds_per_plan` more under chaos (reordering + duplication + drops +
+/// stalls), asserting every run reproduces the oracle.
+fn sweep_both_plans(label: &str, scheme: &CompiledScheme, expected: &ExpectedModel) {
+    let config = RuntimeConfig::default();
+    for (plan_name, plan, seeds) in [
+        ("jitter", FaultPlan::jitter(), 0..100u64),
+        ("chaos", FaultPlan::chaos(), 100..200u64),
+    ] {
+        let report = sweep_seeds(&scheme.workers, &config, &plan, seeds, expected);
+        assert_eq!(report.seeds_run, 100);
+        assert!(
+            report.all_passed(),
+            "{label} under {plan_name}: {} failing seeds, first: {:?}",
+            report.failures.len(),
+            report.failures.first()
+        );
+    }
+}
+
+/// §4 Example 3 (the §3 non-redundant scheme with `v(r)=⟨Z⟩`) on a chain:
+/// 200 schedules, all equal to the sequential closure.
+#[test]
+fn example3_on_chain_survives_200_schedules() {
+    let fx = linear_ancestor();
+    let edges = graphs::chain(8);
+    let db = fx.database(&edges);
+    let sirup = LinearSirup::from_program(&fx.program).unwrap();
+    let scheme = example3_hash_partition(&sirup, 3, &db).unwrap();
+    let expected = oracle(&fx, &edges, &scheme);
+    sweep_both_plans("example3/chain(8)", &scheme, &expected);
+}
+
+/// §4 Example 1 (zero-communication choice) on a grid: even with no
+/// channel traffic the termination ring still runs under faults.
+#[test]
+fn example1_on_grid_survives_200_schedules() {
+    let fx = linear_ancestor();
+    let edges = graphs::grid(3, 4);
+    let db = fx.database(&edges);
+    let sirup = LinearSirup::from_program(&fx.program).unwrap();
+    let scheme = example1_wolfson(&sirup, 4, &db).unwrap();
+    let expected = oracle(&fx, &edges, &scheme);
+    sweep_both_plans("example1/grid(3,4)", &scheme, &expected);
+}
+
+/// The §3 scheme with an explicit discriminating choice on a random
+/// digraph (cycles, diamonds, unreachable nodes).
+#[test]
+fn nonredundant_on_random_digraph_survives_200_schedules() {
+    let fx = linear_ancestor();
+    let edges = graphs::random_digraph(8, 16, 3);
+    let db = fx.database(&edges);
+    let sirup = LinearSirup::from_program(&fx.program).unwrap();
+    let z = Variable(fx.program.interner.get("Z").unwrap());
+    let x = Variable(fx.program.interner.get("X").unwrap());
+    let h: DiscriminatorRef = Arc::new(HashMod::new(2, 7));
+    let cfg = NonRedundantConfig {
+        v_r: vec![z],
+        v_e: vec![x],
+        h: h.clone(),
+        h_prime: h,
+        base: BaseDistribution::MinimalFragments,
+    };
+    let scheme = rewrite_non_redundant(&sirup, &cfg, &db).unwrap();
+    let expected = oracle(&fx, &edges, &scheme);
+    sweep_both_plans("nonredundant/random(8,16)", &scheme, &expected);
+}
+
+/// Satellite property: duplicated *and* reordered batch delivery leaves
+/// the least model unchanged (set-semantics idempotence). Every batch is
+/// duplicated (`dup=1.0`) and delivery order is scrambled by a wide delay
+/// window; the trace must actually witness duplicate deliveries, and the
+/// pooled model must still equal the sequential one.
+#[test]
+fn duplication_and_reordering_preserve_the_least_model() {
+    let fx = linear_ancestor();
+    let edges = graphs::chain(8);
+    let db = fx.database(&edges);
+    let sirup = LinearSirup::from_program(&fx.program).unwrap();
+    let scheme = example3_hash_partition(&sirup, 3, &db).unwrap();
+    let expected = oracle(&fx, &edges, &scheme);
+
+    let plan = FaultPlan::parse("jitter,dup=1.0,min=1,max=60").unwrap();
+    let config = RuntimeConfig::default();
+    let mut duplicates_witnessed = 0u64;
+    for seed in 0..24 {
+        let sim = SimTransport::with_faults(seed, plan.clone());
+        let (result, trace) = sim.run_traced(scheme.workers.clone(), &config);
+        let outcome = result.unwrap();
+        duplicates_witnessed += trace.duplicates();
+        for (&pred, want) in &expected {
+            assert!(
+                outcome.relation(pred).set_eq(want),
+                "seed {seed}: duplicated+reordered delivery changed the model"
+            );
+        }
+        let dup_count: u64 = outcome.stats.workers.iter().map(|w| w.duplicate_batches).sum();
+        assert_eq!(
+            dup_count,
+            trace.duplicates(),
+            "seed {seed}: every traced duplicate must be observed (and absorbed) by a worker"
+        );
+    }
+    assert!(
+        duplicates_witnessed > 0,
+        "the plan must actually inject duplicates for the property to mean anything"
+    );
+}
+
+/// Acceptance: a fixed seed is bit-for-bit reproducible — same schedule
+/// trace, same per-worker firing counts, same channel matrix, same final
+/// model across two independent runs.
+#[test]
+fn fixed_seed_is_bit_for_bit_reproducible_on_a_real_scheme() {
+    let fx = linear_ancestor();
+    let edges = graphs::random_digraph(8, 16, 3);
+    let db = fx.database(&edges);
+    let sirup = LinearSirup::from_program(&fx.program).unwrap();
+    let scheme = example3_hash_partition(&sirup, 3, &db).unwrap();
+    let config = RuntimeConfig::default();
+    let plan = FaultPlan::chaos();
+
+    let run = |seed: u64| {
+        let sim = SimTransport::with_faults(seed, plan.clone());
+        let (result, trace) = sim.run_traced(scheme.workers.clone(), &config);
+        (result.unwrap(), trace)
+    };
+    let (a, ta) = run(42);
+    let (b, tb) = run(42);
+
+    assert_eq!(ta, tb, "schedule traces differ between identical runs");
+    assert_eq!(
+        a.stats.channel_matrix, b.stats.channel_matrix,
+        "per-channel tuple counts differ"
+    );
+    for (wa, wb) in a.stats.workers.iter().zip(&b.stats.workers) {
+        assert_eq!(wa.eval.firings, wb.eval.firings, "worker {} firings differ", wa.processor);
+        assert_eq!(wa.processing_firings, wb.processing_firings);
+        assert_eq!(wa.duplicate_batches, wb.duplicate_batches);
+        assert_eq!(wa.received_tuples, wb.received_tuples);
+    }
+    for (pred, rel) in &a.relations {
+        assert!(b.relation(*pred).set_eq(rel), "final models differ on {pred:?}");
+    }
+
+    // ... and a different seed really explores a different schedule.
+    let (_, tc) = run(43);
+    assert_ne!(ta, tc, "different seeds should produce different traces");
+}
