@@ -5,7 +5,7 @@
 //! cargo run --release -p gst-bench --bin harness -- f3 s1   # a subset
 //! ```
 //!
-//! Experiment ids (see DESIGN.md §4): f1 f2 f3 f4 t1 t2 e4 e5 s1 s2 p1 p2 p3 l1.
+//! Experiment ids (see DESIGN.md §4): f1 f2 f3 f4 t1 t2 e4 e5 s1 s2 p1 p2 p3 l1 r1.
 
 use gst_bench::json::{count, s, Json};
 use gst_bench::table::Table;
@@ -293,6 +293,53 @@ fn main() {
             "hash discrimination balances bushy workloads; degenerate choices (the\n\
              star's hub as v(e)) concentrate all firings on one processor.\n"
         );
+    }
+
+    if want("r1") {
+        banner("R1 — crash recovery: restart + replay + ring repair (DESIGN.md §7)");
+        let rows = recovery_experiment(40, 100, 4, 0..6);
+        let mut t = Table::new(vec![
+            "seed",
+            "crashed",
+            "restarts",
+            "replayed",
+            "stale dropped",
+            "correct",
+        ]);
+        for r in &rows {
+            t.row(vec![
+                r.seed.to_string(),
+                format!("w{}", r.crashed_worker),
+                r.restarts.to_string(),
+                r.replayed_batches.to_string(),
+                r.stale_dropped.to_string(),
+                r.correct.to_string(),
+            ]);
+        }
+        println!("{}\n", t.render());
+        let all_correct = rows.iter().all(|r| r.correct);
+        let all_restarted = rows.iter().all(|r| r.restarts >= 1);
+        println!(
+            "every seed recovered ({all_restarted}) and matched the sequential \
+             least model ({all_correct})\n"
+        );
+        report.push((
+            "r1".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("seed", count(r.seed)),
+                            ("crashed_worker", count(r.crashed_worker as u64)),
+                            ("restarts", count(r.restarts)),
+                            ("replayed_batches", count(r.replayed_batches)),
+                            ("stale_dropped", count(r.stale_dropped)),
+                            ("correct", Json::Bool(r.correct)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
     }
 
     if want("p2") {

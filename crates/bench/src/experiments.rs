@@ -17,7 +17,7 @@ use gst_core::prelude::{
 use gst_core::schemes::{BaseDistribution, CompiledScheme};
 use gst_eval::seminaive_eval;
 use gst_frontend::{LinearSirup, Program, Variable};
-use gst_runtime::{ExecutionOutcome, RuntimeConfig};
+use gst_runtime::{ExecutionOutcome, FaultPlan, RuntimeConfig};
 use gst_storage::{round_robin_fragment, Relation};
 use gst_workloads::{
     chain, chain_sirup, even_odd, example6_sirup, grid, layered, linear_ancestor,
@@ -197,6 +197,63 @@ pub fn compare_examples(nodes: u64, edges: u64, n: usize, seed: u64) -> SchemeCo
         sequential_firings: seq.stats.firings,
         rows: vec![run(&e1), run(&e3), run(&e2)],
     }
+}
+
+/// One seed of the crash-recovery experiment.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Which worker the fault plan crashed.
+    pub crashed_worker: usize,
+    /// Supervisor restarts performed (1 expected).
+    pub restarts: u64,
+    /// Replay-log retransmissions during recovery.
+    pub replayed_batches: u64,
+    /// Stale pre-epoch deliveries discarded (including stale tokens).
+    pub stale_dropped: u64,
+    /// Least model identical to the fault-free sequential oracle.
+    pub correct: bool,
+}
+
+/// **R1 — crash recovery**: under a chaotic network plus one recoverable
+/// mid-run crash per seed, the supervised runtime must restart the dead
+/// worker, replay its lost traffic, repair the termination-detection
+/// ring, and still compute the exact sequential least model (DESIGN.md
+/// §7's end-to-end claim).
+pub fn recovery_experiment(nodes: u64, edges: u64, n: usize, seeds: std::ops::Range<u64>) -> Vec<RecoveryRow> {
+    let fx = linear_ancestor();
+    let data = random_digraph(nodes, edges, 42);
+    let db = fx.database(&data);
+    let sirup = LinearSirup::from_program(&fx.program).unwrap();
+    let seq = seminaive_eval(&fx.program, &db).unwrap();
+    let anc = fx.output_id();
+    let scheme = example3_hash_partition(&sirup, n, &db).unwrap();
+
+    seeds
+        .map(|seed| {
+            let worker = (seed as usize) % n;
+            let plan = FaultPlan {
+                crash: Some(gst_runtime::CrashSpec {
+                    worker,
+                    at_time: 40 + (seed % 60),
+                    recover: true,
+                }),
+                ..FaultPlan::chaos()
+            };
+            let outcome = scheme
+                .run_simulated(seed, plan)
+                .expect("recoverable crash must not fail the run");
+            RecoveryRow {
+                seed,
+                crashed_worker: worker,
+                restarts: outcome.stats.restarts,
+                replayed_batches: outcome.stats.total_replayed_batches(),
+                stale_dropped: outcome.stats.total_stale_dropped(),
+                correct: outcome.relation(anc).set_eq(&seq.relation(anc)),
+            }
+        })
+        .collect()
 }
 
 /// One point of the §6 trade-off sweep.

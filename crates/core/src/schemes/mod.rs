@@ -69,7 +69,19 @@ impl CompiledScheme {
     /// [`gst_runtime::SimTransport`]). Same seed, same plan ⇒ bit-for-bit
     /// the same run.
     pub fn run_simulated(&self, seed: u64, faults: FaultPlan) -> Result<ExecutionOutcome> {
-        SimTransport::with_faults(seed, faults)
-            .execute(self.workers.clone(), &RuntimeConfig::default())
+        self.run_simulated_with(seed, faults, &RuntimeConfig::default())
+    }
+
+    /// [`run_simulated`](Self::run_simulated) with explicit runtime
+    /// settings — in particular the supervisor's restart budget, which
+    /// governs whether a `recover`-marked crash in the fault plan is
+    /// survivable.
+    pub fn run_simulated_with(
+        &self,
+        seed: u64,
+        faults: FaultPlan,
+        config: &RuntimeConfig,
+    ) -> Result<ExecutionOutcome> {
+        SimTransport::with_faults(seed, faults).execute(self.workers.clone(), config)
     }
 }

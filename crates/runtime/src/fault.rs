@@ -27,14 +27,20 @@
 
 use gst_common::{Error, Result};
 
-/// When (and whom) to crash — the only fault that is *supposed* to make
-/// the run fail.
+/// When (and whom) to crash. Without `recover` this is the only fault
+/// that is *supposed* to make the run fail; with `recover` the simulated
+/// supervisor restarts the worker and the run must still compute the
+/// exact least model (see `DESIGN.md` §7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashSpec {
     /// Processor index to kill.
     pub worker: usize,
     /// Virtual time (ticks) at which it dies.
     pub at_time: u64,
+    /// Restart the worker (crash-with-recovery) instead of leaving it
+    /// dead. Recovery still requires a restart budget
+    /// (`SupervisorConfig::max_restarts > 0`).
+    pub recover: bool,
 }
 
 /// A distribution over transport and scheduling misbehaviors.
@@ -108,10 +114,21 @@ impl FaultPlan {
         }
     }
 
-    /// `chaos` plus a crash of `worker` at tick `at_time`.
+    /// `chaos` plus a fatal (non-recovering) crash of `worker` at tick
+    /// `at_time`.
     pub fn with_crash(worker: usize, at_time: u64) -> Self {
         FaultPlan {
-            crash: Some(CrashSpec { worker, at_time }),
+            crash: Some(CrashSpec { worker, at_time, recover: false }),
+            ..FaultPlan::chaos()
+        }
+    }
+
+    /// `chaos` plus a crash of `worker` at tick `at_time` that the
+    /// simulated supervisor recovers from (restart + replay + ring
+    /// repair).
+    pub fn with_recovering_crash(worker: usize, at_time: u64) -> Self {
+        FaultPlan {
+            crash: Some(CrashSpec { worker, at_time, recover: true }),
             ..FaultPlan::chaos()
         }
     }
@@ -132,7 +149,9 @@ impl FaultPlan {
     /// refined by comma-separated `key=value` overrides, e.g.
     /// `chaos,dup=0.5,crash=1@200`. Keys: `min`, `max` (ticks), `dup`,
     /// `drop`, `stall` (probabilities), `redeliver`, `stall-ticks`
-    /// (ticks), `crash=<worker>@<tick>`.
+    /// (ticks), `crash=<worker>@<tick>`. The bare flag `recover` (no
+    /// value) turns a configured crash into a recoverable one, e.g.
+    /// `chaos,crash=1@200,recover`.
     pub fn parse(text: &str) -> Result<Self> {
         let bad = |what: &str| Error::Runtime(format!("bad fault plan: {what}"));
         let mut parts = text.split(',');
@@ -145,7 +164,12 @@ impl FaultPlan {
                 "unknown preset {other:?} (expected none, jitter or chaos)"
             ))),
         };
+        let mut recover = false;
         for part in parts {
+            if part.trim() == "recover" {
+                recover = true;
+                continue;
+            }
             let (key, value) = part
                 .split_once('=')
                 .ok_or_else(|| bad(&format!("expected key=value, got {part:?}")))?;
@@ -174,9 +198,16 @@ impl FaultPlan {
                     plan.crash = Some(CrashSpec {
                         worker: worker.parse().map_err(|_| bad("crash worker index"))?,
                         at_time: at.parse().map_err(|_| bad("crash tick"))?,
+                        recover: false,
                     });
                 }
                 other => return Err(bad(&format!("unknown key {other:?}"))),
+            }
+        }
+        if recover {
+            match plan.crash.as_mut() {
+                Some(crash) => crash.recover = true,
+                None => return Err(bad("recover without a crash=<worker>@<tick>")),
             }
         }
         if plan.max_delay < plan.min_delay {
@@ -204,6 +235,9 @@ impl std::fmt::Display for FaultPlan {
         )?;
         if let Some(c) = self.crash {
             write!(f, ", crash {}@{}", c.worker, c.at_time)?;
+            if c.recover {
+                write!(f, " (recover)")?;
+            }
         }
         Ok(())
     }
@@ -228,7 +262,24 @@ mod tests {
         assert_eq!(plan.dup_prob, 0.5);
         assert_eq!(plan.max_delay, 10);
         assert_eq!(plan.min_delay, FaultPlan::jitter().min_delay);
-        assert_eq!(plan.crash, Some(CrashSpec { worker: 2, at_time: 300 }));
+        assert_eq!(
+            plan.crash,
+            Some(CrashSpec { worker: 2, at_time: 300, recover: false })
+        );
+    }
+
+    #[test]
+    fn recover_flag_marks_the_crash() {
+        let plan = FaultPlan::parse("chaos,crash=1@200,recover").unwrap();
+        assert_eq!(
+            plan.crash,
+            Some(CrashSpec { worker: 1, at_time: 200, recover: true })
+        );
+        assert!(plan.to_string().contains("crash 1@200 (recover)"));
+        assert!(
+            FaultPlan::parse("chaos,recover").is_err(),
+            "recover without a crash is meaningless"
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod termination;
 pub mod transport;
 pub mod worker;
 
-pub use coordinator::{execute_processors, RuntimeConfig};
+pub use coordinator::{execute_processors, FailPoint, RuntimeConfig, SupervisorConfig};
 pub use explore::{shrink_failure, sweep_seeds, ExpectedModel, Shrunk, SweepReport};
 pub use fault::{CrashSpec, FaultPlan};
 pub use sim::{SimTrace, SimTransport, TraceEvent};

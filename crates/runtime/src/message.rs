@@ -23,6 +23,38 @@ pub enum Message {
     Token(TokenMsg),
     /// Global termination announcement (from the ring initiator).
     Terminate,
+    /// Ring repair: processor `restarted` was rebuilt; every receiver
+    /// enters `epoch`, voids pre-epoch accounting, and answers with
+    /// [`Message::AckSync`] so senders know where to replay from.
+    Recover {
+        /// The new recovery epoch.
+        epoch: u64,
+        /// The processor that was restarted.
+        restarted: usize,
+    },
+    /// Recovery handshake: "my contiguous receive watermark for your link
+    /// is `acked` — replay everything from there". Sent to every peer on
+    /// [`Message::Recover`].
+    AckSync {
+        /// All batch sequence numbers `< acked` on this link have been
+        /// absorbed by the sender of this message.
+        acked: u64,
+    },
+    /// Replay of a compacted log prefix: the union of every batch with
+    /// sequence number `< upto` on this link, one payload per inbox
+    /// predicate. Sets the receiver's watermark to `upto`.
+    Snapshot {
+        /// One encoded batch per inbox the compacted prefix touched.
+        payloads: Vec<Payload>,
+        /// The watermark this snapshot stands in for.
+        upto: u64,
+    },
+    /// Fatal-error broadcast from the supervisor: tear down immediately
+    /// instead of idling into the watchdog.
+    Abort {
+        /// Human-readable cause (the originating worker's error).
+        reason: String,
+    },
 }
 
 impl Message {
@@ -32,6 +64,10 @@ impl Message {
             Message::Batch(_) => MessageKind::Batch,
             Message::Token(_) => MessageKind::Token,
             Message::Terminate => MessageKind::Terminate,
+            Message::Recover { .. } => MessageKind::Recover,
+            Message::AckSync { .. } => MessageKind::AckSync,
+            Message::Snapshot { .. } => MessageKind::Snapshot,
+            Message::Abort { .. } => MessageKind::Abort,
         }
     }
 }
@@ -45,6 +81,14 @@ pub enum MessageKind {
     Token,
     /// The termination broadcast.
     Terminate,
+    /// The ring-repair broadcast.
+    Recover,
+    /// The recovery watermark handshake.
+    AckSync,
+    /// A compacted replay-log prefix.
+    Snapshot,
+    /// The fatal-error teardown broadcast.
+    Abort,
 }
 
 impl std::fmt::Display for MessageKind {
@@ -53,6 +97,10 @@ impl std::fmt::Display for MessageKind {
             MessageKind::Batch => write!(f, "batch"),
             MessageKind::Token => write!(f, "token"),
             MessageKind::Terminate => write!(f, "terminate"),
+            MessageKind::Recover => write!(f, "recover"),
+            MessageKind::AckSync => write!(f, "ack-sync"),
+            MessageKind::Snapshot => write!(f, "snapshot"),
+            MessageKind::Abort => write!(f, "abort"),
         }
     }
 }
@@ -62,12 +110,22 @@ impl std::fmt::Display for MessageKind {
 pub struct Envelope {
     /// Sending processor index.
     pub from: usize,
-    /// Per-link sequence number, assigned by the sender. A transport that
-    /// duplicates a delivery (fault injection) reuses the sequence number,
-    /// so the receiver can keep the termination detector's message
-    /// accounting exact while still absorbing the duplicate payload
-    /// (harmless under set semantics).
+    /// Per-link sequence number, assigned by the sender. Batches draw from
+    /// a dense per-link space (so the receiver can keep a contiguous
+    /// watermark for replay truncation); control messages draw from a
+    /// separate space used only for traces. A transport that duplicates a
+    /// delivery (fault injection) reuses the sequence number, so the
+    /// receiver can keep the termination detector's message accounting
+    /// exact while still absorbing the duplicate payload (harmless under
+    /// set semantics).
     pub seq: u64,
+    /// Recovery epoch the envelope was sent in. Receivers in a later epoch
+    /// drop the envelope uncounted — its content is guaranteed by replay.
+    pub epoch: u64,
+    /// Piggybacked cumulative acknowledgement: the sender's contiguous
+    /// receive watermark for the *destination's* link. Lets the receiver
+    /// truncate (compact) its replay log for this link.
+    pub ack: u64,
     /// Payload.
     pub message: Message,
 }
@@ -86,6 +144,8 @@ mod tests {
         let env = Envelope {
             from: 3,
             seq: 0,
+            epoch: 0,
+            ack: 0,
             message: Message::Batch(payload),
         };
         assert_eq!(env.from, 3);
@@ -101,15 +161,20 @@ mod tests {
         let tok = Envelope {
             from: 0,
             seq: 1,
+            epoch: 0,
+            ack: 0,
             message: Message::Token(TokenMsg {
                 color: Color::White,
                 count: 0,
+                epoch: 0,
             }),
         };
         assert_eq!(tok.message.kind(), MessageKind::Token);
         let term = Envelope {
             from: 0,
             seq: 2,
+            epoch: 0,
+            ack: 0,
             message: Message::Terminate,
         };
         assert_eq!(term.message.kind(), MessageKind::Terminate);
@@ -123,6 +188,8 @@ mod tests {
         let env = Envelope {
             from: 1,
             seq: 9,
+            epoch: 0,
+            ack: 0,
             message: Message::Batch(payload),
         };
         let dup = env.clone();
@@ -133,5 +200,17 @@ mod tests {
             _ => panic!("wrong variants"),
         }
         assert_eq!(env, dup);
+    }
+
+    #[test]
+    fn recovery_kinds_have_display_tags() {
+        for (msg, tag) in [
+            (Message::Recover { epoch: 1, restarted: 2 }, "recover"),
+            (Message::AckSync { acked: 3 }, "ack-sync"),
+            (Message::Snapshot { payloads: vec![], upto: 4 }, "snapshot"),
+            (Message::Abort { reason: "boom".into() }, "abort"),
+        ] {
+            assert_eq!(msg.kind().to_string(), tag);
+        }
     }
 }

@@ -21,6 +21,19 @@
 //! under asynchrony, Safra termination, set-semantics idempotence under
 //! duplication) are checked under schedules far nastier than an OS will
 //! produce in a CI run.
+//!
+//! Crashes come in two flavors. A plain [`crate::fault::CrashSpec`] kills a
+//! worker for good and the run must surface the idle-watchdog error at a
+//! healthy peer. With `recover: true` the event loop plays the supervisor:
+//! after [`RESTART_DELAY`] ticks it rebuilds the worker from its retained
+//! spec in a fresh recovery epoch and broadcasts `Recover` to the whole
+//! fleet over a reliable path (bypassing the fault plan, like a
+//! supervisor's control channel), whereupon peers replay their logged
+//! traffic and the repaired ring re-runs termination detection — see
+//! `DESIGN.md` §7. One modeling caveat: a worker that crashes *after* the
+//! termination decision keeps its in-memory result for pooling (the crash
+//! handler skips terminated cores), which is the abstraction boundary of a
+//! single-process simulation, not a claim about durable storage.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -30,7 +43,7 @@ use gst_common::{Result, SmallRng};
 
 use crate::coordinator::RuntimeConfig;
 use crate::fault::FaultPlan;
-use crate::message::{Envelope, MessageKind};
+use crate::message::{Envelope, Message, MessageKind};
 use crate::spec::WorkerSpec;
 use crate::stats::ExecutionOutcome;
 use crate::transport::{assemble_outcome, validate_specs, Transport};
@@ -43,6 +56,11 @@ const STEP_JITTER: u64 = 4;
 /// Hard ceiling on processed events: a diverging simulation (which would
 /// mean a liveness bug) fails loudly instead of spinning forever.
 const MAX_EVENTS: u64 = 20_000_000;
+
+/// Virtual ticks between a recoverable crash and the simulated
+/// supervisor's restart of the worker — long enough for in-flight
+/// pre-crash traffic to keep racing the recovery broadcast.
+const RESTART_DELAY: u64 = 25;
 
 /// What one simulated worker step reported (public mirror of the worker's
 /// internal step result).
@@ -99,6 +117,16 @@ pub enum TraceEvent {
         /// Which worker died.
         worker: usize,
     },
+    /// The simulated supervisor restarted a crashed worker into a fresh
+    /// recovery epoch.
+    Restart {
+        /// When the fresh incarnation came up.
+        time: u64,
+        /// Which worker was restarted.
+        worker: usize,
+        /// The recovery epoch the whole fleet moves to.
+        epoch: u64,
+    },
 }
 
 /// The full schedule of one simulated run — deterministic in (specs,
@@ -150,6 +178,9 @@ impl std::fmt::Display for SimTrace {
                 TraceEvent::Crash { time, worker } => {
                     writeln!(f, "[{time:>8}] crash   w{worker}")?
                 }
+                TraceEvent::Restart { time, worker, epoch } => {
+                    writeln!(f, "[{time:>8}] restart w{worker} epoch {epoch}")?
+                }
             }
         }
         writeln!(f, "[{:>8}] end of simulation", self.virtual_time)
@@ -167,6 +198,8 @@ enum EventKind {
     },
     /// Kill a worker.
     Crash(usize),
+    /// Bring a crashed worker back (simulated supervisor restart).
+    Restart(usize),
 }
 
 struct Event {
@@ -261,6 +294,13 @@ impl SimTransport {
         let started = Instant::now();
         let n = specs.len();
         let mut rng = SmallRng::seed_from_u64(self.seed);
+        // A recoverable crash rebuilds the dead worker from its spec, so
+        // retain a copy (the cores consume the originals).
+        let retained: Option<Vec<WorkerSpec>> = self
+            .faults
+            .crash
+            .is_some_and(|c| c.recover)
+            .then(|| specs.clone());
         let mut cores = specs
             .into_iter()
             .map(|spec| WorkerCore::new(spec, n))
@@ -292,6 +332,8 @@ impl SimTransport {
 
         let mut now = 0u64;
         let mut processed = 0u64;
+        let mut epoch = 0u64;
+        let mut restarts = 0u64;
         while let Some(event) = heap.pop() {
             debug_assert!(event.time >= now, "virtual time went backwards");
             now = event.time;
@@ -363,6 +405,47 @@ impl SimTransport {
                     if !cores[w].terminated() {
                         crashed[w] = true;
                         trace.events.push(TraceEvent::Crash { time: now, worker: w });
+                        let recoverable = self.faults.crash.is_some_and(|c| c.recover);
+                        if recoverable && config.supervisor.max_restarts >= 1 {
+                            push(&mut heap, now + RESTART_DELAY, EventKind::Restart(w));
+                        }
+                    }
+                }
+                EventKind::Restart(w) => {
+                    // Recovery is only sound while no worker has accepted a
+                    // termination decision; the ring stalls through the dead
+                    // worker, so in practice nobody can have terminated, but
+                    // guard anyway (mirrors the threaded supervisor).
+                    if cores.iter().any(|c| c.terminated()) || !crashed[w] {
+                        continue;
+                    }
+                    let specs = retained.as_ref().expect("restart without retained specs");
+                    epoch += 1;
+                    restarts += 1;
+                    cores[w] = WorkerCore::with_epoch(specs[w].clone(), n, epoch)?;
+                    crashed[w] = false;
+                    trace.events.push(TraceEvent::Restart { time: now, worker: w, epoch });
+                    // Broadcast Recover ahead of any new-epoch traffic: the
+                    // deliveries are pushed directly at `now` (bypassing the
+                    // fault plan — a supervisor channel is reliable), while
+                    // the fresh incarnation's own sends can only leave after
+                    // its first Ready, at a strictly later tiebreak.
+                    for to in 0..n {
+                        push(
+                            &mut heap,
+                            now,
+                            EventKind::Deliver {
+                                to,
+                                env: Envelope {
+                                    from: w,
+                                    seq: 0,
+                                    epoch,
+                                    ack: 0,
+                                    message: Message::Recover { epoch, restarted: w },
+                                },
+                                duplicate: false,
+                            },
+                        );
                     }
                 }
             }
@@ -394,7 +477,7 @@ impl SimTransport {
             .into_iter()
             .map(|core| finish_core(core, &config.worker))
             .collect();
-        assemble_outcome(results, started.elapsed())
+        assemble_outcome(results, started.elapsed(), restarts)
     }
 
     /// Route one send through the fault plan, scheduling delivery events.
@@ -608,6 +691,48 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e, TraceEvent::Crash { worker: 1, .. })));
+    }
+
+    #[test]
+    fn recoverable_crash_reaches_the_same_least_model() {
+        let (specs, answer) = ping_pong_specs();
+        let clean = SimTransport::new(0)
+            .execute(specs.clone(), &RuntimeConfig::default())
+            .unwrap();
+        // Crash mid-run (t=60): traffic has already flowed, so recovery
+        // must actually replay, not just restart.
+        let sim = SimTransport::with_faults(3, FaultPlan::with_recovering_crash(1, 60));
+        let (result, trace) = sim.run_traced(specs, &RuntimeConfig::default());
+        let outcome = result.expect("recovering crash must not fail the run");
+        assert_eq!(outcome.stats.restarts, 1, "exactly one restart");
+        assert!(
+            trace.events.iter().any(|e| matches!(
+                e,
+                TraceEvent::Restart { worker: 1, epoch: 1, .. }
+            )),
+            "trace should record the restart"
+        );
+        assert!(outcome.relation(answer).set_eq(&clean.relation(answer)));
+        assert!(!outcome.relation(answer).is_empty());
+        assert!(
+            outcome.stats.total_replayed_batches() > 0,
+            "recovery must replay the lost traffic"
+        );
+    }
+
+    #[test]
+    fn recoverable_crash_without_budget_fails_fast() {
+        let (specs, _) = ping_pong_specs();
+        let mut config = RuntimeConfig::default();
+        config.supervisor.max_restarts = 0;
+        let sim = SimTransport::with_faults(3, FaultPlan::with_recovering_crash(1, 2));
+        let (result, trace) = sim.run_traced(specs, &config);
+        let err = result.unwrap_err().to_string();
+        assert!(err.contains("idle"), "want the watchdog error, got: {err}");
+        assert!(
+            !trace.events.iter().any(|e| matches!(e, TraceEvent::Restart { .. })),
+            "no budget, no restart"
+        );
     }
 
     #[test]

@@ -37,6 +37,15 @@ pub struct WorkerReport {
     /// number seen twice). Zero under a reliable transport; positive only
     /// when a fault plan duplicates or re-delivers batches.
     pub duplicate_batches: u64,
+    /// Messages retransmitted from this worker's replay logs during crash
+    /// recovery (replayed batches plus compacted snapshots). Zero unless a
+    /// peer was restarted. Counted separately from `sent_tuples_to` /
+    /// `sent_messages`, which measure the algorithm's communication, not
+    /// the transport's retransmissions.
+    pub replayed_batches: u64,
+    /// Stale deliveries discarded by the epoch filter during recovery
+    /// (pre-crash envelopes, including stale termination tokens).
+    pub stale_dropped: u64,
     /// Tuples contributed to the pooled global answer.
     pub pooled_tuples: u64,
     /// Time spent computing (local evaluation), excluding idle waits.
@@ -60,6 +69,9 @@ pub struct ParallelStats {
     /// `channel_matrix[i][j]` = tuples sent from `i` to `j` during the
     /// recursive computation (final pooling not included).
     pub channel_matrix: Vec<Vec<u64>>,
+    /// Worker restarts the supervisor performed (crash recovery). Zero on
+    /// a fault-free run.
+    pub restarts: u64,
     /// Wall-clock time of the parallel section.
     pub wall_time: Duration,
 }
@@ -117,6 +129,17 @@ impl ParallelStats {
         self.workers.iter().map(|w| w.eval.firings).sum()
     }
 
+    /// Total replay-log retransmissions during crash recovery.
+    pub fn total_replayed_batches(&self) -> u64 {
+        self.workers.iter().map(|w| w.replayed_batches).sum()
+    }
+
+    /// Total stale (pre-recovery-epoch) deliveries discarded, including
+    /// stale termination tokens.
+    pub fn total_stale_dropped(&self) -> u64 {
+        self.workers.iter().map(|w| w.stale_dropped).sum()
+    }
+
     /// True if no tuple ever crossed between two distinct processors —
     /// Example 1's and Theorem 3's zero-communication property.
     pub fn communication_free(&self) -> bool {
@@ -172,6 +195,8 @@ mod tests {
             received_tuples: 0,
             received_bytes: 0,
             duplicate_batches: 0,
+            replayed_batches: 0,
+            stale_dropped: 0,
             pooled_tuples: 0,
             busy: Duration::ZERO,
         }
@@ -182,6 +207,7 @@ mod tests {
         let stats = ParallelStats {
             workers: vec![report(0, vec![5, 3]), report(1, vec![2, 7])],
             channel_matrix: vec![vec![5, 3], vec![2, 7]],
+            restarts: 0,
             wall_time: Duration::ZERO,
         };
         assert_eq!(stats.total_tuples_sent(), 5);
@@ -198,6 +224,7 @@ mod tests {
         let stats = ParallelStats {
             workers: vec![report(0, vec![0, 0]), report(1, vec![0, 0])],
             channel_matrix: vec![vec![0, 0], vec![0, 0]],
+            restarts: 0,
             wall_time: Duration::ZERO,
         };
         assert!(stats.communication_free());

@@ -205,6 +205,8 @@ pub fn execute_synchronous_traced(
                 received_tuples: received_tuples[i],
                 received_bytes: received_bytes[i],
                 duplicate_batches: 0,
+                replayed_batches: 0,
+                stale_dropped: 0,
                 pooled_tuples: pooled_tuples[i],
                 busy: busy[i],
             }
@@ -218,6 +220,7 @@ pub fn execute_synchronous_traced(
             stats: ParallelStats {
                 workers,
                 channel_matrix,
+                restarts: 0,
                 wall_time: started.elapsed(),
             },
         },

@@ -19,6 +19,22 @@
 //! Keeping the logic free of I/O makes the safety and liveness properties
 //! unit-testable by simulation (see the tests below, which drive whole
 //! rings of `Safra` machines through message schedules).
+//!
+//! ## Ring repair across crashes
+//!
+//! Crash recovery (see `DESIGN.md` §7) restarts a dead processor and
+//! replays its inbound traffic, which invalidates every count the ring
+//! has accumulated so far. The repair is epoch-based: each recovery bumps
+//! a global **epoch**, every process resets its counter to the
+//! replayed-traffic accounting via [`Safra::on_recover`] (counter zeroed,
+//! color blackened, probe abandoned), and both tokens and processes carry
+//! their epoch. A token minted before the recovery is *stale* — its
+//! accumulated counts mix pre- and post-crash accounting — so
+//! [`Safra::on_token`] answers [`TokenAction::Drop`] for it instead of
+//! forwarding. Because the initiator's `probe_outstanding` is cleared by
+//! `on_recover`, it relaunches a fresh probe tagged with the new epoch
+//! once passive; at most one token of the *current* epoch can therefore
+//! exist, and a dropped stale token can never race it.
 
 /// Process/token color.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +52,10 @@ pub struct TokenMsg {
     pub color: Color,
     /// Sum of the counters of the processes the token passed.
     pub count: i64,
+    /// Recovery epoch the token was minted in. A token from an earlier
+    /// epoch carries pre-crash accounting and must be dropped, not
+    /// forwarded.
+    pub epoch: u64,
 }
 
 /// What a passive process must do after handling the token.
@@ -47,6 +67,9 @@ pub enum TokenAction {
     Terminate,
     /// (Initiator only) probe failed; a fresh white token was launched.
     Relaunch(TokenMsg),
+    /// The token predates the current recovery epoch: discard it. The
+    /// current epoch's probe (relaunched after ring repair) supersedes it.
+    Drop,
 }
 
 /// Per-process Safra state.
@@ -56,6 +79,8 @@ pub struct Safra {
     n: usize,
     color: Color,
     counter: i64,
+    /// Current recovery epoch; bumped by ring repair.
+    epoch: u64,
     /// Initiator only: a probe is circulating.
     probe_outstanding: bool,
 }
@@ -69,8 +94,14 @@ impl Safra {
             n,
             color: Color::White,
             counter: 0,
+            epoch: 0,
             probe_outstanding: false,
         }
+    }
+
+    /// State for a process (re)started in recovery epoch `epoch`.
+    pub fn with_epoch(id: usize, n: usize, epoch: u64) -> Self {
+        Safra { epoch, ..Safra::new(id, n) }
     }
 
     /// The next process on the ring.
@@ -89,9 +120,29 @@ impl Safra {
         self.color = Color::Black;
     }
 
+    /// Ring repair: enter recovery epoch `epoch`. The counter is zeroed
+    /// (replayed traffic is re-counted from scratch in the new epoch), the
+    /// process blackens (any probe observation so far is void), and an
+    /// outstanding probe is abandoned — the initiator will relaunch a
+    /// fresh token tagged with the new epoch once passive.
+    pub fn on_recover(&mut self, epoch: u64) {
+        debug_assert!(epoch >= self.epoch, "recovery epochs only advance");
+        self.epoch = epoch;
+        self.counter = 0;
+        self.color = Color::Black;
+        self.probe_outstanding = false;
+    }
+
     /// Handle the token. Must only be called while the process is passive
     /// (locally quiescent); an active process holds the token instead.
+    /// A token minted before the current recovery epoch is answered with
+    /// [`TokenAction::Drop`] — its accumulated count mixes pre- and
+    /// post-crash accounting and must not influence this epoch's probe.
     pub fn on_token(&mut self, token: TokenMsg) -> TokenAction {
+        if token.epoch < self.epoch {
+            return TokenAction::Drop;
+        }
+        debug_assert!(token.epoch == self.epoch, "token from a future epoch");
         if self.id == 0 {
             self.probe_outstanding = false;
             let success = token.color == Color::White
@@ -112,6 +163,7 @@ impl Safra {
             TokenAction::Forward(TokenMsg {
                 color,
                 count: token.count + self.counter,
+                epoch: token.epoch,
             })
         }
     }
@@ -128,6 +180,7 @@ impl Safra {
         Some(TokenMsg {
             color: Color::White,
             count: 0,
+            epoch: self.epoch,
         })
     }
 
@@ -139,6 +192,11 @@ impl Safra {
     /// Current color (diagnostics).
     pub fn color(&self) -> Color {
         self.color
+    }
+
+    /// Current recovery epoch (diagnostics).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 }
 
@@ -259,6 +317,7 @@ mod tests {
         let act = m.on_token(TokenMsg {
             color: Color::Black,
             count: 0,
+            epoch: 0,
         });
         assert!(matches!(act, TokenAction::Relaunch(_)));
         // Relaunch re-set outstanding.
@@ -280,12 +339,14 @@ mod tests {
         let act = m.on_token(TokenMsg {
             color: Color::White,
             count: 5,
+            epoch: 0,
         });
         assert_eq!(
             act,
             TokenAction::Forward(TokenMsg {
                 color: Color::Black,
-                count: 6
+                count: 6,
+                epoch: 0
             })
         );
         assert_eq!(m.color(), Color::White);
@@ -293,14 +354,74 @@ mod tests {
         let act = m.on_token(TokenMsg {
             color: Color::White,
             count: -1,
+            epoch: 0,
         });
         assert_eq!(
             act,
             TokenAction::Forward(TokenMsg {
                 color: Color::White,
-                count: 0
+                count: 0,
+                epoch: 0
             })
         );
+    }
+
+    /// Ring repair: a token minted before the current epoch is dropped by
+    /// every process, and the accumulated pre-crash count cannot leak into
+    /// the repaired ring's accounting.
+    #[test]
+    fn stale_epoch_token_is_dropped() {
+        // Non-initiator: a pre-recovery token must not be forwarded.
+        let mut m = Safra::new(1, 3);
+        m.on_send();
+        m.on_recover(1);
+        let stale = TokenMsg { color: Color::White, count: 7, epoch: 0 };
+        assert_eq!(m.on_token(stale), TokenAction::Drop);
+        assert_eq!(m.counter(), 0, "recovery zeroed the counter");
+        assert_eq!(m.color(), Color::Black, "recovery blackened the process");
+
+        // Initiator: a stale token neither terminates nor relaunches —
+        // the *current* epoch's probe is launched separately.
+        let mut init = Safra::new(0, 3);
+        let _probe = init.launch().unwrap();
+        init.on_recover(1);
+        let stale = TokenMsg { color: Color::White, count: 0, epoch: 0 };
+        assert_eq!(init.on_token(stale), TokenAction::Drop);
+        // The abandoned probe no longer blocks a fresh launch, and the
+        // fresh token carries the new epoch.
+        let relaunched = init.launch().expect("repair re-arms the probe");
+        assert_eq!(relaunched.epoch, 1);
+    }
+
+    /// After repair the ring still terminates: the new epoch's probe
+    /// circulates and succeeds exactly when the replayed accounting is
+    /// balanced.
+    #[test]
+    fn repaired_ring_terminates_in_new_epoch() {
+        let mut ring: Vec<Safra> = (0..3).map(|i| Safra::new(i, 3)).collect();
+        // Pre-crash traffic, then a probe goes out and is lost with the
+        // crash; every process repairs into epoch 1.
+        ring[1].on_send();
+        let _lost_probe = ring[0].launch().unwrap();
+        for m in ring.iter_mut() {
+            m.on_recover(1);
+        }
+        // The replayed message is re-counted in the new epoch.
+        ring[1].on_send();
+        ring[2].on_basic_receive();
+        // First probe of epoch 1 fails (processes are black from repair
+        // and the receive); the follow-up succeeds.
+        let mut carried = None;
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            assert!(rounds < 5, "repaired ring must stay live");
+            match circulate_with(&mut ring, &mut carried) {
+                TokenAction::Terminate => break,
+                TokenAction::Relaunch(t) => assert_eq!(t.epoch, 1),
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
     }
 
     /// A randomized-schedule simulation: messages are sent/received in
@@ -355,7 +476,7 @@ mod tests {
                                 in_flight -= 1;
                             }
                         }
-                        TokenAction::Forward(_) => unreachable!(),
+                        TokenAction::Forward(_) | TokenAction::Drop => unreachable!(),
                     }
                 }
             }

@@ -11,14 +11,31 @@
 //! Two implementations exist:
 //!
 //! * [`ThreadedTransport`] — one OS thread per processor with blocking
-//!   queues; real parallelism, schedule chosen by the OS;
+//!   queues, supervised for crash recovery; real parallelism, schedule
+//!   chosen by the OS;
 //! * [`crate::sim::SimTransport`] — all processors interleaved on the
 //!   calling thread under a virtual clock, schedule chosen by a seeded
 //!   PRNG, with optional fault injection. Same [`crate::worker::WorkerCore`],
 //!   adversarial schedules, bit-for-bit reproducible.
+//!
+//! ## Supervision (crash recovery)
+//!
+//! The threaded transport runs a supervisor loop on the coordinating
+//! thread (see `DESIGN.md` §7). Every worker thread reports its exit —
+//! finished, *fatal* error (spec/arity bug, watchdog expiry: the program
+//! itself is wrong, restarting cannot help) or *recoverable* death
+//! (panic, injected fail-point: the computation is fine, the incarnation
+//! died). A recoverable death within the restart budget is answered by
+//! rebuilding the worker from its retained spec under a bumped recovery
+//! epoch and broadcasting `Recover` so the fleet repairs the termination
+//! ring and replays the dead worker's inbound traffic. Anything else
+//! broadcasts `Abort`, which tears the fleet down in milliseconds instead
+//! of leaving healthy peers to idle into their watchdogs.
 
 use std::collections::hash_map::Entry;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use gst_common::{Error, FxHashMap, Result};
@@ -26,7 +43,7 @@ use gst_eval::plan::RelationId;
 use gst_storage::Relation;
 
 use crate::coordinator::RuntimeConfig;
-use crate::message::Envelope;
+use crate::message::{Envelope, Message};
 use crate::spec::WorkerSpec;
 use crate::stats::{ExecutionOutcome, ParallelStats, WorkerReport};
 use crate::worker::{finish_core, watchdog_error, Outbox, PooledRelations, Step, WorkerCore};
@@ -90,6 +107,7 @@ pub(crate) fn pool_into(
 pub(crate) fn assemble_outcome(
     results: Vec<(WorkerReport, PooledRelations)>,
     wall_time: std::time::Duration,
+    restarts: u64,
 ) -> Result<ExecutionOutcome> {
     let mut reports: Vec<WorkerReport> = Vec::with_capacity(results.len());
     let mut relations: FxHashMap<RelationId, Relation> = FxHashMap::default();
@@ -104,103 +122,263 @@ pub(crate) fn assemble_outcome(
         stats: ParallelStats {
             workers: reports,
             channel_matrix,
+            restarts,
             wall_time,
         },
     })
 }
 
-/// One OS thread per processor, unbounded queues, OS scheduling — the
-/// deployment transport.
+/// One OS thread per processor, unbounded queues, OS scheduling, a
+/// supervisor for crash recovery — the deployment transport.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ThreadedTransport;
 
-/// Outbox over per-processor queue senders.
+/// The hot-swappable channel registry: `registry[i]` is the sender for
+/// worker `i`'s *current* incarnation. The supervisor replaces a slot
+/// when it restarts a worker; everyone else picks up the new queue on
+/// their next send.
+type Registry = Arc<Vec<Mutex<Sender<Envelope>>>>;
+
+fn lock(slot: &Mutex<Sender<Envelope>>) -> MutexGuard<'_, Sender<Envelope>> {
+    // A sender is never poisoned mid-operation (send returns a Result);
+    // recover the guard rather than propagate a panic from another thread.
+    slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Enqueue `env` to every worker's current incarnation. Sends to a worker
+/// that already exited fail silently — its receiver is gone, and so is
+/// its interest.
+fn broadcast(registry: &Registry, env: &Envelope) {
+    for slot in registry.iter() {
+        let _ = lock(slot).send(env.clone());
+    }
+}
+
+/// How a worker thread ended, as reported to the supervisor.
+enum WorkerExit {
+    /// Reached distributed termination.
+    Finished(Box<(WorkerReport, PooledRelations)>),
+    /// An error restarting cannot cure: the spec, the data, or the fleet
+    /// is wrong (arity/codec errors, watchdog expiry, teardown races).
+    Fatal(Error),
+    /// The incarnation died but the computation is intact (panic or
+    /// injected fail-point): a restart plus replay recovers it.
+    Recoverable(Error),
+}
+
+/// Outbox over the hot-swappable registry.
 struct ThreadOutbox {
-    senders: Vec<Sender<Envelope>>,
+    senders: Registry,
 }
 
 impl Outbox for ThreadOutbox {
     fn send(&mut self, to: usize, env: Envelope) -> Result<()> {
-        self.senders[to].send(env).map_err(|_| {
-            Error::Runtime(format!("channel to processor {to} closed (peer exited early)"))
-        })
+        // A send to a dead peer is black-holed rather than failing the
+        // sender: if the peer is being restarted, the replay log
+        // re-delivers this batch; if the run is aborting, delivery no
+        // longer matters. The supervisor owns failure handling.
+        let _ = lock(&self.senders[to]).send(env);
+        Ok(())
     }
 }
 
 /// The per-thread driver: drain the queue, step the core, block (bounded)
-/// when idle, watchdog a starving worker.
+/// when idle, watchdog a starving worker, honor the fail-point.
 fn run_threaded(
     spec: WorkerSpec,
-    senders: Vec<Sender<Envelope>>,
+    senders: Registry,
     rx: Receiver<Envelope>,
     config: RuntimeConfig,
-) -> Result<(WorkerReport, PooledRelations)> {
+    epoch: u64,
+    fail_after: Option<u64>,
+) -> WorkerExit {
     let n = senders.len();
-    let mut core = WorkerCore::new(spec, n)?;
+    let mut core = match WorkerCore::with_epoch(spec, n, epoch) {
+        Ok(core) => core,
+        Err(e) => return WorkerExit::Fatal(e),
+    };
     let mut out = ThreadOutbox { senders };
     let mut idle_since: Option<Instant> = None;
+    let mut steps = 0u64;
     loop {
+        if fail_after == Some(steps) {
+            return WorkerExit::Recoverable(Error::Runtime(format!(
+                "injected fail-point crash at step {steps}"
+            )));
+        }
+        steps += 1;
         while let Ok(env) = rx.try_recv() {
             core.enqueue(env);
         }
-        match core.step(&mut out)? {
-            Step::Done => break,
-            Step::Worked => idle_since = None,
-            Step::Idle => {
+        match core.step(&mut out) {
+            Err(e) => return WorkerExit::Fatal(e),
+            Ok(Step::Done) => break,
+            Ok(Step::Worked) => idle_since = None,
+            Ok(Step::Idle) => {
                 let since = *idle_since.get_or_insert_with(Instant::now);
                 if since.elapsed() >= config.worker.idle_watchdog {
-                    return Err(watchdog_error(core.id(), since.elapsed()));
+                    return WorkerExit::Fatal(watchdog_error(core.id(), since.elapsed()));
                 }
                 match rx.recv_timeout(config.worker.idle_poll) {
                     Ok(env) => core.enqueue(env),
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => {
-                        // All senders (including the coordinator's anchor)
-                        // dropped: the run is being torn down.
-                        return Err(watchdog_error(core.id(), since.elapsed()));
+                        // The registry anchor is gone: the coordinator
+                        // itself is unwinding. Distinct from the watchdog
+                        // (which means a *peer* starved us).
+                        return WorkerExit::Fatal(Error::Runtime(format!(
+                            "processor {}: peer channels disconnected during teardown",
+                            core.id()
+                        )));
                     }
                 }
             }
         }
     }
-    Ok(finish_core(core, &config.worker))
+    WorkerExit::Finished(Box::new(finish_core(core, &config.worker)))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
 }
 
 impl Transport for ThreadedTransport {
     fn execute(&self, specs: Vec<WorkerSpec>, config: &RuntimeConfig) -> Result<ExecutionOutcome> {
         validate_specs(&specs)?;
         let n = specs.len();
-        let mut senders = Vec::with_capacity(n);
+        let mut slots = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
             let (tx, rx) = channel::<Envelope>();
-            senders.push(tx);
+            slots.push(Mutex::new(tx));
             receivers.push(rx);
         }
+        let registry: Registry = Arc::new(slots);
+        // The registry doubles as the coordinator's sender anchor: a
+        // worker blocked in recv_timeout sees Timeout (not Disconnected)
+        // for as long as the supervisor lives.
+        let (exit_tx, exit_rx) = channel::<(usize, WorkerExit)>();
 
         let started = Instant::now();
-        // The coordinator keeps anchor clones of every sender so a worker
-        // blocked in recv_timeout sees Timeout (not Disconnected) while
-        // peers are still being joined; a send to an *exited* worker still
-        // fails fast because its Receiver is dropped.
-        let joined: Vec<Result<(WorkerReport, PooledRelations)>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for (spec, rx) in specs.into_iter().zip(receivers) {
-                let senders = senders.clone();
-                let config = config.clone();
-                handles.push(scope.spawn(move || run_threaded(spec, senders, rx, config)));
+        let (results, total_restarts, first_error) = std::thread::scope(|scope| {
+            let spawn_worker =
+                |id: usize, rx: Receiver<Envelope>, epoch: u64, fail_after: Option<u64>| {
+                    let spec = specs[id].clone();
+                    let registry = registry.clone();
+                    let config = config.clone();
+                    let exit_tx = exit_tx.clone();
+                    scope.spawn(move || {
+                        let exit = catch_unwind(AssertUnwindSafe(|| {
+                            run_threaded(spec, registry, rx, config, epoch, fail_after)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            WorkerExit::Recoverable(Error::Runtime(format!(
+                                "worker panicked: {}",
+                                panic_message(payload.as_ref())
+                            )))
+                        });
+                        let _ = exit_tx.send((id, exit));
+                    });
+                };
+
+            for (id, rx) in receivers.into_iter().enumerate() {
+                let fail_after = config
+                    .supervisor
+                    .fail_point
+                    .filter(|f| f.worker == id)
+                    .map(|f| f.after_steps);
+                spawn_worker(id, rx, 0, fail_after);
             }
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|_| Err(Error::Runtime("worker thread panicked".into())))
-                })
-                .collect()
+
+            // The supervisor loop: collect exits until every incarnation
+            // is accounted for.
+            let mut outstanding = n;
+            let mut results: Vec<Option<Box<(WorkerReport, PooledRelations)>>> =
+                (0..n).map(|_| None).collect();
+            let mut restarts_used = vec![0u32; n];
+            let mut total_restarts = 0u64;
+            let mut epoch = 0u64;
+            let mut aborting = false;
+            let mut first_error: Option<Error> = None;
+            while outstanding > 0 {
+                let (id, exit) = exit_rx.recv().expect("supervisor retains an exit sender");
+                outstanding -= 1;
+                match exit {
+                    WorkerExit::Finished(result) => {
+                        results[id] = Some(result);
+                    }
+                    WorkerExit::Fatal(_) | WorkerExit::Recoverable(_) if aborting => {
+                        // Teardown noise after the Abort broadcast; the
+                        // first (causal) error is already recorded.
+                    }
+                    WorkerExit::Recoverable(_)
+                        if restarts_used[id] < config.supervisor.max_restarts
+                            && results.iter().all(Option::is_none) =>
+                    {
+                        restarts_used[id] += 1;
+                        total_restarts += 1;
+                        epoch += 1;
+                        let backoff = config.supervisor.restart_backoff * restarts_used[id];
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        let (tx, rx) = channel::<Envelope>();
+                        *lock(&registry[id]) = tx;
+                        // Broadcast *before* spawning: the Recover lands in
+                        // every queue (including the fresh one) ahead of
+                        // anything the new incarnation can send, so no
+                        // worker sees epoch-`epoch` traffic before it has
+                        // repaired into that epoch.
+                        broadcast(
+                            &registry,
+                            &Envelope {
+                                from: id,
+                                seq: 0,
+                                epoch,
+                                ack: 0,
+                                message: Message::Recover { epoch, restarted: id },
+                            },
+                        );
+                        spawn_worker(id, rx, epoch, None);
+                        outstanding += 1;
+                    }
+                    WorkerExit::Fatal(e) | WorkerExit::Recoverable(e) => {
+                        // Fatal, restart budget exhausted, or a peer
+                        // already terminated (replay is then impossible:
+                        // finished workers answer no AckSync). Tear the
+                        // fleet down fast instead of letting healthy
+                        // workers idle into their watchdogs.
+                        aborting = true;
+                        broadcast(
+                            &registry,
+                            &Envelope {
+                                from: id,
+                                seq: 0,
+                                epoch,
+                                ack: 0,
+                                message: Message::Abort { reason: e.to_string() },
+                            },
+                        );
+                        first_error = Some(e);
+                    }
+                }
+            }
+            (results, total_restarts, first_error)
         });
-        drop(senders);
         let wall_time = started.elapsed();
-        let results = joined.into_iter().collect::<Result<Vec<_>>>()?;
-        assemble_outcome(results, wall_time)
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        let results: Vec<(WorkerReport, PooledRelations)> = results
+            .into_iter()
+            .map(|r| *r.expect("no error implies every worker finished"))
+            .collect();
+        assemble_outcome(results, wall_time, total_restarts)
     }
 }

@@ -31,10 +31,11 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
-use gst_common::{Error, FxHashSet, Result};
+use gst_common::{Error, FxHashMap, FxHashSet, Result, Tuple};
+use gst_eval::plan::RelationId;
 use gst_eval::FixpointEngine;
 
-use crate::message::{Envelope, Message};
+use crate::message::{Envelope, Message, Payload};
 use crate::spec::WorkerSpec;
 use crate::stats::WorkerReport;
 use crate::termination::{Safra, TokenAction, TokenMsg};
@@ -84,6 +85,72 @@ pub(crate) enum Step {
     Done,
 }
 
+/// Sender-side retention of one link's batch history, enabling crash
+/// recovery by replay while keeping memory bounded.
+///
+/// The tail holds individual batches not yet acknowledged by the
+/// receiver. When the receiver's piggybacked cumulative ack advances, the
+/// acked prefix is *compacted*: its tuples are folded (set-union, per
+/// inbox) into the snapshot and the batches are dropped. Memory is then
+/// bounded by the receiver's unacked window plus the number of *distinct*
+/// tuples ever shipped on the link — not by total traffic. Replay for a
+/// receiver whose watermark predates the tail ships the snapshot (as one
+/// logical message standing in for sequence numbers `< base`) followed by
+/// the tail.
+#[derive(Default)]
+struct ReplayLog {
+    /// Every batch with sequence number `< base` has been compacted into
+    /// `snapshot`.
+    base: u64,
+    /// Set-union of the compacted prefix, per inbox predicate.
+    snapshot: FxHashMap<RelationId, FxHashSet<Tuple>>,
+    /// Retained batches, contiguous sequence numbers starting at `base`,
+    /// each tagged with the recovery epoch it was shipped in. Replay
+    /// retransmits only batches from *earlier* epochs: a batch shipped in
+    /// the current epoch was counted post-recovery and is guaranteed
+    /// deliverable, so retransmitting it would double-count the send while
+    /// the receiver dedups the copy — a permanent +1 in Safra's sum.
+    tail: VecDeque<(u64, u64, Payload)>,
+}
+
+impl ReplayLog {
+    /// Fold every batch with sequence number `< acked` into the snapshot.
+    fn truncate_to(&mut self, acked: u64) -> Result<()> {
+        while self.tail.front().is_some_and(|(seq, _, _)| *seq < acked) {
+            let (_, _, payload) = self.tail.pop_front().expect("front checked");
+            let (inbox, tuples) = crate::codec::decode_batch(&payload)?;
+            self.snapshot.entry(inbox).or_default().extend(tuples);
+        }
+        self.base = self.base.max(acked);
+        Ok(())
+    }
+
+    /// Encode the snapshot, one payload per inbox, in deterministic order.
+    fn snapshot_payloads(&self) -> Result<Vec<Payload>> {
+        let mut inboxes: Vec<&RelationId> = self.snapshot.keys().collect();
+        inboxes.sort();
+        inboxes
+            .into_iter()
+            .map(|inbox| {
+                let mut tuples: Vec<Tuple> = self.snapshot[inbox].iter().cloned().collect();
+                tuples.sort();
+                crate::codec::encode_batch(*inbox, &tuples)
+            })
+            .collect()
+    }
+
+    /// Retained batch count (diagnostics and the drain test).
+    #[cfg(test)]
+    fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    fn clear(&mut self) {
+        self.snapshot.clear();
+        self.tail.clear();
+    }
+}
+
 /// The per-processor state machine: fixpoint engine, Safra state, pending
 /// message queue, and traffic counters. Contains no I/O.
 pub(crate) struct WorkerCore {
@@ -96,11 +163,29 @@ pub(crate) struct WorkerCore {
     terminated: bool,
     bootstrapped: bool,
     pending: VecDeque<Envelope>,
-    /// Next sequence number per destination link.
-    link_seq: Vec<u64>,
-    /// Batch sequence numbers already absorbed, per source — transport
-    /// duplicates are recognized here so Safra's counter stays exact.
-    seen_batches: Vec<FxHashSet<u64>>,
+    /// Recovery epoch this incarnation runs in. Envelopes from earlier
+    /// epochs are dropped uncounted; replay re-delivers their content.
+    epoch: u64,
+    /// True once this incarnation has processed the `Recover` broadcast
+    /// of its own epoch (guards against processing it twice).
+    recover_handled: bool,
+    /// Next *batch* sequence number per destination link — a dense space,
+    /// so the receiver can maintain a contiguous watermark.
+    batch_seq: Vec<u64>,
+    /// Next control-message sequence number per destination link (traces
+    /// and diagnostics only).
+    ctrl_seq: Vec<u64>,
+    /// Per-source contiguous receive watermark: every batch sequence
+    /// number `< recv_floor[p]` from `p` has been absorbed. Piggybacked on
+    /// outgoing envelopes as the cumulative ack.
+    recv_floor: Vec<u64>,
+    /// Batch sequence numbers `≥ recv_floor[p]` already absorbed, per
+    /// source — transport duplicates are recognized here so Safra's
+    /// counter stays exact; entries below the floor are pruned as it
+    /// advances, bounding memory by the reorder window.
+    seen_above: Vec<FxHashSet<u64>>,
+    /// Sender-side replay log per destination link.
+    replay: Vec<ReplayLog>,
     // statistics
     sent_tuples_to: Vec<u64>,
     sent_bytes_to: Vec<u64>,
@@ -108,11 +193,19 @@ pub(crate) struct WorkerCore {
     received_tuples: u64,
     received_bytes: u64,
     duplicate_batches: u64,
+    replayed_batches: u64,
+    stale_dropped: u64,
     busy: Duration,
 }
 
 impl WorkerCore {
     pub(crate) fn new(spec: WorkerSpec, n: usize) -> Result<Self> {
+        WorkerCore::with_epoch(spec, n, 0)
+    }
+
+    /// A core (re)started in recovery epoch `epoch` — used by supervisors
+    /// to rebuild a crashed processor from its retained spec.
+    pub(crate) fn with_epoch(spec: WorkerSpec, n: usize, epoch: u64) -> Result<Self> {
         let id = spec.program.processor;
         let engine = FixpointEngine::new(
             &spec.program.program,
@@ -124,19 +217,26 @@ impl WorkerCore {
             n,
             engine,
             spec,
-            safra: Safra::new(id, n),
+            safra: Safra::with_epoch(id, n, epoch),
             held_token: None,
             terminated: false,
             bootstrapped: false,
             pending: VecDeque::new(),
-            link_seq: vec![0; n],
-            seen_batches: vec![FxHashSet::default(); n],
+            epoch,
+            recover_handled: false,
+            batch_seq: vec![0; n],
+            ctrl_seq: vec![0; n],
+            recv_floor: vec![0; n],
+            seen_above: vec![FxHashSet::default(); n],
+            replay: (0..n).map(|_| ReplayLog::default()).collect(),
             sent_tuples_to: vec![0; n],
             sent_bytes_to: vec![0; n],
             sent_messages: 0,
             received_tuples: 0,
             received_bytes: 0,
             duplicate_batches: 0,
+            replayed_batches: 0,
+            stale_dropped: 0,
             busy: Duration::ZERO,
         })
     }
@@ -177,7 +277,7 @@ impl WorkerCore {
         // Receiving step: absorb what the transport delivered.
         let absorbed = !self.pending.is_empty();
         while let Some(env) = self.pending.pop_front() {
-            self.absorb(env)?;
+            self.absorb(env, out)?;
             if self.terminated {
                 return Ok(Step::Done);
             }
@@ -208,8 +308,28 @@ impl WorkerCore {
     }
 
     /// Absorb one envelope: inject batches, hold tokens until passive,
-    /// honor terminate.
-    fn absorb(&mut self, env: Envelope) -> Result<()> {
+    /// honor terminate, run the recovery handshakes.
+    ///
+    /// Epoch discipline: a `Recover` may *raise* our epoch; any other
+    /// envelope from an earlier epoch is dropped uncounted — the sender's
+    /// replay (triggered by our post-recovery `AckSync`) re-delivers its
+    /// content inside the new epoch, keeping Safra's per-epoch accounting
+    /// exact.
+    fn absorb(&mut self, env: Envelope, out: &mut dyn Outbox) -> Result<()> {
+        if let Message::Recover { epoch, restarted } = env.message {
+            return self.on_recover(epoch, restarted, out);
+        }
+        if env.epoch < self.epoch {
+            self.stale_dropped += 1;
+            return Ok(());
+        }
+        debug_assert!(
+            env.epoch == self.epoch,
+            "recovery broadcasts its epoch before any traffic of that epoch"
+        );
+        // Piggybacked cumulative ack: compact the replay log for the link
+        // *to* this sender.
+        self.replay[env.from].truncate_to(env.ack)?;
         match env.message {
             Message::Batch(payload) => self.accept_batch(env.from, env.seq, &payload),
             Message::Token(token) => {
@@ -221,9 +341,125 @@ impl WorkerCore {
             }
             Message::Terminate => {
                 self.terminated = true;
+                // Global termination: replay logs are no longer needed.
+                self.replay.iter_mut().for_each(ReplayLog::clear);
                 Ok(())
             }
+            Message::AckSync { acked } => self.replay_link(env.from, acked, out),
+            Message::Snapshot { payloads, upto } => {
+                self.accept_snapshot(env.from, payloads, upto)
+            }
+            Message::Abort { reason } => Err(Error::Runtime(format!(
+                "aborted: processor {} failed: {reason}",
+                env.from
+            ))),
+            Message::Recover { .. } => unreachable!("handled above"),
         }
+    }
+
+    /// Ring repair (see DESIGN.md §7). Entering epoch `epoch`:
+    /// pre-epoch accounting is void (counter zeroed, color blackened,
+    /// probe abandoned, held token discarded), receive-state for the
+    /// restarted link is forgotten (its new incarnation restarts at
+    /// sequence 0), above-floor dedup state is cleared for every link
+    /// (those batches will be replayed and must be re-counted), and an
+    /// `AckSync` with our watermark goes to every peer to trigger replay.
+    fn on_recover(&mut self, epoch: u64, restarted: usize, out: &mut dyn Outbox) -> Result<()> {
+        if epoch < self.epoch || (epoch == self.epoch && self.recover_handled) {
+            self.stale_dropped += 1;
+            return Ok(());
+        }
+        self.epoch = epoch;
+        self.recover_handled = true;
+        self.safra.on_recover(epoch);
+        if self.held_token.take().is_some() {
+            self.stale_dropped += 1;
+        }
+        if restarted != self.id {
+            // The restarted peer's new incarnation numbers its batches
+            // from 0 again; stale receive-state would misclassify them as
+            // duplicates.
+            self.recv_floor[restarted] = 0;
+            // Our own outgoing sequence space toward it continues — the
+            // fresh incarnation's floor starts at 0 and our replay covers
+            // the full history.
+        }
+        for seen in self.seen_above.iter_mut() {
+            seen.clear();
+        }
+        for peer in 0..self.n {
+            if peer != self.id {
+                let ack = self.recv_floor[peer];
+                self.send_ctrl(peer, Message::AckSync { acked: ack }, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Recovery replay: peer `to` declared contiguous watermark `acked`
+    /// for our link. Everything at or above it that was shipped *before*
+    /// the current epoch is retransmitted — the compacted snapshot first
+    /// if the watermark predates the tail, then the retained pre-epoch
+    /// batches. Each replayed message is counted as a fresh basic message
+    /// of the current epoch (the receiver's dedup state for this range was
+    /// cleared by `Recover`, so it counts each exactly once too). Batches
+    /// already shipped in the current epoch are skipped: their original
+    /// send was counted post-recovery and the transport delivers it.
+    fn replay_link(&mut self, to: usize, acked: u64, out: &mut dyn Outbox) -> Result<()> {
+        self.replay[to].truncate_to(acked)?;
+        let base = self.replay[to].base;
+        if acked < base {
+            let payloads = self.replay[to].snapshot_payloads()?;
+            self.safra.on_send();
+            self.replayed_batches += 1;
+            let env = Envelope {
+                from: self.id,
+                seq: self.next_ctrl_seq(to),
+                epoch: self.epoch,
+                ack: self.recv_floor[to],
+                message: Message::Snapshot { payloads, upto: base },
+            };
+            out.send(to, env)?;
+        }
+        let resend: Vec<(u64, Payload)> = self
+            .replay[to]
+            .tail
+            .iter()
+            .filter(|(_, shipped_in, _)| *shipped_in < self.epoch)
+            .map(|(seq, _, payload)| (*seq, payload.clone()))
+            .collect();
+        for (seq, payload) in resend {
+            self.safra.on_send();
+            self.replayed_batches += 1;
+            let env = Envelope {
+                from: self.id,
+                seq,
+                epoch: self.epoch,
+                ack: self.recv_floor[to],
+                message: Message::Batch(payload),
+            };
+            out.send(to, env)?;
+        }
+        Ok(())
+    }
+
+    /// Absorb a compacted replay-log prefix: inject every payload and
+    /// advance the watermark to `upto` (the sequence range the snapshot
+    /// stands in for). One logical message for Safra's accounting.
+    fn accept_snapshot(&mut self, from: usize, payloads: Vec<Payload>, upto: u64) -> Result<()> {
+        self.safra.on_basic_receive();
+        for payload in payloads {
+            let (inbox, tuples) = crate::codec::decode_batch(&payload)?;
+            self.received_bytes += payload.len() as u64;
+            self.received_tuples += tuples.len() as u64;
+            self.engine.inject(inbox, tuples)?;
+        }
+        if upto > self.recv_floor[from] {
+            self.recv_floor[from] = upto;
+            self.seen_above[from].retain(|&seq| seq >= upto);
+        }
+        self.advance_floor(from);
+        Ok(())
     }
 
     /// Decode and absorb an incoming batch (the receive step: the decoded
@@ -236,16 +472,26 @@ impl WorkerCore {
     /// tuple is a no-op, which is exactly the idempotence the simulation
     /// tests exercise.
     fn accept_batch(&mut self, from: usize, seq: u64, payload: &[u8]) -> Result<()> {
-        let first_delivery = self.seen_batches[from].insert(seq);
+        let first_delivery =
+            seq >= self.recv_floor[from] && self.seen_above[from].insert(seq);
         let (inbox, tuples) = crate::codec::decode_batch(payload)?;
         if first_delivery {
             self.safra.on_basic_receive();
             self.received_bytes += payload.len() as u64;
             self.received_tuples += tuples.len() as u64;
+            self.advance_floor(from);
         } else {
             self.duplicate_batches += 1;
         }
         self.engine.inject(inbox, tuples)
+    }
+
+    /// Slide the contiguous watermark for `from` over any absorbed
+    /// sequence numbers, pruning them from the above-floor set.
+    fn advance_floor(&mut self, from: usize) {
+        while self.seen_above[from].remove(&self.recv_floor[from]) {
+            self.recv_floor[from] += 1;
+        }
     }
 
     /// Ship every channel predicate's fresh delta (paper: sending step).
@@ -266,12 +512,19 @@ impl WorkerCore {
             self.sent_bytes_to[ch.dest] += payload.len() as u64;
             self.sent_messages += 1;
             self.safra.on_send();
-            let seq = self.next_seq(ch.dest);
+            let seq = self.next_batch_seq(ch.dest);
+            // Retain for crash-recovery replay until the receiver acks it
+            // (compaction) or the run terminates.
+            self.replay[ch.dest]
+                .tail
+                .push_back((seq, self.epoch, payload.clone()));
             out.send(
                 ch.dest,
                 Envelope {
                     from: self.id,
                     seq,
+                    epoch: self.epoch,
+                    ack: self.recv_floor[ch.dest],
                     message: Message::Batch(payload),
                 },
             )?;
@@ -284,19 +537,18 @@ impl WorkerCore {
             TokenAction::Forward(t) | TokenAction::Relaunch(t) => {
                 self.send_token(self.safra.next(), t, out)
             }
+            TokenAction::Drop => {
+                // A pre-recovery token survived in our queue; the current
+                // epoch's probe supersedes it.
+                self.stale_dropped += 1;
+                Ok(())
+            }
             TokenAction::Terminate => {
                 self.terminated = true;
+                self.replay.iter_mut().for_each(ReplayLog::clear);
                 for dest in 0..self.n {
                     if dest != self.id {
-                        let seq = self.next_seq(dest);
-                        out.send(
-                            dest,
-                            Envelope {
-                                from: self.id,
-                                seq,
-                                message: Message::Terminate,
-                            },
-                        )?;
+                        self.send_ctrl(dest, Message::Terminate, out)?;
                     }
                 }
                 Ok(())
@@ -305,21 +557,42 @@ impl WorkerCore {
     }
 
     fn send_token(&mut self, dest: usize, token: TokenMsg, out: &mut dyn Outbox) -> Result<()> {
-        let seq = self.next_seq(dest);
+        self.send_ctrl(dest, Message::Token(token), out)
+    }
+
+    /// Send a control message (token, terminate, recovery handshake) with
+    /// the piggybacked cumulative ack for the destination's link.
+    fn send_ctrl(&mut self, dest: usize, message: Message, out: &mut dyn Outbox) -> Result<()> {
+        let seq = self.next_ctrl_seq(dest);
         out.send(
             dest,
             Envelope {
                 from: self.id,
                 seq,
-                message: Message::Token(token),
+                epoch: self.epoch,
+                ack: self.recv_floor[dest],
+                message,
             },
         )
     }
 
-    fn next_seq(&mut self, dest: usize) -> u64 {
-        let seq = self.link_seq[dest];
-        self.link_seq[dest] += 1;
+    fn next_batch_seq(&mut self, dest: usize) -> u64 {
+        let seq = self.batch_seq[dest];
+        self.batch_seq[dest] += 1;
         seq
+    }
+
+    fn next_ctrl_seq(&mut self, dest: usize) -> u64 {
+        let seq = self.ctrl_seq[dest];
+        self.ctrl_seq[dest] += 1;
+        seq
+    }
+
+    /// Retained (unacked) replay-log batches toward `dest` — exercised by
+    /// the log-drain test.
+    #[cfg(test)]
+    pub(crate) fn replay_tail_len(&self, dest: usize) -> usize {
+        self.replay[dest].tail_len()
     }
 
     pub(crate) fn into_report(self, pooled_tuples: u64) -> WorkerReport {
@@ -335,6 +608,8 @@ impl WorkerCore {
             received_tuples: self.received_tuples,
             received_bytes: self.received_bytes,
             duplicate_batches: self.duplicate_batches,
+            replayed_batches: self.replayed_batches,
+            stale_dropped: self.stale_dropped,
             pooled_tuples: 0,
             busy: self.busy,
         }
@@ -440,9 +715,12 @@ mod tests {
         Envelope {
             from: 0,
             seq: 0,
+            epoch: 0,
+            ack: 0,
             message: Message::Token(TokenMsg {
                 color: Color::White,
                 count: 0,
+                epoch: 0,
             }),
         }
     }
@@ -481,7 +759,9 @@ mod tests {
         match env.message {
             // The worker never received a basic message, so it stayed
             // white and only accumulated its (zero) counter.
-            Message::Token(t) => assert_eq!(t, TokenMsg { color: Color::White, count: 0 }),
+            Message::Token(t) => {
+                assert_eq!(t, TokenMsg { color: Color::White, count: 0, epoch: 0 })
+            }
             _ => unreachable!(),
         }
     }
@@ -529,6 +809,8 @@ mod tests {
         let env = Envelope {
             from: 0,
             seq: 0,
+            epoch: 0,
+            ack: 0,
             message: Message::Batch(payload),
         };
         core.enqueue(env.clone());
@@ -546,6 +828,57 @@ mod tests {
         assert_eq!(core.safra.counter(), -1);
     }
 
+    /// Replay-log memory stays bounded: a shipped batch is retained in
+    /// the sender's tail only until *any* envelope from the receiver
+    /// carries a piggybacked cumulative ack past it, at which point the
+    /// acked prefix is compacted out (set-union into the snapshot) and
+    /// the tail drains.
+    #[test]
+    fn piggybacked_acks_drain_the_replay_tail() {
+        let interner = Interner::new();
+        let unit =
+            gst_frontend::parser::parse_program_with("send(X) :- src(X).", &interner).unwrap();
+        let src = (interner.intern("src"), 1);
+        let send = (interner.get("send").unwrap(), 1);
+        let inbox = (interner.intern("inbox"), 1);
+        let mut db = Database::new(interner.clone());
+        for k in 0..3i64 {
+            db.insert(src, ituple![k]).unwrap();
+        }
+        let spec = WorkerSpec {
+            program: ProcessorProgram {
+                processor: 0,
+                program: unit.program,
+                outgoing: vec![crate::spec::ChannelOut { channel: send, dest: 1, inbox }],
+                inboxes: vec![],
+                processing_rules: vec![0],
+                pooling: vec![],
+            },
+            edb: Arc::new(db),
+        };
+        let mut core = WorkerCore::new(spec, 2).unwrap();
+        let mut out = Recorder::default();
+        while core.step(&mut out).unwrap() == Step::Worked {}
+
+        assert!(
+            out.sent.iter().any(|(to, env)| *to == 1 && matches!(env.message, Message::Batch(_))),
+            "the rule must actually ship a batch for the test to mean anything"
+        );
+        assert_eq!(core.replay_tail_len(1), 1, "shipped batch is retained for replay");
+
+        // The receiver absorbed seq 0, so its watermark for our link is 1;
+        // any envelope it sends back piggybacks that as the cumulative ack.
+        core.enqueue(Envelope {
+            from: 1,
+            seq: 0,
+            epoch: 0,
+            ack: 1,
+            message: Message::Token(TokenMsg { color: Color::White, count: 0, epoch: 0 }),
+        });
+        core.step(&mut out).unwrap();
+        assert_eq!(core.replay_tail_len(1), 0, "acked prefix is compacted out of the tail");
+    }
+
     /// Terminate wins over queued work: once absorbed, the core reports
     /// Done and stops stepping.
     #[test]
@@ -555,6 +888,8 @@ mod tests {
         core.enqueue(Envelope {
             from: 0,
             seq: 0,
+            epoch: 0,
+            ack: 0,
             message: Message::Terminate,
         });
         assert_eq!(core.step(&mut out).unwrap(), Step::Done);

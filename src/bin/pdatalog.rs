@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pdatalog run <file.dl> [--workers N] [--scheme S] [--print PRED/ARITY] [--stats]
+//!                        [--max-restarts N]
 //!                        [--sim [--seed N] [--faults PLAN] [--trace]]
 //! pdatalog analyze <file.dl>
 //! pdatalog network <file.dl> [--bits | --linear c1,c2,...]
@@ -18,7 +19,11 @@
 //! `--seed` and `--faults` always replay the identical schedule; `--trace`
 //! prints it event by event on stderr. Fault plans are a preset
 //! (`none`, `jitter`, `chaos`) optionally refined with `key=value` pairs,
-//! e.g. `--faults chaos,dup=0.5,crash=1@40`.
+//! e.g. `--faults chaos,dup=0.5,crash=1@40`. Appending the bare `recover`
+//! flag (`--faults chaos,crash=1@40,recover`) makes the crash survivable:
+//! the supervisor restarts the worker (up to `--max-restarts`, default 1),
+//! peers replay their logged traffic, and the run still computes the exact
+//! least model, reporting `restarts`/`replayed` in `--stats`.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -72,7 +77,7 @@ fn run(args: Vec<String>) -> std::result::Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--print PRED/ARITY] [--stats] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...]] [--trace]]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]".into()
+    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--print PRED/ARITY] [--stats] [--max-restarts N] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...][,crash=W@T[,recover]]] [--trace]]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]".into()
 }
 
 /// Parse `PRED/ARITY`, e.g. `anc/2`.
@@ -105,6 +110,7 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     let mut seed = 0u64;
     let mut faults = "none".to_string();
     let mut show_trace = false;
+    let mut max_restarts: Option<u32> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -134,6 +140,13 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 faults = it.next().ok_or("--faults needs a plan (none|jitter|chaos)")?;
             }
             "--trace" => show_trace = true,
+            "--max-restarts" => {
+                max_restarts = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-restarts needs an unsigned integer")?,
+                );
+            }
             other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -147,6 +160,9 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     }
     if (seed != 0 || faults != "none" || show_trace) && !sim {
         return Err("--seed/--faults/--trace only make sense with --sim".into());
+    }
+    if max_restarts.is_some() && matches!(scheme_name.as_str(), "seq" | "naive") {
+        return Err("--max-restarts needs a parallel scheme (it sizes the supervisor's restart budget)".into());
     }
     let (program, db) = load(&file)?;
     let interner = program.interner.clone();
@@ -192,22 +208,38 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
         }
         parallel => {
             let scheme = build_scheme(parallel, &program, &db, workers)?;
+            let mut config = RuntimeConfig::default();
+            if let Some(budget) = max_restarts {
+                config.supervisor.max_restarts = budget;
+            }
             let outcome = if sim {
                 let plan = FaultPlan::parse(&faults).map_err(|e| e.to_string())?;
                 if show_trace {
                     let transport = SimTransport::with_faults(seed, plan);
                     let (result, trace) =
-                        transport.run_traced(scheme.workers.clone(), &RuntimeConfig::default());
+                        transport.run_traced(scheme.workers.clone(), &config);
                     eprint!("{trace}");
                     result.map_err(|e| e.to_string())?
                 } else {
-                    scheme.run_simulated(seed, plan).map_err(|e| e.to_string())?
+                    scheme
+                        .run_simulated_with(seed, plan, &config)
+                        .map_err(|e| e.to_string())?
                 }
             } else {
-                scheme.run().map_err(|e| e.to_string())?
+                scheme.execute(&config).map_err(|e| e.to_string())?
             };
             let mode = if sim {
                 format!(" sim seed={seed} faults={faults}")
+            } else {
+                String::new()
+            };
+            let recovery = if outcome.stats.restarts > 0 {
+                format!(
+                    " restarts={} replayed={} stale_dropped={}",
+                    outcome.stats.restarts,
+                    outcome.stats.total_replayed_batches(),
+                    outcome.stats.total_stale_dropped()
+                )
             } else {
                 String::new()
             };
@@ -218,7 +250,7 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             (
                 rels,
                 format!(
-                    "processors={} tuples_sent={} messages={} processing_firings={} wall={:?}{mode}",
+                    "processors={} tuples_sent={} messages={} processing_firings={} wall={:?}{recovery}{mode}",
                     scheme.processors(),
                     outcome.stats.total_tuples_sent(),
                     outcome.stats.total_messages(),

@@ -217,6 +217,74 @@ fn sample_programs_ship_and_run() {
 }
 
 #[test]
+fn sim_recoverable_crash_reports_restart_and_matches_sequential() {
+    let file = write_program("recover.dl", ANCESTOR);
+    let seq = pdatalog().args(["run"]).arg(&file).output().unwrap();
+    assert!(seq.status.success());
+    let reference = String::from_utf8(seq.stdout).unwrap();
+
+    // A mid-run crash marked `recover`: the supervisor restarts the
+    // worker, peers replay, and the pooled model must still match the
+    // sequential closure bit-for-bit.
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args([
+            "--scheme",
+            "example3",
+            "--workers",
+            "3",
+            "--sim",
+            "--seed",
+            "5",
+            "--faults",
+            "chaos,crash=1@40,recover",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), reference, "recovered model differs");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("restarts=1"), "{stderr}");
+    assert!(stderr.contains("faults=chaos,crash=1@40,recover"), "{stderr}");
+
+    // Same crash with the restart budget zeroed out: fail fast (the
+    // watchdog names the starved processor), never hang.
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args([
+            "--scheme",
+            "example3",
+            "--workers",
+            "3",
+            "--sim",
+            "--seed",
+            "5",
+            "--faults",
+            "chaos,crash=1@40,recover",
+            "--max-restarts",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "zero restart budget must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("idle"), "{stderr}");
+
+    // `recover` is a crash modifier, not a standalone fault.
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args(["--scheme", "example3", "--sim", "--faults", "chaos,recover"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("recover without a crash"));
+}
+
+#[test]
 fn analyze_shows_advisor_recommendations() {
     let file = write_program("advise.dl", ANCESTOR);
     let out = pdatalog().args(["analyze"]).arg(&file).output().unwrap();

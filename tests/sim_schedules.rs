@@ -51,36 +51,69 @@ fn sweep_both_plans(label: &str, scheme: &CompiledScheme, expected: &ExpectedMod
     }
 }
 
-/// §4 Example 3 (the §3 non-redundant scheme with `v(r)=⟨Z⟩`) on a chain:
-/// 200 schedules, all equal to the sequential closure.
-#[test]
-fn example3_on_chain_survives_200_schedules() {
+/// Crash-recovery sweep (DESIGN.md §7): every seed runs under chaos
+/// faults (reorder + duplicate + drop + stall) *plus* one mid-run crash
+/// of worker `seed % n` that the supervisor must recover from — restart,
+/// `Recover` broadcast, `AckSync`/replay handshake, ring repair. The run
+/// must terminate, report the restart, and still compute the sequential
+/// least model bit-for-bit. Returns the total batches replayed across the
+/// sweep so communication-bearing workloads can assert replay actually
+/// happened somewhere.
+fn sweep_recovery(
+    label: &str,
+    scheme: &CompiledScheme,
+    expected: &ExpectedModel,
+    seeds: std::ops::Range<u64>,
+    crash_time: impl Fn(u64) -> u64,
+) -> u64 {
+    let n = scheme.processors();
+    let mut replayed = 0u64;
+    for seed in seeds {
+        let crash_at = crash_time(seed);
+        let plan = FaultPlan::with_recovering_crash((seed as usize) % n, crash_at);
+        let outcome = scheme
+            .run_simulated(seed, plan)
+            .unwrap_or_else(|e| panic!("{label} seed {seed}: recovery run failed: {e}"));
+        assert!(
+            outcome.stats.restarts >= 1,
+            "{label} seed {seed}: the crash at t={crash_at} never triggered a restart"
+        );
+        replayed += outcome.stats.total_replayed_batches();
+        for (&pred, want) in expected {
+            assert!(
+                outcome.relation(pred).set_eq(want),
+                "{label} seed {seed}: recovered model diverges from the sequential one"
+            );
+        }
+    }
+    replayed
+}
+
+/// §4 Example 3 (the §3 non-redundant scheme with `v(r)=⟨Z⟩`) on a chain.
+fn chain_example3() -> (CompiledScheme, ExpectedModel) {
     let fx = linear_ancestor();
     let edges = graphs::chain(8);
     let db = fx.database(&edges);
     let sirup = LinearSirup::from_program(&fx.program).unwrap();
     let scheme = example3_hash_partition(&sirup, 3, &db).unwrap();
     let expected = oracle(&fx, &edges, &scheme);
-    sweep_both_plans("example3/chain(8)", &scheme, &expected);
+    (scheme, expected)
 }
 
-/// §4 Example 1 (zero-communication choice) on a grid: even with no
-/// channel traffic the termination ring still runs under faults.
-#[test]
-fn example1_on_grid_survives_200_schedules() {
+/// §4 Example 1 (zero-communication choice) on a grid.
+fn grid_example1() -> (CompiledScheme, ExpectedModel) {
     let fx = linear_ancestor();
     let edges = graphs::grid(3, 4);
     let db = fx.database(&edges);
     let sirup = LinearSirup::from_program(&fx.program).unwrap();
     let scheme = example1_wolfson(&sirup, 4, &db).unwrap();
     let expected = oracle(&fx, &edges, &scheme);
-    sweep_both_plans("example1/grid(3,4)", &scheme, &expected);
+    (scheme, expected)
 }
 
 /// The §3 scheme with an explicit discriminating choice on a random
 /// digraph (cycles, diamonds, unreachable nodes).
-#[test]
-fn nonredundant_on_random_digraph_survives_200_schedules() {
+fn random_nonredundant() -> (CompiledScheme, ExpectedModel) {
     let fx = linear_ancestor();
     let edges = graphs::random_digraph(8, 16, 3);
     let db = fx.database(&edges);
@@ -97,7 +130,61 @@ fn nonredundant_on_random_digraph_survives_200_schedules() {
     };
     let scheme = rewrite_non_redundant(&sirup, &cfg, &db).unwrap();
     let expected = oracle(&fx, &edges, &scheme);
+    (scheme, expected)
+}
+
+/// 200 crash-free schedules on the chain, all equal to the closure.
+#[test]
+fn example3_on_chain_survives_200_schedules() {
+    let (scheme, expected) = chain_example3();
+    sweep_both_plans("example3/chain(8)", &scheme, &expected);
+}
+
+/// Even with no channel traffic the termination ring still runs under
+/// faults.
+#[test]
+fn example1_on_grid_survives_200_schedules() {
+    let (scheme, expected) = grid_example1();
+    sweep_both_plans("example1/grid(3,4)", &scheme, &expected);
+}
+
+#[test]
+fn nonredundant_on_random_digraph_survives_200_schedules() {
+    let (scheme, expected) = random_nonredundant();
     sweep_both_plans("nonredundant/random(8,16)", &scheme, &expected);
+}
+
+/// Tentpole acceptance: 40 crash schedules on the communication-heavy
+/// chain workload, every one recovering to the exact least model. Traffic
+/// flows on this workload, so the sweep as a whole must witness real
+/// replay (not just restarts of an idle worker).
+#[test]
+fn example3_on_chain_recovers_from_40_crash_schedules() {
+    let (scheme, expected) = chain_example3();
+    let replayed =
+        sweep_recovery("example3/chain(8)", &scheme, &expected, 0..40, |s| 40 + (s % 60));
+    assert!(replayed > 0, "chain sweep must witness at least one replayed batch");
+}
+
+/// Recovery on the zero-communication scheme: nothing to replay, but the
+/// restart and ring repair (epoch bump, probe relaunch) must still land
+/// on the same model. With no traffic the run terminates as fast as the
+/// ring can circulate (≥ 2n ticks), so the crash must land early — a ring
+/// of 4 cannot finish two passes before tick 8.
+#[test]
+fn example1_on_grid_recovers_from_40_crash_schedules() {
+    let (scheme, expected) = grid_example1();
+    sweep_recovery("example1/grid(3,4)", &scheme, &expected, 40..80, |s| 2 + (s % 6));
+}
+
+#[test]
+fn nonredundant_on_random_digraph_recovers_from_40_crash_schedules() {
+    let (scheme, expected) = random_nonredundant();
+    let replayed =
+        sweep_recovery("nonredundant/random(8,16)", &scheme, &expected, 80..120, |s| {
+            40 + (s % 60)
+        });
+    assert!(replayed > 0, "random-digraph sweep must witness at least one replayed batch");
 }
 
 /// Satellite property: duplicated *and* reordered batch delivery leaves
