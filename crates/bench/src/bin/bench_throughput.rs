@@ -1,0 +1,246 @@
+//! Wall-clock throughput harness for the parallel runtime.
+//!
+//! The paper's own experiments stop at firing and tuple counts; this
+//! binary measures what the ROADMAP's "as fast as the hardware allows"
+//! goal is actually stated over — wall-clock fixpoint time, tuples per
+//! second, per-round latency, and wire bytes shipped — across the
+//! transitive-closure workload matrix:
+//!
+//! * graphs: chain, grid, random digraph, layered DAG;
+//! * processors: N ∈ {1, 2, 4, 8};
+//! * schemes: §4 Example 1 (zero-communication), §3 Q_i (Example 3 hash
+//!   partition), §4 Example 2 (broadcast).
+//!
+//! ```text
+//! cargo run --release -p gst-bench --bin bench_throughput                  # full matrix
+//! cargo run --release -p gst-bench --bin bench_throughput -- --smoke      # CI-sized subset
+//! cargo run --release -p gst-bench --bin bench_throughput -- --out X.json # report path
+//! ```
+//!
+//! Every row is checked against the sequential semi-naive oracle (same
+//! least model) before its timing is trusted, and the report records the
+//! firing counts so a storage-engine change that silently alters
+//! semantics fails loudly. Results land in `BENCH_throughput.json`.
+
+use std::time::Instant;
+
+use gst_bench::json::{count, num, s, Json};
+use gst_bench::table::Table;
+use gst_core::prelude::{example1_wolfson, example2_valduriez, example3_hash_partition};
+use gst_core::schemes::CompiledScheme;
+use gst_eval::seminaive_eval;
+use gst_frontend::LinearSirup;
+use gst_runtime::RuntimeConfig;
+use gst_storage::{round_robin_fragment, Relation};
+use gst_workloads::{chain, grid, layered, linear_ancestor, random_digraph};
+
+/// One measured configuration.
+struct Row {
+    workload: &'static str,
+    scheme: &'static str,
+    n: usize,
+    /// Best-of-reps wall time of the parallel section, milliseconds.
+    wall_ms: f64,
+    /// Distinct tuples in the pooled answer.
+    tuples: u64,
+    /// `tuples / wall` — fixpoint throughput.
+    tuples_per_sec: f64,
+    /// Engine rounds of the slowest worker.
+    rounds: u64,
+    /// `wall / rounds` — mean round latency, milliseconds.
+    round_ms: f64,
+    /// Wire bytes shipped between distinct processors.
+    bytes_shipped: u64,
+    /// Tuples shipped between distinct processors.
+    comm_tuples: u64,
+    /// Total rule firings across workers (semantics fingerprint).
+    firings: u64,
+    /// Model equals the sequential oracle.
+    correct: bool,
+}
+
+fn measure(
+    label: (&'static str, &'static str),
+    n: usize,
+    scheme: &CompiledScheme,
+    oracle: &Relation,
+    anc: (gst_common::SymbolId, usize),
+    reps: usize,
+) -> Row {
+    let config = RuntimeConfig::default();
+    let mut best_ms = f64::INFINITY;
+    let mut kept = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let outcome = scheme.execute(&config).expect("benchmark run failed");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if wall_ms < best_ms {
+            best_ms = wall_ms;
+            kept = Some(outcome);
+        }
+    }
+    let outcome = kept.expect("at least one rep");
+    let rounds = outcome
+        .stats
+        .workers
+        .iter()
+        .map(|w| w.eval.rounds)
+        .max()
+        .unwrap_or(0);
+    let answer = outcome.relation(anc);
+    let tuples = answer.len() as u64;
+    Row {
+        workload: label.0,
+        scheme: label.1,
+        n,
+        wall_ms: best_ms,
+        tuples,
+        tuples_per_sec: tuples as f64 / (best_ms / 1e3),
+        rounds,
+        round_ms: if rounds > 0 { best_ms / rounds as f64 } else { 0.0 },
+        bytes_shipped: outcome.stats.total_bytes_sent(),
+        comm_tuples: outcome.stats.total_tuples_sent(),
+        firings: outcome.stats.total_firings(),
+        correct: answer.set_eq(oracle),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|k| args.get(k + 1).cloned())
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+
+    if cfg!(debug_assertions) {
+        eprintln!("warning: debug build — timings are not meaningful; use --release");
+    }
+
+    // The TC workload matrix. Sizes are chosen so the full matrix finishes
+    // in a few minutes while each cell runs long enough to time reliably.
+    let workloads: Vec<(&'static str, Relation)> = if smoke {
+        vec![
+            ("chain", chain(64)),
+            ("random", random_digraph(120, 360, 42)),
+        ]
+    } else {
+        vec![
+            ("chain", chain(192)),
+            ("grid", grid(20, 20)),
+            ("random", random_digraph(280, 840, 42)),
+            ("layered", layered(6, 90, 3, 99)),
+        ]
+    };
+    let ns: &[usize] = if smoke { &[2] } else { &[1, 2, 4, 8] };
+    let reps = if smoke { 1 } else { 3 };
+
+    let fx = linear_ancestor();
+    let sirup = LinearSirup::from_program(&fx.program).unwrap();
+    let anc = fx.output_id();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut seq_json = Vec::new();
+    for (wname, data) in &workloads {
+        let db = fx.database(data);
+
+        // Sequential semi-naive oracle + wall-clock baseline.
+        let mut seq_ms = f64::INFINITY;
+        let mut oracle = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let r = seminaive_eval(&fx.program, &db).unwrap();
+            seq_ms = seq_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            oracle = Some(r);
+        }
+        let oracle = oracle.unwrap();
+        let reference = oracle.relation(anc);
+        println!(
+            "== {wname}: {} edges, |anc| = {}, sequential {seq_ms:.1} ms, {:.0} tuples/s",
+            data.len(),
+            reference.len(),
+            reference.len() as f64 / (seq_ms / 1e3),
+        );
+        seq_json.push(Json::obj(vec![
+            ("workload", s(*wname)),
+            ("edges", count(data.len() as u64)),
+            ("closure", count(reference.len() as u64)),
+            ("seq_wall_ms", num(seq_ms)),
+            ("seq_firings", count(oracle.stats.firings)),
+        ]));
+
+        for &n in ns {
+            let frag = round_robin_fragment(data, n).unwrap();
+            let schemes: Vec<(&'static str, CompiledScheme)> = vec![
+                ("ex1-zerocomm", example1_wolfson(&sirup, n, &db).unwrap()),
+                ("qi-hash", example3_hash_partition(&sirup, n, &db).unwrap()),
+                ("ex2-broadcast", example2_valduriez(&sirup, frag, &db).unwrap()),
+            ];
+            for (sname, scheme) in &schemes {
+                rows.push(measure((wname, sname), n, scheme, &reference, anc, reps));
+            }
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "workload", "scheme", "n", "wall ms", "ktuples/s", "rounds", "round ms", "KiB shipped",
+        "ok",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.workload.to_string(),
+            r.scheme.to_string(),
+            r.n.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.0}", r.tuples_per_sec / 1e3),
+            r.rounds.to_string(),
+            format!("{:.3}", r.round_ms),
+            format!("{:.1}", r.bytes_shipped as f64 / 1024.0),
+            r.correct.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let all_correct = rows.iter().all(|r| r.correct);
+    println!(
+        "all {} configurations matched the sequential least model: {all_correct}",
+        rows.len()
+    );
+
+    let report = Json::obj(vec![
+        ("bench", s("throughput")),
+        ("smoke", Json::Bool(smoke)),
+        ("reps", count(reps as u64)),
+        ("sequential", Json::Arr(seq_json)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("workload", s(r.workload)),
+                            ("scheme", s(r.scheme)),
+                            ("n", count(r.n as u64)),
+                            ("wall_ms", num(r.wall_ms)),
+                            ("tuples", count(r.tuples)),
+                            ("tuples_per_sec", num(r.tuples_per_sec)),
+                            ("rounds", count(r.rounds)),
+                            ("round_ms", num(r.round_ms)),
+                            ("bytes_shipped", count(r.bytes_shipped)),
+                            ("comm_tuples", count(r.comm_tuples)),
+                            ("firings", count(r.firings)),
+                            ("correct", Json::Bool(r.correct)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("all_correct", Json::Bool(all_correct)),
+    ]);
+    std::fs::write(&out_path, report.render()).expect("cannot write report");
+    eprintln!("wrote {out_path}");
+    if !all_correct {
+        std::process::exit(1);
+    }
+}

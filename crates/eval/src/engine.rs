@@ -28,10 +28,17 @@ use crate::plan::{compile_rule_with, idb_occurrence_count, AtomSource, PlanOptio
 use crate::stats::EvalStats;
 
 /// Derived-relation state under semi-naive iteration.
+///
+/// The delta is not a second relation: `full` is an insertion-ordered
+/// row arena, and the delta is its suffix `full.rows()[delta_start..]`
+/// — the rows the last [`IdbState::advance`] appended. The `Old` view
+/// (`T_{i-1}`) is the complementary prefix, so both views are borrowed
+/// row ranges of one arena and share its hash indexes.
 #[derive(Debug)]
 struct IdbState {
     full: Relation,
-    delta: Relation,
+    /// First arena row of the current delta.
+    delta_start: usize,
     pending: Vec<Tuple>,
 }
 
@@ -39,21 +46,28 @@ impl IdbState {
     fn new(arity: usize) -> Self {
         IdbState {
             full: Relation::new(arity),
-            delta: Relation::new(arity),
+            delta_start: 0,
             pending: Vec::new(),
         }
     }
 
-    /// `pending ∖ full → delta`; returns `(submitted, fresh)`.
+    /// `pending ∖ full → delta`; returns `(submitted, fresh)`. The set
+    /// insert into the arena is the paper's difference operation — the
+    /// surviving rows *are* the new delta.
     fn advance(&mut self) -> (u64, u64) {
         let submitted = self.pending.len() as u64;
-        self.delta = Relation::new(self.full.arity());
-        for t in self.pending.drain(..) {
-            if self.full.insert_unchecked(t.clone()) {
-                self.delta.insert_unchecked(t);
-            }
-        }
-        (submitted, self.delta.len() as u64)
+        self.delta_start = self.full.len();
+        let fresh = self.full.insert_batch(&mut self.pending);
+        (submitted, fresh)
+    }
+
+    /// The current delta as a borrowed arena suffix.
+    fn delta_slice(&self) -> &[Tuple] {
+        &self.full.rows()[self.delta_start..]
+    }
+
+    fn delta_is_empty(&self) -> bool {
+        self.delta_start == self.full.len()
     }
 }
 
@@ -70,8 +84,9 @@ pub struct FixpointEngine {
     /// Plans fired once at bootstrap (no derived body atoms).
     bootstrap_plans: Vec<RulePlan>,
     edb_indexes: FxHashMap<IndexKey, HashIndex>,
+    /// One index per (relation, columns) serves the full, `Old`, and
+    /// delta views — they are row ranges of the same arena.
     full_indexes: FxHashMap<IndexKey, HashIndex>,
-    delta_indexes: FxHashMap<IndexKey, HashIndex>,
     stats: EvalStats,
     bootstrapped: bool,
 }
@@ -137,7 +152,6 @@ impl FixpointEngine {
             bootstrap_plans,
             edb_indexes: FxHashMap::default(),
             full_indexes: FxHashMap::default(),
-            delta_indexes: FxHashMap::default(),
             stats,
             bootstrapped: false,
         })
@@ -158,18 +172,23 @@ impl FixpointEngine {
         self.idb.get(&pred).map(|s| &s.full)
     }
 
-    /// The previous round's fresh tuples for `pred`.
-    pub fn delta(&self, pred: RelationId) -> Option<&Relation> {
-        self.idb.get(&pred).map(|s| &s.delta)
+    /// The previous round's fresh tuples for `pred` — a borrowed slice
+    /// of the relation's row arena (what a worker transmits on the
+    /// channels after an advance, and encodes without copying).
+    pub fn delta_tuples(&self, pred: RelationId) -> &[Tuple] {
+        self.idb.get(&pred).map(|s| s.delta_slice()).unwrap_or(&[])
     }
 
-    /// Clone the delta tuples of `pred` (what a worker transmits on the
-    /// channels after an advance).
-    pub fn delta_tuples(&self, pred: RelationId) -> Vec<Tuple> {
+    /// Everything appended to `pred`'s row arena at or after row `from` —
+    /// a borrowed slice spanning any number of rounds. Workers that defer
+    /// shipping to the local fixpoint read their per-channel backlog this
+    /// way: the arena keeps rows in insertion order, so "what I have not
+    /// shipped yet" is just a suffix.
+    pub fn rows_from(&self, pred: RelationId, from: usize) -> &[Tuple] {
         self.idb
             .get(&pred)
-            .map(|s| s.delta.iter().cloned().collect())
-            .unwrap_or_default()
+            .map(|s| &s.full.rows()[from.min(s.full.len())..])
+            .unwrap_or(&[])
     }
 
     /// Statistics accumulated so far.
@@ -195,12 +214,103 @@ impl FixpointEngine {
         Ok(())
     }
 
+    /// Queue externally received tuples for `pred` by letting `fill`
+    /// append directly into the pending pool — the zero-copy receive
+    /// path: a transport decoder writes tuples where the engine will
+    /// drain them, with no intermediate buffer. The arity invariant of
+    /// [`FixpointEngine::inject`] is preserved by checking the appended
+    /// suffix afterwards; on any failure the pool is rolled back to its
+    /// pre-call length.
+    ///
+    /// # Errors
+    /// `pred` must be a derived predicate; `fill`'s error is propagated;
+    /// appending a tuple of the wrong arity is rejected.
+    pub fn inject_with<T>(
+        &mut self,
+        pred: RelationId,
+        fill: impl FnOnce(&mut Vec<Tuple>) -> Result<T>,
+    ) -> Result<T> {
+        let state = self.idb.get_mut(&pred).ok_or_else(|| {
+            Error::Eval(format!("inject into non-derived predicate {pred:?}"))
+        })?;
+        let before = state.pending.len();
+        match fill(&mut state.pending) {
+            Ok(v) => {
+                if let Some(bad) = state.pending[before..].iter().find(|t| t.arity() != pred.1)
+                {
+                    let got = bad.arity();
+                    state.pending.truncate(before);
+                    return Err(Error::Eval(format!(
+                        "injected tuple arity {got} != predicate arity {}",
+                        pred.1
+                    )));
+                }
+                Ok(v)
+            }
+            Err(e) => {
+                state.pending.truncate(before);
+                Err(e)
+            }
+        }
+    }
+
+    /// Queue the current delta of `from` into the pending pool of `to` —
+    /// the path for a worker's self-channel (`t_ii`), which needs no wire
+    /// format. Equivalent to `inject(to, delta_tuples(from))` but legal
+    /// while the delta borrows the engine. Returns the tuples queued.
+    ///
+    /// # Errors
+    /// `to` must be a derived predicate with the same arity as `from`.
+    pub fn loopback(&mut self, from: RelationId, to: RelationId) -> Result<u64> {
+        let start = self.idb.get(&from).map(|s| s.delta_start).unwrap_or(0);
+        self.loopback_from(from, to, start)
+    }
+
+    /// Like [`FixpointEngine::loopback`], but queues every row of `from`
+    /// at or after arena row `from_row` — the self-channel counterpart of
+    /// [`FixpointEngine::rows_from`] for workers that ship at the local
+    /// fixpoint instead of every round.
+    ///
+    /// # Errors
+    /// `to` must be a derived predicate with the same arity as `from`.
+    pub fn loopback_from(
+        &mut self,
+        from: RelationId,
+        to: RelationId,
+        from_row: usize,
+    ) -> Result<u64> {
+        if !self.idb.contains_key(&to) {
+            return Err(Error::Eval(format!(
+                "loopback into non-derived predicate {to:?}"
+            )));
+        }
+        if from.1 != to.1 {
+            return Err(Error::Eval(format!(
+                "loopback arity mismatch: {} -> {}",
+                from.1, to.1
+            )));
+        }
+        if from == to || self.idb.get(&from).is_none_or(|s| s.full.len() <= from_row) {
+            // Self-loopback would only re-submit rows the arena already
+            // holds; an empty backlog ships nothing.
+            return Ok(0);
+        }
+        let mut dst = self.idb.remove(&to).expect("presence checked above");
+        let n = {
+            let src = &self.idb[&from].full.rows()[from_row..];
+            dst.pending.extend_from_slice(src);
+            src.len() as u64
+        };
+        self.idb.insert(to, dst);
+        Ok(n)
+    }
+
     /// True when no delta and no pending tuples exist anywhere — the local
     /// idle condition of the paper's termination test.
     pub fn quiescent(&self) -> bool {
         self.idb
             .values()
-            .all(|s| s.delta.is_empty() && s.pending.is_empty())
+            .all(|s| s.delta_is_empty() && s.pending.is_empty())
     }
 
     /// Fire initialization rules (no derived body atoms) and seed derived
@@ -212,30 +322,21 @@ impl FixpointEngine {
         self.bootstrapped = true;
 
         // Facts supplied for derived predicates become part of the input.
-        let seeded: Vec<(RelationId, Vec<Tuple>)> = self
-            .idb
-            .keys()
-            .filter_map(|&id| {
-                self.edb
-                    .relation(id)
-                    .map(|rel| (id, rel.iter().cloned().collect()))
-            })
-            .collect();
-        for (id, tuples) in seeded {
-            self.idb.get_mut(&id).expect("seeded key exists").pending.extend(tuples);
+        let edb = Arc::clone(&self.edb);
+        for (&id, state) in self.idb.iter_mut() {
+            if let Some(rel) = edb.relation(id) {
+                state.pending.extend(rel.iter().cloned());
+            }
         }
 
         for i in 0..self.bootstrap_plans.len() {
             self.sync_indexes_for(PlanSet::Bootstrap, i);
-            let (firings, out) = self.run_one(PlanSet::Bootstrap, i);
+            let head = self.bootstrap_plans[i].head;
+            let mut pending = self.take_pending(head);
+            let firings = self.run_one_into(PlanSet::Bootstrap, i, &mut pending);
             let rule_index = self.bootstrap_plans[i].rule_index;
             self.stats.record_firings(rule_index, firings);
-            let head = self.bootstrap_plans[i].head;
-            self.idb
-                .get_mut(&head)
-                .expect("head predicate has state")
-                .pending
-                .extend(out);
+            self.put_pending(head, pending);
         }
         Ok(())
     }
@@ -251,22 +352,18 @@ impl FixpointEngine {
             self.stats.record_advance(submitted, fresh);
             fresh_total += fresh;
             if fresh > 0 {
-                // Feed the delta into every cached full index of this
-                // relation so the fixpoint stays O(total tuples), not
-                // O(rounds × tuples).
-                let generation = state.full.generation();
-                let delta: Vec<Tuple> = state.delta.iter().cloned().collect();
+                // Feed the appended arena rows into every cached index of
+                // this relation so the fixpoint stays O(total tuples), not
+                // O(rounds × tuples). `sync` reads the rows in place — no
+                // delta copy, no tuple clones.
+                let full = &self.idb[&id].full;
                 for ((rel, _cols), index) in self.full_indexes.iter_mut() {
                     if *rel == id {
-                        for t in &delta {
-                            index.insert(t.clone());
-                        }
-                        index.mark_synced(generation);
+                        index.sync(full);
                     }
                 }
             }
         }
-        self.delta_indexes.clear();
         self.stats.rounds += 1;
         fresh_total
     }
@@ -275,15 +372,12 @@ impl FixpointEngine {
     pub fn process_round(&mut self) {
         for i in 0..self.round_plans.len() {
             self.sync_indexes_for(PlanSet::Round, i);
-            let (firings, out) = self.run_one(PlanSet::Round, i);
+            let head = self.round_plans[i].head;
+            let mut pending = self.take_pending(head);
+            let firings = self.run_one_into(PlanSet::Round, i, &mut pending);
             let rule_index = self.round_plans[i].rule_index;
             self.stats.record_firings(rule_index, firings);
-            let head = self.round_plans[i].head;
-            self.idb
-                .get_mut(&head)
-                .expect("head predicate has state")
-                .pending
-                .extend(out);
+            self.put_pending(head, pending);
         }
     }
 
@@ -306,9 +400,10 @@ impl FixpointEngine {
     /// to avoid cloning large results). The engine keeps an empty
     /// relation in its place; only call after the fixpoint.
     pub fn take_relation(&mut self, pred: RelationId) -> Option<Relation> {
-        self.idb
-            .get_mut(&pred)
-            .map(|s| std::mem::replace(&mut s.full, Relation::new(pred.1)))
+        self.idb.get_mut(&pred).map(|s| {
+            s.delta_start = 0;
+            std::mem::replace(&mut s.full, Relation::new(pred.1))
+        })
     }
 
     /// Extract the final derived relations (consumes nothing; clones).
@@ -346,39 +441,55 @@ impl FixpointEngine {
             let key = (rel, cols.clone());
             match source {
                 AtomSource::Edb => {
+                    // Borrow the EDB relation in place; a missing relation
+                    // gets a permanently-empty index (the EDB never grows
+                    // during evaluation).
                     if !self.edb_indexes.contains_key(&key) {
-                        let relation = self.edb.relation_or_empty(rel);
-                        self.edb_indexes.insert(key, HashIndex::build(&relation, &cols));
+                        let index = match self.edb.relation(rel) {
+                            Some(relation) => HashIndex::build(relation, &cols),
+                            None => HashIndex::new(&cols),
+                        };
+                        self.edb_indexes.insert(key, index);
                     }
                 }
-                AtomSource::IdbFull | AtomSource::IdbOld => {
-                    if !self.full_indexes.contains_key(&key) {
-                        let relation = &self.idb[&rel].full;
-                        self.full_indexes
-                            .insert(key, HashIndex::build(relation, &cols));
-                    }
-                    // Incremental inserts at advance() keep it fresh; a
-                    // defensive rebuild covers indexes created before an
-                    // out-of-band mutation (none exist today).
-                    let relation = &self.idb[&rel].full;
-                    let idx = self.full_indexes.get_mut(&(rel, cols.clone())).unwrap();
-                    if idx.is_stale(relation) {
-                        idx.refresh(relation);
-                    }
-                }
-                AtomSource::IdbDelta => {
-                    if !self.delta_indexes.contains_key(&key) {
-                        let relation = &self.idb[&rel].delta;
-                        self.delta_indexes
-                            .insert(key, HashIndex::build(relation, &cols));
-                    }
+                AtomSource::IdbFull | AtomSource::IdbOld | AtomSource::IdbDelta => {
+                    // All three views share the full-arena index; `sync`
+                    // ingests only the rows appended since the last call.
+                    let full = &self.idb[&rel].full;
+                    self.full_indexes
+                        .entry(key)
+                        .or_insert_with(|| HashIndex::new(&cols))
+                        .sync(full);
                 }
             }
         }
     }
 
     /// Execute one plan against current state. Returns (firings, output).
-    fn run_one(&self, set: PlanSet, i: usize) -> (u64, Vec<Tuple>) {
+    /// Borrow the head predicate's pending pool for the duration of one
+    /// rule run, so [`FixpointEngine::run_one_into`] can emit straight
+    /// into it — no per-rule output buffer, no copy when the round ends.
+    /// (Plans never *read* pending, only arenas, so lending it out is
+    /// safe.)
+    fn take_pending(&mut self, head: RelationId) -> Vec<Tuple> {
+        std::mem::take(
+            &mut self
+                .idb
+                .get_mut(&head)
+                .expect("head predicate has state")
+                .pending,
+        )
+    }
+
+    /// Return a pending pool borrowed with [`FixpointEngine::take_pending`].
+    fn put_pending(&mut self, head: RelationId, pending: Vec<Tuple>) {
+        self.idb
+            .get_mut(&head)
+            .expect("head predicate has state")
+            .pending = pending;
+    }
+
+    fn run_one_into(&self, set: PlanSet, i: usize, out: &mut Vec<Tuple>) -> u64 {
         let plan = self.plan(set, i);
         // EDB relations referenced without data need a live empty relation
         // to borrow; collect owned empties first.
@@ -390,9 +501,7 @@ impl FixpointEngine {
                 PlanStep::Scan(sc) => Some(self.access_for(sc)),
             })
             .collect();
-        let mut out = Vec::new();
-        let firings = run_plan(plan, &accesses, &mut |t| out.push(t));
-        (firings, out)
+        run_plan(plan, &accesses, &mut |t| out.push(t))
     }
 
     fn access_for<'a>(&'a self, scan: &crate::plan::ScanStep) -> Access<'a> {
@@ -400,13 +509,13 @@ impl FixpointEngine {
         match scan.source {
             AtomSource::Edb => {
                 if !scan.probe_columns.is_empty() {
-                    match self.edb_indexes.get(&key) {
-                        Some(idx) => Access::Probe(idx),
-                        None => Access::Empty,
+                    match (self.edb_indexes.get(&key), self.edb.relation(scan.relation)) {
+                        (Some(idx), Some(rel)) => Access::probe_all(idx, rel),
+                        _ => Access::Empty,
                     }
                 } else {
                     match self.edb.relation(scan.relation) {
-                        Some(rel) => Access::ScanAll(rel),
+                        Some(rel) => Access::scan_all(rel),
                         None => Access::Empty,
                     }
                 }
@@ -416,30 +525,41 @@ impl FixpointEngine {
                 if state.full.is_empty() {
                     Access::Empty
                 } else if !scan.probe_columns.is_empty() {
-                    Access::Probe(&self.full_indexes[&key])
+                    Access::probe_all(&self.full_indexes[&key], &state.full)
                 } else {
-                    Access::ScanAll(&state.full)
+                    Access::scan_all(&state.full)
                 }
             }
             AtomSource::IdbOld => {
+                // Old = the arena rows below the delta watermark.
                 let state = &self.idb[&scan.relation];
-                if state.full.len() == state.delta.len() {
-                    // Old = full ∖ delta is empty.
+                if state.delta_start == 0 {
                     Access::Empty
                 } else if !scan.probe_columns.is_empty() {
-                    Access::ProbeMinus(&self.full_indexes[&key], &state.delta)
+                    Access::probe_range(
+                        &self.full_indexes[&key],
+                        &state.full,
+                        0,
+                        state.delta_start as u32,
+                    )
                 } else {
-                    Access::ScanMinus(&state.full, &state.delta)
+                    Access::scan_range(&state.full, 0, state.delta_start as u32)
                 }
             }
             AtomSource::IdbDelta => {
+                // Delta = the arena rows at or above the watermark.
                 let state = &self.idb[&scan.relation];
-                if state.delta.is_empty() {
+                if state.delta_is_empty() {
                     Access::Empty
                 } else if !scan.probe_columns.is_empty() {
-                    Access::Probe(&self.delta_indexes[&key])
+                    Access::probe_range(
+                        &self.full_indexes[&key],
+                        &state.full,
+                        state.delta_start as u32,
+                        state.full.len() as u32,
+                    )
                 } else {
-                    Access::ScanAll(&state.delta)
+                    Access::scan_range(&state.full, state.delta_start as u32, state.full.len() as u32)
                 }
             }
         }
@@ -531,7 +651,7 @@ pub fn naive_eval(program: &Program, edb: &Database) -> Result<EvalResult> {
                     PlanStep::Filter { .. } => None,
                     PlanStep::Scan(sc) => Some(match sc.source {
                         AtomSource::Edb => match edb.relation(sc.relation) {
-                            Some(rel) => Access::ScanAll(rel),
+                            Some(rel) => Access::scan_all(rel),
                             None => Access::Empty,
                         },
                         _ => {
@@ -539,7 +659,7 @@ pub fn naive_eval(program: &Program, edb: &Database) -> Result<EvalResult> {
                             if rel.is_empty() {
                                 Access::Empty
                             } else {
-                                Access::ScanAll(rel)
+                                Access::scan_all(rel)
                             }
                         }
                     }),

@@ -1,35 +1,91 @@
 //! Plan execution.
 //!
 //! The executor walks a [`RulePlan`]'s steps depth-first, maintaining one
-//! binding slot per rule variable. Scans probe a prepared [`Access`] —
-//! either a hash index on the step's probe columns or a raw relation scan —
-//! and the `Old` views (`T_{i-1}`) are realized as *full-view minus delta
-//! membership* filters so no separate old relation is materialized.
+//! binding slot per rule variable. Scans read a prepared [`Access`]: a
+//! row range of a relation's arena, or an index probe whose postings are
+//! restricted to a row range. Because a [`Relation`] is insertion-ordered
+//! and append-only, the semi-naive views are all contiguous ranges of the
+//! same arena — `Full` is `rows[..]`, `Old` (`T_{i-1}`) is rows below the
+//! delta watermark, and the delta is the suffix above it — so no minus
+//! set is materialized or probed, and one index per (relation, columns)
+//! serves all three views.
 //!
 //! The caller prepares one `Access` per scan step (the two-phase split
-//! keeps index refreshing, which needs `&mut`, out of the immutable
+//! keeps index syncing, which needs `&mut`, out of the immutable
 //! execution pass) and receives every successful ground substitution via
 //! the `emit` callback; the return value is the firing count that the
-//! paper's non-redundancy theorems (2 and 6) are stated over.
+//! paper's non-redundancy theorems (2 and 6) are stated over. Probe keys
+//! are never allocated per probe: key values are hashed directly into
+//! the index's bucket space via a scratch buffer reused for the whole
+//! plan.
 
 use gst_common::{Tuple, Value};
-use gst_storage::{HashIndex, Relation};
+use gst_storage::{postings_in_range, HashIndex, Relation};
 
 use crate::plan::{HeadTerm, KeySource, PlanStep, RulePlan, ScanStep};
 
 /// How a scan step reads its relation this round.
 #[derive(Debug, Clone, Copy)]
 pub enum Access<'a> {
-    /// Iterate every tuple.
-    ScanAll(&'a Relation),
-    /// Iterate every tuple of `.0` except members of `.1` (the `Old` view).
-    ScanMinus(&'a Relation, &'a Relation),
-    /// Probe a hash index on exactly the step's probe columns.
-    Probe(&'a HashIndex),
-    /// Probe `.0`, skipping members of `.1` (indexed `Old` view).
-    ProbeMinus(&'a HashIndex, &'a Relation),
+    /// Iterate arena rows `[start, end)`.
+    Scan {
+        /// The relation whose arena is scanned.
+        rel: &'a Relation,
+        /// First row (inclusive).
+        start: u32,
+        /// One past the last row.
+        end: u32,
+    },
+    /// Probe a hash index on exactly the step's probe columns, keeping
+    /// postings whose row id falls in `[start, end)`.
+    Probe {
+        /// The index over `rel`'s arena.
+        index: &'a HashIndex,
+        /// The indexed relation (verifies keys, resolves row ids).
+        rel: &'a Relation,
+        /// First row (inclusive).
+        start: u32,
+        /// One past the last row.
+        end: u32,
+    },
     /// The relation holds no tuples (or does not exist yet).
     Empty,
+}
+
+impl<'a> Access<'a> {
+    /// Scan every row of `rel`.
+    pub fn scan_all(rel: &'a Relation) -> Self {
+        Access::Scan {
+            rel,
+            start: 0,
+            end: rel.len() as u32,
+        }
+    }
+
+    /// Scan rows `[start, end)` of `rel`.
+    pub fn scan_range(rel: &'a Relation, start: u32, end: u32) -> Self {
+        Access::Scan { rel, start, end }
+    }
+
+    /// Probe `index` over all of `rel`.
+    pub fn probe_all(index: &'a HashIndex, rel: &'a Relation) -> Self {
+        Access::Probe {
+            index,
+            rel,
+            start: 0,
+            end: rel.len() as u32,
+        }
+    }
+
+    /// Probe `index`, keeping rows in `[start, end)` of `rel`.
+    pub fn probe_range(index: &'a HashIndex, rel: &'a Relation, start: u32, end: u32) -> Self {
+        Access::Probe {
+            index,
+            rel,
+            start,
+            end,
+        }
+    }
 }
 
 /// Run `plan` with one prepared access per step (`None` for filter steps),
@@ -38,24 +94,45 @@ pub enum Access<'a> {
 pub fn run_plan(
     plan: &RulePlan,
     accesses: &[Option<Access<'_>>],
-    emit: &mut dyn FnMut(Tuple),
+    emit: &mut impl FnMut(Tuple),
 ) -> u64 {
     debug_assert_eq!(accesses.len(), plan.steps.len());
     let mut bindings = vec![Value::Int(0); plan.slot_count];
     let mut head_buf: Vec<Value> = vec![Value::Int(0); plan.head_terms.len()];
+    let mut key_buf: Vec<Value> = Vec::new();
     let mut firings = 0u64;
-    descend(plan, accesses, 0, &mut bindings, &mut head_buf, &mut firings, emit);
+    descend(
+        plan,
+        accesses,
+        0,
+        &mut bindings,
+        &mut head_buf,
+        &mut key_buf,
+        &mut firings,
+        emit,
+    );
     firings
 }
 
+/// Resolve one probe-key source against current bindings.
+#[inline]
+fn resolve(src: &KeySource, bindings: &[Value]) -> Value {
+    match src {
+        KeySource::Slot(s) => bindings[*s],
+        KeySource::Const(c) => *c,
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal hot path, flattened on purpose
 fn descend(
     plan: &RulePlan,
     accesses: &[Option<Access<'_>>],
     step_index: usize,
     bindings: &mut [Value],
     head_buf: &mut Vec<Value>,
+    key_buf: &mut Vec<Value>,
     firings: &mut u64,
-    emit: &mut dyn FnMut(Tuple),
+    emit: &mut impl FnMut(Tuple),
 ) {
     if step_index == plan.steps.len() {
         *firings += 1;
@@ -71,85 +148,77 @@ fn descend(
 
     match &plan.steps[step_index] {
         PlanStep::Filter { constraint, slots } => {
-            // Constraint arity is tiny (a discriminating sequence); a small
-            // stack buffer would not beat this in practice.
-            let values: Vec<Value> = slots.iter().map(|&s| bindings[s]).collect();
-            if constraint.holds(&values) {
-                descend(plan, accesses, step_index + 1, bindings, head_buf, firings, emit);
+            // Discriminating sequences are short: gather the bound values
+            // on the stack — this runs once per candidate, and sending
+            // rules filter every delta tuple for every destination.
+            let mut stack = [Value::Int(0); 8];
+            let heap: Vec<Value>;
+            let values: &[Value] = if slots.len() <= stack.len() {
+                for (out, &s) in stack.iter_mut().zip(slots.iter()) {
+                    *out = bindings[s];
+                }
+                &stack[..slots.len()]
+            } else {
+                heap = slots.iter().map(|&s| bindings[s]).collect();
+                &heap
+            };
+            if constraint.holds(values) {
+                descend(
+                    plan,
+                    accesses,
+                    step_index + 1,
+                    bindings,
+                    head_buf,
+                    key_buf,
+                    firings,
+                    emit,
+                );
             }
         }
         PlanStep::Scan(scan) => {
             let access = accesses[step_index]
                 .as_ref()
                 .expect("scan step must have a prepared access");
-            match access {
+            match *access {
                 Access::Empty => {}
-                Access::Probe(index) => {
-                    let key = probe_key(scan, bindings);
-                    for t in index.probe(&key) {
-                        try_candidate(
-                            plan, accesses, step_index, scan, t, false, None, bindings, head_buf,
-                            firings, emit,
-                        );
+                Access::Probe {
+                    index,
+                    rel,
+                    start,
+                    end,
+                } => {
+                    key_buf.clear();
+                    for src in &scan.probe_values {
+                        key_buf.push(resolve(src, bindings));
                     }
-                }
-                Access::ProbeMinus(index, minus) => {
-                    let key = probe_key(scan, bindings);
-                    for t in index.probe(&key) {
+                    let postings = postings_in_range(index.probe(rel, key_buf), start, end);
+                    for &row in postings {
                         try_candidate(
                             plan,
                             accesses,
                             step_index,
                             scan,
-                            t,
+                            rel.row(row),
                             false,
-                            Some(minus),
                             bindings,
                             head_buf,
+                            key_buf,
                             firings,
                             emit,
                         );
                     }
                 }
-                Access::ScanAll(rel) => {
-                    for t in rel.iter() {
+                Access::Scan { rel, start, end } => {
+                    for t in &rel.rows()[start as usize..end as usize] {
                         try_candidate(
-                            plan, accesses, step_index, scan, t, true, None, bindings, head_buf,
-                            firings, emit,
-                        );
-                    }
-                }
-                Access::ScanMinus(rel, minus) => {
-                    for t in rel.iter() {
-                        try_candidate(
-                            plan,
-                            accesses,
-                            step_index,
-                            scan,
-                            t,
-                            true,
-                            Some(minus),
-                            bindings,
-                            head_buf,
-                            firings,
-                            emit,
+                            plan, accesses, step_index, scan, t, true, bindings, head_buf,
+                            key_buf, firings, emit,
                         );
                     }
                 }
             }
         }
     }
-}
-
-/// Build the probe key for `scan` from current bindings and constants.
-fn probe_key(scan: &ScanStep, bindings: &[Value]) -> Tuple {
-    scan.probe_values
-        .iter()
-        .map(|src| match src {
-            KeySource::Slot(s) => bindings[*s],
-            KeySource::Const(c) => *c,
-        })
-        .collect()
 }
 
 #[allow(clippy::too_many_arguments)] // internal hot path, flattened on purpose
@@ -160,26 +229,17 @@ fn try_candidate(
     scan: &ScanStep,
     tuple: &Tuple,
     check_probe: bool,
-    minus: Option<&Relation>,
     bindings: &mut [Value],
     head_buf: &mut Vec<Value>,
+    key_buf: &mut Vec<Value>,
     firings: &mut u64,
-    emit: &mut dyn FnMut(Tuple),
+    emit: &mut impl FnMut(Tuple),
 ) {
-    if let Some(m) = minus {
-        if m.contains(tuple) {
-            return;
-        }
-    }
     if check_probe {
         // Raw scans must verify probe columns that an index would have
         // guaranteed.
         for (col, src) in scan.probe_columns.iter().zip(&scan.probe_values) {
-            let expected = match src {
-                KeySource::Slot(s) => bindings[*s],
-                KeySource::Const(c) => *c,
-            };
-            if tuple.get(*col) != expected {
+            if tuple.get(*col) != resolve(src, bindings) {
                 return;
             }
         }
@@ -192,7 +252,16 @@ fn try_candidate(
     for (col, slot) in &scan.bindings {
         bindings[*slot] = tuple.get(*col);
     }
-    descend(plan, accesses, step_index + 1, bindings, head_buf, firings, emit);
+    descend(
+        plan,
+        accesses,
+        step_index + 1,
+        bindings,
+        head_buf,
+        key_buf,
+        firings,
+        emit,
+    );
 }
 
 #[cfg(test)]
@@ -220,7 +289,7 @@ mod tests {
         let p = parse_program("t(X,Y) :- e(X,Y).").unwrap().program;
         let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
         let e = edges();
-        let (n, out) = collect(&plan, &[Some(Access::ScanAll(&e))]);
+        let (n, out) = collect(&plan, &[Some(Access::scan_all(&e))]);
         assert_eq!(n, 4);
         assert_eq!(out.len(), 4);
     }
@@ -232,7 +301,10 @@ mod tests {
         let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
         let e = edges();
         let idx = HashIndex::build(&e, &[0]);
-        let (n, out) = collect(&plan, &[Some(Access::ScanAll(&e)), Some(Access::Probe(&idx))]);
+        let (n, out) = collect(
+            &plan,
+            &[Some(Access::scan_all(&e)), Some(Access::probe_all(&idx, &e))],
+        );
         assert_eq!(n, 3); // 1→2→3, 1→2→5, 2→3→4
         assert_eq!(out, vec![ituple![1, 3], ituple![1, 5], ituple![2, 4]]);
     }
@@ -243,10 +315,14 @@ mod tests {
         let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
         let e = edges();
         let idx = HashIndex::build(&e, &[0]);
-        let (_, with_idx) =
-            collect(&plan, &[Some(Access::ScanAll(&e)), Some(Access::Probe(&idx))]);
-        let (_, without) =
-            collect(&plan, &[Some(Access::ScanAll(&e)), Some(Access::ScanAll(&e))]);
+        let (_, with_idx) = collect(
+            &plan,
+            &[Some(Access::scan_all(&e)), Some(Access::probe_all(&idx, &e))],
+        );
+        let (_, without) = collect(
+            &plan,
+            &[Some(Access::scan_all(&e)), Some(Access::scan_all(&e))],
+        );
         assert_eq!(with_idx, without);
     }
 
@@ -255,7 +331,7 @@ mod tests {
         let p = parse_program("t(Y) :- e(2, Y).").unwrap().program;
         let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
         let e = edges();
-        let (n, out) = collect(&plan, &[Some(Access::ScanAll(&e))]);
+        let (n, out) = collect(&plan, &[Some(Access::scan_all(&e))]);
         assert_eq!(n, 2);
         assert_eq!(out, vec![ituple![3], ituple![5]]);
     }
@@ -266,27 +342,32 @@ mod tests {
         let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
         let mut e = edges();
         e.insert(ituple![7, 7]).unwrap();
-        let (n, out) = collect(&plan, &[Some(Access::ScanAll(&e))]);
+        let (n, out) = collect(&plan, &[Some(Access::scan_all(&e))]);
         assert_eq!(n, 1);
         assert_eq!(out, vec![ituple![7]]);
     }
 
     #[test]
-    fn minus_views_exclude_delta() {
+    fn row_ranges_realize_old_and_delta_views() {
+        // Arena order is insertion order: rows 0..2 are the "old" view,
+        // rows 2..4 the "delta" — no minus set needed.
         let p = parse_program("t(X,Y) :- e(X,Y).").unwrap().program;
         let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
-        let e = edges();
-        let minus: Relation = [ituple![1, 2], ituple![2, 3]].into_iter().collect();
-        let (n, _) = collect(&plan, &[Some(Access::ScanMinus(&e, &minus))]);
+        let e = edges(); // rows: (1,2) (2,3) (3,4) (2,5)
+        let (n, out) = collect(&plan, &[Some(Access::scan_range(&e, 2, 4))]);
         assert_eq!(n, 2);
+        assert_eq!(out, vec![ituple![2, 5], ituple![3, 4]]);
 
-        // Indexed variant agrees.
+        // Indexed variant: probe e(2, Y) restricted to the old rows
+        // finds only (2,3); the full probe also finds (2,5).
         let p2 = parse_program("t(Y) :- e(2, Y).").unwrap().program;
         let plan2 = compile_rule(&p2.rules[0], 0, &|_| false, None).unwrap();
         let idx = HashIndex::build(&e, &[0]);
-        let (n2, out2) = collect(&plan2, &[Some(Access::ProbeMinus(&idx, &minus))]);
-        assert_eq!(n2, 1);
-        assert_eq!(out2, vec![ituple![5]]);
+        let (n_old, out_old) = collect(&plan2, &[Some(Access::probe_range(&idx, &e, 0, 2))]);
+        assert_eq!(n_old, 1);
+        assert_eq!(out_old, vec![ituple![3]]);
+        let (n_all, _) = collect(&plan2, &[Some(Access::probe_all(&idx, &e))]);
+        assert_eq!(n_all, 2);
     }
 
     #[test]
@@ -304,7 +385,10 @@ mod tests {
         let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
         let a: Relation = [ituple![1], ituple![2]].into_iter().collect();
         let b: Relation = [ituple![10], ituple![20], ituple![30]].into_iter().collect();
-        let (n, _) = collect(&plan, &[Some(Access::ScanAll(&a)), Some(Access::ScanAll(&b))]);
+        let (n, _) = collect(
+            &plan,
+            &[Some(Access::scan_all(&a)), Some(Access::scan_all(&b))],
+        );
         assert_eq!(n, 6);
     }
 
@@ -313,7 +397,29 @@ mod tests {
         let p = parse_program("t(X, 99) :- a(X).").unwrap().program;
         let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
         let a: Relation = [ituple![1]].into_iter().collect();
-        let (_, out) = collect(&plan, &[Some(Access::ScanAll(&a))]);
+        let (_, out) = collect(&plan, &[Some(Access::scan_all(&a))]);
         assert_eq!(out, vec![ituple![1, 99]]);
+    }
+
+    #[test]
+    fn nested_probes_reuse_the_key_buffer() {
+        // Three-way join forces probe-inside-probe recursion; the shared
+        // key buffer must not corrupt outer probes.
+        let p = parse_program("t(X,W) :- e(X,Y), e(Y,Z), e(Z,W).")
+            .unwrap()
+            .program;
+        let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
+        let e = edges();
+        let idx = HashIndex::build(&e, &[0]);
+        let (n, out) = collect(
+            &plan,
+            &[
+                Some(Access::scan_all(&e)),
+                Some(Access::probe_all(&idx, &e)),
+                Some(Access::probe_all(&idx, &e)),
+            ],
+        );
+        assert_eq!(n, 1); // only 1→2→3→4 completes three hops
+        assert_eq!(out, vec![ituple![1, 4]]);
     }
 }

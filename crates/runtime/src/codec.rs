@@ -63,7 +63,7 @@ pub fn encode_batch(inbox: RelationId, tuples: &[Tuple]) -> Result<Payload> {
             }
         }
     }
-    Ok(Payload::from(buf))
+    Ok(Payload::new(buf))
 }
 
 /// A bounds-checked little-endian reader over a byte slice.
@@ -105,12 +105,31 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Deserialize a batch; the inverse of [`encode_batch`].
+/// The inbox a batch is addressed to, read from the header alone — lets
+/// a receiver pick the destination buffer before decoding the body.
+///
+/// # Errors
+/// Returns [`Error::Runtime`] if the header is truncated.
+pub fn decode_inbox(bytes: &[u8]) -> Result<RelationId> {
+    if bytes.len() < HEADER_LEN {
+        return Err(Error::Runtime("corrupt tuple batch: truncated header".into()));
+    }
+    let sym = SymbolId(u32::from_le_bytes(bytes[0..4].try_into().expect("len checked")));
+    let arity = u16::from_le_bytes(bytes[4..6].try_into().expect("len checked")) as usize;
+    Ok((sym, arity))
+}
+
+/// Deserialize a batch, appending its tuples to `out` — the zero-copy
+/// receive path: the transport hands the destination's pending buffer
+/// directly, so decoded tuples land where the engine will drain them
+/// without an intermediate `Vec`.
 ///
 /// # Errors
 /// Returns [`Error::Runtime`] (never panics) for truncated headers,
-/// truncated values, unknown value tags, or trailing bytes.
-pub fn decode_batch(bytes: &[u8]) -> Result<(RelationId, Vec<Tuple>)> {
+/// truncated values, unknown value tags, or trailing bytes. On error
+/// `out` may retain a partial prefix; callers that need atomicity should
+/// truncate back to the pre-call length.
+pub fn decode_batch_into(bytes: &[u8], out: &mut Vec<Tuple>) -> Result<(RelationId, usize)> {
     let corrupt = |what: &str| Error::Runtime(format!("corrupt tuple batch: {what}"));
     let mut cur = Cursor::new(bytes);
     if cur.remaining() < HEADER_LEN {
@@ -132,7 +151,7 @@ pub fn decode_batch(bytes: &[u8]) -> Result<(RelationId, Vec<Tuple>)> {
         }
         Some(fit) => count.min(fit + 1),
     };
-    let mut tuples = Vec::with_capacity(plausible);
+    out.reserve(plausible);
     let mut values = Vec::with_capacity(arity);
     for _ in 0..count {
         values.clear();
@@ -150,12 +169,23 @@ pub fn decode_batch(bytes: &[u8]) -> Result<(RelationId, Vec<Tuple>)> {
                 Some(tag) => return Err(corrupt(&format!("unknown value tag {tag}"))),
             }
         }
-        tuples.push(Tuple::new(&values));
+        out.push(Tuple::new(&values));
     }
     if cur.remaining() > 0 {
         return Err(corrupt("trailing bytes"));
     }
-    Ok(((sym, arity), tuples))
+    Ok(((sym, arity), count))
+}
+
+/// Deserialize a batch; the inverse of [`encode_batch`].
+///
+/// # Errors
+/// Returns [`Error::Runtime`] (never panics) for truncated headers,
+/// truncated values, unknown value tags, or trailing bytes.
+pub fn decode_batch(bytes: &[u8]) -> Result<(RelationId, Vec<Tuple>)> {
+    let mut tuples = Vec::new();
+    let (inbox, _) = decode_batch_into(bytes, &mut tuples)?;
+    Ok((inbox, tuples))
 }
 
 #[cfg(test)]

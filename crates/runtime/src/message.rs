@@ -7,7 +7,7 @@ use crate::termination::TokenMsg;
 /// An immutable, cheaply cloneable serialized batch. Cloning an envelope
 /// (e.g. when the fault injector duplicates a delivery) copies a pointer,
 /// not the payload.
-pub type Payload = Arc<[u8]>;
+pub type Payload = Arc<Vec<u8>>;
 
 /// A message traveling on a channel `i → j`.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -131,7 +131,7 @@ pub fn execute_synchronous_traced(
                 if out.dest == i {
                     continue; // handled below against the same engine
                 }
-                let payload = encode_batch(out.inbox, &tuples)?;
+                let payload = encode_batch(out.inbox, tuples)?;
                 sent_tuples_to[i][out.dest] += tuples.len() as u64;
                 sent_bytes_to[i][out.dest] += payload.len() as u64;
                 sent_messages[i] += 1;
@@ -144,10 +144,7 @@ pub fn execute_synchronous_traced(
         for (i, engine) in engines.iter_mut().enumerate() {
             for out in &specs[i].program.outgoing {
                 if out.dest == i {
-                    let tuples = engine.delta_tuples(out.channel);
-                    if !tuples.is_empty() {
-                        engine.inject(out.inbox, tuples)?;
-                    }
+                    engine.loopback(out.channel, out.inbox)?;
                 }
             }
         }
@@ -181,7 +178,7 @@ pub fn execute_synchronous_traced(
                         slot.insert(rel);
                     }
                     std::collections::hash_map::Entry::Occupied(mut slot) => {
-                        slot.get_mut().absorb(&rel)?;
+                        slot.get_mut().absorb_owned(rel)?;
                     }
                 }
             }

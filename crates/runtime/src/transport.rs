@@ -95,7 +95,7 @@ pub(crate) fn pool_into(
                 slot.insert(rel);
             }
             Entry::Occupied(mut slot) => {
-                slot.get_mut().absorb(&rel)?;
+                slot.get_mut().absorb_owned(rel)?;
             }
         }
     }

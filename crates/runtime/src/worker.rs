@@ -104,6 +104,11 @@ struct ReplayLog {
     base: u64,
     /// Set-union of the compacted prefix, per inbox predicate.
     snapshot: FxHashMap<RelationId, FxHashSet<Tuple>>,
+    /// Cached wire encoding of `snapshot`, invalidated only when a
+    /// compaction actually folds batches in. Acks piggyback on every
+    /// envelope; without the cache, every replay re-sorted and re-encoded
+    /// an unchanged snapshot.
+    encoded: Option<Vec<Payload>>,
     /// Retained batches, contiguous sequence numbers starting at `base`,
     /// each tagged with the recovery epoch it was shipped in. Replay
     /// retransmits only batches from *earlier* epochs: a batch shipped in
@@ -116,27 +121,44 @@ struct ReplayLog {
 impl ReplayLog {
     /// Fold every batch with sequence number `< acked` into the snapshot.
     fn truncate_to(&mut self, acked: u64) -> Result<()> {
+        if acked <= self.base {
+            // Nothing newly acknowledged — the common case for the ack
+            // piggybacked on every envelope. No decode, no invalidation.
+            return Ok(());
+        }
+        let mut folded = false;
         while self.tail.front().is_some_and(|(seq, _, _)| *seq < acked) {
             let (_, _, payload) = self.tail.pop_front().expect("front checked");
             let (inbox, tuples) = crate::codec::decode_batch(&payload)?;
             self.snapshot.entry(inbox).or_default().extend(tuples);
+            folded = true;
         }
-        self.base = self.base.max(acked);
+        self.base = acked;
+        if folded {
+            self.encoded = None;
+        }
         Ok(())
     }
 
     /// Encode the snapshot, one payload per inbox, in deterministic order.
-    fn snapshot_payloads(&self) -> Result<Vec<Payload>> {
+    /// Cached between compactions: repeated replays clone the retained
+    /// `Arc` payloads instead of re-sorting and re-encoding.
+    fn snapshot_payloads(&mut self) -> Result<Vec<Payload>> {
+        if let Some(cached) = &self.encoded {
+            return Ok(cached.clone());
+        }
         let mut inboxes: Vec<&RelationId> = self.snapshot.keys().collect();
         inboxes.sort();
-        inboxes
+        let payloads = inboxes
             .into_iter()
             .map(|inbox| {
                 let mut tuples: Vec<Tuple> = self.snapshot[inbox].iter().cloned().collect();
                 tuples.sort();
                 crate::codec::encode_batch(*inbox, &tuples)
             })
-            .collect()
+            .collect::<Result<Vec<Payload>>>()?;
+        self.encoded = Some(payloads.clone());
+        Ok(payloads)
     }
 
     /// Retained batch count (diagnostics and the drain test).
@@ -147,6 +169,7 @@ impl ReplayLog {
 
     fn clear(&mut self) {
         self.snapshot.clear();
+        self.encoded = None;
         self.tail.clear();
     }
 }
@@ -186,6 +209,14 @@ pub(crate) struct WorkerCore {
     seen_above: Vec<FxHashSet<u64>>,
     /// Sender-side replay log per destination link.
     replay: Vec<ReplayLog>,
+    /// Per-outgoing-channel arena watermark: rows of the channel relation
+    /// below this index have already been shipped (or looped back). Deltas
+    /// accumulate across rounds and go out as one batch per channel at the
+    /// local fixpoint — the arena's insertion order makes the backlog a
+    /// borrowable suffix, and coarse batches keep the envelope count (and
+    /// the scheduler churn it causes) proportional to fixpoints, not
+    /// rounds.
+    ship_from: Vec<usize>,
     // statistics
     sent_tuples_to: Vec<u64>,
     sent_bytes_to: Vec<u64>,
@@ -207,6 +238,7 @@ impl WorkerCore {
     /// to rebuild a crashed processor from its retained spec.
     pub(crate) fn with_epoch(spec: WorkerSpec, n: usize, epoch: u64) -> Result<Self> {
         let id = spec.program.processor;
+        let outgoing = spec.program.outgoing.len();
         let engine = FixpointEngine::new(
             &spec.program.program,
             spec.edb.clone(),
@@ -229,6 +261,7 @@ impl WorkerCore {
             recv_floor: vec![0; n],
             seen_above: vec![FxHashSet::default(); n],
             replay: (0..n).map(|_| ReplayLog::default()).collect(),
+            ship_from: vec![0; outgoing],
             sent_tuples_to: vec![0; n],
             sent_bytes_to: vec![0; n],
             sent_messages: 0,
@@ -283,11 +316,18 @@ impl WorkerCore {
             }
         }
 
-        // Processing + sending step: one engine round.
+        // Processing step: one engine round.
         let fresh = self.engine.advance();
         if fresh > 0 {
-            self.ship_channel_deltas(out)?;
             self.engine.process_round();
+            return Ok(Step::Worked);
+        }
+
+        // Sending step, deferred to the local fixpoint: ship each
+        // channel's accumulated backlog as a single batch. A loopback
+        // re-activates the engine, so report `Worked` and let the next
+        // step pick the fixpoint back up.
+        if self.ship_channel_deltas(out)? {
             return Ok(Step::Worked);
         }
         debug_assert!(self.engine.quiescent());
@@ -449,10 +489,13 @@ impl WorkerCore {
     fn accept_snapshot(&mut self, from: usize, payloads: Vec<Payload>, upto: u64) -> Result<()> {
         self.safra.on_basic_receive();
         for payload in payloads {
-            let (inbox, tuples) = crate::codec::decode_batch(&payload)?;
+            let inbox = crate::codec::decode_inbox(&payload)?;
+            let count = self
+                .engine
+                .inject_with(inbox, |out| crate::codec::decode_batch_into(&payload, out))?
+                .1;
             self.received_bytes += payload.len() as u64;
-            self.received_tuples += tuples.len() as u64;
-            self.engine.inject(inbox, tuples)?;
+            self.received_tuples += count as u64;
         }
         if upto > self.recv_floor[from] {
             self.recv_floor[from] = upto;
@@ -474,16 +517,20 @@ impl WorkerCore {
     fn accept_batch(&mut self, from: usize, seq: u64, payload: &[u8]) -> Result<()> {
         let first_delivery =
             seq >= self.recv_floor[from] && self.seen_above[from].insert(seq);
-        let (inbox, tuples) = crate::codec::decode_batch(payload)?;
+        let inbox = crate::codec::decode_inbox(payload)?;
+        let count = self
+            .engine
+            .inject_with(inbox, |out| crate::codec::decode_batch_into(payload, out))?
+            .1;
         if first_delivery {
             self.safra.on_basic_receive();
             self.received_bytes += payload.len() as u64;
-            self.received_tuples += tuples.len() as u64;
+            self.received_tuples += count as u64;
             self.advance_floor(from);
         } else {
             self.duplicate_batches += 1;
         }
-        self.engine.inject(inbox, tuples)
+        Ok(())
     }
 
     /// Slide the contiguous watermark for `from` over any absorbed
@@ -495,41 +542,62 @@ impl WorkerCore {
     }
 
     /// Ship every channel predicate's fresh delta (paper: sending step).
-    fn ship_channel_deltas(&mut self, out: &mut dyn Outbox) -> Result<()> {
+    ///
+    /// The delta is a borrowed arena suffix encoded straight onto the
+    /// wire — no intermediate tuple vector; the only retained copy is the
+    /// payload the replay log needs anyway.
+    fn ship_channel_deltas(&mut self, out: &mut dyn Outbox) -> Result<bool> {
+        let mut shipped = false;
         for k in 0..self.spec.program.outgoing.len() {
-            let ch = self.spec.program.outgoing[k].clone();
-            let tuples = self.engine.delta_tuples(ch.channel);
-            if tuples.is_empty() {
-                continue;
-            }
-            if ch.dest == self.id {
+            let (channel, dest, inbox) = {
+                let ch = &self.spec.program.outgoing[k];
+                (ch.channel, ch.dest, ch.inbox)
+            };
+            let from_row = self.ship_from[k];
+            if dest == self.id {
                 // Local loopback (t_ii): no network, no counters.
-                self.engine.inject(ch.inbox, tuples)?;
+                let looped = {
+                    let backlog = self.engine.rows_from(channel, from_row);
+                    self.ship_from[k] = from_row + backlog.len();
+                    !backlog.is_empty()
+                };
+                if looped {
+                    self.engine.loopback_from(channel, inbox, from_row)?;
+                    shipped = true;
+                }
                 continue;
             }
-            let payload = crate::codec::encode_batch(ch.inbox, &tuples)?;
-            self.sent_tuples_to[ch.dest] += tuples.len() as u64;
-            self.sent_bytes_to[ch.dest] += payload.len() as u64;
+            let (payload, count) = {
+                let tuples = self.engine.rows_from(channel, from_row);
+                if tuples.is_empty() {
+                    continue;
+                }
+                self.ship_from[k] = from_row + tuples.len();
+                (crate::codec::encode_batch(inbox, tuples)?, tuples.len() as u64)
+            };
+            shipped = true;
+            self.sent_tuples_to[dest] += count;
+            self.sent_bytes_to[dest] += payload.len() as u64;
             self.sent_messages += 1;
             self.safra.on_send();
-            let seq = self.next_batch_seq(ch.dest);
+            let seq = self.next_batch_seq(dest);
             // Retain for crash-recovery replay until the receiver acks it
             // (compaction) or the run terminates.
-            self.replay[ch.dest]
+            self.replay[dest]
                 .tail
                 .push_back((seq, self.epoch, payload.clone()));
             out.send(
-                ch.dest,
+                dest,
                 Envelope {
                     from: self.id,
                     seq,
                     epoch: self.epoch,
-                    ack: self.recv_floor[ch.dest],
+                    ack: self.recv_floor[dest],
                     message: Message::Batch(payload),
                 },
             )?;
         }
-        Ok(())
+        Ok(shipped)
     }
 
     fn handle_token(&mut self, token: TokenMsg, out: &mut dyn Outbox) -> Result<()> {
@@ -679,6 +747,38 @@ mod tests {
             self.sent.push((to, env));
             Ok(())
         }
+    }
+
+    /// The snapshot encoding is cached: repeated replays after an
+    /// unchanged compaction point return the same `Arc` payloads, and a
+    /// no-op ack neither decodes nor invalidates anything.
+    #[test]
+    fn replay_snapshot_encoding_is_cached_until_compaction() {
+        let interner = Interner::new();
+        let inbox = (interner.intern("t@in"), 2);
+        let mut log = ReplayLog::default();
+        let p1 = crate::codec::encode_batch(inbox, &[ituple![1, 2]]).unwrap();
+        let p2 = crate::codec::encode_batch(inbox, &[ituple![3, 4]]).unwrap();
+        log.tail.push_back((0, 0, p1));
+        log.tail.push_back((1, 0, p2));
+
+        log.truncate_to(1).unwrap(); // folds seq 0
+        let a = log.snapshot_payloads().unwrap();
+        let b = log.snapshot_payloads().unwrap();
+        assert!(
+            Arc::ptr_eq(&a[0], &b[0]),
+            "second replay reuses the cached encoding"
+        );
+
+        log.truncate_to(1).unwrap(); // duplicate ack: no fold, no invalidation
+        let c = log.snapshot_payloads().unwrap();
+        assert!(Arc::ptr_eq(&a[0], &c[0]));
+
+        log.truncate_to(2).unwrap(); // folds seq 1: cache invalidated
+        let d = log.snapshot_payloads().unwrap();
+        assert!(!Arc::ptr_eq(&a[0], &d[0]));
+        let (_, tuples) = crate::codec::decode_batch(&d[0]).unwrap();
+        assert_eq!(tuples.len(), 2, "snapshot holds both folded batches");
     }
 
     /// A two-worker core pair: worker 0 derives from `e` and has real work

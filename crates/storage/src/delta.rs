@@ -10,10 +10,12 @@
 //! * `pending` — tuples produced (or received from other processors)
 //!   during the *current* round.
 //!
-//! [`DeltaRelation::advance`] ends a round: `delta ← pending \ all`,
-//! `all ← all ∪ delta`, `pending ← ∅`. The duplicate elimination inside
-//! `advance` is exactly the "difference operation" of the paper's receive
-//! step (§3, step 4).
+//! Because [`Relation`] is an insertion-ordered row arena, the delta is
+//! not a second relation: it is the row range `all.rows()[delta_start..]`
+//! — the suffix appended by the last [`DeltaRelation::advance`]. Ending a
+//! round is `delta_start ← |all|`, then `all ← all ∪ pending` (the set
+//! insert performs the paper's "difference operation", §3 step 4); the
+//! survivors *are* the new delta, borrowable as a slice with no copy.
 
 use gst_common::{Result, Tuple};
 
@@ -23,7 +25,8 @@ use crate::relation::Relation;
 #[derive(Debug, Clone)]
 pub struct DeltaRelation {
     all: Relation,
-    delta: Vec<Tuple>,
+    /// First arena row of the current delta: `all.rows()[delta_start..]`.
+    delta_start: usize,
     pending: Vec<Tuple>,
     /// Total pending submissions, counting duplicates (diagnostics).
     submitted: u64,
@@ -34,7 +37,7 @@ impl DeltaRelation {
     pub fn new(arity: usize) -> Self {
         DeltaRelation {
             all: Relation::new(arity),
-            delta: Vec::new(),
+            delta_start: 0,
             pending: Vec::new(),
             submitted: 0,
         }
@@ -60,9 +63,9 @@ impl DeltaRelation {
         &self.all
     }
 
-    /// The previous round's new tuples.
+    /// The previous round's new tuples — a borrowed arena suffix.
     pub fn delta(&self) -> &[Tuple] {
-        &self.delta
+        &self.all.rows()[self.delta_start..]
     }
 
     /// Tuples queued for the next round (not yet deduplicated).
@@ -93,19 +96,17 @@ impl DeltaRelation {
     /// End the round: deduplicate pending against `all`, making the
     /// survivors the new delta. Returns the number of genuinely new tuples.
     pub fn advance(&mut self) -> usize {
-        self.delta.clear();
+        self.delta_start = self.all.len();
         for t in self.pending.drain(..) {
-            if self.all.insert_unchecked(t.clone()) {
-                self.delta.push(t);
-            }
+            self.all.insert_unchecked(t);
         }
-        self.delta.len()
+        self.all.len() - self.delta_start
     }
 
     /// True when the last `advance` produced no new tuples and nothing is
     /// pending — the local fixpoint condition.
     pub fn quiescent(&self) -> bool {
-        self.delta.is_empty() && self.pending.is_empty()
+        self.delta_start == self.all.len() && self.pending.is_empty()
     }
 
     /// Total `submit` calls, counting duplicates (diagnostics: measures
@@ -152,6 +153,18 @@ mod tests {
         assert_eq!(d.delta().len(), 1);
         assert_eq!(d.advance(), 0);
         assert!(d.delta().is_empty());
+    }
+
+    #[test]
+    fn delta_borrows_the_arena_suffix() {
+        let mut d = DeltaRelation::new(1);
+        d.submit(ituple![1]);
+        d.advance();
+        d.submit(ituple![2]);
+        d.submit(ituple![3]);
+        d.advance();
+        assert_eq!(d.delta(), &[ituple![2], ituple![3]]);
+        assert_eq!(d.all().rows(), &[ituple![1], ituple![2], ituple![3]]);
     }
 
     #[test]

@@ -1,44 +1,92 @@
-//! Hash indexes over relations.
+//! Hash indexes over relations, as row-id postings into the row arena.
 //!
 //! The semi-naive join executor probes base and derived relations on the
 //! columns bound by earlier subgoals. A [`HashIndex`] maps the projection
-//! of each tuple onto a fixed column set to the list of matching tuples.
-//! Indexes are built from a relation snapshot and record the relation's
-//! generation stamp, so a cache can cheaply decide whether a rebuild (or
-//! an incremental refresh) is needed.
+//! of each tuple onto a fixed column set to the list of matching **row
+//! ids** in the source [`Relation`]'s arena — no tuple is cloned into the
+//! index, neither as a key nor as a posting. Keys exist only as hashes:
+//! equality on probe is verified against the projected columns of the
+//! bucket's first row, so probing needs the source relation but never
+//! allocates a key tuple.
+//!
+//! Because rows only append and the index ingests them in row order, each
+//! bucket's posting list is sorted ascending. A caller that wants only
+//! the rows of a sub-range of the arena — the `Old` view `rows[..k]` or
+//! the delta `rows[k..]` — slices the postings with a binary search
+//! instead of consulting a separate index or membership set.
+//!
+//! An index records the relation generation it has ingested
+//! ([`HashIndex::built_at`]); since a relation's generation *is* its row
+//! count, [`HashIndex::sync`] knows exactly which row range is missing
+//! and catches up incrementally.
 
-use gst_common::{FxHashMap, Tuple};
+use std::hash::Hasher;
+
+use gst_common::{FxHasher, Tuple, Value};
 
 use crate::relation::Relation;
+
+/// One bucket: the key's hash plus the rows whose projection matches.
+/// A bucket with no rows is vacant (occupied buckets always hold ≥ 1).
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    hash: u64,
+    rows: Vec<u32>,
+}
 
 /// A hash index on a fixed set of key columns.
 #[derive(Debug, Clone)]
 pub struct HashIndex {
     key_columns: Vec<usize>,
-    map: FxHashMap<Tuple, Vec<Tuple>>,
-    /// Generation of the source relation at build/refresh time.
-    built_at: u64,
-    /// Number of tuples indexed (for diagnostics).
+    buckets: Box<[Bucket]>,
+    /// Occupied buckets (distinct keys).
+    keys: usize,
+    /// Rows indexed across all buckets.
     entries: usize,
+    /// Generation (= row count) of the source relation last ingested.
+    built_at: u64,
+}
+
+/// Hash a probe key given as a value slice. Must agree with
+/// [`hash_projection`] — both feed the raw values to the same hasher.
+pub fn hash_key(key: &[Value]) -> u64 {
+    let mut h = FxHasher::default();
+    for v in key {
+        std::hash::Hash::hash(v, &mut h);
+    }
+    h.finish()
+}
+
+/// Hash the projection of `tuple` onto `columns`.
+fn hash_projection(tuple: &Tuple, columns: &[usize]) -> u64 {
+    let mut h = FxHasher::default();
+    for &c in columns {
+        std::hash::Hash::hash(&tuple.get(c), &mut h);
+    }
+    h.finish()
 }
 
 impl HashIndex {
+    /// Create an empty index keyed on `key_columns`.
+    pub fn new(key_columns: &[usize]) -> Self {
+        HashIndex {
+            key_columns: key_columns.to_vec(),
+            buckets: Box::default(),
+            keys: 0,
+            entries: 0,
+            built_at: 0,
+        }
+    }
+
     /// Build an index of `relation` keyed on `key_columns`.
     ///
     /// # Panics
     /// Panics if a key column is out of range for the relation's arity
     /// (a programming error in plan compilation, not a data error).
     pub fn build(relation: &Relation, key_columns: &[usize]) -> Self {
-        let mut map: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
-        for t in relation.iter() {
-            map.entry(t.project(key_columns)).or_default().push(t.clone());
-        }
-        HashIndex {
-            key_columns: key_columns.to_vec(),
-            map,
-            built_at: relation.generation(),
-            entries: relation.len(),
-        }
+        let mut idx = HashIndex::new(key_columns);
+        idx.sync(relation);
+        idx
     }
 
     /// The key columns this index is on.
@@ -46,64 +94,154 @@ impl HashIndex {
         &self.key_columns
     }
 
-    /// Tuples whose projection equals `key`. Missing keys yield `&[]`.
-    pub fn probe(&self, key: &Tuple) -> &[Tuple] {
-        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    /// Row ids whose projection equals `key`, ascending. Missing keys
+    /// yield `&[]`. `relation` must be the indexed relation: it supplies
+    /// the representative tuple that verifies key equality.
+    pub fn probe<'a>(&'a self, relation: &Relation, key: &[Value]) -> &'a [u32] {
+        debug_assert_eq!(key.len(), self.key_columns.len());
+        self.probe_hashed(relation, hash_key(key), key)
+    }
+
+    /// [`HashIndex::probe`] with the key hash precomputed by
+    /// [`hash_key`] (hot paths hoist the hashing out of posting slicing).
+    pub fn probe_hashed<'a>(
+        &'a self,
+        relation: &Relation,
+        hash: u64,
+        key: &[Value],
+    ) -> &'a [u32] {
+        if self.buckets.is_empty() {
+            return &[];
+        }
+        let mask = self.buckets.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let b = &self.buckets[i];
+            if b.rows.is_empty() {
+                return &[];
+            }
+            if b.hash == hash {
+                let rep = relation.row(b.rows[0]);
+                if self
+                    .key_columns
+                    .iter()
+                    .zip(key)
+                    .all(|(&c, v)| rep.get(c) == *v)
+                {
+                    return &b.rows;
+                }
+            }
+            i = (i + 1) & mask;
+        }
     }
 
     /// The generation stamp of the relation when the index was last
-    /// (re)built; compare against [`Relation::generation`] for staleness.
+    /// synced; compare against [`Relation::generation`] for staleness.
     pub fn built_at(&self) -> u64 {
         self.built_at
     }
 
-    /// True if `relation` has changed since this index was built.
+    /// True if `relation` has changed since this index last ingested it.
     pub fn is_stale(&self, relation: &Relation) -> bool {
         relation.generation() != self.built_at
     }
 
-    /// Bring the index up to date by re-scanning `relation`.
+    /// Bring the index up to date by ingesting the arena rows appended
+    /// since the last sync — incremental, so keeping an index current
+    /// across a fixpoint is O(total tuples), not O(rounds × tuples).
     ///
-    /// Relations only grow in bottom-up evaluation, but tuples arrive in
-    /// arbitrary set order, so the refresh rebuilds rather than diffing —
-    /// the evaluator avoids the cost by indexing deltas separately.
-    pub fn refresh(&mut self, relation: &Relation) {
-        if !self.is_stale(relation) {
-            return;
+    /// If the relation was replaced wholesale (fewer rows than already
+    /// ingested — never on the fixpoint hot path), the index rebuilds.
+    pub fn sync(&mut self, relation: &Relation) {
+        let mut start = self.built_at as usize;
+        if start > relation.len() {
+            self.buckets = Box::default();
+            self.keys = 0;
+            self.entries = 0;
+            start = 0;
         }
-        *self = HashIndex::build(relation, &self.key_columns);
-    }
-
-    /// Add one tuple incrementally.
-    ///
-    /// Relations only grow under bottom-up evaluation, so the evaluator
-    /// feeds each round's delta into the full-relation index instead of
-    /// rebuilding it (rebuilds would make the fixpoint quadratic). The
-    /// caller must also call [`HashIndex::mark_synced`] once the batch
-    /// matching the relation's new generation has been applied.
-    pub fn insert(&mut self, tuple: Tuple) {
-        self.map
-            .entry(tuple.project(&self.key_columns))
-            .or_default()
-            .push(tuple);
-        self.entries += 1;
-    }
-
-    /// Declare the index synchronized with `generation` after a batch of
-    /// [`HashIndex::insert`] calls.
-    pub fn mark_synced(&mut self, generation: u64) {
-        self.built_at = generation;
+        for row in start..relation.len() {
+            self.insert_row(relation, row as u32);
+        }
+        self.built_at = relation.generation();
     }
 
     /// Number of distinct keys.
     pub fn key_count(&self) -> usize {
-        self.map.len()
+        self.keys
     }
 
-    /// Number of tuples indexed.
+    /// Number of rows indexed.
     pub fn entry_count(&self) -> usize {
         self.entries
     }
+
+    /// Append `row` to its key's posting list. Rows must be fed in
+    /// ascending order (as [`HashIndex::sync`] does) to keep posting
+    /// lists sorted.
+    fn insert_row(&mut self, relation: &Relation, row: u32) {
+        // 5/8 max load: linear-probe miss chains grow ~1/(1-α)², and
+        // probes for absent keys are common in semi-naive rounds.
+        if self.keys * 8 >= self.buckets.len() * 5 {
+            self.grow_to((self.buckets.len() * 2).max(16));
+        }
+        let tuple = relation.row(row);
+        let hash = hash_projection(tuple, &self.key_columns);
+        let mask = self.buckets.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let b = &self.buckets[i];
+            if b.rows.is_empty() {
+                break;
+            }
+            if b.hash == hash {
+                let rep = relation.row(b.rows[0]);
+                if self
+                    .key_columns
+                    .iter()
+                    .all(|&c| rep.get(c) == tuple.get(c))
+                {
+                    break;
+                }
+            }
+            i = (i + 1) & mask;
+        }
+        let b = &mut self.buckets[i];
+        if b.rows.is_empty() {
+            b.hash = hash;
+            self.keys += 1;
+        }
+        debug_assert!(b.rows.last().is_none_or(|&r| r < row));
+        b.rows.push(row);
+        self.entries += 1;
+    }
+
+    /// Resize to `cap` buckets (a power of two), repositioning posting
+    /// lists by their stored hashes — moves, no tuple access.
+    fn grow_to(&mut self, cap: usize) {
+        debug_assert!(cap.is_power_of_two() && cap > self.buckets.len());
+        let old = std::mem::replace(&mut self.buckets, vec![Bucket::default(); cap].into_boxed_slice());
+        let mask = cap - 1;
+        for b in old.into_vec() {
+            if b.rows.is_empty() {
+                continue;
+            }
+            let mut i = (b.hash as usize) & mask;
+            while !self.buckets[i].rows.is_empty() {
+                i = (i + 1) & mask;
+            }
+            self.buckets[i] = b;
+        }
+    }
+}
+
+/// Restrict an ascending posting list to rows in `[start, end)` — how
+/// callers realize the `Old` (`rows[..k]`) and delta (`rows[k..]`) views
+/// of an arena from the single full-relation index.
+pub fn postings_in_range(postings: &[u32], start: u32, end: u32) -> &[u32] {
+    let lo = postings.partition_point(|&r| r < start);
+    let hi = lo + postings[lo..].partition_point(|&r| r < end);
+    &postings[lo..hi]
 }
 
 #[cfg(test)]
@@ -122,77 +260,126 @@ mod tests {
         .collect()
     }
 
+    fn key(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    /// Resolve postings to sorted tuples for assertion convenience.
+    fn hits(idx: &HashIndex, rel: &Relation, k: &[i64]) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = idx
+            .probe(rel, &key(k))
+            .iter()
+            .map(|&r| rel.row(r).clone())
+            .collect();
+        v.sort();
+        v
+    }
+
     #[test]
     fn probe_finds_all_matches() {
-        let idx = HashIndex::build(&sample(), &[0]);
-        let mut hits: Vec<Tuple> = idx.probe(&ituple![1]).to_vec();
-        hits.sort();
-        assert_eq!(hits, vec![ituple![1, 10], ituple![1, 11]]);
-        assert_eq!(idx.probe(&ituple![2]), &[ituple![2, 20]]);
+        let rel = sample();
+        let idx = HashIndex::build(&rel, &[0]);
+        assert_eq!(hits(&idx, &rel, &[1]), vec![ituple![1, 10], ituple![1, 11]]);
+        assert_eq!(hits(&idx, &rel, &[2]), vec![ituple![2, 20]]);
     }
 
     #[test]
     fn probe_missing_key_is_empty() {
-        let idx = HashIndex::build(&sample(), &[0]);
-        assert!(idx.probe(&ituple![99]).is_empty());
+        let rel = sample();
+        let idx = HashIndex::build(&rel, &[0]);
+        assert!(idx.probe(&rel, &key(&[99])).is_empty());
     }
 
     #[test]
     fn index_on_second_column() {
-        let idx = HashIndex::build(&sample(), &[1]);
-        assert_eq!(idx.probe(&ituple![11]), &[ituple![1, 11]]);
+        let rel = sample();
+        let idx = HashIndex::build(&rel, &[1]);
+        assert_eq!(hits(&idx, &rel, &[11]), vec![ituple![1, 11]]);
     }
 
     #[test]
     fn index_on_both_columns() {
-        let idx = HashIndex::build(&sample(), &[1, 0]);
-        assert_eq!(idx.probe(&ituple![10, 1]), &[ituple![1, 10]]);
-        assert!(idx.probe(&ituple![1, 10]).is_empty(), "key order matters");
+        let rel = sample();
+        let idx = HashIndex::build(&rel, &[1, 0]);
+        assert_eq!(hits(&idx, &rel, &[10, 1]), vec![ituple![1, 10]]);
+        assert!(idx.probe(&rel, &key(&[1, 10])).is_empty(), "key order matters");
     }
 
     #[test]
     fn empty_key_groups_everything() {
-        let idx = HashIndex::build(&sample(), &[]);
-        assert_eq!(idx.probe(&Tuple::unit()).len(), 4);
+        let rel = sample();
+        let idx = HashIndex::build(&rel, &[]);
+        assert_eq!(idx.probe(&rel, &[]).len(), 4);
         assert_eq!(idx.key_count(), 1);
     }
 
     #[test]
-    fn staleness_and_refresh() {
+    fn staleness_and_incremental_sync() {
         let mut rel = sample();
         let mut idx = HashIndex::build(&rel, &[0]);
         assert!(!idx.is_stale(&rel));
         rel.insert(ituple![1, 12]).unwrap();
         assert!(idx.is_stale(&rel));
-        idx.refresh(&rel);
+        idx.sync(&rel);
         assert!(!idx.is_stale(&rel));
-        assert_eq!(idx.probe(&ituple![1]).len(), 3);
+        assert_eq!(idx.probe(&rel, &key(&[1])).len(), 3);
         assert_eq!(idx.entry_count(), 5);
     }
 
     #[test]
-    fn incremental_insert_matches_rebuild() {
+    fn incremental_sync_matches_rebuild() {
         let mut rel = sample();
         let mut idx = HashIndex::build(&rel, &[0]);
         rel.insert(ituple![2, 21]).unwrap();
-        idx.insert(ituple![2, 21]);
-        idx.mark_synced(rel.generation());
-        assert!(!idx.is_stale(&rel));
+        idx.sync(&rel);
         let rebuilt = HashIndex::build(&rel, &[0]);
-        let mut a = idx.probe(&ituple![2]).to_vec();
-        let mut b = rebuilt.probe(&ituple![2]).to_vec();
-        a.sort();
-        b.sort();
-        assert_eq!(a, b);
+        assert_eq!(idx.probe(&rel, &key(&[2])), rebuilt.probe(&rel, &key(&[2])));
         assert_eq!(idx.entry_count(), rebuilt.entry_count());
+        assert_eq!(idx.key_count(), rebuilt.key_count());
     }
 
     #[test]
-    fn refresh_on_fresh_index_is_noop() {
+    fn sync_on_fresh_index_is_noop() {
         let rel = sample();
         let mut idx = HashIndex::build(&rel, &[0]);
         let before = idx.built_at();
-        idx.refresh(&rel);
+        idx.sync(&rel);
         assert_eq!(idx.built_at(), before);
+    }
+
+    #[test]
+    fn sync_rebuilds_after_replacement() {
+        let mut idx = HashIndex::build(&sample(), &[0]);
+        let smaller: Relation = [ituple![7, 70]].into_iter().collect();
+        idx.sync(&smaller);
+        assert_eq!(idx.probe(&smaller, &key(&[7])), &[0]);
+        assert!(idx.probe(&smaller, &key(&[1])).is_empty());
+        assert_eq!(idx.entry_count(), 1);
+    }
+
+    #[test]
+    fn postings_stay_sorted_through_growth() {
+        let mut rel = Relation::new(2);
+        for i in 0..5_000i64 {
+            rel.insert(ituple![i % 13, i]).unwrap();
+        }
+        let idx = HashIndex::build(&rel, &[0]);
+        for k0 in 0..13 {
+            let postings = idx.probe(&rel, &key(&[k0]));
+            assert!(postings.windows(2).all(|w| w[0] < w[1]));
+            for &r in postings {
+                assert_eq!(rel.row(r).get(0), Value::Int(k0));
+            }
+        }
+        assert_eq!(idx.entry_count(), 5_000);
+    }
+
+    #[test]
+    fn postings_in_range_slices_views() {
+        let postings = [2u32, 5, 9, 14];
+        assert_eq!(postings_in_range(&postings, 0, u32::MAX), &postings);
+        assert_eq!(postings_in_range(&postings, 0, 9), &[2, 5]);
+        assert_eq!(postings_in_range(&postings, 5, 14), &[5, 9]);
+        assert_eq!(postings_in_range(&postings, 15, 20), &[] as &[u32]);
     }
 }
