@@ -362,6 +362,16 @@ fn main() {
         println!("{}\n", t.render());
     }
     if let Some(path) = json_path {
+        // Reports conventionally land under the gitignored `out/`
+        // directory (`--json out/harness_report.json`); create it.
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("cannot create {}: {e}", parent.display());
+                    std::process::exit(2);
+                }
+            }
+        }
         let body = Json::Obj(report).render();
         if let Err(e) = std::fs::write(&path, body) {
             eprintln!("cannot write {path}: {e}");

@@ -1,0 +1,51 @@
+//! CI validator for Chrome traces exported by `pdatalog --trace-out`.
+//!
+//! ```text
+//! trace_check <trace.json> [--workers N] [--require-sends]
+//! ```
+//!
+//! Exits 0 and prints a one-line summary if the trace is structurally
+//! sound (see [`gst_bench::tracecheck::check_chrome_trace`]); exits 1
+//! with the violation otherwise. `--workers N` additionally requires
+//! worker tracks `0..N`, each with a termination marker; `--require-sends`
+//! fails traces with no communication events.
+
+use gst_bench::tracecheck::check_chrome_trace;
+
+fn main() {
+    std::process::exit(match run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("trace_check: {e}");
+            1
+        }
+    });
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .ok_or("usage: trace_check <trace.json> [--workers N] [--require-sends]")?;
+    let mut expect_workers = None;
+    let mut require_sends = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let n = args.next().ok_or("--workers needs a count")?;
+                expect_workers =
+                    Some(n.parse::<usize>().map_err(|_| format!("bad worker count {n:?}"))?);
+            }
+            "--require-sends" => require_sends = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let summary = check_chrome_trace(&text, expect_workers, require_sends)?;
+    println!(
+        "{path}: ok ({} events, {} spans, {} worker tracks)",
+        summary.events, summary.spans, summary.workers
+    );
+    Ok(())
+}

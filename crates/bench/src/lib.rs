@@ -14,5 +14,6 @@ pub mod experiments;
 pub mod json;
 pub mod micro;
 pub mod table;
+pub mod tracecheck;
 
 pub use experiments::*;

@@ -1,0 +1,240 @@
+//! Structural validation of exported Chrome trace-event JSON.
+//!
+//! The CI trace-smoke job runs a traced execution, exports the journal
+//! with `--trace-out`, and feeds the file to the `trace_check` binary,
+//! which calls [`check_chrome_trace`]. The checker enforces the
+//! invariants the viewer silently tolerates but that indicate a broken
+//! producer: per-track monotone timestamps, balanced begin/end span
+//! pairing, and (optionally) that every expected worker track is present
+//! and reached termination.
+
+use crate::json::Json;
+
+/// What a validated trace contained, for the checker's one-line report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total trace events (including metadata).
+    pub events: usize,
+    /// Completed `B`/`E` span pairs.
+    pub spans: usize,
+    /// Distinct worker tracks (`tid`s with at least one non-metadata event).
+    pub workers: usize,
+}
+
+/// Validate Chrome trace-event JSON produced by `--trace-out`.
+///
+/// Checks, in order:
+/// 1. the document parses and has a `traceEvents` array of objects;
+/// 2. every non-metadata event carries numeric `ts`/`pid`/`tid` and a
+///    `name`, and timestamps never go backwards within a `(pid, tid)`
+///    track (array order is emission order);
+/// 3. `B`/`E` events pair up stack-wise per track — every span that
+///    opens closes, with matching names, and nothing closes twice;
+/// 4. at least one `round` span exists (a run that derived nothing
+///    still begins round 0 somewhere);
+/// 5. with `expect_workers = Some(n)`: tracks `0..n` are all present and
+///    each recorded a `terminated` instant;
+/// 6. with `require_sends`: at least one `send` instant exists (used by
+///    CI on schemes that are known to communicate).
+pub fn check_chrome_trace(
+    text: &str,
+    expect_workers: Option<usize>,
+    require_sends: bool,
+) -> Result<TraceSummary, String> {
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+
+    // Per-(pid, tid) track state: last timestamp and the open-span stack.
+    let mut tracks: Vec<((i64, i64), f64, Vec<String>)> = Vec::new();
+    let mut spans = 0usize;
+    let mut rounds = 0usize;
+    let mut sends = 0usize;
+    let mut terminated: Vec<i64> = Vec::new();
+    let mut worker_tids: Vec<i64> = Vec::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue; // metadata carries no timestamp
+        }
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i} ({name}): missing ts"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i} ({name}): missing pid"))? as i64;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i} ({name}): missing tid"))? as i64;
+
+        if !worker_tids.contains(&tid) {
+            worker_tids.push(tid);
+        }
+        let track = match tracks.iter_mut().find(|(key, _, _)| *key == (pid, tid)) {
+            Some(t) => t,
+            None => {
+                tracks.push(((pid, tid), f64::NEG_INFINITY, Vec::new()));
+                tracks.last_mut().unwrap()
+            }
+        };
+        if ts < track.1 {
+            return Err(format!(
+                "event {i} ({name}): ts {ts} goes backwards on track pid={pid} tid={tid} (prev {})",
+                track.1
+            ));
+        }
+        track.1 = ts;
+
+        match ph {
+            "B" => track.2.push(name.to_string()),
+            "E" => match track.2.pop() {
+                Some(open) if open == name => {
+                    spans += 1;
+                    if name == "round" {
+                        rounds += 1;
+                    }
+                }
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: span end {name:?} does not match open span {open:?} on tid={tid}"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: span end {name:?} with no open span on tid={tid}"
+                    ))
+                }
+            },
+            "i" => {
+                if name == "send" {
+                    sends += 1;
+                }
+                if name == "terminated" && !terminated.contains(&tid) {
+                    terminated.push(tid);
+                }
+            }
+            other => return Err(format!("event {i} ({name}): unsupported ph {other:?}")),
+        }
+    }
+
+    for ((pid, tid), _, stack) in &tracks {
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "unclosed span {open:?} on track pid={pid} tid={tid}"
+            ));
+        }
+    }
+    if rounds == 0 {
+        return Err("no completed round span in trace".into());
+    }
+    if let Some(n) = expect_workers {
+        for tid in 0..n as i64 {
+            if !worker_tids.contains(&tid) {
+                return Err(format!("worker track tid={tid} missing (expected {n})"));
+            }
+            if !terminated.contains(&tid) {
+                return Err(format!("worker tid={tid} never recorded termination"));
+            }
+        }
+    }
+    if require_sends && sends == 0 {
+        return Err("no send events in trace (expected communication)".into());
+    }
+
+    Ok(TraceSummary {
+        events: events.len(),
+        spans,
+        workers: worker_tids.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wrap(events: &str) -> String {
+        format!("{{\"traceEvents\":[{events}],\"displayTimeUnit\":\"ms\"}}")
+    }
+
+    const GOOD: &str = r#"{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"worker 0"}},
+        {"name":"round","ph":"B","ts":1,"pid":0,"tid":0},
+        {"name":"send","ph":"i","ts":2,"pid":0,"tid":0,"s":"t"},
+        {"name":"round","ph":"E","ts":3,"pid":0,"tid":0},
+        {"name":"terminated","ph":"i","ts":4,"pid":0,"tid":0,"s":"t"}"#;
+
+    #[test]
+    fn accepts_a_well_formed_trace() {
+        let summary = check_chrome_trace(&wrap(GOOD), Some(1), true).unwrap();
+        assert_eq!(summary, TraceSummary { events: 5, spans: 1, workers: 1 });
+    }
+
+    #[test]
+    fn rejects_backward_timestamps() {
+        let text = wrap(
+            r#"{"name":"round","ph":"B","ts":5,"pid":0,"tid":0},
+               {"name":"round","ph":"E","ts":4,"pid":0,"tid":0}"#,
+        );
+        let err = check_chrome_trace(&text, None, false).unwrap_err();
+        assert!(err.contains("goes backwards"), "{err}");
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_track_not_globally() {
+        let text = wrap(
+            r#"{"name":"round","ph":"B","ts":10,"pid":0,"tid":0},
+               {"name":"round","ph":"B","ts":1,"pid":0,"tid":1},
+               {"name":"round","ph":"E","ts":11,"pid":0,"tid":0},
+               {"name":"round","ph":"E","ts":2,"pid":0,"tid":1}"#,
+        );
+        assert!(check_chrome_trace(&text, None, false).is_ok());
+    }
+
+    #[test]
+    fn rejects_unclosed_and_mismatched_spans() {
+        let open = wrap(r#"{"name":"round","ph":"B","ts":1,"pid":0,"tid":0}"#);
+        assert!(check_chrome_trace(&open, None, false)
+            .unwrap_err()
+            .contains("unclosed span"));
+
+        let stray = wrap(r#"{"name":"round","ph":"E","ts":1,"pid":0,"tid":0}"#);
+        assert!(check_chrome_trace(&stray, None, false)
+            .unwrap_err()
+            .contains("no open span"));
+    }
+
+    #[test]
+    fn rejects_missing_worker_or_termination() {
+        let err = check_chrome_trace(&wrap(GOOD), Some(2), false).unwrap_err();
+        assert!(err.contains("tid=1 missing"), "{err}");
+    }
+
+    #[test]
+    fn rejects_silent_traces_when_sends_required() {
+        let text = wrap(
+            r#"{"name":"round","ph":"B","ts":1,"pid":0,"tid":0},
+               {"name":"round","ph":"E","ts":2,"pid":0,"tid":0}"#,
+        );
+        let err = check_chrome_trace(&text, None, true).unwrap_err();
+        assert!(err.contains("no send events"), "{err}");
+    }
+
+    #[test]
+    fn rejects_traces_without_rounds() {
+        let text = wrap(r#"{"name":"idle","ph":"i","ts":1,"pid":0,"tid":0,"s":"t"}"#);
+        let err = check_chrome_trace(&text, None, false).unwrap_err();
+        assert!(err.contains("no completed round"), "{err}");
+    }
+}

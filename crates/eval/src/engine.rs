@@ -345,11 +345,13 @@ impl FixpointEngine {
     /// Returns the number of fresh tuples across all derived predicates.
     pub fn advance(&mut self) -> u64 {
         let mut fresh_total = 0;
+        let mut submitted_total = 0;
         let ids: Vec<RelationId> = self.idb.keys().copied().collect();
         for id in ids {
             let state = self.idb.get_mut(&id).expect("iterating own keys");
             let (submitted, fresh) = state.advance();
             self.stats.record_advance(submitted, fresh);
+            submitted_total += submitted;
             fresh_total += fresh;
             if fresh > 0 {
                 // Feed the appended arena rows into every cached index of
@@ -364,7 +366,7 @@ impl FixpointEngine {
                 }
             }
         }
-        self.stats.rounds += 1;
+        self.stats.end_round(submitted_total, fresh_total);
         fresh_total
     }
 
@@ -682,7 +684,7 @@ pub fn naive_eval(program: &Program, edb: &Database) -> Result<EvalResult> {
             }
         }
         stats.record_advance(submitted, fresh);
-        stats.rounds += 1;
+        stats.end_round(submitted, fresh);
         if fresh == 0 {
             break;
         }

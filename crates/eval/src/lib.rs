@@ -23,4 +23,4 @@ pub mod stats;
 
 pub use engine::{naive_eval, seminaive_eval, seminaive_eval_with, EvalResult, FixpointEngine};
 pub use plan::{compile_rule, compile_rule_with, AtomSource, PlanOptions, PlanStep, RulePlan};
-pub use stats::EvalStats;
+pub use stats::{EvalStats, RoundSample};

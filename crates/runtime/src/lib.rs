@@ -37,6 +37,7 @@ pub mod coordinator;
 pub mod explore;
 pub mod fault;
 pub mod message;
+pub mod obs;
 pub mod sim;
 pub mod spec;
 pub mod simulate;
@@ -49,6 +50,7 @@ pub mod worker;
 pub use coordinator::{execute_processors, FailPoint, RuntimeConfig, SupervisorConfig};
 pub use explore::{shrink_failure, sweep_seeds, ExpectedModel, Shrunk, SweepReport};
 pub use fault::{CrashSpec, FaultPlan};
+pub use obs::{Journal, ObsEvent, ObsKind, TimeBase, TraceSink};
 pub use sim::{SimTrace, SimTransport, TraceEvent};
 pub use simulate::{simulate_bsp, MachineModel, RoundTrace};
 pub use sync::{execute_synchronous, execute_synchronous_traced};

@@ -44,6 +44,7 @@ use gst_common::{Result, SmallRng};
 use crate::coordinator::RuntimeConfig;
 use crate::fault::FaultPlan;
 use crate::message::{Envelope, Message, MessageKind};
+use crate::obs::{ObsEvent, ObsKind, TimeBase, TraceSink};
 use crate::spec::WorkerSpec;
 use crate::stats::ExecutionOutcome;
 use crate::transport::{assemble_outcome, validate_specs, Transport};
@@ -305,6 +306,17 @@ impl SimTransport {
             .into_iter()
             .map(|spec| WorkerCore::new(spec, n))
             .collect::<Result<Vec<_>>>()?;
+        if config.trace {
+            // Virtual-clock sinks: the journal then carries only virtual
+            // ticks and counters, so same-seed runs are bit-identical.
+            for (w, core) in cores.iter_mut().enumerate() {
+                core.set_sink(TraceSink::virtual_clock(w));
+            }
+        }
+        // Journal buffers salvaged from crashed incarnations (the threaded
+        // transport loses these with the thread; the simulator can do
+        // better).
+        let mut lost_events: Vec<ObsEvent> = Vec::new();
 
         let mut heap: BinaryHeap<Event> = BinaryHeap::new();
         let mut tiebreak = 0u64;
@@ -349,6 +361,7 @@ impl SimTransport {
                     if crashed[w] || cores[w].terminated() {
                         continue;
                     }
+                    cores[w].set_trace_now(now);
                     let mut out = SimOutbox::default();
                     let step = cores[w].step(&mut out)?;
                     trace.events.push(TraceEvent::Step {
@@ -422,7 +435,14 @@ impl SimTransport {
                     let specs = retained.as_ref().expect("restart without retained specs");
                     epoch += 1;
                     restarts += 1;
+                    // Salvage the dead incarnation's journal before the
+                    // replacement drops it.
+                    lost_events.extend(cores[w].take_trace_events());
                     cores[w] = WorkerCore::with_epoch(specs[w].clone(), n, epoch)?;
+                    if config.trace {
+                        cores[w].set_sink(TraceSink::virtual_clock(w));
+                        cores[w].set_trace_now(now);
+                    }
                     crashed[w] = false;
                     trace.events.push(TraceEvent::Restart { time: now, worker: w, epoch });
                     // Broadcast Recover ahead of any new-epoch traffic: the
@@ -473,11 +493,62 @@ impl SimTransport {
             ));
         }
 
+        // The schedule trace is a producer into the unified journal:
+        // deliveries, stalls, crashes and restarts become transport-level
+        // events (worker steps stay trace-only — the journal records them
+        // as rounds/idles from the worker's own sink).
+        let transport_events = if config.trace {
+            let mut events: Vec<ObsEvent> = trace
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Step { .. } => None,
+                    TraceEvent::Deliver { time, to, from, seq, kind, duplicate } => {
+                        Some(ObsEvent {
+                            time: *time,
+                            worker: *to,
+                            kind: ObsKind::Delivered {
+                                from: *from,
+                                kind: *kind,
+                                seq: *seq,
+                                duplicate: *duplicate,
+                            },
+                        })
+                    }
+                    TraceEvent::Stall { time, worker, until } => Some(ObsEvent {
+                        time: *time,
+                        worker: *worker,
+                        kind: ObsKind::Stalled { until: *until },
+                    }),
+                    TraceEvent::Crash { time, worker } => Some(ObsEvent {
+                        time: *time,
+                        worker: *worker,
+                        kind: ObsKind::Crashed,
+                    }),
+                    TraceEvent::Restart { time, worker, epoch } => Some(ObsEvent {
+                        time: *time,
+                        worker: *worker,
+                        kind: ObsKind::Restarted { epoch: *epoch },
+                    }),
+                })
+                .collect();
+            events.extend(lost_events);
+            events
+        } else {
+            Vec::new()
+        };
+
         let results = cores
             .into_iter()
             .map(|core| finish_core(core, &config.worker))
             .collect();
-        assemble_outcome(results, started.elapsed(), restarts)
+        assemble_outcome(
+            results,
+            started.elapsed(),
+            restarts,
+            TimeBase::VirtualTicks,
+            transport_events,
+        )
     }
 
     /// Route one send through the fault plan, scheduling delivery events.

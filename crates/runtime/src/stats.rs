@@ -14,6 +14,8 @@ use gst_eval::plan::RelationId;
 use gst_eval::EvalStats;
 use gst_storage::Relation;
 
+use crate::obs::Journal;
+
 /// What one worker reports after termination.
 #[derive(Debug, Clone)]
 pub struct WorkerReport {
@@ -50,6 +52,10 @@ pub struct WorkerReport {
     pub pooled_tuples: u64,
     /// Time spent computing (local evaluation), excluding idle waits.
     pub busy: std::time::Duration,
+    /// Channel tuples shipped per engine round, `(round, tuples)` —
+    /// sparse (rounds shipping nothing are absent). Together with
+    /// `eval.per_round` this is the §6 trade-off as a time series.
+    pub sent_per_round: Vec<(u64, u64)>,
 }
 
 impl WorkerReport {
@@ -168,6 +174,9 @@ pub struct ExecutionOutcome {
     pub relations: FxHashMap<RelationId, Relation>,
     /// Measurements.
     pub stats: ParallelStats,
+    /// The merged event journal — empty unless the run was traced
+    /// ([`crate::coordinator::RuntimeConfig::trace`]).
+    pub journal: Journal,
 }
 
 impl ExecutionOutcome {
@@ -199,6 +208,7 @@ mod tests {
             stale_dropped: 0,
             pooled_tuples: 0,
             busy: Duration::ZERO,
+            sent_per_round: Vec::new(),
         }
     }
 

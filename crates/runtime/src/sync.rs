@@ -192,6 +192,23 @@ pub fn execute_synchronous_traced(
             let eval = engine.stats().clone();
             let processing_firings =
                 eval.firings_for_rules(&specs[i].program.processing_rules);
+            // The BSP trace already has the per-round channel traffic;
+            // fold it into the same sparse series the async runtime
+            // reports.
+            let sent_per_round: Vec<(u64, u64)> = trace
+                .rounds
+                .iter()
+                .enumerate()
+                .filter_map(|(r, rec)| {
+                    let total: u64 = rec.sent_tuples[i]
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, &v)| v)
+                        .sum();
+                    (total > 0).then_some((r as u64, total))
+                })
+                .collect();
             WorkerReport {
                 processor: i,
                 eval,
@@ -206,6 +223,7 @@ pub fn execute_synchronous_traced(
                 stale_dropped: 0,
                 pooled_tuples: pooled_tuples[i],
                 busy: busy[i],
+                sent_per_round,
             }
         })
         .collect();
@@ -220,6 +238,7 @@ pub fn execute_synchronous_traced(
                 restarts: 0,
                 wall_time: started.elapsed(),
             },
+            journal: crate::obs::Journal::default(),
         },
         trace,
     ))

@@ -58,6 +58,14 @@ pub struct TokenMsg {
     pub epoch: u64,
 }
 
+impl TokenMsg {
+    /// Whether the token is black (some process on its path received a
+    /// basic message, so this probe cannot conclude termination).
+    pub fn is_black(&self) -> bool {
+        self.color == Color::Black
+    }
+}
+
 /// What a passive process must do after handling the token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokenAction {

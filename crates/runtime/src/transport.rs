@@ -44,6 +44,7 @@ use gst_storage::Relation;
 
 use crate::coordinator::RuntimeConfig;
 use crate::message::{Envelope, Message};
+use crate::obs::{Journal, ObsEvent, ObsKind, TimeBase, TraceSink};
 use crate::spec::WorkerSpec;
 use crate::stats::{ExecutionOutcome, ParallelStats, WorkerReport};
 use crate::worker::{finish_core, watchdog_error, Outbox, PooledRelations, Step, WorkerCore};
@@ -102,20 +103,38 @@ pub(crate) fn pool_into(
     Ok(())
 }
 
+/// What a finished worker hands back: its report, its share of the
+/// pooled answer, and its journal buffer.
+pub(crate) type WorkerResult = (WorkerReport, PooledRelations, Vec<ObsEvent>);
+
 /// Assemble the final outcome from per-worker results (shared by both
-/// transports).
+/// transports). Worker journal buffers travel with their reports and are
+/// merged — in processor order, after the transport's own events — into
+/// one time-sorted [`Journal`].
 pub(crate) fn assemble_outcome(
-    results: Vec<(WorkerReport, PooledRelations)>,
+    results: Vec<WorkerResult>,
     wall_time: std::time::Duration,
     restarts: u64,
+    base: TimeBase,
+    transport_events: Vec<ObsEvent>,
 ) -> Result<ExecutionOutcome> {
     let mut reports: Vec<WorkerReport> = Vec::with_capacity(results.len());
     let mut relations: FxHashMap<RelationId, Relation> = FxHashMap::default();
-    for (report, pooled) in results {
+    let mut buffers: Vec<(usize, Vec<ObsEvent>)> = Vec::with_capacity(results.len());
+    for (report, pooled, events) in results {
         pool_into(&mut relations, pooled)?;
+        buffers.push((report.processor, events));
         reports.push(report);
     }
     reports.sort_by_key(|r| r.processor);
+    // Deterministic tie-breaking for the stable time sort: worker buffers
+    // concatenate in processor order.
+    buffers.sort_by_key(|(processor, _)| *processor);
+    let journal = Journal::assemble(
+        base,
+        transport_events,
+        buffers.into_iter().map(|(_, events)| events).collect(),
+    );
     let channel_matrix: Vec<Vec<u64>> = reports.iter().map(|r| r.sent_tuples_to.clone()).collect();
     Ok(ExecutionOutcome {
         relations,
@@ -125,6 +144,7 @@ pub(crate) fn assemble_outcome(
             restarts,
             wall_time,
         },
+        journal,
     })
 }
 
@@ -157,7 +177,7 @@ fn broadcast(registry: &Registry, env: &Envelope) {
 /// How a worker thread ended, as reported to the supervisor.
 enum WorkerExit {
     /// Reached distributed termination.
-    Finished(Box<(WorkerReport, PooledRelations)>),
+    Finished(Box<WorkerResult>),
     /// An error restarting cannot cure: the spec, the data, or the fleet
     /// is wrong (arity/codec errors, watchdog expiry, teardown races).
     Fatal(Error),
@@ -191,12 +211,17 @@ fn run_threaded(
     config: RuntimeConfig,
     epoch: u64,
     fail_after: Option<u64>,
+    trace_origin: Option<Instant>,
 ) -> WorkerExit {
     let n = senders.len();
     let mut core = match WorkerCore::with_epoch(spec, n, epoch) {
         Ok(core) => core,
         Err(e) => return WorkerExit::Fatal(e),
     };
+    if let Some(origin) = trace_origin {
+        // All sinks share the run's origin so the tracks line up.
+        core.set_sink(TraceSink::wall(core.id(), origin));
+    }
     let mut out = ThreadOutbox { senders };
     let mut idle_since: Option<Instant> = None;
     let mut steps = 0u64;
@@ -266,7 +291,9 @@ impl Transport for ThreadedTransport {
         let (exit_tx, exit_rx) = channel::<(usize, WorkerExit)>();
 
         let started = Instant::now();
-        let (results, total_restarts, first_error) = std::thread::scope(|scope| {
+        let trace_origin = config.trace.then_some(started);
+        let (results, total_restarts, first_error, transport_events) =
+            std::thread::scope(|scope| {
             let spawn_worker =
                 |id: usize, rx: Receiver<Envelope>, epoch: u64, fail_after: Option<u64>| {
                     let spec = specs[id].clone();
@@ -275,7 +302,7 @@ impl Transport for ThreadedTransport {
                     let exit_tx = exit_tx.clone();
                     scope.spawn(move || {
                         let exit = catch_unwind(AssertUnwindSafe(|| {
-                            run_threaded(spec, registry, rx, config, epoch, fail_after)
+                            run_threaded(spec, registry, rx, config, epoch, fail_after, trace_origin)
                         }))
                         .unwrap_or_else(|payload| {
                             WorkerExit::Recoverable(Error::Runtime(format!(
@@ -299,8 +326,11 @@ impl Transport for ThreadedTransport {
             // The supervisor loop: collect exits until every incarnation
             // is accounted for.
             let mut outstanding = n;
-            let mut results: Vec<Option<Box<(WorkerReport, PooledRelations)>>> =
-                (0..n).map(|_| None).collect();
+            let mut results: Vec<Option<Box<WorkerResult>>> = (0..n).map(|_| None).collect();
+            // Transport-level journal entries (crash/restart): the thread
+            // owning a crashed incarnation takes its buffer down with it,
+            // so the supervisor records the lifecycle events itself.
+            let mut transport_events: Vec<ObsEvent> = Vec::new();
             let mut restarts_used = vec![0u32; n];
             let mut total_restarts = 0u64;
             let mut epoch = 0u64;
@@ -324,6 +354,19 @@ impl Transport for ThreadedTransport {
                         restarts_used[id] += 1;
                         total_restarts += 1;
                         epoch += 1;
+                        if config.trace {
+                            let now = started.elapsed().as_micros() as u64;
+                            transport_events.push(ObsEvent {
+                                time: now,
+                                worker: id,
+                                kind: ObsKind::Crashed,
+                            });
+                            transport_events.push(ObsEvent {
+                                time: now,
+                                worker: id,
+                                kind: ObsKind::Restarted { epoch },
+                            });
+                        }
                         let backoff = config.supervisor.restart_backoff * restarts_used[id];
                         if !backoff.is_zero() {
                             std::thread::sleep(backoff);
@@ -369,16 +412,22 @@ impl Transport for ThreadedTransport {
                     }
                 }
             }
-            (results, total_restarts, first_error)
+            (results, total_restarts, first_error, transport_events)
         });
         let wall_time = started.elapsed();
         if let Some(err) = first_error {
             return Err(err);
         }
-        let results: Vec<(WorkerReport, PooledRelations)> = results
+        let results: Vec<(WorkerReport, PooledRelations, Vec<ObsEvent>)> = results
             .into_iter()
             .map(|r| *r.expect("no error implies every worker finished"))
             .collect();
-        assemble_outcome(results, wall_time, total_restarts)
+        assemble_outcome(
+            results,
+            wall_time,
+            total_restarts,
+            TimeBase::WallMicros,
+            transport_events,
+        )
     }
 }

@@ -36,6 +36,7 @@ use gst_eval::plan::RelationId;
 use gst_eval::FixpointEngine;
 
 use crate::message::{Envelope, Message, Payload};
+use crate::obs::{ObsEvent, ObsKind, TraceSink};
 use crate::spec::WorkerSpec;
 use crate::stats::WorkerReport;
 use crate::termination::{Safra, TokenAction, TokenMsg};
@@ -227,6 +228,14 @@ pub(crate) struct WorkerCore {
     replayed_batches: u64,
     stale_dropped: u64,
     busy: Duration,
+    /// Channel tuples shipped per engine round, `(round, tuples)` —
+    /// sparse: rounds that shipped nothing have no entry.
+    sent_per_round: Vec<(u64, u64)>,
+    /// Event journal buffer; disabled (free) unless tracing is on.
+    sink: TraceSink,
+    /// True while the previous step reported `Idle` — the idle-wait event
+    /// fires on the transition, not on every 1 ms poll.
+    was_idle: bool,
 }
 
 impl WorkerCore {
@@ -271,7 +280,27 @@ impl WorkerCore {
             replayed_batches: 0,
             stale_dropped: 0,
             busy: Duration::ZERO,
+            sent_per_round: Vec::new(),
+            sink: TraceSink::disabled(),
+            was_idle: false,
         })
+    }
+
+    /// Install an event sink (tracing on). The transport decides the
+    /// clock: wall-origin for threads, virtual for the simulator.
+    pub(crate) fn set_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
+    }
+
+    /// Push the simulator's virtual clock into the sink (no-op for
+    /// disabled or wall-clock sinks).
+    pub(crate) fn set_trace_now(&mut self, now: u64) {
+        self.sink.set_virtual_now(now);
+    }
+
+    /// Drain this incarnation's journal buffer.
+    pub(crate) fn take_trace_events(&mut self) -> Vec<ObsEvent> {
+        self.sink.take_events()
     }
 
     pub(crate) fn id(&self) -> usize {
@@ -295,6 +324,19 @@ impl WorkerCore {
         let t0 = std::time::Instant::now();
         let result = self.step_inner(out);
         self.busy += t0.elapsed();
+        if self.sink.enabled() {
+            // Journal the *transition* into idleness: the threaded
+            // transport re-polls an idle worker every `idle_poll`, and one
+            // event per wait beats one per poll.
+            if matches!(result, Ok(Step::Idle)) {
+                if !self.was_idle {
+                    self.was_idle = true;
+                    self.sink.emit(ObsKind::IdleWait);
+                }
+            } else {
+                self.was_idle = false;
+            }
+        }
         result
     }
 
@@ -319,7 +361,18 @@ impl WorkerCore {
         // Processing step: one engine round.
         let fresh = self.engine.advance();
         if fresh > 0 {
-            self.engine.process_round();
+            if self.sink.enabled() {
+                // `advance` already closed the round in the stats, so the
+                // round that is now processing is `rounds - 1`.
+                let round = self.engine.stats().rounds - 1;
+                let firings_before = self.engine.stats().firings;
+                self.sink.emit(ObsKind::RoundBegin { round });
+                self.engine.process_round();
+                let firings = self.engine.stats().firings - firings_before;
+                self.sink.emit(ObsKind::RoundEnd { round, fresh, firings });
+            } else {
+                self.engine.process_round();
+            }
             return Ok(Step::Worked);
         }
 
@@ -383,6 +436,7 @@ impl WorkerCore {
                 self.terminated = true;
                 // Global termination: replay logs are no longer needed.
                 self.replay.iter_mut().for_each(ReplayLog::clear);
+                self.sink.emit(ObsKind::Terminated);
                 Ok(())
             }
             Message::AckSync { acked } => self.replay_link(env.from, acked, out),
@@ -411,6 +465,7 @@ impl WorkerCore {
         }
         self.epoch = epoch;
         self.recover_handled = true;
+        self.sink.emit(ObsKind::EpochRepair { epoch });
         self.safra.on_recover(epoch);
         if self.held_token.take().is_some() {
             self.stale_dropped += 1;
@@ -447,6 +502,7 @@ impl WorkerCore {
     /// send was counted post-recovery and the transport delivers it.
     fn replay_link(&mut self, to: usize, acked: u64, out: &mut dyn Outbox) -> Result<()> {
         self.replay[to].truncate_to(acked)?;
+        let replayed_before = self.replayed_batches;
         let base = self.replay[to].base;
         if acked < base {
             let payloads = self.replay[to].snapshot_payloads()?;
@@ -480,6 +536,10 @@ impl WorkerCore {
             };
             out.send(to, env)?;
         }
+        let messages = self.replayed_batches - replayed_before;
+        if messages > 0 {
+            self.sink.emit(ObsKind::ReplaySent { to, messages });
+        }
         Ok(())
     }
 
@@ -488,6 +548,11 @@ impl WorkerCore {
     /// stands in for). One logical message for Safra's accounting.
     fn accept_snapshot(&mut self, from: usize, payloads: Vec<Payload>, upto: u64) -> Result<()> {
         self.safra.on_basic_receive();
+        self.sink.emit(ObsKind::SnapshotReceived {
+            from,
+            payloads: payloads.len() as u64,
+            upto,
+        });
         for payload in payloads {
             let inbox = crate::codec::decode_inbox(&payload)?;
             let count = self
@@ -522,6 +587,13 @@ impl WorkerCore {
             .engine
             .inject_with(inbox, |out| crate::codec::decode_batch_into(payload, out))?
             .1;
+        self.sink.emit(ObsKind::BatchReceived {
+            from,
+            tuples: count as u64,
+            bytes: payload.len() as u64,
+            seq,
+            duplicate: !first_delivery,
+        });
         if first_delivery {
             self.safra.on_basic_receive();
             self.received_bytes += payload.len() as u64;
@@ -579,8 +651,15 @@ impl WorkerCore {
             self.sent_tuples_to[dest] += count;
             self.sent_bytes_to[dest] += payload.len() as u64;
             self.sent_messages += 1;
+            self.record_round_send(count);
             self.safra.on_send();
             let seq = self.next_batch_seq(dest);
+            self.sink.emit(ObsKind::BatchSent {
+                to: dest,
+                tuples: count,
+                bytes: payload.len() as u64,
+                seq,
+            });
             // Retain for crash-recovery replay until the receiver acks it
             // (compaction) or the run terminates.
             self.replay[dest]
@@ -600,6 +679,17 @@ impl WorkerCore {
         Ok(shipped)
     }
 
+    /// Attribute `tuples` shipped tuples to the engine round that derived
+    /// them (sparse per-round series; merged into the open entry when the
+    /// round ships on several channels).
+    fn record_round_send(&mut self, tuples: u64) {
+        let round = self.engine.stats().rounds;
+        match self.sent_per_round.last_mut() {
+            Some((r, total)) if *r == round => *total += tuples,
+            _ => self.sent_per_round.push((round, tuples)),
+        }
+    }
+
     fn handle_token(&mut self, token: TokenMsg, out: &mut dyn Outbox) -> Result<()> {
         match self.safra.on_token(token) {
             TokenAction::Forward(t) | TokenAction::Relaunch(t) => {
@@ -609,11 +699,13 @@ impl WorkerCore {
                 // A pre-recovery token survived in our queue; the current
                 // epoch's probe supersedes it.
                 self.stale_dropped += 1;
+                self.sink.emit(ObsKind::TokenDropped);
                 Ok(())
             }
             TokenAction::Terminate => {
                 self.terminated = true;
                 self.replay.iter_mut().for_each(ReplayLog::clear);
+                self.sink.emit(ObsKind::Terminated);
                 for dest in 0..self.n {
                     if dest != self.id {
                         self.send_ctrl(dest, Message::Terminate, out)?;
@@ -625,6 +717,11 @@ impl WorkerCore {
     }
 
     fn send_token(&mut self, dest: usize, token: TokenMsg, out: &mut dyn Outbox) -> Result<()> {
+        self.sink.emit(ObsKind::TokenSent {
+            to: dest,
+            count: token.count,
+            black: token.is_black(),
+        });
         self.send_ctrl(dest, Message::Token(token), out)
     }
 
@@ -680,6 +777,7 @@ impl WorkerCore {
             stale_dropped: self.stale_dropped,
             pooled_tuples: 0,
             busy: self.busy,
+            sent_per_round: self.sent_per_round,
         }
         .with_pooled(pooled_tuples)
     }
@@ -705,18 +803,20 @@ impl WorkerCore {
 /// `(global predicate, relation)` pairs a worker pools into the answer.
 pub(crate) type PooledRelations = Vec<((gst_common::SymbolId, usize), gst_storage::Relation)>;
 
-/// Finish a terminated core: pool (if configured) and build the report.
+/// Finish a terminated core: pool (if configured), drain the journal
+/// buffer, and build the report.
 pub(crate) fn finish_core(
     mut core: WorkerCore,
     config: &WorkerConfig,
-) -> (WorkerReport, PooledRelations) {
+) -> (WorkerReport, PooledRelations, Vec<ObsEvent>) {
     let pooled = if core.pool_results(config) {
         core.take_pooled()
     } else {
         Vec::new()
     };
     let pooled_tuples = pooled.iter().map(|(_, r)| r.len() as u64).sum();
-    (core.into_report(pooled_tuples), pooled)
+    let events = core.take_trace_events();
+    (core.into_report(pooled_tuples), pooled, events)
 }
 
 /// The watchdog error every transport reports when a worker starves while

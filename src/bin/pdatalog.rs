@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! pdatalog run <file.dl> [--workers N] [--scheme S] [--print PRED/ARITY] [--stats]
-//!                        [--max-restarts N]
-//!                        [--sim [--seed N] [--faults PLAN] [--trace]]
+//!                        [--max-restarts N] [--trace] [--trace-out FILE]
+//!                        [--sim [--seed N] [--faults PLAN]]
 //! pdatalog analyze <file.dl>
 //! pdatalog network <file.dl> [--bits | --linear c1,c2,...]
 //! ```
@@ -13,11 +13,17 @@
 //! (hash partition), `nocomm` (redundant zero-comm), `general` (§7, works
 //! for any program; discriminates each rule on its first body variable).
 //!
+//! `--trace` prints the unified event journal (rounds, sends, receives,
+//! tokens, idles, recoveries) on stderr for any parallel run — threaded
+//! or simulated. `--trace-out FILE` writes the same journal as Chrome
+//! trace-event JSON, loadable in Perfetto or `chrome://tracing` (one
+//! track per worker, rounds as spans). See DESIGN.md §9.
+//!
 //! `--sim` replaces the OS threads with the deterministic simulation
 //! transport: one virtual clock, a seeded scheduler, and (via `--faults`)
 //! injected delay/reorder/duplication/drop/stall/crash faults. The same
-//! `--seed` and `--faults` always replay the identical schedule; `--trace`
-//! prints it event by event on stderr. Fault plans are a preset
+//! `--seed` and `--faults` always replay the identical schedule (and,
+//! with `--trace`, a bit-identical journal). Fault plans are a preset
 //! (`none`, `jitter`, `chaos`) optionally refined with `key=value` pairs,
 //! e.g. `--faults chaos,dup=0.5,crash=1@40`. Appending the bare `recover`
 //! flag (`--faults chaos,crash=1@40,recover`) makes the crash survivable:
@@ -77,7 +83,7 @@ fn run(args: Vec<String>) -> std::result::Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--print PRED/ARITY] [--stats] [--max-restarts N] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...][,crash=W@T[,recover]]] [--trace]]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]".into()
+    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--print PRED/ARITY] [--stats] [--max-restarts N] [--trace] [--trace-out FILE] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...][,crash=W@T[,recover]]]]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]".into()
 }
 
 /// Parse `PRED/ARITY`, e.g. `anc/2`.
@@ -110,6 +116,7 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     let mut seed = 0u64;
     let mut faults = "none".to_string();
     let mut show_trace = false;
+    let mut trace_out: Option<String> = None;
     let mut max_restarts: Option<u32> = None;
 
     let mut it = args.into_iter();
@@ -140,6 +147,9 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 faults = it.next().ok_or("--faults needs a plan (none|jitter|chaos)")?;
             }
             "--trace" => show_trace = true,
+            "--trace-out" => {
+                trace_out = Some(it.next().ok_or("--trace-out needs a file path")?);
+            }
             "--max-restarts" => {
                 max_restarts = Some(
                     it.next()
@@ -158,8 +168,14 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     if sim && matches!(scheme_name.as_str(), "seq" | "naive") {
         return Err("--sim needs a parallel scheme (try --scheme example3)".into());
     }
-    if (seed != 0 || faults != "none" || show_trace) && !sim {
-        return Err("--seed/--faults/--trace only make sense with --sim".into());
+    if (seed != 0 || faults != "none") && !sim {
+        return Err("--seed/--faults only make sense with --sim".into());
+    }
+    if (show_trace || trace_out.is_some()) && matches!(scheme_name.as_str(), "seq" | "naive") {
+        return Err(
+            "--trace/--trace-out need a parallel scheme (the journal records worker events)"
+                .into(),
+        );
     }
     if max_restarts.is_some() && matches!(scheme_name.as_str(), "seq" | "naive") {
         return Err("--max-restarts needs a parallel scheme (it sizes the supervisor's restart budget)".into());
@@ -183,7 +199,9 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     };
 
     let started = std::time::Instant::now();
-    let (relations, stats_line): (Vec<(String, Relation)>, String) = match scheme_name.as_str() {
+    let (relations, stats_line, stats_tables): (Vec<(String, Relation)>, String, String) = match scheme_name
+        .as_str()
+    {
         "seq" | "naive" => {
             let result = if scheme_name == "seq" {
                 seminaive_eval(&program, &db)
@@ -204,6 +222,7 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                     result.stats.derived,
                     result.stats.duplicates
                 ),
+                String::new(),
             )
         }
         parallel => {
@@ -212,14 +231,22 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             if let Some(budget) = max_restarts {
                 config.supervisor.max_restarts = budget;
             }
+            config.trace = show_trace || trace_out.is_some();
             let outcome = if sim {
                 let plan = FaultPlan::parse(&faults).map_err(|e| e.to_string())?;
-                if show_trace {
+                if config.trace {
                     let transport = SimTransport::with_faults(seed, plan);
                     let (result, trace) =
                         transport.run_traced(scheme.workers.clone(), &config);
-                    eprint!("{trace}");
-                    result.map_err(|e| e.to_string())?
+                    match result {
+                        Ok(outcome) => outcome,
+                        Err(e) => {
+                            // A failed run has no journal; the raw simulation
+                            // schedule still shows the fault that killed it.
+                            eprint!("{trace}");
+                            return Err(e.to_string());
+                        }
+                    }
                 } else {
                     scheme
                         .run_simulated_with(seed, plan, &config)
@@ -228,6 +255,12 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             } else {
                 scheme.execute(&config).map_err(|e| e.to_string())?
             };
+            if show_trace {
+                eprint!("{}", outcome.journal);
+            }
+            if let Some(path) = &trace_out {
+                write_chrome_trace(path, &outcome.journal)?;
+            }
             let mode = if sim {
                 format!(" sim seed={seed} faults={faults}")
             } else {
@@ -247,6 +280,15 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 .iter()
                 .map(|(label, id)| (label.clone(), outcome.relation(*id)))
                 .collect();
+            let tables = if show_stats {
+                format!(
+                    "{}{}",
+                    render_channel_matrix(&outcome.stats.channel_matrix),
+                    render_round_table(&outcome.stats)
+                )
+            } else {
+                String::new()
+            };
             (
                 rels,
                 format!(
@@ -257,6 +299,7 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                     outcome.stats.total_processing_firings(),
                     outcome.stats.wall_time
                 ),
+                tables,
             )
         }
     };
@@ -272,8 +315,93 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     }
     if show_stats {
         eprintln!("% scheme={scheme_name} {stats_line} total={elapsed:?}");
+        eprint!("{stats_tables}");
     }
     Ok(())
+}
+
+/// Write the journal as Chrome trace-event JSON, creating parent dirs.
+fn write_chrome_trace(
+    path: &str,
+    journal: &parallel_datalog::runtime::Journal,
+) -> std::result::Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, journal.chrome_trace()).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// The `channel_matrix[i][j]` table: rows are senders, columns receivers.
+fn render_channel_matrix(matrix: &[Vec<u64>]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("% channel matrix (tuples sender -> receiver):\n");
+    let width = matrix
+        .iter()
+        .flatten()
+        .map(|v| v.to_string().len())
+        .max()
+        .unwrap_or(1)
+        .max(format!("->w{}", matrix.len().saturating_sub(1)).len());
+    let _ = write!(out, "% {:>6}", "");
+    for j in 0..matrix.len() {
+        let _ = write!(out, " {:>width$}", format!("->w{j}"));
+    }
+    out.push('\n');
+    for (i, row) in matrix.iter().enumerate() {
+        let _ = write!(out, "% {:>6}", format!("w{i}"));
+        for &v in row {
+            let _ = write!(out, " {v:>width$}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Per-round delta sizes: fresh tuples per worker per semi-naive round,
+/// plus the channel tuples shipped that round (the §6 trade-off as a
+/// time series).
+fn render_round_table(stats: &parallel_datalog::runtime::ParallelStats) -> String {
+    use std::fmt::Write;
+    let rounds = stats
+        .workers
+        .iter()
+        .map(|w| w.eval.per_round.len())
+        .max()
+        .unwrap_or(0);
+    if rounds == 0 {
+        return String::new();
+    }
+    let mut out = String::from("% per-round deltas (fresh tuples per worker, sent = shipped that round):\n");
+    let _ = write!(out, "% {:>6}", "round");
+    for w in &stats.workers {
+        let _ = write!(out, " {:>8}", format!("w{}", w.processor));
+    }
+    let _ = writeln!(out, " {:>8}", "sent");
+    for r in 0..rounds {
+        let _ = write!(out, "% {r:>6}");
+        let mut sent = 0u64;
+        for w in &stats.workers {
+            match w.eval.per_round.get(r) {
+                Some(sample) => {
+                    let _ = write!(out, " {:>8}", sample.fresh);
+                }
+                None => {
+                    let _ = write!(out, " {:>8}", "-");
+                }
+            }
+            sent += w
+                .sent_per_round
+                .iter()
+                .filter(|(round, _)| *round == r as u64)
+                .map(|(_, t)| t)
+                .sum::<u64>();
+        }
+        let _ = writeln!(out, " {sent:>8}");
+    }
+    out
 }
 
 fn build_scheme(

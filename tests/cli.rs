@@ -285,6 +285,97 @@ fn sim_recoverable_crash_reports_restart_and_matches_sequential() {
 }
 
 #[test]
+fn threaded_trace_out_writes_chrome_json() {
+    let file = write_program("traceout.dl", ANCESTOR);
+    let trace = std::env::temp_dir()
+        .join("pdatalog-cli-tests")
+        .join("trace_threaded.json");
+    let _ = std::fs::remove_file(&trace);
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args(["--scheme", "example3", "--workers", "4", "--trace-out"])
+        .arg(&trace)
+        .args(["--stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let body = std::fs::read_to_string(&trace).unwrap();
+    assert!(body.starts_with("{\"traceEvents\":["), "{body}");
+    assert!(body.contains("\"worker 0\""), "missing worker track: {body}");
+    assert!(body.contains("\"ph\":\"B\"") && body.contains("\"ph\":\"E\""), "{body}");
+    // The new --stats tables ride along on stderr.
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("channel matrix"), "{stderr}");
+    assert!(stderr.contains("per-round deltas"), "{stderr}");
+}
+
+#[test]
+fn threaded_trace_prints_the_journal() {
+    let file = write_program("tracejournal.dl", ANCESTOR);
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args(["--scheme", "example3", "--workers", "2", "--trace"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("round 0 begin"), "{stderr}");
+    assert!(stderr.contains("end of journal"), "{stderr}");
+}
+
+#[test]
+fn sim_flags_still_require_sim_but_trace_does_not() {
+    let file = write_program("traceflags.dl", ANCESTOR);
+    // --seed / --faults remain simulation-only...
+    for args in [vec!["--seed", "3"], vec!["--faults", "jitter"]] {
+        let out = pdatalog()
+            .args(["run"])
+            .arg(&file)
+            .args(["--scheme", "example3"])
+            .args(&args)
+            .output()
+            .unwrap();
+        assert!(!out.status.success());
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("only make sense with --sim"),
+            "{args:?}"
+        );
+    }
+    // ...and tracing needs a parallel run to observe.
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args(["--scheme", "seq", "--trace"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parallel scheme"));
+}
+
+#[test]
+fn sim_trace_is_deterministic_per_seed() {
+    let file = write_program("tracesim.dl", ANCESTOR);
+    let run = || {
+        let out = pdatalog()
+            .args(["run"])
+            .arg(&file)
+            .args([
+                "--scheme", "example3", "--workers", "3", "--sim", "--seed", "11",
+                "--faults", "jitter", "--trace",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stderr).unwrap()
+    };
+    let first = run();
+    assert!(first.contains("ticks"), "sim journal should count virtual ticks: {first}");
+    assert_eq!(first, run(), "same seed must print a bit-identical journal");
+}
+
+#[test]
 fn analyze_shows_advisor_recommendations() {
     let file = write_program("advise.dl", ANCESTOR);
     let out = pdatalog().args(["analyze"]).arg(&file).output().unwrap();
