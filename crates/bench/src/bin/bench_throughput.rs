@@ -15,7 +15,19 @@
 //! cargo run --release -p gst-bench --bin bench_throughput                  # full matrix
 //! cargo run --release -p gst-bench --bin bench_throughput -- --smoke      # CI-sized subset
 //! cargo run --release -p gst-bench --bin bench_throughput -- --out X.json # report path
+//! cargo run --release -p gst-bench --bin bench_throughput -- \
+//!     --guard BENCH_wire_guard.json                                        # wire regression guard
 //! ```
+//!
+//! `--guard` is the CI wire-format regression check: it re-measures two
+//! fixed full-size cells (grid/qi-hash/N=4 and chain/ex2-broadcast/N=4),
+//! asserts oracle correctness and bit-identical firing counts against the
+//! committed row-format reference, and fails unless `bytes_shipped` is at
+//! least 2× smaller than that reference. The reference file
+//! (`BENCH_wire_guard.json`) is a frozen snapshot of the pre-columnar
+//! baseline and is intentionally *not* regenerated with
+//! `BENCH_throughput_baseline.json` — regenerating it would make the guard
+//! compare the codec against itself.
 //!
 //! Every row is checked against the sequential semi-naive oracle (same
 //! least model) before its timing is trusted, and the report records the
@@ -155,6 +167,107 @@ fn measure(
     }
 }
 
+/// Find the reference row for `(workload, scheme, n)` in a parsed
+/// `bench_throughput` report.
+fn baseline_row<'a>(base: &'a Json, workload: &str, scheme: &str, n: usize) -> Option<&'a Json> {
+    base.get("rows")?.as_arr()?.iter().find(|r| {
+        r.get("workload").and_then(Json::as_str) == Some(workload)
+            && r.get("scheme").and_then(Json::as_str) == Some(scheme)
+            && r.get("n").and_then(Json::as_num) == Some(n as f64)
+    })
+}
+
+/// The `--guard` mode: measure the two fixed wire-guard cells and compare
+/// them against the frozen row-format reference. Returns the process exit
+/// code (0 = guard holds).
+fn run_guard(baseline_path: &str) -> i32 {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read guard baseline {baseline_path}: {e}"));
+    let base = Json::parse(&text)
+        .unwrap_or_else(|e| panic!("cannot parse guard baseline {baseline_path}: {e}"));
+
+    let fx = linear_ancestor();
+    let sirup = LinearSirup::from_program(&fx.program).unwrap();
+    let anc = fx.output_id();
+    let n = 4;
+
+    // The guarded cells: one hash-partition scheme (per-destination
+    // channels) and one broadcast scheme (shared multicast channel), both
+    // at full workload size so the byte counts are load-bearing.
+    let cells: Vec<(&'static str, Relation, &'static str)> = vec![
+        ("grid", grid(20, 20), "qi-hash"),
+        ("chain", chain(192), "ex2-broadcast"),
+    ];
+
+    let mut ok = true;
+    for (wname, data, sname) in &cells {
+        let db = fx.database(data);
+        let oracle = seminaive_eval(&fx.program, &db).unwrap();
+        let reference = oracle.relation(anc);
+        let scheme = match *sname {
+            "qi-hash" => example3_hash_partition(&sirup, n, &db).unwrap(),
+            "ex2-broadcast" => {
+                let frag = round_robin_fragment(data, n).unwrap();
+                example2_valduriez(&sirup, frag, &db).unwrap()
+            }
+            other => panic!("unknown guard scheme {other}"),
+        };
+        let row = measure((*wname, *sname), n, &scheme, &reference, anc, 1);
+
+        let Some(base_row) = baseline_row(&base, wname, sname, n) else {
+            eprintln!("guard: {wname}/{sname}/n={n} missing from {baseline_path}");
+            ok = false;
+            continue;
+        };
+        let base_bytes = base_row
+            .get("bytes_shipped")
+            .and_then(Json::as_num)
+            .expect("baseline row has bytes_shipped") as u64;
+        let base_firings = base_row
+            .get("firings")
+            .and_then(Json::as_num)
+            .expect("baseline row has firings") as u64;
+
+        let correct = row.correct;
+        let shrink_ok = row.bytes_shipped * 2 <= base_bytes;
+        let firings_ok = row.firings == base_firings;
+        let ratio = base_bytes as f64 / row.bytes_shipped.max(1) as f64;
+        println!(
+            "guard {wname}/{sname}/n={n}: bytes {} -> {} ({ratio:.2}x), firings {} -> {}, \
+             correct={correct} shrink_ok={shrink_ok} firings_ok={firings_ok}",
+            base_bytes, row.bytes_shipped, base_firings, row.firings,
+        );
+        if !correct {
+            eprintln!("guard FAIL: {wname}/{sname}/n={n} diverged from the sequential oracle");
+            ok = false;
+        }
+        if !shrink_ok {
+            eprintln!(
+                "guard FAIL: {wname}/{sname}/n={n} shipped {} bytes; \
+                 needs <= {} (2x under the row-format reference {})",
+                row.bytes_shipped,
+                base_bytes / 2,
+                base_bytes,
+            );
+            ok = false;
+        }
+        if !firings_ok {
+            eprintln!(
+                "guard FAIL: {wname}/{sname}/n={n} fired {} rules; \
+                 reference fired {} (semantics fingerprint changed)",
+                row.firings, base_firings,
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!("wire guard holds: >=2x smaller shipments, identical firing counts");
+        0
+    } else {
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -163,6 +276,13 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|k| args.get(k + 1).cloned())
         .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    if let Some(guard_path) = args
+        .iter()
+        .position(|a| a == "--guard")
+        .and_then(|k| args.get(k + 1).cloned())
+    {
+        std::process::exit(run_guard(&guard_path));
+    }
 
     if cfg!(debug_assertions) {
         eprintln!("warning: debug build — timings are not meaningful; use --release");

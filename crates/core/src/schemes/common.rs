@@ -47,6 +47,15 @@ impl Namer {
         (self.interner.intern(&name), pred.1)
     }
 
+    /// The shared broadcast channel `t_i*`: one predicate feeding every
+    /// other processor, so the runtime encodes its delta once and
+    /// multicasts the payload (instead of one `t_ij` per destination,
+    /// which would re-encode identical bytes `n-1` times).
+    pub fn broadcast(&self, pred: RelationId, i: usize) -> RelationId {
+        let name = format!("{}@bc{}", self.base_name(pred), i);
+        (self.interner.intern(&name), pred.1)
+    }
+
     /// `t^i` of the communication-free scheme ([Wolfson 88] / §6).
     pub fn local(&self, pred: RelationId, i: usize) -> RelationId {
         let name = format!("{}@loc{}", self.base_name(pred), i);

@@ -172,17 +172,22 @@ pub fn rewrite_non_redundant(
                 });
             }
         } else {
-            // Broadcast: every t_out tuple to every processor.
+            // Broadcast: every t_out tuple to every processor. All
+            // destinations share one channel predicate `t_i*`, so the
+            // runtime encodes the delta once and multicasts the payload.
+            // One sending rule per destination is kept (their firings are
+            // the per-destination sends the paper's cost model charges
+            // for); set semantics collapse their identical derivations.
             let fresh = namer.fresh_vars(t.1);
             rules.push(gst_frontend::Rule::new(
                 atom(in_i, fresh.clone()),
                 vec![Literal::Atom(atom(out_i, fresh.clone()))],
             ));
+            let ch = namer.broadcast(t, i);
             for j in 0..n {
                 if j == i {
                     continue;
                 }
-                let ch = namer.channel(t, i, j);
                 rules.push(gst_frontend::Rule::new(
                     atom(ch, fresh.clone()),
                     vec![Literal::Atom(atom(out_i, fresh.clone()))],

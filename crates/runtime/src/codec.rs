@@ -1,4 +1,4 @@
-//! Wire format for tuple batches.
+//! Columnar wire format for tuple batches.
 //!
 //! The paper's abstract channels carry tuples; a real message-passing
 //! deployment serializes them. Workers encode every cross-processor batch
@@ -6,13 +6,27 @@
 //! in *bytes on the wire*, not just tuple counts — the unit a §8 cost
 //! model for a cluster actually charges.
 //!
-//! Layout (little-endian):
+//! The layout is columnar: all values of one tuple position are stored
+//! together, so a monotypic column pays one tag byte instead of one per
+//! value and integer values compress into LEB128 varints (small ids — the
+//! common case for graph workloads — take 1–2 bytes instead of 9).
 //!
 //! ```text
-//! batch   := inbox_sym: u32 | arity: u16 | count: u32 | count × tuple
-//! tuple   := arity × value
-//! value   := tag: u8 (0 = Int, 1 = Sym) | Int: i64 | Sym: u32
+//! batch     := arity:uv | count:uv | column × arity   (columns only when count > 0)
+//! column    := tag:u8 | body
+//!   tag 0   Int:      count × sv                  — monotypic Int
+//!   tag 1   Sym:      count × uv                  — monotypic Sym
+//!   tag 2   Mixed:    count × vtag:u8, then the values in order
+//!                     (vtag 0 → sv Int, vtag 1 → uv Sym)
+//!   tag 3   IntDelta: first:sv | (count−1) × uv   — nondecreasing Int,
+//!                     successive differences
+//! uv = unsigned LEB128 varint; sv = zigzag LEB128 varint
 //! ```
+//!
+//! The header does *not* name the destination inbox: payloads are
+//! destination-independent so one encoded batch can be multicast to every
+//! peer behind an `Arc` (see [`crate::message::Message::Batch`], which
+//! carries the inbox out of band).
 //!
 //! Symbol ids are stable across workers because every processor program
 //! shares one interner; a multi-machine deployment would ship the symbol
@@ -23,50 +37,133 @@
 //! truncated delivery surfaces as a worker error the coordinator reports.
 
 use gst_common::{Error, Result, SymbolId, Tuple, Value};
-use gst_eval::plan::RelationId;
 
 use crate::message::Payload;
 
-const TAG_INT: u8 = 0;
-const TAG_SYM: u8 = 1;
-const HEADER_LEN: usize = 10;
+const COL_INT: u8 = 0;
+const COL_SYM: u8 = 1;
+const COL_MIXED: u8 = 2;
+const COL_INT_DELTA: u8 = 3;
+const VTAG_INT: u8 = 0;
+const VTAG_SYM: u8 = 1;
 
-/// Serialize a batch destined for `inbox`.
+/// Sanity bound on header fields: no real scheme ships arity-65k tuples
+/// or arity-0 batches with more than 65k units.
+const IMPLAUSIBLE: usize = 1 << 16;
+
+fn put_uv(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn zigzag(n: i64) -> u64 {
+    ((n << 1) ^ (n >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_sv(buf: &mut Vec<u8>, n: i64) {
+    put_uv(buf, zigzag(n));
+}
+
+/// Serialize a batch of `arity`-ary tuples.
+///
+/// Two batches with the same tuples in the same order encode to the same
+/// bytes regardless of destination — the basis of single-encode multicast.
 ///
 /// # Errors
-/// Rejects tuples whose arity differs from the inbox's — a misconfigured
+/// Rejects tuples whose arity differs from `arity` — a misconfigured
 /// channel (caught at the sender, where the diagnostic is actionable).
-pub fn encode_batch(inbox: RelationId, tuples: &[Tuple]) -> Result<Payload> {
-    let arity = inbox.1;
-    // Worst case per value: 1 tag + 8 payload.
-    let mut buf = Vec::with_capacity(HEADER_LEN + tuples.len() * arity * 9);
-    buf.extend_from_slice(&inbox.0 .0.to_le_bytes());
-    buf.extend_from_slice(&(arity as u16).to_le_bytes());
-    buf.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
+pub fn encode_batch(arity: usize, tuples: &[Tuple]) -> Result<Payload> {
     for t in tuples {
         if t.arity() != arity {
             return Err(Error::Runtime(format!(
-                "channel misconfigured: tuple arity {} does not match inbox arity {arity}",
+                "channel misconfigured: tuple arity {} does not match channel arity {arity}",
                 t.arity()
             )));
         }
-        for &v in t.as_slice() {
-            match v {
-                Value::Int(n) => {
-                    buf.push(TAG_INT);
-                    buf.extend_from_slice(&n.to_le_bytes());
-                }
-                Value::Sym(s) => {
-                    buf.push(TAG_SYM);
-                    buf.extend_from_slice(&s.0.to_le_bytes());
-                }
-            }
-        }
+    }
+    let count = tuples.len();
+    // Worst case per value: 1 mixed tag + 10 varint bytes.
+    let mut buf = Vec::with_capacity(4 + count * arity * 3);
+    put_uv(&mut buf, arity as u64);
+    put_uv(&mut buf, count as u64);
+    if count == 0 {
+        return Ok(Payload::new(buf));
+    }
+    for c in 0..arity {
+        encode_column(&mut buf, tuples, c);
     }
     Ok(Payload::new(buf))
 }
 
-/// A bounds-checked little-endian reader over a byte slice.
+fn encode_column(buf: &mut Vec<u8>, tuples: &[Tuple], c: usize) {
+    let all_int = tuples.iter().all(|t| matches!(t.get(c), Value::Int(_)));
+    if all_int {
+        let ints = tuples.iter().map(|t| match t.get(c) {
+            Value::Int(n) => n,
+            Value::Sym(_) => unreachable!("column checked monotypic Int"),
+        });
+        let nondecreasing = tuples.len() >= 2
+            && ints
+                .clone()
+                .zip(ints.clone().skip(1))
+                .all(|(a, b)| a <= b);
+        if nondecreasing {
+            buf.push(COL_INT_DELTA);
+            let mut prev = None;
+            for n in ints {
+                match prev {
+                    None => put_sv(buf, n),
+                    // Nondecreasing ⇒ the true difference fits in u64.
+                    Some(p) => put_uv(buf, n.wrapping_sub(p) as u64),
+                }
+                prev = Some(n);
+            }
+        } else {
+            buf.push(COL_INT);
+            for n in ints {
+                put_sv(buf, n);
+            }
+        }
+        return;
+    }
+    let all_sym = tuples.iter().all(|t| matches!(t.get(c), Value::Sym(_)));
+    if all_sym {
+        buf.push(COL_SYM);
+        for t in tuples {
+            match t.get(c) {
+                Value::Sym(s) => put_uv(buf, s.0 as u64),
+                Value::Int(_) => unreachable!("column checked monotypic Sym"),
+            }
+        }
+        return;
+    }
+    buf.push(COL_MIXED);
+    for t in tuples {
+        buf.push(match t.get(c) {
+            Value::Int(_) => VTAG_INT,
+            Value::Sym(_) => VTAG_SYM,
+        });
+    }
+    for t in tuples {
+        match t.get(c) {
+            Value::Int(n) => put_sv(buf, n),
+            Value::Sym(s) => put_uv(buf, s.0 as u64),
+        }
+    }
+}
+
+/// A bounds-checked varint reader over a byte slice.
 struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -81,174 +178,294 @@ impl<'a> Cursor<'a> {
         self.bytes.len() - self.pos
     }
 
-    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
-        let end = self.pos.checked_add(N)?;
-        let chunk = self.bytes.get(self.pos..end)?;
-        self.pos = end;
-        chunk.try_into().ok()
-    }
-
     fn get_u8(&mut self) -> Option<u8> {
-        self.take::<1>().map(|b| b[0])
+        let b = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
     }
 
-    fn get_u16_le(&mut self) -> Option<u16> {
-        self.take::<2>().map(u16::from_le_bytes)
+    /// LEB128; `None` on truncation or an encoding longer than 10 bytes /
+    /// overflowing 64 bits (an adversarial stream must terminate).
+    fn get_uv(&mut self) -> Option<u64> {
+        let mut value = 0u64;
+        for shift in 0..10 {
+            let byte = self.get_u8()?;
+            let bits = (byte & 0x7f) as u64;
+            if shift == 9 && bits > 1 {
+                return None; // would overflow the 64th bit
+            }
+            value |= bits << (shift * 7);
+            if byte & 0x80 == 0 {
+                return Some(value);
+            }
+        }
+        None
     }
 
-    fn get_u32_le(&mut self) -> Option<u32> {
-        self.take::<4>().map(u32::from_le_bytes)
-    }
-
-    fn get_i64_le(&mut self) -> Option<i64> {
-        self.take::<8>().map(i64::from_le_bytes)
+    fn get_sv(&mut self) -> Option<i64> {
+        self.get_uv().map(unzigzag)
     }
 }
 
-/// The inbox a batch is addressed to, read from the header alone — lets
-/// a receiver pick the destination buffer before decoding the body.
+/// The batch header `(arity, count)`, read without decoding the body —
+/// lets a receiver account tuples (termination detection, stats, traces)
+/// before the deferred decode-and-inject pass runs.
 ///
 /// # Errors
-/// Returns [`Error::Runtime`] if the header is truncated.
-pub fn decode_inbox(bytes: &[u8]) -> Result<RelationId> {
-    if bytes.len() < HEADER_LEN {
-        return Err(Error::Runtime("corrupt tuple batch: truncated header".into()));
+/// Returns [`Error::Runtime`] if the header is truncated or implausible.
+pub fn peek_batch(bytes: &[u8]) -> Result<(usize, usize)> {
+    let mut cur = Cursor::new(bytes);
+    let (arity, count) = read_header(&mut cur)?;
+    Ok((arity, count))
+}
+
+fn corrupt(what: &str) -> Error {
+    Error::Runtime(format!("corrupt tuple batch: {what}"))
+}
+
+fn read_header(cur: &mut Cursor<'_>) -> Result<(usize, usize)> {
+    let arity = cur
+        .get_uv()
+        .ok_or_else(|| corrupt("truncated header (arity)"))? as usize;
+    if arity > IMPLAUSIBLE {
+        return Err(corrupt("implausible arity"));
     }
-    let sym = SymbolId(u32::from_le_bytes(bytes[0..4].try_into().expect("len checked")));
-    let arity = u16::from_le_bytes(bytes[4..6].try_into().expect("len checked")) as usize;
-    Ok((sym, arity))
+    let count = cur
+        .get_uv()
+        .ok_or_else(|| corrupt("truncated header (count)"))? as usize;
+    Ok((arity, count))
 }
 
 /// Deserialize a batch, appending its tuples to `out` — the zero-copy
 /// receive path: the transport hands the destination's pending buffer
 /// directly, so decoded tuples land where the engine will drain them
-/// without an intermediate `Vec`.
+/// without an intermediate `Vec`. Returns the tuple count.
 ///
 /// # Errors
-/// Returns [`Error::Runtime`] (never panics) for truncated headers,
-/// truncated values, unknown value tags, or trailing bytes. On error
-/// `out` may retain a partial prefix; callers that need atomicity should
-/// truncate back to the pre-call length.
-pub fn decode_batch_into(bytes: &[u8], out: &mut Vec<Tuple>) -> Result<(RelationId, usize)> {
-    let corrupt = |what: &str| Error::Runtime(format!("corrupt tuple batch: {what}"));
+/// Returns [`Error::Runtime`] (never panics) for truncated or overlong
+/// varints, unknown column tags, implausible counts, or trailing bytes.
+/// On error `out` is untouched (columns decode into scratch first).
+pub fn decode_batch_into(bytes: &[u8], out: &mut Vec<Tuple>) -> Result<usize> {
     let mut cur = Cursor::new(bytes);
-    if cur.remaining() < HEADER_LEN {
-        return Err(corrupt("truncated header"));
+    let (arity, count) = read_header(&mut cur)?;
+    if count == 0 {
+        if cur.remaining() > 0 {
+            return Err(corrupt("trailing bytes"));
+        }
+        return Ok(0);
     }
-    let sym = SymbolId(cur.get_u32_le().expect("checked header length"));
-    let arity = cur.get_u16_le().expect("checked header length") as usize;
-    let count = cur.get_u32_le().expect("checked header length") as usize;
-    // An adversarial count cannot force a huge allocation: arity-0 tuples
-    // occupy no payload bytes, so their count is bounded explicitly; for
-    // positive arity the preallocation is capped by what the remaining
-    // bytes could possibly hold.
-    let plausible = match cur.remaining().checked_div(arity) {
-        None => {
-            if count > 1 << 16 {
-                return Err(corrupt("implausible arity-0 tuple count"));
-            }
-            count
+    if arity == 0 {
+        if count > IMPLAUSIBLE {
+            return Err(corrupt("implausible arity-0 tuple count"));
         }
-        Some(fit) => count.min(fit + 1),
-    };
-    out.reserve(plausible);
-    let mut values = Vec::with_capacity(arity);
-    for _ in 0..count {
-        values.clear();
-        for _ in 0..arity {
-            match cur.get_u8() {
-                None => return Err(corrupt("truncated value tag")),
-                Some(TAG_INT) => match cur.get_i64_le() {
-                    Some(n) => values.push(Value::Int(n)),
-                    None => return Err(corrupt("truncated Int")),
-                },
-                Some(TAG_SYM) => match cur.get_u32_le() {
-                    Some(s) => values.push(Value::Sym(SymbolId(s))),
-                    None => return Err(corrupt("truncated Sym")),
-                },
-                Some(tag) => return Err(corrupt(&format!("unknown value tag {tag}"))),
-            }
+        if cur.remaining() > 0 {
+            return Err(corrupt("trailing bytes"));
         }
-        out.push(Tuple::new(&values));
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(Tuple::unit());
+        }
+        return Ok(count);
+    }
+    // Every column costs at least one tag byte plus one byte per value,
+    // so a lying count cannot force a huge allocation: it is rejected
+    // before any buffer is sized from it.
+    let min_needed = count
+        .checked_add(1)
+        .and_then(|per_col| per_col.checked_mul(arity))
+        .ok_or_else(|| corrupt("implausible tuple count"))?;
+    if cur.remaining() < min_needed {
+        return Err(corrupt("tuple count implausible for payload size"));
+    }
+    // Column-major scratch: column c occupies flat[c*count .. (c+1)*count].
+    let mut flat: Vec<Value> = Vec::with_capacity(arity * count);
+    for _ in 0..arity {
+        decode_column(&mut cur, count, &mut flat)?;
     }
     if cur.remaining() > 0 {
         return Err(corrupt("trailing bytes"));
     }
-    Ok(((sym, arity), count))
+    out.reserve(count);
+    let mut row: Vec<Value> = Vec::with_capacity(arity);
+    for r in 0..count {
+        row.clear();
+        for c in 0..arity {
+            row.push(flat[c * count + r]);
+        }
+        out.push(Tuple::new(&row));
+    }
+    Ok(count)
+}
+
+fn decode_column(cur: &mut Cursor<'_>, count: usize, flat: &mut Vec<Value>) -> Result<()> {
+    match cur.get_u8() {
+        None => Err(corrupt("truncated column tag")),
+        Some(COL_INT) => {
+            for _ in 0..count {
+                let n = cur.get_sv().ok_or_else(|| corrupt("truncated Int column"))?;
+                flat.push(Value::Int(n));
+            }
+            Ok(())
+        }
+        Some(COL_SYM) => {
+            for _ in 0..count {
+                let v = cur.get_uv().ok_or_else(|| corrupt("truncated Sym column"))?;
+                let v = u32::try_from(v).map_err(|_| corrupt("symbol id overflows u32"))?;
+                flat.push(Value::Sym(SymbolId(v)));
+            }
+            Ok(())
+        }
+        Some(COL_INT_DELTA) => {
+            let first = cur
+                .get_sv()
+                .ok_or_else(|| corrupt("truncated delta column"))?;
+            flat.push(Value::Int(first));
+            let mut prev = first;
+            for _ in 0..count - 1 {
+                let d = cur
+                    .get_uv()
+                    .ok_or_else(|| corrupt("truncated delta column"))?;
+                prev = prev.wrapping_add(d as i64);
+                flat.push(Value::Int(prev));
+            }
+            Ok(())
+        }
+        Some(COL_MIXED) => {
+            let start = cur.pos;
+            if cur.remaining() < count {
+                return Err(corrupt("truncated tag run"));
+            }
+            cur.pos += count;
+            for k in 0..count {
+                let value = match cur.bytes[start + k] {
+                    VTAG_INT => Value::Int(
+                        cur.get_sv()
+                            .ok_or_else(|| corrupt("truncated mixed Int value"))?,
+                    ),
+                    VTAG_SYM => {
+                        let v = cur
+                            .get_uv()
+                            .ok_or_else(|| corrupt("truncated mixed Sym value"))?;
+                        let v =
+                            u32::try_from(v).map_err(|_| corrupt("symbol id overflows u32"))?;
+                        Value::Sym(SymbolId(v))
+                    }
+                    tag => return Err(corrupt(&format!("unknown value tag {tag}"))),
+                };
+                flat.push(value);
+            }
+            Ok(())
+        }
+        Some(tag) => Err(corrupt(&format!("unknown column tag {tag}"))),
+    }
 }
 
 /// Deserialize a batch; the inverse of [`encode_batch`].
 ///
 /// # Errors
-/// Returns [`Error::Runtime`] (never panics) for truncated headers,
-/// truncated values, unknown value tags, or trailing bytes.
-pub fn decode_batch(bytes: &[u8]) -> Result<(RelationId, Vec<Tuple>)> {
+/// Returns [`Error::Runtime`] (never panics) on any malformed input.
+pub fn decode_batch(bytes: &[u8]) -> Result<Vec<Tuple>> {
     let mut tuples = Vec::new();
-    let (inbox, _) = decode_batch_into(bytes, &mut tuples)?;
-    Ok((inbox, tuples))
+    decode_batch_into(bytes, &mut tuples)?;
+    Ok(tuples)
+}
+
+/// The bytes a naive row-oriented codec (1 tag + 8 payload per value plus
+/// a 10-byte header — the previous wire format) would have spent on this
+/// batch; the reference point of the journal's compression ratio.
+pub fn row_format_bytes(arity: usize, count: usize) -> u64 {
+    10 + (count as u64) * (arity as u64) * 9
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gst_common::{ituple, Interner};
-
-    fn inbox(arity: usize) -> RelationId {
-        let interner = Interner::new();
-        (interner.intern("t@in0"), arity)
-    }
+    use gst_common::{ituple, Interner, SmallRng};
 
     #[test]
     fn round_trips_int_tuples() {
-        let id = inbox(2);
         let tuples = vec![ituple![1, -2], ituple![i64::MAX, i64::MIN]];
-        let bytes = encode_batch(id, &tuples).unwrap();
-        let (got_id, got) = decode_batch(&bytes).unwrap();
-        assert_eq!(got_id, id);
-        assert_eq!(got, tuples);
+        let bytes = encode_batch(2, &tuples).unwrap();
+        assert_eq!(decode_batch(&bytes).unwrap(), tuples);
     }
 
     #[test]
     fn round_trips_symbols_and_mixed() {
         let interner = Interner::new();
-        let id = (interner.intern("sg@in3"), 2);
         let a = interner.intern("alice");
         let tuples = vec![
             Tuple::new(&[Value::Sym(a), Value::Int(7)]),
             Tuple::new(&[Value::Int(0), Value::Sym(SymbolId(0))]),
         ];
-        let bytes = encode_batch(id, &tuples).unwrap();
-        let (got_id, got) = decode_batch(&bytes).unwrap();
-        assert_eq!(got_id, id);
-        assert_eq!(got, tuples);
+        let bytes = encode_batch(2, &tuples).unwrap();
+        assert_eq!(decode_batch(&bytes).unwrap(), tuples);
     }
 
     #[test]
     fn empty_batch_and_zero_arity() {
-        let id = inbox(0);
-        let bytes = encode_batch(id, &[Tuple::unit()]).unwrap();
-        let (_, got) = decode_batch(&bytes).unwrap();
-        assert_eq!(got, vec![Tuple::unit()]);
+        let bytes = encode_batch(0, &[Tuple::unit()]).unwrap();
+        assert_eq!(decode_batch(&bytes).unwrap(), vec![Tuple::unit()]);
 
-        let id = inbox(3);
-        let bytes = encode_batch(id, &[]).unwrap();
-        let (_, got) = decode_batch(&bytes).unwrap();
-        assert!(got.is_empty());
+        let bytes = encode_batch(3, &[]).unwrap();
+        assert!(decode_batch(&bytes).unwrap().is_empty());
+        assert_eq!(peek_batch(&bytes).unwrap(), (3, 0));
     }
 
     #[test]
-    fn wire_size_is_predictable() {
-        let id = inbox(2);
-        let tuples = vec![ituple![1, 2]; 10];
-        let bytes = encode_batch(id, &tuples).unwrap();
-        // header 10 + 10 tuples × 2 values × (1 tag + 8 payload).
-        assert_eq!(bytes.len(), 10 + 10 * 2 * 9);
+    fn small_ints_pack_into_single_bytes() {
+        // 10 arity-2 tuples of small values: 2 header bytes + 2 columns ×
+        // (1 tag + 10 one-byte varints) ≪ the 190 bytes of the old row
+        // format. The first column is constant hence delta-encoded.
+        let tuples: Vec<Tuple> = (0..10).map(|k| ituple![5, k - 3]).collect();
+        let bytes = encode_batch(2, &tuples).unwrap();
+        assert!(
+            bytes.len() <= 2 + 2 * (1 + 10),
+            "columnar varints should stay tiny, got {}",
+            bytes.len()
+        );
+        assert!((bytes.len() as u64) < row_format_bytes(2, 10) / 4);
+        assert_eq!(decode_batch(&bytes).unwrap(), tuples);
+    }
+
+    #[test]
+    fn sorted_columns_delta_encode() {
+        // A strictly increasing column of large values: deltas are 1, so
+        // the column body is one varint per value after the first.
+        let tuples: Vec<Tuple> = (0..100).map(|k| ituple![1_000_000 + k]).collect();
+        let bytes = encode_batch(1, &tuples).unwrap();
+        // header ≤ 3 + tag 1 + first ≤ 4 + 99 one-byte deltas.
+        assert!(bytes.len() <= 3 + 1 + 4 + 99, "got {}", bytes.len());
+        assert_eq!(decode_batch(&bytes).unwrap(), tuples);
+    }
+
+    #[test]
+    fn delta_encoding_survives_extreme_span() {
+        let tuples = vec![ituple![i64::MIN], ituple![-1], ituple![0], ituple![i64::MAX]];
+        let bytes = encode_batch(1, &tuples).unwrap();
+        assert_eq!(decode_batch(&bytes).unwrap(), tuples);
+    }
+
+    #[test]
+    fn peek_matches_decode() {
+        let tuples = vec![ituple![9, 9], ituple![8, 7]];
+        let bytes = encode_batch(2, &tuples).unwrap();
+        assert_eq!(peek_batch(&bytes).unwrap(), (2, 2));
+        let mut out = Vec::new();
+        assert_eq!(decode_batch_into(&bytes, &mut out).unwrap(), 2);
+        assert_eq!(out, tuples);
+    }
+
+    #[test]
+    fn encoding_is_destination_independent_and_deterministic() {
+        let tuples = vec![ituple![3, 1], ituple![4, 1], ituple![5, 9]];
+        let a = encode_batch(2, &tuples).unwrap();
+        let b = encode_batch(2, &tuples).unwrap();
+        assert_eq!(*a, *b, "same tuples, same bytes — multicast-safe");
     }
 
     #[test]
     fn arity_mismatch_rejected_at_sender() {
-        let id = inbox(2);
-        let err = encode_batch(id, &[ituple![1]]).unwrap_err();
+        let err = encode_batch(2, &[ituple![1]]).unwrap_err();
         assert!(matches!(err, Error::Runtime(_)), "typed error, not a panic");
         assert!(err.to_string().contains("arity"));
     }
@@ -262,76 +479,151 @@ mod tests {
         assert!(matches!(err, Error::Runtime(_)));
         assert!(err.to_string().contains("truncated header"));
 
-        // Shorter than the fixed header.
-        let err = decode_batch(&[1, 2, 3]).unwrap_err();
-        assert!(err.to_string().contains("truncated header"));
+        // Arity varint present, count missing.
+        let err = decode_batch(&[2]).unwrap_err();
+        assert!(err.to_string().contains("truncated header (count)"));
 
-        let id = inbox(1);
-        let good = encode_batch(id, &[ituple![5]]).unwrap();
-
-        // Truncated mid-value (payload cut two bytes short).
-        let err = decode_batch(&good[..good.len() - 2]).unwrap_err();
-        assert!(matches!(err, Error::Runtime(_)));
-        assert!(err.to_string().contains("truncated Int"));
-
-        // Truncated right after the tag.
-        let err = decode_batch(&good[..11]).unwrap_err();
-        assert!(err.to_string().contains("truncated Int"));
-
-        // Count promises a tuple the payload does not contain.
-        let empty = encode_batch(id, &[]).unwrap();
-        let mut lying = empty.to_vec();
-        lying[6..10].copy_from_slice(&2u32.to_le_bytes());
-        let err = decode_batch(&lying).unwrap_err();
-        assert!(err.to_string().contains("truncated value tag"));
-
-        // Unknown value tag.
+        // Unknown column tag.
+        let good = encode_batch(1, &[ituple![5]]).unwrap();
         let mut bad = good.to_vec();
-        bad[10] = 9;
+        bad[2] = 9;
         let err = decode_batch(&bad).unwrap_err();
         assert!(matches!(err, Error::Runtime(_)));
-        assert!(err.to_string().contains("unknown value tag 9"));
+        assert!(err.to_string().contains("unknown column tag 9"));
+
+        // Count promises tuples the payload does not contain.
+        let empty = encode_batch(1, &[]).unwrap();
+        let mut lying = empty.to_vec();
+        lying[1] = 2; // count 0 → 2, no column bytes follow
+        let err = decode_batch(&lying).unwrap_err();
+        assert!(err.to_string().contains("implausible"));
 
         // Trailing garbage.
         let mut extended = good.to_vec();
         extended.push(0);
         let err = decode_batch(&extended).unwrap_err();
         assert!(err.to_string().contains("trailing bytes"));
-    }
 
-    /// A truncated symbol payload is caught by the Sym branch.
-    #[test]
-    fn truncated_symbol_is_rejected() {
-        let interner = Interner::new();
-        let id = (interner.intern("s@in"), 1);
-        let sym = interner.intern("bob");
-        let good = encode_batch(id, &[Tuple::new(&[Value::Sym(sym)])]).unwrap();
-        let err = decode_batch(&good[..good.len() - 1]).unwrap_err();
+        // A varint that never terminates (10 continuation bytes).
+        let err = decode_batch(&[0x80; 12]).unwrap_err();
         assert!(matches!(err, Error::Runtime(_)));
-        assert!(err.to_string().contains("truncated Sym"));
+
+        // Mixed column with a bad per-value tag.
+        let interner = Interner::new();
+        let s = interner.intern("x");
+        let mixed =
+            encode_batch(1, &[ituple![1], Tuple::new(&[Value::Sym(s)])]).unwrap();
+        let mut bad_vtag = mixed.to_vec();
+        bad_vtag[3] = 7; // first entry of the tag run
+        let err = decode_batch(&bad_vtag).unwrap_err();
+        assert!(err.to_string().contains("unknown value tag 7"));
     }
 
     /// An adversarial count field must not cause a huge preallocation or
     /// a panic — just a typed error.
     #[test]
     fn huge_count_is_rejected_cheaply() {
-        let id = inbox(2);
-        let good = encode_batch(id, &[ituple![1, 2]]).unwrap();
-        let mut lying = good.to_vec();
-        lying[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut lying = Vec::new();
+        put_uv(&mut lying, 2); // arity
+        put_uv(&mut lying, u32::MAX as u64); // count
         let err = decode_batch(&lying).unwrap_err();
         assert!(matches!(err, Error::Runtime(_)));
+
+        // Arity-0 counts are bounded explicitly.
+        let mut lying = Vec::new();
+        put_uv(&mut lying, 0);
+        put_uv(&mut lying, u64::MAX);
+        let err = decode_batch(&lying).unwrap_err();
+        assert!(err.to_string().contains("implausible"));
     }
 
-    /// Wrong-arity header against the actual payload shape: decoding
-    /// misaligns and is caught (either as a truncation or a bad tag).
+    /// On decode failure the output buffer is untouched (columns decode
+    /// into scratch before any tuple is assembled).
     #[test]
-    fn wrong_arity_header_is_rejected() {
-        let id = inbox(2);
-        let good = encode_batch(id, &[ituple![1, 2]]).unwrap();
-        let mut wrong = good.to_vec();
-        wrong[4..6].copy_from_slice(&3u16.to_le_bytes());
-        let err = decode_batch(&wrong).unwrap_err();
-        assert!(matches!(err, Error::Runtime(_)));
+    fn failed_decode_leaves_output_untouched() {
+        let good = encode_batch(2, &[ituple![1, 2], ituple![3, 4]]).unwrap();
+        let mut out = vec![ituple![9, 9]];
+        assert!(decode_batch_into(&good[..good.len() - 1], &mut out).is_err());
+        assert_eq!(out, vec![ituple![9, 9]]);
+    }
+
+    fn random_tuples(rng: &mut SmallRng, arity: usize, count: usize) -> Vec<Tuple> {
+        (0..count)
+            .map(|_| {
+                let values: Vec<Value> = (0..arity)
+                    .map(|_| match rng.gen_below(6) {
+                        0 => Value::Int(i64::MIN),
+                        1 => Value::Int(i64::MAX),
+                        2 => Value::Sym(SymbolId(rng.gen_below(u32::MAX as u64 + 1) as u32)),
+                        3 => Value::Int(rng.gen_range_i64(-100..100)),
+                        _ => Value::Int(rng.gen_range_i64(i64::MIN / 2..i64::MAX / 2)),
+                    })
+                    .collect();
+                Tuple::new(&values)
+            })
+            .collect()
+    }
+
+    /// Seeded roundtrip fuzz: random batches across arities 0–5, empty
+    /// through a few hundred tuples, extreme ints and mixed Int/Sym
+    /// columns all survive encode → decode bit-exactly.
+    #[test]
+    fn fuzz_roundtrip_random_batches() {
+        let mut rng = SmallRng::seed_from_u64(0xC0DEC);
+        for case in 0..400 {
+            let arity = rng.gen_below(6) as usize;
+            let count = match rng.gen_below(4) {
+                0 => 0,
+                1 => rng.gen_below(4) as usize,
+                2 => rng.gen_below(40) as usize,
+                _ => rng.gen_below(300) as usize,
+            };
+            let tuples = random_tuples(&mut rng, arity, count);
+            let bytes = encode_batch(arity, &tuples).unwrap();
+            let decoded = decode_batch(&bytes).unwrap_or_else(|e| {
+                panic!("case {case} (arity {arity}, count {count}) failed: {e}")
+            });
+            assert_eq!(decoded, tuples, "case {case}");
+            assert_eq!(peek_batch(&bytes).unwrap(), (arity, count), "case {case}");
+        }
+    }
+
+    /// Truncation sweep: *every* strict prefix of a valid encoding decodes
+    /// to a typed `Error::Runtime` — never a panic, never a silent accept.
+    #[test]
+    fn every_truncation_prefix_is_a_typed_error() {
+        let mut rng = SmallRng::seed_from_u64(0x7A71C);
+        let mut encodings: Vec<Vec<u8>> = vec![
+            encode_batch(0, &[Tuple::unit(), Tuple::unit()]).unwrap().to_vec(),
+            encode_batch(3, &[]).unwrap().to_vec(),
+            encode_batch(2, &(0..50).map(|k| ituple![k, k * k]).collect::<Vec<_>>())
+                .unwrap()
+                .to_vec(),
+        ];
+        for _ in 0..20 {
+            let arity = 1 + rng.gen_below(4) as usize;
+            let count = 1 + rng.gen_below(30) as usize;
+            let tuples = random_tuples(&mut rng, arity, count);
+            encodings.push(encode_batch(arity, &tuples).unwrap().to_vec());
+        }
+        for (i, full) in encodings.iter().enumerate() {
+            for len in 0..full.len() {
+                let result = std::panic::catch_unwind(|| decode_batch(&full[..len]));
+                let outcome = result.unwrap_or_else(|_| {
+                    panic!("encoding {i} truncated to {len}/{} panicked", full.len())
+                });
+                let err = match outcome {
+                    Ok(_) => panic!(
+                        "encoding {i} truncated to {len}/{} decoded successfully",
+                        full.len()
+                    ),
+                    Err(e) => e,
+                };
+                assert!(
+                    matches!(err, Error::Runtime(_)),
+                    "encoding {i} at {len}: wrong error type {err:?}"
+                );
+            }
+        }
     }
 }

@@ -2,6 +2,8 @@
 
 use std::sync::Arc;
 
+use gst_eval::plan::RelationId;
+
 use crate::termination::TokenMsg;
 
 /// An immutable, cheaply cloneable serialized batch. Cloning an envelope
@@ -17,8 +19,15 @@ pub enum Message {
     /// relation `t_ij`: "addition of tuples to the predicate `t_ij` ...
     /// should be interpreted as processor i sending the tuples to
     /// processor j". Batches travel encoded so communication is measured
-    /// in wire bytes.
-    Batch(Payload),
+    /// in wire bytes. The inbox rides in the envelope, not the payload:
+    /// payload bytes are destination-independent, so a broadcast encodes
+    /// its delta once and every destination shares the same `Arc`.
+    Batch {
+        /// The destination's inbox predicate the tuples inject into.
+        inbox: RelationId,
+        /// The encoded columnar batch.
+        payload: Payload,
+    },
     /// Safra's termination-detection token, traveling the ring.
     Token(TokenMsg),
     /// Global termination announcement (from the ring initiator).
@@ -45,7 +54,7 @@ pub enum Message {
     /// predicate. Sets the receiver's watermark to `upto`.
     Snapshot {
         /// One encoded batch per inbox the compacted prefix touched.
-        payloads: Vec<Payload>,
+        payloads: Vec<(RelationId, Payload)>,
         /// The watermark this snapshot stands in for.
         upto: u64,
     },
@@ -61,7 +70,7 @@ impl Message {
     /// Short tag for traces and diagnostics.
     pub fn kind(&self) -> MessageKind {
         match self {
-            Message::Batch(_) => MessageKind::Batch,
+            Message::Batch { .. } => MessageKind::Batch,
             Message::Token(_) => MessageKind::Token,
             Message::Terminate => MessageKind::Terminate,
             Message::Recover { .. } => MessageKind::Recover,
@@ -140,20 +149,20 @@ mod tests {
     fn envelope_carries_payloads() {
         let interner = gst_common::Interner::new();
         let pred = (interner.intern("anc_in"), 2);
-        let payload = crate::codec::encode_batch(pred, &[ituple![1, 2]]).unwrap();
+        let payload = crate::codec::encode_batch(pred.1, &[ituple![1, 2]]).unwrap();
         let env = Envelope {
             from: 3,
             seq: 0,
             epoch: 0,
             ack: 0,
-            message: Message::Batch(payload),
+            message: Message::Batch { inbox: pred, payload },
         };
         assert_eq!(env.from, 3);
         assert_eq!(env.message.kind(), MessageKind::Batch);
         match env.message {
-            Message::Batch(bytes) => {
-                let (inbox, tuples) = crate::codec::decode_batch(&bytes).unwrap();
-                assert_eq!(inbox, pred);
+            Message::Batch { inbox, payload } => {
+                assert_eq!(inbox, pred, "the inbox rides in the envelope");
+                let tuples = crate::codec::decode_batch(&payload).unwrap();
                 assert_eq!(tuples, vec![ituple![1, 2]]);
             }
             _ => panic!("wrong variant"),
@@ -184,17 +193,17 @@ mod tests {
     fn envelope_clone_shares_payload() {
         let interner = gst_common::Interner::new();
         let pred = (interner.intern("t_in"), 1);
-        let payload = crate::codec::encode_batch(pred, &[ituple![7]]).unwrap();
+        let payload = crate::codec::encode_batch(pred.1, &[ituple![7]]).unwrap();
         let env = Envelope {
             from: 1,
             seq: 9,
             epoch: 0,
             ack: 0,
-            message: Message::Batch(payload),
+            message: Message::Batch { inbox: pred, payload },
         };
         let dup = env.clone();
         match (&env.message, &dup.message) {
-            (Message::Batch(a), Message::Batch(b)) => {
+            (Message::Batch { payload: a, .. }, Message::Batch { payload: b, .. }) => {
                 assert!(std::sync::Arc::ptr_eq(a, b), "clone is pointer-cheap");
             }
             _ => panic!("wrong variants"),

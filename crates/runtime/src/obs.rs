@@ -75,6 +75,20 @@ pub enum ObsKind {
         /// Rule firings the processing step performed.
         firings: u64,
     },
+    /// A channel relation's round delta was encoded for the wire — once
+    /// per channel, however many destinations share the payload `Arc`
+    /// (single-encode multicast).
+    BatchEncoded {
+        /// The channel relation's predicate symbol (raw interner id).
+        channel: u32,
+        /// Tuples in the batch.
+        tuples: u64,
+        /// Wire bytes of the columnar encoding.
+        bytes: u64,
+        /// Bytes the row-oriented format would have spent on the same
+        /// batch — the reference of the compression ratio.
+        raw_bytes: u64,
+    },
     /// A batch of channel tuples left for another processor.
     BatchSent {
         /// Destination processor.
@@ -169,6 +183,7 @@ impl ObsKind {
     fn name(&self) -> &'static str {
         match self {
             ObsKind::RoundBegin { .. } | ObsKind::RoundEnd { .. } => "round",
+            ObsKind::BatchEncoded { .. } => "encode",
             ObsKind::BatchSent { .. } => "send",
             ObsKind::BatchReceived { .. } => "recv",
             ObsKind::SnapshotReceived { .. } => "snapshot-recv",
@@ -394,6 +409,13 @@ impl Journal {
                     "E",
                     format!("\"round\":{round},\"fresh\":{fresh},\"firings\":{firings}"),
                 ),
+                ObsKind::BatchEncoded { channel, tuples, bytes, raw_bytes } => (
+                    "i",
+                    format!(
+                        "\"channel\":{channel},\"tuples\":{tuples},\"bytes\":{bytes},\
+                         \"raw_bytes\":{raw_bytes}"
+                    ),
+                ),
                 ObsKind::BatchSent { to, tuples, bytes, seq } => (
                     "i",
                     format!("\"to\":{to},\"tuples\":{tuples},\"bytes\":{bytes},\"seq\":{seq}"),
@@ -456,6 +478,9 @@ impl std::fmt::Display for Journal {
                 ObsKind::RoundBegin { round } => writeln!(f, "round {round} begin"),
                 ObsKind::RoundEnd { round, fresh, firings } => {
                     writeln!(f, "round {round} end (+{fresh} fresh, {firings} firings)")
+                }
+                ObsKind::BatchEncoded { channel, tuples, bytes, raw_bytes } => {
+                    writeln!(f, "encode  ch{channel} {tuples} tuples {bytes} B (raw {raw_bytes} B)")
                 }
                 ObsKind::BatchSent { to, tuples, bytes, seq } => {
                     writeln!(f, "send    -> w{to} {tuples} tuples {bytes} B #{seq}")

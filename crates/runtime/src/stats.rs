@@ -35,6 +35,16 @@ pub struct WorkerReport {
     pub received_tuples: u64,
     /// Wire bytes received.
     pub received_bytes: u64,
+    /// Distinct `encode_batch` calls on the ship path — one per
+    /// (fixpoint, channel relation), however many destinations the
+    /// payload was multicast to.
+    pub encode_calls: u64,
+    /// Bytes those encodes produced. Each multicast payload is counted
+    /// once here, unlike `sent_bytes_to` which counts per link.
+    pub encoded_bytes: u64,
+    /// Bytes the row-oriented wire format would have spent on the same
+    /// batches — the reference of [`ParallelStats::compression_ratio`].
+    pub encoded_raw_bytes: u64,
     /// Transport-level duplicate deliveries absorbed (same link sequence
     /// number seen twice). Zero under a reliable transport; positive only
     /// when a fault plan duplicates or re-delivers batches.
@@ -106,6 +116,29 @@ impl ParallelStats {
     /// cluster cost model charges for communication.
     pub fn total_bytes_sent(&self) -> u64 {
         self.workers.iter().flat_map(|w| w.sent_bytes_to.iter()).sum()
+    }
+
+    /// Total distinct wire encodings across workers (each multicast
+    /// payload counted once).
+    pub fn total_encode_calls(&self) -> u64 {
+        self.workers.iter().map(|w| w.encode_calls).sum()
+    }
+
+    /// Total bytes the distinct encodings produced.
+    pub fn total_encoded_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.encoded_bytes).sum()
+    }
+
+    /// How much smaller the columnar wire format is than the row-oriented
+    /// one on this run's traffic: `raw / encoded`. 1.0 when nothing was
+    /// encoded (e.g. a zero-communication run).
+    pub fn compression_ratio(&self) -> f64 {
+        let encoded: u64 = self.workers.iter().map(|w| w.encoded_bytes).sum();
+        if encoded == 0 {
+            return 1.0;
+        }
+        let raw: u64 = self.workers.iter().map(|w| w.encoded_raw_bytes).sum();
+        raw as f64 / encoded as f64
     }
 
     /// Mean worker utilization: each worker's busy time over the longest
@@ -203,6 +236,9 @@ mod tests {
             sent_messages: 1,
             received_tuples: 0,
             received_bytes: 0,
+            encode_calls: 1,
+            encoded_bytes: 9,
+            encoded_raw_bytes: 90,
             duplicate_batches: 0,
             replayed_batches: 0,
             stale_dropped: 0,
@@ -226,6 +262,9 @@ mod tests {
         assert_eq!(stats.total_processing_firings(), 20);
         assert_eq!(stats.total_messages(), 2);
         assert_eq!(stats.total_bytes_sent(), (5 + 3 + 2 + 7) * 9);
+        assert_eq!(stats.total_encode_calls(), 2);
+        assert_eq!(stats.total_encoded_bytes(), 18);
+        assert!((stats.compression_ratio() - 10.0).abs() < 1e-9);
         assert_eq!(stats.utilization(), 1.0, "all-zero busy counts as even");
     }
 

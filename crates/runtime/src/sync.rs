@@ -73,6 +73,9 @@ pub fn execute_synchronous_traced(
     let mut sent_messages = vec![0u64; n];
     let mut received_tuples = vec![0u64; n];
     let mut received_bytes = vec![0u64; n];
+    let mut encode_calls = vec![0u64; n];
+    let mut encoded_bytes = vec![0u64; n];
+    let mut encoded_raw_bytes = vec![0u64; n];
     let mut trace = RoundTrace {
         processors: n,
         rounds: Vec::new(),
@@ -121,23 +124,40 @@ pub fn execute_synchronous_traced(
         // Sending: collect each processor's fresh channel deltas.
         let mut round_tuples = vec![vec![0u64; n]; n];
         let mut round_batches = vec![vec![0u64; n]; n];
-        let mut deliveries: Vec<(usize, usize, crate::message::Payload)> = Vec::new();
+        let mut deliveries: Vec<(usize, usize, RelationId, crate::message::Payload)> =
+            Vec::new();
         for (i, engine) in engines.iter().enumerate() {
+            // Single-encode multicast, mirroring the async ship path: one
+            // payload per channel relation per round, its `Arc` shared by
+            // every destination the channel feeds.
+            let mut encoded: FxHashMap<RelationId, crate::message::Payload> =
+                FxHashMap::default();
             for out in &specs[i].program.outgoing {
+                if out.dest == i {
+                    continue; // handled below against the same engine
+                }
                 let tuples = engine.delta_tuples(out.channel);
                 if tuples.is_empty() {
                     continue;
                 }
-                if out.dest == i {
-                    continue; // handled below against the same engine
-                }
-                let payload = encode_batch(out.inbox, tuples)?;
+                let payload = match encoded.get(&out.channel) {
+                    Some(p) => p.clone(),
+                    None => {
+                        let p = encode_batch(out.channel.1, tuples)?;
+                        encode_calls[i] += 1;
+                        encoded_bytes[i] += p.len() as u64;
+                        encoded_raw_bytes[i] +=
+                            crate::codec::row_format_bytes(out.channel.1, tuples.len());
+                        encoded.insert(out.channel, p.clone());
+                        p
+                    }
+                };
                 sent_tuples_to[i][out.dest] += tuples.len() as u64;
                 sent_bytes_to[i][out.dest] += payload.len() as u64;
                 sent_messages[i] += 1;
                 round_tuples[i][out.dest] += tuples.len() as u64;
                 round_batches[i][out.dest] += 1;
-                deliveries.push((i, out.dest, payload));
+                deliveries.push((i, out.dest, out.inbox, payload));
             }
         }
         // Local loopback channels (dest == self) inject directly.
@@ -150,9 +170,9 @@ pub fn execute_synchronous_traced(
         }
 
         // Receiving: deliver every batch at the round boundary.
-        for (_from, dest, payload) in deliveries {
+        for (_from, dest, inbox, payload) in deliveries {
             received_bytes[dest] += payload.len() as u64;
-            let (inbox, tuples) = decode_batch(&payload)?;
+            let tuples = decode_batch(&payload)?;
             received_tuples[dest] += tuples.len() as u64;
             engines[dest].inject(inbox, tuples)?;
         }
@@ -218,6 +238,9 @@ pub fn execute_synchronous_traced(
                 sent_messages: sent_messages[i],
                 received_tuples: received_tuples[i],
                 received_bytes: received_bytes[i],
+                encode_calls: encode_calls[i],
+                encoded_bytes: encoded_bytes[i],
+                encoded_raw_bytes: encoded_raw_bytes[i],
                 duplicate_batches: 0,
                 replayed_batches: 0,
                 stale_dropped: 0,

@@ -40,6 +40,7 @@ use std::time::Instant;
 
 use gst_common::{Error, FxHashMap, Result};
 use gst_eval::plan::RelationId;
+use gst_eval::FixpointEngine;
 use gst_storage::Relation;
 
 use crate::coordinator::RuntimeConfig;
@@ -146,6 +147,122 @@ pub(crate) fn assemble_outcome(
         },
         journal,
     })
+}
+
+/// True when the compiled scheme's minimal network graph has no live
+/// channel: every outgoing entry is a self-loopback (`t_ii`). Theorem 3's
+/// zero-communication case, and trivially any single-worker run.
+pub(crate) fn network_is_silent(specs: &[WorkerSpec]) -> bool {
+    specs.iter().all(|s| {
+        s.program
+            .outgoing
+            .iter()
+            .all(|out| out.dest == s.program.processor)
+    })
+}
+
+/// Run one spec's local fixpoint with none of the distributed machinery —
+/// no queues, no codec, no replay logs, no termination ring. Sound exactly
+/// when the network is silent: with nothing to receive and nothing to
+/// ship, local quiescence *is* the paper's termination condition, observed
+/// directly. Self-loopback channels are folded in between inner fixpoints.
+fn run_local(spec: &WorkerSpec, n: usize, config: &RuntimeConfig) -> Result<WorkerResult> {
+    let t0 = Instant::now();
+    let mut engine = FixpointEngine::new(
+        &spec.program.program,
+        spec.edb.clone(),
+        &spec.program.extra_idb(),
+    )?;
+    engine.bootstrap()?;
+    let mut ship_from = vec![0usize; spec.program.outgoing.len()];
+    loop {
+        while engine.advance() > 0 {
+            engine.process_round();
+        }
+        // Local loopbacks (t_ii) re-activate the engine; repeat until the
+        // backlog stays empty.
+        let mut looped = false;
+        for (k, out) in spec.program.outgoing.iter().enumerate() {
+            debug_assert_eq!(out.dest, spec.program.processor, "network must be silent");
+            let from_row = ship_from[k];
+            let backlog = engine.rows_from(out.channel, from_row).len();
+            if backlog > 0 {
+                ship_from[k] = from_row + backlog;
+                engine.loopback_from(out.channel, out.inbox, from_row)?;
+                looped = true;
+            }
+        }
+        if !looped {
+            break;
+        }
+    }
+    let pooled: PooledRelations = if config.worker.pool_results {
+        spec.program
+            .pooling
+            .iter()
+            .filter_map(|(local, global)| engine.take_relation(*local).map(|rel| (*global, rel)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let pooled_tuples = pooled.iter().map(|(_, r)| r.len() as u64).sum();
+    let eval = engine.stats().clone();
+    let processing_firings = eval.firings_for_rules(&spec.program.processing_rules);
+    let report = WorkerReport {
+        processor: spec.program.processor,
+        eval,
+        processing_firings,
+        sent_tuples_to: vec![0; n],
+        sent_bytes_to: vec![0; n],
+        sent_messages: 0,
+        received_tuples: 0,
+        received_bytes: 0,
+        encode_calls: 0,
+        encoded_bytes: 0,
+        encoded_raw_bytes: 0,
+        duplicate_batches: 0,
+        replayed_batches: 0,
+        stale_dropped: 0,
+        pooled_tuples,
+        busy: t0.elapsed(),
+        sent_per_round: Vec::new(),
+    };
+    Ok((report, pooled, Vec::new()))
+}
+
+/// The zero-communication fast path: every worker runs [`run_local`] —
+/// inline for a single processor, on scoped threads otherwise.
+fn execute_silent(specs: &[WorkerSpec], config: &RuntimeConfig) -> Result<ExecutionOutcome> {
+    let n = specs.len();
+    let started = Instant::now();
+    let results: Vec<WorkerResult> = if n == 1 {
+        vec![run_local(&specs[0], n, config)?]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .map(|spec| scope.spawn(move || run_local(spec, n, config)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|payload| {
+                        Err(Error::Runtime(format!(
+                            "worker panicked: {}",
+                            panic_message(payload.as_ref())
+                        )))
+                    })
+                })
+                .collect::<Result<Vec<WorkerResult>>>()
+        })?
+    };
+    assemble_outcome(
+        results,
+        started.elapsed(),
+        0,
+        TimeBase::WallMicros,
+        Vec::new(),
+    )
 }
 
 /// One OS thread per processor, unbounded queues, OS scheduling, a
@@ -276,6 +393,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 impl Transport for ThreadedTransport {
     fn execute(&self, specs: Vec<WorkerSpec>, config: &RuntimeConfig) -> Result<ExecutionOutcome> {
         validate_specs(&specs)?;
+        // A silent network needs none of the machinery below. Keep the
+        // full path when tracing (the journal wants round/termination
+        // events) or when a fail-point asks for supervised crashes.
+        if network_is_silent(&specs) && !config.trace && config.supervisor.fail_point.is_none() {
+            return execute_silent(&specs, config);
+        }
         let n = specs.len();
         let mut slots = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -429,5 +552,95 @@ impl Transport for ThreadedTransport {
             TimeBase::WallMicros,
             transport_events,
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ChannelOut, ProcessorProgram};
+    use gst_common::{ituple, Interner};
+    use gst_storage::Database;
+
+    /// A single worker with a self-loopback channel: transitive closure
+    /// where the frontier feeds back through `t_00`.
+    fn loopback_spec(interner: &Interner) -> WorkerSpec {
+        let unit = gst_frontend::parser::parse_program_with(
+            "t(X,Y) :- e(X,Y).\n\
+             t(X,Y) :- e(X,Z), inbox(Z,Y).\n\
+             ship(Z,Y) :- t(Z,Y).",
+            interner,
+        )
+        .unwrap();
+        let e = (interner.intern("e"), 2);
+        let ship = (interner.get("ship").unwrap(), 2);
+        let inbox = (interner.intern("inbox"), 2);
+        let t = (interner.get("t").unwrap(), 2);
+        let answer = (interner.intern("answer"), 2);
+        let mut db = Database::new(interner.clone());
+        for k in 0..5i64 {
+            db.insert(e, ituple![k, k + 1]).unwrap();
+        }
+        WorkerSpec {
+            program: ProcessorProgram {
+                processor: 0,
+                program: unit.program,
+                outgoing: vec![ChannelOut { channel: ship, dest: 0, inbox }],
+                inboxes: vec![inbox],
+                processing_rules: vec![0, 1],
+                pooling: vec![(t, answer)],
+            },
+            edb: Arc::new(db),
+        }
+    }
+
+    #[test]
+    fn silence_detection_accepts_self_loopbacks_only() {
+        let interner = Interner::new();
+        let spec = loopback_spec(&interner);
+        assert!(network_is_silent(std::slice::from_ref(&spec)));
+        let mut live = spec.clone();
+        live.program.outgoing.push(ChannelOut {
+            channel: (interner.intern("c"), 2),
+            dest: 1,
+            inbox: (interner.intern("i"), 2),
+        });
+        assert!(!network_is_silent(&[live]));
+    }
+
+    /// The zero-communication fast path computes the same least model and
+    /// the same stats shape as the full machinery (forced here via
+    /// tracing), on the same silent spec.
+    #[test]
+    fn silent_fast_path_matches_full_machinery() {
+        let interner = Interner::new();
+        let answer = (interner.intern("answer"), 2);
+        let spec = loopback_spec(&interner);
+
+        let fast = ThreadedTransport
+            .execute(vec![spec.clone()], &RuntimeConfig::default())
+            .unwrap();
+        let traced_cfg = RuntimeConfig {
+            trace: true,
+            ..Default::default()
+        };
+        let full = ThreadedTransport.execute(vec![spec], &traced_cfg).unwrap();
+
+        assert!(fast.relation(answer).set_eq(&full.relation(answer)));
+        assert_eq!(fast.relation(answer).len(), 5 + 4 + 3 + 2 + 1);
+        assert!(fast.stats.communication_free());
+        assert!(full.stats.communication_free());
+        assert_eq!(fast.stats.workers.len(), 1);
+        assert_eq!(fast.stats.channel_matrix, full.stats.channel_matrix);
+        assert_eq!(
+            fast.stats.workers[0].pooled_tuples,
+            full.stats.workers[0].pooled_tuples
+        );
+        assert_eq!(fast.stats.workers[0].encode_calls, 0, "nothing encoded");
+        assert!(
+            fast.journal.is_empty(),
+            "the fast path records no journal; tracing keeps the full path"
+        );
+        assert!(!full.journal.is_empty());
     }
 }

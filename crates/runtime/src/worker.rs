@@ -105,18 +105,20 @@ struct ReplayLog {
     base: u64,
     /// Set-union of the compacted prefix, per inbox predicate.
     snapshot: FxHashMap<RelationId, FxHashSet<Tuple>>,
-    /// Cached wire encoding of `snapshot`, invalidated only when a
-    /// compaction actually folds batches in. Acks piggyback on every
-    /// envelope; without the cache, every replay re-sorted and re-encoded
-    /// an unchanged snapshot.
-    encoded: Option<Vec<Payload>>,
+    /// Cached wire encoding of `snapshot`, invalidated exactly when a
+    /// compaction folds a batch in. Acks piggyback on every envelope;
+    /// without the cache, every replay re-sorted and re-encoded an
+    /// unchanged snapshot.
+    encoded: Option<Vec<(RelationId, Payload)>>,
     /// Retained batches, contiguous sequence numbers starting at `base`,
-    /// each tagged with the recovery epoch it was shipped in. Replay
-    /// retransmits only batches from *earlier* epochs: a batch shipped in
-    /// the current epoch was counted post-recovery and is guaranteed
-    /// deliverable, so retransmitting it would double-count the send while
-    /// the receiver dedups the copy — a permanent +1 in Safra's sum.
-    tail: VecDeque<(u64, u64, Payload)>,
+    /// each tagged with the recovery epoch it was shipped in and the inbox
+    /// it addresses (the payload itself is destination-independent).
+    /// Replay retransmits only batches from *earlier* epochs: a batch
+    /// shipped in the current epoch was counted post-recovery and is
+    /// guaranteed deliverable, so retransmitting it would double-count the
+    /// send while the receiver dedups the copy — a permanent +1 in Safra's
+    /// sum.
+    tail: VecDeque<(u64, u64, RelationId, Payload)>,
 }
 
 impl ReplayLog {
@@ -127,24 +129,22 @@ impl ReplayLog {
             // piggybacked on every envelope. No decode, no invalidation.
             return Ok(());
         }
-        let mut folded = false;
-        while self.tail.front().is_some_and(|(seq, _, _)| *seq < acked) {
-            let (_, _, payload) = self.tail.pop_front().expect("front checked");
-            let (inbox, tuples) = crate::codec::decode_batch(&payload)?;
+        while self.tail.front().is_some_and(|(seq, _, _, _)| *seq < acked) {
+            let (_, _, inbox, payload) = self.tail.pop_front().expect("front checked");
+            let tuples = crate::codec::decode_batch(&payload)?;
             self.snapshot.entry(inbox).or_default().extend(tuples);
-            folded = true;
-        }
-        self.base = acked;
-        if folded {
+            // The snapshot changed, so its cached encoding is stale. The
+            // fold itself is the invalidation point — no separate check.
             self.encoded = None;
         }
+        self.base = acked;
         Ok(())
     }
 
     /// Encode the snapshot, one payload per inbox, in deterministic order.
     /// Cached between compactions: repeated replays clone the retained
     /// `Arc` payloads instead of re-sorting and re-encoding.
-    fn snapshot_payloads(&mut self) -> Result<Vec<Payload>> {
+    fn snapshot_payloads(&mut self) -> Result<Vec<(RelationId, Payload)>> {
         if let Some(cached) = &self.encoded {
             return Ok(cached.clone());
         }
@@ -155,9 +155,9 @@ impl ReplayLog {
             .map(|inbox| {
                 let mut tuples: Vec<Tuple> = self.snapshot[inbox].iter().cloned().collect();
                 tuples.sort();
-                crate::codec::encode_batch(*inbox, &tuples)
+                Ok((*inbox, crate::codec::encode_batch(inbox.1, &tuples)?))
             })
-            .collect::<Result<Vec<Payload>>>()?;
+            .collect::<Result<Vec<(RelationId, Payload)>>>()?;
         self.encoded = Some(payloads.clone());
         Ok(payloads)
     }
@@ -210,20 +210,35 @@ pub(crate) struct WorkerCore {
     seen_above: Vec<FxHashSet<u64>>,
     /// Sender-side replay log per destination link.
     replay: Vec<ReplayLog>,
-    /// Per-outgoing-channel arena watermark: rows of the channel relation
-    /// below this index have already been shipped (or looped back). Deltas
-    /// accumulate across rounds and go out as one batch per channel at the
-    /// local fixpoint — the arena's insertion order makes the backlog a
+    /// Outgoing channels grouped by channel relation. Deltas accumulate
+    /// across rounds and go out as one batch per channel at the local
+    /// fixpoint — the arena's insertion order makes the backlog a
     /// borrowable suffix, and coarse batches keep the envelope count (and
     /// the scheduler churn it causes) proportional to fixpoints, not
-    /// rounds.
-    ship_from: Vec<usize>,
+    /// rounds. A channel feeding several destinations (the broadcast
+    /// scheme) is encoded once and the payload `Arc` shared.
+    ship_groups: Vec<ShipGroup>,
+    /// Batches accepted since the last drain, grouped per inbox (same
+    /// order as `spec.program.inboxes`): the decode-and-inject pass runs
+    /// once per inbox per step however many batches arrived, so a worker
+    /// that fell behind pays one index sync instead of one per batch.
+    stash: Vec<Vec<Payload>>,
+    /// Total payloads currently stashed (fast emptiness check).
+    stash_count: usize,
     // statistics
     sent_tuples_to: Vec<u64>,
     sent_bytes_to: Vec<u64>,
     sent_messages: u64,
     received_tuples: u64,
     received_bytes: u64,
+    /// Distinct `encode_batch` calls on the ship path.
+    encode_calls: u64,
+    /// Bytes those encodes produced (each multicast payload counted once,
+    /// unlike `sent_bytes_to` which counts per link).
+    encoded_bytes: u64,
+    /// What the row-oriented wire format would have spent on the same
+    /// batches — the reference of the journal's compression ratio.
+    encoded_raw_bytes: u64,
     duplicate_batches: u64,
     replayed_batches: u64,
     stale_dropped: u64,
@@ -238,6 +253,16 @@ pub(crate) struct WorkerCore {
     was_idle: bool,
 }
 
+/// One send group: a channel relation with every destination it feeds and
+/// the arena watermark of rows already shipped (or looped back).
+struct ShipGroup {
+    channel: RelationId,
+    /// Rows of the channel relation below this index are already out.
+    from_row: usize,
+    /// `(dest, inbox)` pairs in spec order.
+    dests: Vec<(usize, RelationId)>,
+}
+
 impl WorkerCore {
     pub(crate) fn new(spec: WorkerSpec, n: usize) -> Result<Self> {
         WorkerCore::with_epoch(spec, n, 0)
@@ -247,7 +272,18 @@ impl WorkerCore {
     /// to rebuild a crashed processor from its retained spec.
     pub(crate) fn with_epoch(spec: WorkerSpec, n: usize, epoch: u64) -> Result<Self> {
         let id = spec.program.processor;
-        let outgoing = spec.program.outgoing.len();
+        let mut ship_groups: Vec<ShipGroup> = Vec::new();
+        for ch in &spec.program.outgoing {
+            match ship_groups.iter_mut().find(|g| g.channel == ch.channel) {
+                Some(g) => g.dests.push((ch.dest, ch.inbox)),
+                None => ship_groups.push(ShipGroup {
+                    channel: ch.channel,
+                    from_row: 0,
+                    dests: vec![(ch.dest, ch.inbox)],
+                }),
+            }
+        }
+        let stash = vec![Vec::new(); spec.program.inboxes.len()];
         let engine = FixpointEngine::new(
             &spec.program.program,
             spec.edb.clone(),
@@ -270,12 +306,17 @@ impl WorkerCore {
             recv_floor: vec![0; n],
             seen_above: vec![FxHashSet::default(); n],
             replay: (0..n).map(|_| ReplayLog::default()).collect(),
-            ship_from: vec![0; outgoing],
+            ship_groups,
+            stash,
+            stash_count: 0,
             sent_tuples_to: vec![0; n],
             sent_bytes_to: vec![0; n],
             sent_messages: 0,
             received_tuples: 0,
             received_bytes: 0,
+            encode_calls: 0,
+            encoded_bytes: 0,
+            encoded_raw_bytes: 0,
             duplicate_batches: 0,
             replayed_batches: 0,
             stale_dropped: 0,
@@ -358,6 +399,10 @@ impl WorkerCore {
             }
         }
 
+        // Coalesced receive: one decode-and-inject pass per inbox over
+        // everything stashed since the last engine step.
+        self.drain_stash()?;
+
         // Processing step: one engine round.
         let fresh = self.engine.advance();
         if fresh > 0 {
@@ -424,7 +469,9 @@ impl WorkerCore {
         // *to* this sender.
         self.replay[env.from].truncate_to(env.ack)?;
         match env.message {
-            Message::Batch(payload) => self.accept_batch(env.from, env.seq, &payload),
+            Message::Batch { inbox, payload } => {
+                self.accept_batch(env.from, env.seq, inbox, payload)
+            }
             Message::Token(token) => {
                 // One token circulates the ring; a second can only appear
                 // if a transport duplicated it (faults must not).
@@ -517,14 +564,14 @@ impl WorkerCore {
             };
             out.send(to, env)?;
         }
-        let resend: Vec<(u64, Payload)> = self
+        let resend: Vec<(u64, RelationId, Payload)> = self
             .replay[to]
             .tail
             .iter()
-            .filter(|(_, shipped_in, _)| *shipped_in < self.epoch)
-            .map(|(seq, _, payload)| (*seq, payload.clone()))
+            .filter(|(_, shipped_in, _, _)| *shipped_in < self.epoch)
+            .map(|(seq, _, inbox, payload)| (*seq, *inbox, payload.clone()))
             .collect();
-        for (seq, payload) in resend {
+        for (seq, inbox, payload) in resend {
             self.safra.on_send();
             self.replayed_batches += 1;
             let env = Envelope {
@@ -532,7 +579,7 @@ impl WorkerCore {
                 seq,
                 epoch: self.epoch,
                 ack: self.recv_floor[to],
-                message: Message::Batch(payload),
+                message: Message::Batch { inbox, payload },
             };
             out.send(to, env)?;
         }
@@ -543,24 +590,27 @@ impl WorkerCore {
         Ok(())
     }
 
-    /// Absorb a compacted replay-log prefix: inject every payload and
-    /// advance the watermark to `upto` (the sequence range the snapshot
-    /// stands in for). One logical message for Safra's accounting.
-    fn accept_snapshot(&mut self, from: usize, payloads: Vec<Payload>, upto: u64) -> Result<()> {
+    /// Absorb a compacted replay-log prefix: stash every payload for the
+    /// coalesced inject pass and advance the watermark to `upto` (the
+    /// sequence range the snapshot stands in for). One logical message for
+    /// Safra's accounting.
+    fn accept_snapshot(
+        &mut self,
+        from: usize,
+        payloads: Vec<(RelationId, Payload)>,
+        upto: u64,
+    ) -> Result<()> {
         self.safra.on_basic_receive();
         self.sink.emit(ObsKind::SnapshotReceived {
             from,
             payloads: payloads.len() as u64,
             upto,
         });
-        for payload in payloads {
-            let inbox = crate::codec::decode_inbox(&payload)?;
-            let count = self
-                .engine
-                .inject_with(inbox, |out| crate::codec::decode_batch_into(&payload, out))?
-                .1;
+        for (inbox, payload) in payloads {
+            let (_, count) = crate::codec::peek_batch(&payload)?;
             self.received_bytes += payload.len() as u64;
             self.received_tuples += count as u64;
+            self.stash_payload(inbox, payload)?;
         }
         if upto > self.recv_floor[from] {
             self.recv_floor[from] = upto;
@@ -570,23 +620,28 @@ impl WorkerCore {
         Ok(())
     }
 
-    /// Decode and absorb an incoming batch (the receive step: the decoded
-    /// tuples realize `t_in^i(W̄) :- t_ji(W̄)`).
+    /// Accept an incoming batch (the receive step: the decoded tuples
+    /// realize `t_in^i(W̄) :- t_ji(W̄)`). Only the header is read here —
+    /// the payload is stashed and decoded in one coalesced inject pass per
+    /// inbox on the next engine step, so a worker that fell behind pays
+    /// one index sync however many batches queued up.
     ///
     /// A transport-level duplicate (same link sequence number) is *not*
     /// counted by the termination detector — Safra instruments logical
     /// messages, and a retransmission is the same logical message — but
-    /// its payload is still injected: under set semantics re-deriving a
+    /// its payload is still stashed: under set semantics re-deriving a
     /// tuple is a no-op, which is exactly the idempotence the simulation
     /// tests exercise.
-    fn accept_batch(&mut self, from: usize, seq: u64, payload: &[u8]) -> Result<()> {
+    fn accept_batch(
+        &mut self,
+        from: usize,
+        seq: u64,
+        inbox: RelationId,
+        payload: Payload,
+    ) -> Result<()> {
         let first_delivery =
             seq >= self.recv_floor[from] && self.seen_above[from].insert(seq);
-        let inbox = crate::codec::decode_inbox(payload)?;
-        let count = self
-            .engine
-            .inject_with(inbox, |out| crate::codec::decode_batch_into(payload, out))?
-            .1;
+        let (_, count) = crate::codec::peek_batch(&payload)?;
         self.sink.emit(ObsKind::BatchReceived {
             from,
             tuples: count as u64,
@@ -601,6 +656,49 @@ impl WorkerCore {
             self.advance_floor(from);
         } else {
             self.duplicate_batches += 1;
+        }
+        self.stash_payload(inbox, payload)
+    }
+
+    /// Queue a payload for the next coalesced inject pass. An inbox
+    /// predicate the spec does not declare falls through to a direct
+    /// inject so the engine raises its typed error (misrouted envelope)
+    /// at the receiving step, not one round later.
+    fn stash_payload(&mut self, inbox: RelationId, payload: Payload) -> Result<()> {
+        match self.spec.program.inboxes.iter().position(|p| *p == inbox) {
+            Some(idx) => {
+                self.stash[idx].push(payload);
+                self.stash_count += 1;
+                Ok(())
+            }
+            None => self
+                .engine
+                .inject_with(inbox, |out| crate::codec::decode_batch_into(&payload, out))
+                .map(|_| ()),
+        }
+    }
+
+    /// Coalesced receiving step: decode every stashed payload of an inbox
+    /// inside a single `inject_with` — one index sync per inbox, however
+    /// many batches arrived since the last drain.
+    fn drain_stash(&mut self) -> Result<()> {
+        if self.stash_count == 0 {
+            return Ok(());
+        }
+        self.stash_count = 0;
+        for idx in 0..self.stash.len() {
+            if self.stash[idx].is_empty() {
+                continue;
+            }
+            let batches = std::mem::take(&mut self.stash[idx]);
+            let inbox = self.spec.program.inboxes[idx];
+            self.engine.inject_with(inbox, |out| {
+                let mut total = 0;
+                for payload in &batches {
+                    total += crate::codec::decode_batch_into(payload, out)?;
+                }
+                Ok(total)
+            })?;
         }
         Ok(())
     }
@@ -617,64 +715,76 @@ impl WorkerCore {
     ///
     /// The delta is a borrowed arena suffix encoded straight onto the
     /// wire — no intermediate tuple vector; the only retained copy is the
-    /// payload the replay log needs anyway.
+    /// payload the replay log needs anyway. A channel feeding several
+    /// remote destinations (the broadcast scheme's shared head predicate)
+    /// is encoded exactly once and every destination's envelope clones
+    /// the payload `Arc` — single-encode multicast.
     fn ship_channel_deltas(&mut self, out: &mut dyn Outbox) -> Result<bool> {
         let mut shipped = false;
-        for k in 0..self.spec.program.outgoing.len() {
-            let (channel, dest, inbox) = {
-                let ch = &self.spec.program.outgoing[k];
-                (ch.channel, ch.dest, ch.inbox)
-            };
-            let from_row = self.ship_from[k];
-            if dest == self.id {
-                // Local loopback (t_ii): no network, no counters.
-                let looped = {
-                    let backlog = self.engine.rows_from(channel, from_row);
-                    self.ship_from[k] = from_row + backlog.len();
-                    !backlog.is_empty()
-                };
-                if looped {
-                    self.engine.loopback_from(channel, inbox, from_row)?;
-                    shipped = true;
-                }
+        for k in 0..self.ship_groups.len() {
+            let (channel, from_row) =
+                (self.ship_groups[k].channel, self.ship_groups[k].from_row);
+            let count = self.engine.rows_from(channel, from_row).len();
+            if count == 0 {
                 continue;
             }
-            let (payload, count) = {
-                let tuples = self.engine.rows_from(channel, from_row);
-                if tuples.is_empty() {
+            self.ship_groups[k].from_row = from_row + count;
+            shipped = true;
+            let payload = if self.ship_groups[k].dests.iter().any(|(d, _)| *d != self.id) {
+                let payload = {
+                    let tuples = self.engine.rows_from(channel, from_row);
+                    crate::codec::encode_batch(channel.1, tuples)?
+                };
+                let raw_bytes = crate::codec::row_format_bytes(channel.1, count);
+                self.encode_calls += 1;
+                self.encoded_bytes += payload.len() as u64;
+                self.encoded_raw_bytes += raw_bytes;
+                self.sink.emit(ObsKind::BatchEncoded {
+                    channel: channel.0 .0,
+                    tuples: count as u64,
+                    bytes: payload.len() as u64,
+                    raw_bytes,
+                });
+                Some(payload)
+            } else {
+                None
+            };
+            let dests = self.ship_groups[k].dests.clone();
+            for (dest, inbox) in dests {
+                if dest == self.id {
+                    // Local loopback (t_ii): no network, no counters.
+                    self.engine.loopback_from(channel, inbox, from_row)?;
                     continue;
                 }
-                self.ship_from[k] = from_row + tuples.len();
-                (crate::codec::encode_batch(inbox, tuples)?, tuples.len() as u64)
-            };
-            shipped = true;
-            self.sent_tuples_to[dest] += count;
-            self.sent_bytes_to[dest] += payload.len() as u64;
-            self.sent_messages += 1;
-            self.record_round_send(count);
-            self.safra.on_send();
-            let seq = self.next_batch_seq(dest);
-            self.sink.emit(ObsKind::BatchSent {
-                to: dest,
-                tuples: count,
-                bytes: payload.len() as u64,
-                seq,
-            });
-            // Retain for crash-recovery replay until the receiver acks it
-            // (compaction) or the run terminates.
-            self.replay[dest]
-                .tail
-                .push_back((seq, self.epoch, payload.clone()));
-            out.send(
-                dest,
-                Envelope {
-                    from: self.id,
+                let payload = payload.clone().expect("remote dest implies an encode");
+                self.sent_tuples_to[dest] += count as u64;
+                self.sent_bytes_to[dest] += payload.len() as u64;
+                self.sent_messages += 1;
+                self.record_round_send(count as u64);
+                self.safra.on_send();
+                let seq = self.next_batch_seq(dest);
+                self.sink.emit(ObsKind::BatchSent {
+                    to: dest,
+                    tuples: count as u64,
+                    bytes: payload.len() as u64,
                     seq,
-                    epoch: self.epoch,
-                    ack: self.recv_floor[dest],
-                    message: Message::Batch(payload),
-                },
-            )?;
+                });
+                // Retain for crash-recovery replay until the receiver acks
+                // it (compaction) or the run terminates.
+                self.replay[dest]
+                    .tail
+                    .push_back((seq, self.epoch, inbox, payload.clone()));
+                out.send(
+                    dest,
+                    Envelope {
+                        from: self.id,
+                        seq,
+                        epoch: self.epoch,
+                        ack: self.recv_floor[dest],
+                        message: Message::Batch { inbox, payload },
+                    },
+                )?;
+            }
         }
         Ok(shipped)
     }
@@ -772,6 +882,9 @@ impl WorkerCore {
             sent_messages: self.sent_messages,
             received_tuples: self.received_tuples,
             received_bytes: self.received_bytes,
+            encode_calls: self.encode_calls,
+            encoded_bytes: self.encoded_bytes,
+            encoded_raw_bytes: self.encoded_raw_bytes,
             duplicate_batches: self.duplicate_batches,
             replayed_batches: self.replayed_batches,
             stale_dropped: self.stale_dropped,
@@ -857,27 +970,28 @@ mod tests {
         let interner = Interner::new();
         let inbox = (interner.intern("t@in"), 2);
         let mut log = ReplayLog::default();
-        let p1 = crate::codec::encode_batch(inbox, &[ituple![1, 2]]).unwrap();
-        let p2 = crate::codec::encode_batch(inbox, &[ituple![3, 4]]).unwrap();
-        log.tail.push_back((0, 0, p1));
-        log.tail.push_back((1, 0, p2));
+        let p1 = crate::codec::encode_batch(inbox.1, &[ituple![1, 2]]).unwrap();
+        let p2 = crate::codec::encode_batch(inbox.1, &[ituple![3, 4]]).unwrap();
+        log.tail.push_back((0, 0, inbox, p1));
+        log.tail.push_back((1, 0, inbox, p2));
 
         log.truncate_to(1).unwrap(); // folds seq 0
         let a = log.snapshot_payloads().unwrap();
         let b = log.snapshot_payloads().unwrap();
         assert!(
-            Arc::ptr_eq(&a[0], &b[0]),
+            Arc::ptr_eq(&a[0].1, &b[0].1),
             "second replay reuses the cached encoding"
         );
 
         log.truncate_to(1).unwrap(); // duplicate ack: no fold, no invalidation
         let c = log.snapshot_payloads().unwrap();
-        assert!(Arc::ptr_eq(&a[0], &c[0]));
+        assert!(Arc::ptr_eq(&a[0].1, &c[0].1));
 
         log.truncate_to(2).unwrap(); // folds seq 1: cache invalidated
         let d = log.snapshot_payloads().unwrap();
-        assert!(!Arc::ptr_eq(&a[0], &d[0]));
-        let (_, tuples) = crate::codec::decode_batch(&d[0]).unwrap();
+        assert!(!Arc::ptr_eq(&a[0].1, &d[0].1));
+        assert_eq!(d[0].0, inbox, "snapshot payloads carry their inbox");
+        let tuples = crate::codec::decode_batch(&d[0].1).unwrap();
         assert_eq!(tuples.len(), 2, "snapshot holds both folded batches");
     }
 
@@ -1005,13 +1119,13 @@ mod tests {
         let mut core = WorkerCore::new(spec, 2).unwrap();
         let mut out = Recorder::default();
 
-        let payload = crate::codec::encode_batch(inbox, &[ituple![7]]).unwrap();
+        let payload = crate::codec::encode_batch(inbox.1, &[ituple![7]]).unwrap();
         let env = Envelope {
             from: 0,
             seq: 0,
             epoch: 0,
             ack: 0,
-            message: Message::Batch(payload),
+            message: Message::Batch { inbox, payload },
         };
         core.enqueue(env.clone());
         core.enqueue(env);
@@ -1061,7 +1175,7 @@ mod tests {
         while core.step(&mut out).unwrap() == Step::Worked {}
 
         assert!(
-            out.sent.iter().any(|(to, env)| *to == 1 && matches!(env.message, Message::Batch(_))),
+            out.sent.iter().any(|(to, env)| *to == 1 && matches!(env.message, Message::Batch { .. })),
             "the rule must actually ship a batch for the test to mean anything"
         );
         assert_eq!(core.replay_tail_len(1), 1, "shipped batch is retained for replay");
@@ -1077,6 +1191,67 @@ mod tests {
         });
         core.step(&mut out).unwrap();
         assert_eq!(core.replay_tail_len(1), 0, "acked prefix is compacted out of the tail");
+    }
+
+    /// A channel feeding several destinations (the broadcast scheme's
+    /// shared head predicate) is encoded exactly once per fixpoint: every
+    /// destination's envelope shares the same payload `Arc`, and the
+    /// journal records one `encode` event for the two `send`s.
+    #[test]
+    fn broadcast_channel_is_encoded_once_and_shared() {
+        let interner = Interner::new();
+        let unit =
+            gst_frontend::parser::parse_program_with("send(X) :- src(X).", &interner).unwrap();
+        let src = (interner.intern("src"), 1);
+        let send = (interner.get("send").unwrap(), 1);
+        let inbox = (interner.intern("inbox"), 1);
+        let mut db = Database::new(interner.clone());
+        for k in 0..3i64 {
+            db.insert(src, ituple![k]).unwrap();
+        }
+        let spec = WorkerSpec {
+            program: ProcessorProgram {
+                processor: 0,
+                program: unit.program,
+                outgoing: vec![
+                    crate::spec::ChannelOut { channel: send, dest: 1, inbox },
+                    crate::spec::ChannelOut { channel: send, dest: 2, inbox },
+                ],
+                inboxes: vec![],
+                processing_rules: vec![0],
+                pooling: vec![],
+            },
+            edb: Arc::new(db),
+        };
+        let mut core = WorkerCore::new(spec, 3).unwrap();
+        core.set_sink(TraceSink::virtual_clock(0));
+        let mut out = Recorder::default();
+        while core.step(&mut out).unwrap() == Step::Worked {}
+
+        let payloads: Vec<Payload> = out
+            .sent
+            .iter()
+            .filter_map(|(_, env)| match &env.message {
+                Message::Batch { payload, .. } => Some(payload.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(payloads.len(), 2, "one batch per destination");
+        assert!(
+            Arc::ptr_eq(&payloads[0], &payloads[1]),
+            "both destinations share the single encoding"
+        );
+        let events = core.take_trace_events();
+        let encodes = events
+            .iter()
+            .filter(|e| matches!(e.kind, ObsKind::BatchEncoded { .. }))
+            .count();
+        let sends = events
+            .iter()
+            .filter(|e| matches!(e.kind, ObsKind::BatchSent { .. }))
+            .count();
+        assert_eq!(encodes, 1, "one encode per (fixpoint, channel relation)");
+        assert_eq!(sends, 2, "but one send per destination");
     }
 
     /// Terminate wins over queued work: once absorbed, the core reports

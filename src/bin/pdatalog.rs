@@ -282,8 +282,9 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 .collect();
             let tables = if show_stats {
                 format!(
-                    "{}{}",
+                    "{}{}{}",
                     render_channel_matrix(&outcome.stats.channel_matrix),
+                    render_wire_table(&outcome.stats),
                     render_round_table(&outcome.stats)
                 )
             } else {
@@ -357,6 +358,50 @@ fn render_channel_matrix(matrix: &[Vec<u64>]) -> String {
         }
         out.push('\n');
     }
+    out
+}
+
+/// Per-worker wire-codec effectiveness: how many times each worker ran
+/// the columnar encoder (one per shared channel per fixpoint, not one
+/// per destination), the encoded bytes it shipped, and the compression
+/// ratio versus the row-format wire cost of the same tuples.
+fn render_wire_table(stats: &parallel_datalog::runtime::ParallelStats) -> String {
+    use std::fmt::Write;
+    if stats.total_encode_calls() == 0 {
+        return String::new();
+    }
+    let mut out =
+        String::from("% wire codec (encodes = one per shared channel, ratio = row-format/encoded):\n");
+    let _ = writeln!(
+        out,
+        "% {:>6} {:>8} {:>12} {:>12} {:>7}",
+        "", "encodes", "bytes", "raw bytes", "ratio"
+    );
+    for w in &stats.workers {
+        let ratio = if w.encoded_bytes > 0 {
+            w.encoded_raw_bytes as f64 / w.encoded_bytes as f64
+        } else {
+            1.0
+        };
+        let _ = writeln!(
+            out,
+            "% {:>6} {:>8} {:>12} {:>12} {:>6.2}x",
+            format!("w{}", w.processor),
+            w.encode_calls,
+            w.encoded_bytes,
+            w.encoded_raw_bytes,
+            ratio
+        );
+    }
+    let _ = writeln!(
+        out,
+        "% {:>6} {:>8} {:>12} {:>12} {:>6.2}x",
+        "total",
+        stats.total_encode_calls(),
+        stats.total_encoded_bytes(),
+        stats.workers.iter().map(|w| w.encoded_raw_bytes).sum::<u64>(),
+        stats.compression_ratio()
+    );
     out
 }
 
