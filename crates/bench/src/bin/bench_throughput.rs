@@ -29,6 +29,15 @@
 //! `BENCH_throughput_baseline.json` — regenerating it would make the guard
 //! compare the codec against itself.
 //!
+//! `--batch-baseline FILE` (only with `--guard`) additionally pins the
+//! guarded cells against the *current* columnar baseline: batch-mode
+//! firing counts must be bit-identical and `bytes_shipped` must not
+//! regress. This is the update-session isolation check — incremental
+//! maintenance promotes base predicates to `local_idb` only inside a
+//! session, so ordinary batch compilation must produce exactly the
+//! plans, firings, and wire bytes it produced before the session layer
+//! existed.
+//!
 //! Every row is checked against the sequential semi-naive oracle (same
 //! least model) before its timing is trusted, and the report records the
 //! firing counts so a storage-engine change that silently alters
@@ -178,13 +187,20 @@ fn baseline_row<'a>(base: &'a Json, workload: &str, scheme: &str, n: usize) -> O
 }
 
 /// The `--guard` mode: measure the two fixed wire-guard cells and compare
-/// them against the frozen row-format reference. Returns the process exit
+/// them against the frozen row-format reference — plus, when
+/// `batch_baseline` is given, against the current columnar baseline
+/// (bit-identical firings, no byte regression). Returns the process exit
 /// code (0 = guard holds).
-fn run_guard(baseline_path: &str) -> i32 {
+fn run_guard(baseline_path: &str, batch_baseline: Option<&str>) -> i32 {
     let text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read guard baseline {baseline_path}: {e}"));
     let base = Json::parse(&text)
         .unwrap_or_else(|e| panic!("cannot parse guard baseline {baseline_path}: {e}"));
+    let current = batch_baseline.map(|p| {
+        let text = std::fs::read_to_string(p)
+            .unwrap_or_else(|e| panic!("cannot read batch baseline {p}: {e}"));
+        Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse batch baseline {p}: {e}"))
+    });
 
     let fx = linear_ancestor();
     let sirup = LinearSirup::from_program(&fx.program).unwrap();
@@ -259,6 +275,49 @@ fn run_guard(baseline_path: &str) -> i32 {
             );
             ok = false;
         }
+
+        // Batch-mode invariance against the current columnar baseline:
+        // the update-session layer must leave ordinary batch compilation
+        // byte-for-byte alone.
+        let Some(current) = &current else { continue };
+        let Some(cur_row) = baseline_row(current, wname, sname, n) else {
+            eprintln!("guard: {wname}/{sname}/n={n} missing from the batch baseline");
+            ok = false;
+            continue;
+        };
+        let cur_bytes = cur_row
+            .get("bytes_shipped")
+            .and_then(Json::as_num)
+            .expect("batch baseline row has bytes_shipped") as u64;
+        let cur_firings = cur_row
+            .get("firings")
+            .and_then(Json::as_num)
+            .expect("batch baseline row has firings") as u64;
+        println!(
+            "guard {wname}/{sname}/n={n} (batch baseline): bytes {} -> {}, firings {} -> {}",
+            cur_bytes, row.bytes_shipped, cur_firings, row.firings,
+        );
+        if row.firings != cur_firings {
+            eprintln!(
+                "guard FAIL: {wname}/{sname}/n={n} batch-mode firings changed \
+                 ({} vs baseline {}) — the session layer leaked into batch plans",
+                row.firings, cur_firings,
+            );
+            ok = false;
+        }
+        // Byte counts on the threaded transport jitter by a few tenths
+        // of a percent run to run (coalescing merges pending batches, so
+        // the header count depends on thread scheduling); 1% headroom
+        // absorbs that while still catching any systematic growth, e.g.
+        // a retract flag leaking onto the batch wire.
+        if row.bytes_shipped * 100 > cur_bytes * 101 {
+            eprintln!(
+                "guard FAIL: {wname}/{sname}/n={n} batch-mode bytes regressed \
+                 ({} vs baseline {}, >1% growth)",
+                row.bytes_shipped, cur_bytes,
+            );
+            ok = false;
+        }
     }
     if ok {
         println!("wire guard holds: >=2x smaller shipments, identical firing counts");
@@ -281,7 +340,11 @@ fn main() {
         .position(|a| a == "--guard")
         .and_then(|k| args.get(k + 1).cloned())
     {
-        std::process::exit(run_guard(&guard_path));
+        let batch_baseline = args
+            .iter()
+            .position(|a| a == "--batch-baseline")
+            .and_then(|k| args.get(k + 1).cloned());
+        std::process::exit(run_guard(&guard_path, batch_baseline.as_deref()));
     }
 
     if cfg!(debug_assertions) {

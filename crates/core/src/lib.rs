@@ -29,6 +29,7 @@ pub mod dataflow;
 pub mod discriminator;
 pub mod network;
 pub mod schemes;
+pub mod session;
 pub mod strategy;
 
 /// Convenient imports for building and running schemes.
@@ -48,5 +49,6 @@ pub mod prelude {
         example1_wolfson, example2_valduriez, example3_hash_partition,
     };
     pub use crate::schemes::{BaseDistribution, CompiledScheme};
+    pub use crate::session::{RoundReport, UpdateBatch, UpdateSession};
     pub use crate::strategy::{choose, crossover, CostModel, SchemeProfile};
 }

@@ -336,6 +336,8 @@ mod tests {
             inboxes: vec![],
             processing_rules: vec![0],
             pooling: vec![],
+            local_idb: vec![],
+            retract_channels: vec![],
         };
         let dbs = worker_databases(&db, &[pp.clone(), { let mut q = pp; q.processor = 1; q }], BaseDistribution::Shared)
             .unwrap();
@@ -356,6 +358,8 @@ mod tests {
             inboxes: vec![],
             processing_rules: vec![0],
             pooling: vec![],
+            local_idb: vec![],
+            retract_channels: vec![],
         };
         let dbs = worker_databases(&db, &[pp], BaseDistribution::MinimalFragments).unwrap();
         assert_eq!(dbs[0].relation(e).unwrap().len(), 2);
@@ -393,6 +397,8 @@ mod tests {
                 inboxes: vec![],
                 processing_rules: vec![0],
                 pooling: vec![],
+                local_idb: vec![],
+                retract_channels: vec![],
             });
         }
         program.rules.clear();

@@ -200,6 +200,8 @@ pub fn rewrite_general(
             inboxes: derived.iter().map(|&d| namer.input(d, i)).collect(),
             processing_rules: (0..rule_count).collect(),
             pooling: derived.iter().map(|&d| (namer.out(d, i), d)).collect(),
+            local_idb: vec![],
+            retract_channels: vec![],
         });
     }
 
@@ -207,7 +209,7 @@ pub fn rewrite_general(
     let workers = programs
         .into_iter()
         .zip(edbs)
-        .map(|(program, edb)| WorkerSpec { program, edb })
+        .map(|(program, edb)| WorkerSpec { program, edb, session: None })
         .collect();
 
     Ok(CompiledScheme {

@@ -180,6 +180,8 @@ pub fn rewrite_generalized(
             inboxes: vec![in_i],
             processing_rules: vec![0, 1],
             pooling: vec![(out_i, t)],
+            local_idb: vec![],
+            retract_channels: vec![],
         });
     }
 
@@ -187,7 +189,7 @@ pub fn rewrite_generalized(
     let workers = programs
         .into_iter()
         .zip(edbs)
-        .map(|(program, edb)| WorkerSpec { program, edb })
+        .map(|(program, edb)| WorkerSpec { program, edb, session: None })
         .collect();
 
     Ok(CompiledScheme {

@@ -207,6 +207,8 @@ pub fn rewrite_non_redundant(
             inboxes: vec![in_i],
             processing_rules: vec![0, 1],
             pooling: vec![(out_i, t)],
+            local_idb: vec![],
+            retract_channels: vec![],
         });
     }
 
@@ -214,7 +216,7 @@ pub fn rewrite_non_redundant(
     let workers = programs
         .into_iter()
         .zip(edbs)
-        .map(|(program, edb)| WorkerSpec { program, edb })
+        .map(|(program, edb)| WorkerSpec { program, edb, session: None })
         .collect();
 
     Ok(CompiledScheme {

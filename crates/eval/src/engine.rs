@@ -89,6 +89,9 @@ pub struct FixpointEngine {
     full_indexes: FxHashMap<IndexKey, HashIndex>,
     stats: EvalStats,
     bootstrapped: bool,
+    /// Predicates installed by [`FixpointEngine::preseed`]: bootstrap
+    /// must not seed these again from the EDB.
+    preseeded: Vec<RelationId>,
 }
 
 impl FixpointEngine {
@@ -154,7 +157,46 @@ impl FixpointEngine {
             full_indexes: FxHashMap::default(),
             stats,
             bootstrapped: false,
+            preseeded: Vec::new(),
         })
+    }
+
+    /// Install `state` as the complete already-derived relation for
+    /// `pred`, with an **empty delta**: the rows are treated as known
+    /// from previous evaluation rounds, so no rule refires on them and
+    /// they sit below every shipping watermark. This is how an update
+    /// session resumes a maintained fixpoint — each round's engine
+    /// starts from the previous round's state instead of re-deriving it.
+    ///
+    /// The relation may carry tombstones (rows deleted between rounds);
+    /// dead rows stay out of scans and dedup probes but keep their
+    /// arena slots, so `state.len()` is the correct resume watermark.
+    ///
+    /// Must be called before [`FixpointEngine::bootstrap`]; the EDB
+    /// seeding that bootstrap would do for `pred` is skipped (the
+    /// preseeded state already includes whatever survived).
+    ///
+    /// # Errors
+    /// `pred` must be a derived predicate of matching arity, and the
+    /// engine must not have bootstrapped yet.
+    pub fn preseed(&mut self, pred: RelationId, state: Relation) -> Result<()> {
+        if self.bootstrapped {
+            return Err(Error::Eval("preseed after bootstrap".into()));
+        }
+        if state.arity() != pred.1 {
+            return Err(Error::Eval(format!(
+                "preseed arity {} != predicate arity {}",
+                state.arity(),
+                pred.1
+            )));
+        }
+        let s = self.idb.get_mut(&pred).ok_or_else(|| {
+            Error::Eval(format!("preseed of non-derived predicate {pred:?}"))
+        })?;
+        s.delta_start = state.len();
+        s.full = state;
+        self.preseeded.push(pred);
+        Ok(())
     }
 
     /// The program this engine runs.
@@ -321,9 +363,14 @@ impl FixpointEngine {
         }
         self.bootstrapped = true;
 
-        // Facts supplied for derived predicates become part of the input.
+        // Facts supplied for derived predicates become part of the input
+        // — except for preseeded predicates, whose resumed state already
+        // reflects every surviving input fact.
         let edb = Arc::clone(&self.edb);
         for (&id, state) in self.idb.iter_mut() {
+            if self.preseeded.contains(&id) {
+                continue;
+            }
             if let Some(rel) = edb.relation(id) {
                 state.pending.extend(rel.iter().cloned());
             }
@@ -612,6 +659,40 @@ pub fn seminaive_eval_with(
         idb: engine.snapshot(),
         stats: engine.stats().clone(),
     })
+}
+
+/// Fire every rule of `program` exactly once, with **every** body atom
+/// reading `db` — no derived/base distinction, no deltas, no fixpoint.
+/// Returns the emitted head tuples grouped per head predicate
+/// (duplicates included; callers dedup against their own state).
+///
+/// This is the rederivation probe of delete–rederive (DRed): after
+/// over-deletion, one naive pass over the database holding the
+/// *surviving* state emits exactly the tuples that are one-step
+/// rederivable from live support. Everything the over-deletion removed
+/// that is still derivable appears here (or cascades from here once the
+/// emissions are fed back through the semi-naive loop).
+pub fn fire_once(program: &Program, db: &Database) -> Result<Vec<(RelationId, Vec<Tuple>)>> {
+    ProgramAnalysis::new(program)?;
+    let is_idb = |_: RelationId| false;
+    let mut out: FxHashMap<RelationId, Vec<Tuple>> = FxHashMap::default();
+    for (i, rule) in program.rules.iter().enumerate() {
+        let plan = compile_rule_with(rule, i, &is_idb, None, PlanOptions::default())?;
+        let accesses: Vec<Option<Access<'_>>> = plan
+            .steps
+            .iter()
+            .map(|s| match s {
+                PlanStep::Filter { .. } => None,
+                PlanStep::Scan(sc) => Some(match db.relation(sc.relation) {
+                    Some(rel) if !rel.is_empty() => Access::scan_all(rel),
+                    _ => Access::Empty,
+                }),
+            })
+            .collect();
+        let emitted = out.entry(plan.head).or_default();
+        run_plan(&plan, &accesses, &mut |t| emitted.push(t));
+    }
+    Ok(out.into_iter().collect())
 }
 
 /// Naive evaluation: refire *every* rule against *full* relations each
@@ -944,6 +1025,100 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn preseed_resumes_without_refiring() {
+        // Fixpoint once; preseed a second engine with the result; it
+        // must be quiescent immediately (no refires, no fresh tuples).
+        let (p, db) = load("t(X,Y) :- e(X,Y).\nt(X,Y) :- e(X,Z), t(Z,Y).\ne(1,2). e(2,3).");
+        let t_id = (p.interner.get("t").unwrap(), 2);
+        let db = Arc::new(db);
+        let mut first = FixpointEngine::new(&p, Arc::clone(&db), &[]).unwrap();
+        first.run_to_fixpoint().unwrap();
+        let state = first.take_relation(t_id).unwrap();
+        let len = state.len();
+
+        let mut resumed = FixpointEngine::new(&p, Arc::clone(&db), &[]).unwrap();
+        resumed.preseed(t_id, state).unwrap();
+        let fresh = resumed.run_to_fixpoint().unwrap();
+        assert_eq!(fresh, 0, "preseeded state is already the fixpoint");
+        assert_eq!(resumed.relation(t_id).unwrap().len(), len);
+        assert!(resumed.rows_from(t_id, len).is_empty(), "nothing above watermark");
+
+        // Injecting a new edge-reachable tuple continues from the state.
+        resumed.inject(t_id, vec![ituple![3, 9]]).unwrap();
+        loop {
+            if resumed.advance() == 0 {
+                break;
+            }
+            resumed.process_round();
+        }
+        let t = resumed.relation(t_id).unwrap();
+        assert!(t.contains(&ituple![1, 9]) && t.contains(&ituple![2, 9]));
+        // Exactly the genuinely new tuples sit above the resume watermark.
+        assert_eq!(resumed.rows_from(t_id, len).len(), 3);
+    }
+
+    #[test]
+    fn preseed_accepts_tombstoned_state_and_reships_reinserts() {
+        let (p, db) = load("t(X,Y) :- e(X,Y).\nt(X,Y) :- e(X,Z), t(Z,Y).\ne(1,2).");
+        let t_id = (p.interner.get("t").unwrap(), 2);
+        let db = Arc::new(db);
+        let mut first = FixpointEngine::new(&p, Arc::clone(&db), &[]).unwrap();
+        first.run_to_fixpoint().unwrap();
+        let mut state = first.take_relation(t_id).unwrap();
+        assert!(state.delete(&ituple![1, 2]));
+        let watermark = state.len();
+
+        let mut resumed = FixpointEngine::new(&p, Arc::clone(&db), &[]).unwrap();
+        resumed.preseed(t_id, state).unwrap();
+        resumed.inject(t_id, vec![ituple![1, 2]]).unwrap();
+        loop {
+            if resumed.advance() == 0 {
+                break;
+            }
+            resumed.process_round();
+        }
+        // The re-inserted tuple landed in a fresh arena row above the
+        // watermark — a shipping loop reading `rows_from` re-ships it.
+        assert_eq!(resumed.rows_from(t_id, watermark), &[ituple![1, 2]]);
+    }
+
+    #[test]
+    fn preseed_rejects_bad_calls() {
+        let (p, db) = load("t(X) :- s(X).\ns(1).");
+        let t_id = (p.interner.get("t").unwrap(), 1);
+        let mut engine = FixpointEngine::new(&p, Arc::new(db), &[]).unwrap();
+        assert!(engine.preseed((p.interner.intern("zz"), 1), Relation::new(1)).is_err());
+        assert!(engine.preseed(t_id, Relation::new(2)).is_err());
+        engine.bootstrap().unwrap();
+        assert!(engine.preseed(t_id, Relation::new(1)).is_err());
+    }
+
+    #[test]
+    fn fire_once_emits_one_step_consequences() {
+        let (p, db) = load(
+            "t(X,Y) :- e(X,Y).\n\
+             t(X,Y) :- e(X,Z), t(Z,Y).\n\
+             e(1,2). e(2,3).",
+        );
+        // Against the raw EDB (no t yet), only the copy rule produces.
+        let t_id = (p.interner.get("t").unwrap(), 2);
+        let out = fire_once(&p, &db).unwrap();
+        let t_out: &Vec<Tuple> = &out.iter().find(|(id, _)| *id == t_id).unwrap().1;
+        let mut got = t_out.clone();
+        got.sort();
+        assert_eq!(got, vec![ituple![1, 2], ituple![2, 3]]);
+
+        // With t materialized in the database, the recursive rule joins
+        // against it (every atom reads the database, fixpoint-free).
+        let mut db2 = db.clone();
+        let full = seminaive_eval(&p, &db).unwrap().relation(t_id);
+        db2.put_relation(t_id, full).unwrap();
+        let out2 = fire_once(&p, &db2).unwrap();
+        let n: usize = out2.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(n, 2 + 1); // copy rule: 2 firings; recursive: e(1,2),t(2,3)
     }
 
     #[test]

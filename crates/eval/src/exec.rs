@@ -192,7 +192,12 @@ fn descend(
                         key_buf.push(resolve(src, bindings));
                     }
                     let postings = postings_in_range(index.probe(rel, key_buf), start, end);
+                    let has_dead = rel.dead_count() != 0;
                     for &row in postings {
+                        // Rows tombstoned after the index ingested them.
+                        if has_dead && !rel.is_live(row) {
+                            continue;
+                        }
                         try_candidate(
                             plan,
                             accesses,
@@ -209,11 +214,33 @@ fn descend(
                     }
                 }
                 Access::Scan { rel, start, end } => {
-                    for t in &rel.rows()[start as usize..end as usize] {
-                        try_candidate(
-                            plan, accesses, step_index, scan, t, true, bindings, head_buf,
-                            key_buf, firings, emit,
-                        );
+                    if rel.dead_count() == 0 {
+                        // Hot path: delete-free arena, plain slice walk.
+                        for t in &rel.rows()[start as usize..end as usize] {
+                            try_candidate(
+                                plan, accesses, step_index, scan, t, true, bindings, head_buf,
+                                key_buf, firings, emit,
+                            );
+                        }
+                    } else {
+                        for row in start..end {
+                            if !rel.is_live(row) {
+                                continue;
+                            }
+                            try_candidate(
+                                plan,
+                                accesses,
+                                step_index,
+                                scan,
+                                rel.row(row),
+                                true,
+                                bindings,
+                                head_buf,
+                                key_buf,
+                                firings,
+                                emit,
+                            );
+                        }
                     }
                 }
             }
@@ -399,6 +426,27 @@ mod tests {
         let a: Relation = [ituple![1]].into_iter().collect();
         let (_, out) = collect(&plan, &[Some(Access::scan_all(&a))]);
         assert_eq!(out, vec![ituple![1, 99]]);
+    }
+
+    #[test]
+    fn scans_and_probes_skip_tombstoned_rows() {
+        let p = parse_program("t(X,Z) :- e(X,Y), e(Y,Z).").unwrap().program;
+        let plan = compile_rule(&p.rules[0], 0, &|_| false, None).unwrap();
+        let mut e = edges();
+        // Index first, then tombstone: postings still hold the dead row,
+        // so both the scan arm and the probe arm must filter it.
+        let idx = HashIndex::build(&e, &[0]);
+        e.delete(&ituple![2, 3]);
+        let (_, with_idx) = collect(
+            &plan,
+            &[Some(Access::scan_all(&e)), Some(Access::probe_all(&idx, &e))],
+        );
+        assert_eq!(with_idx, vec![ituple![1, 5]]); // 1→2→3 and 2→3→4 are gone
+        let (_, without) = collect(
+            &plan,
+            &[Some(Access::scan_all(&e)), Some(Access::scan_all(&e))],
+        );
+        assert_eq!(with_idx, without);
     }
 
     #[test]

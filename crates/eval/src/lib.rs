@@ -21,6 +21,6 @@ pub mod exec;
 pub mod plan;
 pub mod stats;
 
-pub use engine::{naive_eval, seminaive_eval, seminaive_eval_with, EvalResult, FixpointEngine};
+pub use engine::{fire_once, naive_eval, seminaive_eval, seminaive_eval_with, EvalResult, FixpointEngine};
 pub use plan::{compile_rule, compile_rule_with, AtomSource, PlanOptions, PlanStep, RulePlan};
 pub use stats::{EvalStats, RoundSample};

@@ -130,8 +130,11 @@ mod tests {
                 inboxes: vec![],
                 processing_rules: vec![0],
                 pooling: vec![(out0, answer)],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(db0),
+            session: None,
         };
         let spec1 = WorkerSpec {
             program: ProcessorProgram {
@@ -141,8 +144,11 @@ mod tests {
                 inboxes: vec![inbox1],
                 processing_rules: vec![0],
                 pooling: vec![(out1, answer)],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(db1),
+            session: None,
         };
 
         let outcome =
@@ -175,8 +181,11 @@ mod tests {
                 inboxes: vec![],
                 processing_rules: vec![0, 1],
                 pooling: vec![(t, global)],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(db),
+            session: None,
         };
         let outcome = execute_processors(vec![spec], &RuntimeConfig::default()).unwrap();
         assert_eq!(outcome.relation(global).len(), 3);
@@ -194,8 +203,11 @@ mod tests {
                 inboxes: vec![],
                 processing_rules: vec![],
                 pooling: vec![],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(Database::new(unit.program.interner.clone())),
+            session: None,
         };
         assert!(execute_processors(vec![spec], &RuntimeConfig::default()).is_err());
     }
@@ -216,8 +228,11 @@ mod tests {
                 inboxes: vec![],
                 processing_rules: vec![],
                 pooling: vec![],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(Database::new(interner)),
+            session: None,
         };
         assert!(execute_processors(vec![spec], &RuntimeConfig::default()).is_err());
     }
@@ -262,8 +277,11 @@ mod tests {
                 inboxes: vec![],
                 processing_rules: vec![0],
                 pooling: vec![],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(db0),
+            session: None,
         };
         let spec1 = WorkerSpec {
             program: ProcessorProgram {
@@ -273,8 +291,11 @@ mod tests {
                 inboxes: vec![inbox1_wrong],
                 processing_rules: vec![0],
                 pooling: vec![],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(Database::new(interner.clone())),
+            session: None,
         };
 
         // Pin the watchdog far above the timing bound: finishing under
@@ -341,8 +362,11 @@ mod tests {
                     inboxes: vec![in0],
                     processing_rules: vec![0, 1],
                     pooling: vec![(t0, answer)],
+                    local_idb: vec![],
+                    retract_channels: vec![],
                 },
                 edb: Arc::new(db0),
+                session: None,
             },
             WorkerSpec {
                 program: ProcessorProgram {
@@ -352,8 +376,11 @@ mod tests {
                     inboxes: vec![in1],
                     processing_rules: vec![0],
                     pooling: vec![(t1, answer)],
+                    local_idb: vec![],
+                    retract_channels: vec![],
                 },
                 edb: Arc::new(db1),
+                session: None,
             },
         ];
 

@@ -224,8 +224,11 @@ mod tests {
                     inboxes: vec![],
                     processing_rules: vec![0],
                     pooling: vec![],
+                    local_idb: vec![],
+                    retract_channels: vec![],
                 },
                 edb: Arc::new(db0),
+                session: None,
             },
             WorkerSpec {
                 program: ProcessorProgram {
@@ -235,8 +238,11 @@ mod tests {
                     inboxes: vec![inbox1],
                     processing_rules: vec![0],
                     pooling: vec![(out1, answer)],
+                    local_idb: vec![],
+                    retract_channels: vec![],
                 },
                 edb: Arc::new(Database::new(interner.clone())),
+                session: None,
             },
         ];
         let mut expected = ExpectedModel::default();

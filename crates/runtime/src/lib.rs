@@ -54,6 +54,6 @@ pub use obs::{Journal, ObsEvent, ObsKind, TimeBase, TraceSink};
 pub use sim::{SimTrace, SimTransport, TraceEvent};
 pub use simulate::{simulate_bsp, MachineModel, RoundTrace};
 pub use sync::{execute_synchronous, execute_synchronous_traced};
-pub use spec::{ChannelOut, ProcessorProgram, WorkerSpec};
+pub use spec::{ChannelOut, ProcessorProgram, SessionSeed, WorkerSpec};
 pub use stats::{ExecutionOutcome, ParallelStats, WorkerReport};
 pub use transport::{ThreadedTransport, Transport};

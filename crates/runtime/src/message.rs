@@ -27,6 +27,13 @@ pub enum Message {
         inbox: RelationId,
         /// The encoded columnar batch.
         payload: Payload,
+        /// Delete-marked batch: the tuples are retractions (facts of a
+        /// DRed `~del` predicate shipped during an update round's
+        /// over-deletion phase) rather than derivations. Injection and
+        /// replay are identical to ordinary batches — the deletion
+        /// phase is itself a monotone fixpoint over `~del` facts — but
+        /// receivers account the traffic separately.
+        retract: bool,
     },
     /// Safra's termination-detection token, traveling the ring.
     Token(TokenMsg),
@@ -155,12 +162,12 @@ mod tests {
             seq: 0,
             epoch: 0,
             ack: 0,
-            message: Message::Batch { inbox: pred, payload },
+            message: Message::Batch { inbox: pred, payload, retract: false },
         };
         assert_eq!(env.from, 3);
         assert_eq!(env.message.kind(), MessageKind::Batch);
         match env.message {
-            Message::Batch { inbox, payload } => {
+            Message::Batch { inbox, payload, retract: false } => {
                 assert_eq!(inbox, pred, "the inbox rides in the envelope");
                 let tuples = crate::codec::decode_batch(&payload).unwrap();
                 assert_eq!(tuples, vec![ituple![1, 2]]);
@@ -199,7 +206,7 @@ mod tests {
             seq: 9,
             epoch: 0,
             ack: 0,
-            message: Message::Batch { inbox: pred, payload },
+            message: Message::Batch { inbox: pred, payload, retract: false },
         };
         let dup = env.clone();
         match (&env.message, &dup.message) {

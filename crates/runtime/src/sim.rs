@@ -654,8 +654,11 @@ mod tests {
                 inboxes: vec![in0],
                 processing_rules: vec![0, 1],
                 pooling: vec![(t0, answer)],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(db0),
+            session: None,
         };
         let spec1 = WorkerSpec {
             program: ProcessorProgram {
@@ -665,8 +668,11 @@ mod tests {
                 inboxes: vec![in1],
                 processing_rules: vec![0],
                 pooling: vec![(t1, answer)],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(Database::new(interner.clone())),
+            session: None,
         };
         // db1's edges: re-add (moved above into db1 before Arc).
         let mut specs = vec![spec0, spec1];
@@ -828,8 +834,11 @@ mod tests {
                 inboxes: vec![],
                 processing_rules: vec![0, 1],
                 pooling: vec![(t, answer)],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(db),
+            session: None,
         };
         let outcome = SimTransport::new(11)
             .execute(vec![spec], &RuntimeConfig::default())

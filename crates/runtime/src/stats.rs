@@ -58,6 +58,12 @@ pub struct WorkerReport {
     /// Stale deliveries discarded by the epoch filter during recovery
     /// (pre-crash envelopes, including stale termination tokens).
     pub stale_dropped: u64,
+    /// Tuples shipped on delete-marked channels — the over-deletion cone
+    /// of a DRed update round crossing the network. Zero in batch mode.
+    pub retract_tuples_sent: u64,
+    /// Tuples received in delete-marked batches (first deliveries only,
+    /// matching `received_tuples` accounting). Zero in batch mode.
+    pub retract_tuples_received: u64,
     /// Tuples contributed to the pooled global answer.
     pub pooled_tuples: u64,
     /// Time spent computing (local evaluation), excluding idle waits.
@@ -179,6 +185,12 @@ impl ParallelStats {
         self.workers.iter().map(|w| w.stale_dropped).sum()
     }
 
+    /// Total tuples shipped on delete-marked channels — the wire cost of
+    /// a DRed update round's over-deletion phase. Zero in batch mode.
+    pub fn total_retract_tuples_sent(&self) -> u64 {
+        self.workers.iter().map(|w| w.retract_tuples_sent).sum()
+    }
+
     /// True if no tuple ever crossed between two distinct processors —
     /// Example 1's and Theorem 3's zero-communication property.
     pub fn communication_free(&self) -> bool {
@@ -242,6 +254,8 @@ mod tests {
             duplicate_batches: 0,
             replayed_batches: 0,
             stale_dropped: 0,
+            retract_tuples_sent: 0,
+            retract_tuples_received: 0,
             pooled_tuples: 0,
             busy: Duration::ZERO,
             sent_per_round: Vec::new(),

@@ -64,7 +64,7 @@ pub fn execute_synchronous_traced(
     let started = Instant::now();
     let mut engines: Vec<FixpointEngine> = specs
         .iter()
-        .map(|w| FixpointEngine::new(&w.program.program, w.edb.clone(), &w.program.extra_idb()))
+        .map(|w| w.build_engine())
         .collect::<Result<_>>()?;
 
     let mut busy = vec![std::time::Duration::ZERO; n];
@@ -244,6 +244,8 @@ pub fn execute_synchronous_traced(
                 duplicate_batches: 0,
                 replayed_batches: 0,
                 stale_dropped: 0,
+                retract_tuples_sent: 0,
+                retract_tuples_received: 0,
                 pooled_tuples: pooled_tuples[i],
                 busy: busy[i],
                 sent_per_round,
@@ -327,8 +329,11 @@ mod tests {
                 inboxes: vec![in0],
                 processing_rules: vec![0, 1],
                 pooling: vec![(t0, answer)],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(db0),
+            session: None,
         };
         let spec1 = WorkerSpec {
             program: ProcessorProgram {
@@ -342,8 +347,11 @@ mod tests {
                 inboxes: vec![in1],
                 processing_rules: vec![0],
                 pooling: vec![(t1, answer)],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(db1),
+            session: None,
         };
         (vec![spec0, spec1], answer, t0)
     }

@@ -40,7 +40,6 @@ use std::time::Instant;
 
 use gst_common::{Error, FxHashMap, Result};
 use gst_eval::plan::RelationId;
-use gst_eval::FixpointEngine;
 use gst_storage::Relation;
 
 use crate::coordinator::RuntimeConfig;
@@ -168,11 +167,10 @@ pub(crate) fn network_is_silent(specs: &[WorkerSpec]) -> bool {
 /// directly. Self-loopback channels are folded in between inner fixpoints.
 fn run_local(spec: &WorkerSpec, n: usize, config: &RuntimeConfig) -> Result<WorkerResult> {
     let t0 = Instant::now();
-    let mut engine = FixpointEngine::new(
-        &spec.program.program,
-        spec.edb.clone(),
-        &spec.program.extra_idb(),
-    )?;
+    // The shared construction path applies any update-session seed, so
+    // the N=1 fast path maintains exactly the state a distributed run
+    // would.
+    let mut engine = spec.build_engine()?;
     engine.bootstrap()?;
     let mut ship_from = vec![0usize; spec.program.outgoing.len()];
     loop {
@@ -223,6 +221,8 @@ fn run_local(spec: &WorkerSpec, n: usize, config: &RuntimeConfig) -> Result<Work
         duplicate_batches: 0,
         replayed_batches: 0,
         stale_dropped: 0,
+        retract_tuples_sent: 0,
+        retract_tuples_received: 0,
         pooled_tuples,
         busy: t0.elapsed(),
         sent_per_round: Vec::new(),
@@ -589,8 +589,11 @@ mod tests {
                 inboxes: vec![inbox],
                 processing_rules: vec![0, 1],
                 pooling: vec![(t, answer)],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(db),
+            session: None,
         }
     }
 

@@ -118,7 +118,9 @@ struct ReplayLog {
     /// guaranteed deliverable, so retransmitting it would double-count the
     /// send while the receiver dedups the copy — a permanent +1 in Safra's
     /// sum.
-    tail: VecDeque<(u64, u64, RelationId, Payload)>,
+    /// Each entry also keeps the batch's retract flag so a replayed
+    /// envelope is bit-identical to the original send.
+    tail: VecDeque<(u64, u64, RelationId, Payload, bool)>,
 }
 
 impl ReplayLog {
@@ -129,8 +131,8 @@ impl ReplayLog {
             // piggybacked on every envelope. No decode, no invalidation.
             return Ok(());
         }
-        while self.tail.front().is_some_and(|(seq, _, _, _)| *seq < acked) {
-            let (_, _, inbox, payload) = self.tail.pop_front().expect("front checked");
+        while self.tail.front().is_some_and(|(seq, ..)| *seq < acked) {
+            let (_, _, inbox, payload, _) = self.tail.pop_front().expect("front checked");
             let tuples = crate::codec::decode_batch(&payload)?;
             self.snapshot.entry(inbox).or_default().extend(tuples);
             // The snapshot changed, so its cached encoding is stale. The
@@ -242,6 +244,10 @@ pub(crate) struct WorkerCore {
     duplicate_batches: u64,
     replayed_batches: u64,
     stale_dropped: u64,
+    /// Tuples shipped on delete-marked channels (DRed over-deletion).
+    retract_tuples_sent: u64,
+    /// Tuples received in delete-marked batches (first deliveries only).
+    retract_tuples_received: u64,
     busy: Duration,
     /// Channel tuples shipped per engine round, `(round, tuples)` —
     /// sparse: rounds that shipped nothing have no entry.
@@ -284,11 +290,11 @@ impl WorkerCore {
             }
         }
         let stash = vec![Vec::new(); spec.program.inboxes.len()];
-        let engine = FixpointEngine::new(
-            &spec.program.program,
-            spec.edb.clone(),
-            &spec.program.extra_idb(),
-        )?;
+        // One construction path for cold starts and crash restarts: the
+        // spec (including any update-session seed) fully determines the
+        // engine's starting state, which is what makes epoch recovery
+        // mid-update-round exact.
+        let engine = spec.build_engine()?;
         Ok(WorkerCore {
             id,
             n,
@@ -320,6 +326,8 @@ impl WorkerCore {
             duplicate_batches: 0,
             replayed_batches: 0,
             stale_dropped: 0,
+            retract_tuples_sent: 0,
+            retract_tuples_received: 0,
             busy: Duration::ZERO,
             sent_per_round: Vec::new(),
             sink: TraceSink::disabled(),
@@ -469,8 +477,8 @@ impl WorkerCore {
         // *to* this sender.
         self.replay[env.from].truncate_to(env.ack)?;
         match env.message {
-            Message::Batch { inbox, payload } => {
-                self.accept_batch(env.from, env.seq, inbox, payload)
+            Message::Batch { inbox, payload, retract } => {
+                self.accept_batch(env.from, env.seq, inbox, payload, retract)
             }
             Message::Token(token) => {
                 // One token circulates the ring; a second can only appear
@@ -564,14 +572,16 @@ impl WorkerCore {
             };
             out.send(to, env)?;
         }
-        let resend: Vec<(u64, RelationId, Payload)> = self
+        let resend: Vec<(u64, RelationId, Payload, bool)> = self
             .replay[to]
             .tail
             .iter()
-            .filter(|(_, shipped_in, _, _)| *shipped_in < self.epoch)
-            .map(|(seq, _, inbox, payload)| (*seq, *inbox, payload.clone()))
+            .filter(|(_, shipped_in, ..)| *shipped_in < self.epoch)
+            .map(|(seq, _, inbox, payload, retract)| {
+                (*seq, *inbox, payload.clone(), *retract)
+            })
             .collect();
-        for (seq, inbox, payload) in resend {
+        for (seq, inbox, payload, retract) in resend {
             self.safra.on_send();
             self.replayed_batches += 1;
             let env = Envelope {
@@ -579,7 +589,7 @@ impl WorkerCore {
                 seq,
                 epoch: self.epoch,
                 ack: self.recv_floor[to],
-                message: Message::Batch { inbox, payload },
+                message: Message::Batch { inbox, payload, retract },
             };
             out.send(to, env)?;
         }
@@ -638,6 +648,7 @@ impl WorkerCore {
         seq: u64,
         inbox: RelationId,
         payload: Payload,
+        retract: bool,
     ) -> Result<()> {
         let first_delivery =
             seq >= self.recv_floor[from] && self.seen_above[from].insert(seq);
@@ -653,6 +664,9 @@ impl WorkerCore {
             self.safra.on_basic_receive();
             self.received_bytes += payload.len() as u64;
             self.received_tuples += count as u64;
+            if retract {
+                self.retract_tuples_received += count as u64;
+            }
             self.advance_floor(from);
         } else {
             self.duplicate_batches += 1;
@@ -749,6 +763,10 @@ impl WorkerCore {
             } else {
                 None
             };
+            // Delete-marked channel: the batch carries DRed retractions.
+            // Routing, replay, and Safra accounting are identical — only
+            // the envelope flag and traffic attribution differ.
+            let retract = self.spec.program.retract_channels.contains(&channel);
             let dests = self.ship_groups[k].dests.clone();
             for (dest, inbox) in dests {
                 if dest == self.id {
@@ -757,6 +775,9 @@ impl WorkerCore {
                     continue;
                 }
                 let payload = payload.clone().expect("remote dest implies an encode");
+                if retract {
+                    self.retract_tuples_sent += count as u64;
+                }
                 self.sent_tuples_to[dest] += count as u64;
                 self.sent_bytes_to[dest] += payload.len() as u64;
                 self.sent_messages += 1;
@@ -773,7 +794,7 @@ impl WorkerCore {
                 // it (compaction) or the run terminates.
                 self.replay[dest]
                     .tail
-                    .push_back((seq, self.epoch, inbox, payload.clone()));
+                    .push_back((seq, self.epoch, inbox, payload.clone(), retract));
                 out.send(
                     dest,
                     Envelope {
@@ -781,7 +802,7 @@ impl WorkerCore {
                         seq,
                         epoch: self.epoch,
                         ack: self.recv_floor[dest],
-                        message: Message::Batch { inbox, payload },
+                        message: Message::Batch { inbox, payload, retract },
                     },
                 )?;
             }
@@ -888,6 +909,8 @@ impl WorkerCore {
             duplicate_batches: self.duplicate_batches,
             replayed_batches: self.replayed_batches,
             stale_dropped: self.stale_dropped,
+            retract_tuples_sent: self.retract_tuples_sent,
+            retract_tuples_received: self.retract_tuples_received,
             pooled_tuples: 0,
             busy: self.busy,
             sent_per_round: self.sent_per_round,
@@ -972,8 +995,8 @@ mod tests {
         let mut log = ReplayLog::default();
         let p1 = crate::codec::encode_batch(inbox.1, &[ituple![1, 2]]).unwrap();
         let p2 = crate::codec::encode_batch(inbox.1, &[ituple![3, 4]]).unwrap();
-        log.tail.push_back((0, 0, inbox, p1));
-        log.tail.push_back((1, 0, inbox, p2));
+        log.tail.push_back((0, 0, inbox, p1, false));
+        log.tail.push_back((1, 0, inbox, p2, false));
 
         log.truncate_to(1).unwrap(); // folds seq 0
         let a = log.snapshot_payloads().unwrap();
@@ -1018,8 +1041,11 @@ mod tests {
                 inboxes: vec![],
                 processing_rules: vec![0, 1],
                 pooling: vec![],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(db),
+            session: None,
         };
         // Two processors so worker 1 is a non-initiator ring member.
         (WorkerCore::new(spec, 2).unwrap(), interner)
@@ -1113,8 +1139,11 @@ mod tests {
                 inboxes: vec![inbox],
                 processing_rules: vec![0],
                 pooling: vec![],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(Database::new(interner.clone())),
+            session: None,
         };
         let mut core = WorkerCore::new(spec, 2).unwrap();
         let mut out = Recorder::default();
@@ -1125,7 +1154,7 @@ mod tests {
             seq: 0,
             epoch: 0,
             ack: 0,
-            message: Message::Batch { inbox, payload },
+            message: Message::Batch { inbox, payload, retract: false },
         };
         core.enqueue(env.clone());
         core.enqueue(env);
@@ -1167,8 +1196,11 @@ mod tests {
                 inboxes: vec![],
                 processing_rules: vec![0],
                 pooling: vec![],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(db),
+            session: None,
         };
         let mut core = WorkerCore::new(spec, 2).unwrap();
         let mut out = Recorder::default();
@@ -1220,8 +1252,11 @@ mod tests {
                 inboxes: vec![],
                 processing_rules: vec![0],
                 pooling: vec![],
+                local_idb: vec![],
+                retract_channels: vec![],
             },
             edb: Arc::new(db),
+            session: None,
         };
         let mut core = WorkerCore::new(spec, 3).unwrap();
         core.set_sink(TraceSink::virtual_clock(0));

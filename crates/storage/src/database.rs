@@ -67,6 +67,15 @@ impl Database {
         self.relation_mut(id).insert(tuple)
     }
 
+    /// Tombstone one fact; `true` if it was live (see
+    /// [`Relation::delete`]).
+    pub fn delete(&mut self, id: RelationId, tuple: &Tuple) -> bool {
+        match self.relations.get_mut(&id) {
+            Some(rel) => rel.delete(tuple),
+            None => false,
+        }
+    }
+
     /// Bulk-load `(id, tuple)` facts, e.g. from the parser.
     ///
     /// Accepts anything convertible to `RelationId` pairs; the parser's
@@ -103,9 +112,9 @@ impl Database {
         self.relations.iter()
     }
 
-    /// Total number of tuples across all relations.
+    /// Total number of live tuples across all relations.
     pub fn total_tuples(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(Relation::live_len).sum()
     }
 
     /// Number of relations.

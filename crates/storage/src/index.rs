@@ -161,7 +161,13 @@ impl HashIndex {
             start = 0;
         }
         for row in start..relation.len() {
-            self.insert_row(relation, row as u32);
+            // Tombstoned rows stay out of posting lists. A row that dies
+            // *after* being ingested is filtered at probe-consumption
+            // time instead (deletions never happen mid-evaluation, and
+            // the executor re-checks liveness anyway).
+            if relation.is_live(row as u32) {
+                self.insert_row(relation, row as u32);
+            }
         }
         self.built_at = relation.generation();
     }
@@ -372,6 +378,31 @@ mod tests {
             }
         }
         assert_eq!(idx.entry_count(), 5_000);
+    }
+
+    #[test]
+    fn sync_skips_tombstoned_rows() {
+        let mut rel = sample();
+        rel.delete(&ituple![1, 11]);
+        let idx = HashIndex::build(&rel, &[0]);
+        assert_eq!(hits(&idx, &rel, &[1]), vec![ituple![1, 10]]);
+        assert_eq!(idx.entry_count(), 3);
+        // Incremental sync after delete + re-insert: the fresh arena row
+        // is ingested, the dead one stays out.
+        let mut idx2 = idx.clone();
+        rel.delete(&ituple![2, 20]);
+        rel.insert(ituple![2, 20]).unwrap();
+        idx2.sync(&rel);
+        // The old row 2 posting remains (it died after ingest — probe
+        // consumers filter by liveness), and the fresh row is present.
+        let postings = idx2.probe(&rel, &key(&[2]));
+        assert!(postings.contains(&(rel.len() as u32 - 1)));
+        let live_hits: Vec<_> = postings
+            .iter()
+            .copied()
+            .filter(|&r| rel.is_live(r))
+            .collect();
+        assert_eq!(live_hits, vec![rel.len() as u32 - 1]);
     }
 
     #[test]

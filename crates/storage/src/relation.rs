@@ -9,6 +9,16 @@
 //! and a contiguous row range — e.g. "everything inserted since row
 //! `k`" — is a borrowable `&[Tuple]` slice that the runtime can encode
 //! onto the wire without an intermediate buffer.
+//!
+//! Deletion is by **tombstone**: [`Relation::delete`] removes the tuple
+//! from the dedup table (so a later insert of the same tuple lands in a
+//! *fresh* arena row, i.e. gets a fresh generation) and marks the old
+//! row dead in a side bitmap. The arena never compacts, so row ids,
+//! delta watermarks, and index `built_at` stamps all stay valid; readers
+//! that enumerate rows ([`Relation::iter`], scans, index postings) skip
+//! dead rows via [`Relation::is_live`]. `len()`/`generation()` remain
+//! the *arena* row count — callers that want the set cardinality use
+//! [`Relation::live_len`].
 
 use gst_common::{fxhash::hash_one, Error, Interner, Result, Tuple};
 
@@ -103,6 +113,53 @@ impl RowTable {
         }
     }
 
+    /// Remove the entry whose hash matches and for which `eq` holds,
+    /// returning its row id. Uses backward-shift deletion: the probe
+    /// chain after the removed slot is compacted in place (each entry
+    /// moves back iff the hole lies on its probe path), so no tombstone
+    /// markers accumulate in the table and probe chains never lengthen
+    /// from deletions. Home buckets are recomputed from the *stored*
+    /// folds, so no tuple is hashed or touched.
+    fn remove(&mut self, hash: u32, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut hole = {
+            let mut i = (hash as usize) & mask;
+            loop {
+                let s = self.slots[i];
+                if s.row == VACANT {
+                    return None;
+                }
+                if s.hash == hash && eq(s.row) {
+                    break i;
+                }
+                i = (i + 1) & mask;
+            }
+        };
+        let removed = self.slots[hole].row;
+        let mut j = (hole + 1) & mask;
+        loop {
+            let s = self.slots[j];
+            if s.row == VACANT {
+                break;
+            }
+            // `s` may fill the hole iff the hole lies cyclically within
+            // [home, j) — i.e. vacating slot j does not strand `s` past
+            // a gap in its own probe chain.
+            let home = (s.hash as usize) & mask;
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.slots[hole] = s;
+                hole = j;
+            }
+            j = (j + 1) & mask;
+        }
+        self.slots[hole] = Slot { hash: 0, row: VACANT };
+        self.len -= 1;
+        Some(removed)
+    }
+
     /// Fill a vacant slot returned by [`RowTable::probe`].
     fn occupy(&mut self, slot: usize, hash: u32, row: u32) {
         debug_assert_eq!(self.slots[slot].row, VACANT);
@@ -158,6 +215,13 @@ pub struct Relation {
     arity: usize,
     rows: Vec<Tuple>,
     table: RowTable,
+    /// Tombstone bitmap over arena rows: bit set ⇒ row is dead. Bits
+    /// past the vector's end are implicitly live, so appends never have
+    /// to grow it — the (overwhelmingly common) delete-free relation
+    /// carries an empty `Vec` and pays nothing.
+    dead: Vec<u64>,
+    /// Number of set bits in `dead` (so `live_len` is O(1)).
+    dead_count: usize,
 }
 
 impl Relation {
@@ -167,6 +231,8 @@ impl Relation {
             arity,
             rows: Vec::new(),
             table: RowTable::default(),
+            dead: Vec::new(),
+            dead_count: 0,
         }
     }
 
@@ -176,6 +242,8 @@ impl Relation {
             arity,
             rows: Vec::with_capacity(capacity),
             table: RowTable::with_capacity(capacity),
+            dead: Vec::new(),
+            dead_count: 0,
         }
     }
 
@@ -184,14 +252,36 @@ impl Relation {
         self.arity
     }
 
-    /// Number of tuples.
+    /// Number of **arena rows**, dead rows included. This is the bound
+    /// for row ids, delta watermarks and index ranges; use
+    /// [`Relation::live_len`] for the set cardinality.
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
-    /// True when the relation holds no tuples.
+    /// Number of live tuples (arena rows minus tombstones).
+    pub fn live_len(&self) -> usize {
+        self.rows.len() - self.dead_count
+    }
+
+    /// Number of tombstoned rows.
+    pub fn dead_count(&self) -> usize {
+        self.dead_count
+    }
+
+    /// True when the relation holds no live tuples.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.live_len() == 0
+    }
+
+    /// True unless `row` has been tombstoned by [`Relation::delete`].
+    /// Rows past the bitmap's end are live by construction.
+    #[inline]
+    pub fn is_live(&self, row: u32) -> bool {
+        match self.dead.get(row as usize / 64) {
+            Some(word) => word & (1u64 << (row % 64)) == 0,
+            None => true,
+        }
     }
 
     /// Monotone stamp bumped on every successful insert.
@@ -199,6 +289,12 @@ impl Relation {
     /// Equal to the row count: rows are append-only, so "how many rows"
     /// and "how often did this change" are the same number, and an index
     /// stamped `built_at = g` knows rows `g..` are the ones it missed.
+    ///
+    /// Tombstoning a row does **not** bump the generation — the arena is
+    /// unchanged. A reader that caches row ids across deletions must
+    /// re-check [`Relation::is_live`] (the plan executor does); within
+    /// one evaluation run no deletions occur, so fixpoint hot paths
+    /// never pay that check's slow path.
     pub fn generation(&self) -> u64 {
         self.rows.len() as u64
     }
@@ -284,7 +380,37 @@ impl Relation {
         (self.rows.len() - before) as u64
     }
 
-    /// Membership test.
+    /// Tombstone a tuple: remove it from the dedup table and mark its
+    /// arena row dead. Returns `true` if the tuple was live. The arena
+    /// is untouched — row ids and the generation stamp are unaffected —
+    /// but the tuple no longer satisfies [`Relation::contains`], is
+    /// skipped by [`Relation::iter`] and scans, and a subsequent insert
+    /// of the same tuple appends a **fresh** arena row (fresh
+    /// generation), which is what lets delta watermarks treat a
+    /// re-inserted tuple as new.
+    pub fn delete(&mut self, tuple: &Tuple) -> bool {
+        if tuple.arity() != self.arity {
+            return false;
+        }
+        let rows = &self.rows;
+        let hash = fold(hash_one(tuple));
+        match self.table.remove(hash, |r| &rows[r as usize] == tuple) {
+            Some(row) => {
+                let word = row as usize / 64;
+                if word >= self.dead.len() {
+                    self.dead.resize(word + 1, 0);
+                }
+                debug_assert_eq!(self.dead[word] & (1u64 << (row % 64)), 0);
+                self.dead[word] |= 1u64 << (row % 64);
+                self.dead_count += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Membership test (dead rows are absent: deletion removed their
+    /// table entry).
     pub fn contains(&self, tuple: &Tuple) -> bool {
         let rows = &self.rows;
         self.table
@@ -292,23 +418,33 @@ impl Relation {
             .is_some()
     }
 
-    /// Iterate over the tuples in insertion order.
-    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
-        self.rows.iter()
+    /// Iterate over the live tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(move |(row, _)| self.dead_count == 0 || self.is_live(*row as u32))
+            .map(|(_, t)| t)
     }
 
-    /// All tuples, sorted — deterministic order for tests and reports.
+    /// All live tuples, sorted — deterministic order for tests and
+    /// reports.
     pub fn sorted(&self) -> Vec<Tuple> {
-        let mut v = self.rows.clone();
+        let mut v: Vec<Tuple> = if self.dead_count == 0 {
+            self.rows.clone()
+        } else {
+            self.iter().cloned().collect()
+        };
         v.sort();
         v
     }
 
-    /// Set-equality against another relation (insertion order ignored).
+    /// Set-equality against another relation (insertion order and dead
+    /// rows ignored).
     pub fn set_eq(&self, other: &Relation) -> bool {
         self.arity == other.arity
-            && self.rows.len() == other.rows.len()
-            && self.rows.iter().all(|t| other.contains(t))
+            && self.live_len() == other.live_len()
+            && self.iter().all(|t| other.contains(t))
     }
 
     /// Absorb all tuples of `other`; returns how many were new.
@@ -342,7 +478,22 @@ impl Relation {
                 self.arity, other.arity
             )));
         }
-        let mut rows = other.rows;
+        let mut rows = if other.dead_count == 0 {
+            other.rows
+        } else {
+            // Dead rows must not be resurrected by the union.
+            let dead = &other.dead;
+            other
+                .rows
+                .into_iter()
+                .enumerate()
+                .filter(|(row, _)| {
+                    dead.get(row / 64)
+                        .is_none_or(|w| w & (1u64 << (row % 64)) == 0)
+                })
+                .map(|(_, t)| t)
+                .collect()
+        };
         Ok(self.insert_batch(&mut rows) as usize)
     }
 
@@ -473,5 +624,175 @@ mod tests {
         }
         assert!(!r.contains(&ituple![10_000]));
         assert_eq!(r.len(), 10_000);
+    }
+
+    #[test]
+    fn delete_tombstones_without_moving_rows() {
+        let mut r = Relation::new(2);
+        r.insert(ituple![1, 2]).unwrap();
+        r.insert(ituple![3, 4]).unwrap();
+        r.insert(ituple![5, 6]).unwrap();
+        assert!(r.delete(&ituple![3, 4]));
+        assert!(!r.delete(&ituple![3, 4]), "second delete is a no-op");
+        assert!(!r.delete(&ituple![9, 9]), "absent tuple");
+        assert!(!r.delete(&ituple![1]), "wrong arity");
+        // Arena untouched; liveness and set views updated.
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.live_len(), 2);
+        assert_eq!(r.dead_count(), 1);
+        assert_eq!(r.generation(), 3);
+        assert!(r.is_live(0) && !r.is_live(1) && r.is_live(2));
+        assert!(!r.contains(&ituple![3, 4]));
+        assert_eq!(r.row(1), &ituple![3, 4], "dead row still addressable");
+        assert_eq!(r.sorted(), vec![ituple![1, 2], ituple![5, 6]]);
+        assert_eq!(r.iter().count(), 2);
+    }
+
+    #[test]
+    fn reinsert_after_delete_gets_fresh_row() {
+        let mut r = Relation::new(1);
+        r.insert(ituple![7]).unwrap();
+        assert!(r.delete(&ituple![7]));
+        let g = r.generation();
+        assert!(r.insert(ituple![7]).unwrap(), "re-insert is fresh");
+        assert_eq!(r.generation(), g + 1, "fresh arena row, fresh generation");
+        assert!(r.is_live(1) && !r.is_live(0));
+        assert_eq!(r.live_len(), 1);
+        // The delta suffix above the old generation holds exactly the
+        // re-inserted tuple — a downstream watermark at `g` ships it.
+        assert_eq!(&r.rows()[g as usize..], &[ituple![7]]);
+    }
+
+    #[test]
+    fn set_eq_and_is_empty_ignore_dead_rows() {
+        let mut a = Relation::new(1);
+        a.insert(ituple![1]).unwrap();
+        a.insert(ituple![2]).unwrap();
+        a.delete(&ituple![2]);
+        let b: Relation = [ituple![1]].into_iter().collect();
+        assert!(a.set_eq(&b) && b.set_eq(&a));
+        a.delete(&ituple![1]);
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn absorb_owned_skips_dead_rows() {
+        let mut src = Relation::new(1);
+        src.insert(ituple![1]).unwrap();
+        src.insert(ituple![2]).unwrap();
+        src.insert(ituple![3]).unwrap();
+        src.delete(&ituple![2]);
+        let mut dst = Relation::new(1);
+        assert_eq!(dst.absorb_owned(src).unwrap(), 2);
+        assert_eq!(dst.sorted(), vec![ituple![1], ituple![3]]);
+
+        let mut src2 = Relation::new(1);
+        src2.insert(ituple![4]).unwrap();
+        src2.delete(&ituple![4]);
+        let mut dst2 = Relation::new(1);
+        dst2.insert(ituple![4]).unwrap();
+        assert_eq!(dst2.absorb_owned(src2).unwrap(), 0);
+        assert!(dst2.contains(&ituple![4]), "dead source row cannot delete");
+    }
+
+    /// Tiny deterministic PRNG (xorshift64*) so the property tests below
+    /// are seeded and reproducible without external crates.
+    fn rng(seed: u64) -> impl FnMut(u64) -> u64 {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        move |bound| {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            (s.wrapping_mul(0x2545F4914F6CDD1D) >> 33) % bound
+        }
+    }
+
+    /// Property: under any interleaving of insert / delete / re-insert,
+    /// the relation behaves exactly like a `BTreeSet` oracle, every
+    /// re-inserted tuple lands above the pre-insert watermark, the dedup
+    /// table never resurrects a dead row, and the arena suffix above any
+    /// watermark contains only rows appended after it (the delta-shipping
+    /// invariant: dead rows are always *below* a watermark taken at
+    /// delete time, so they can never enter a ship range).
+    #[test]
+    fn tombstone_arena_matches_set_oracle_under_random_interleaving() {
+        use std::collections::BTreeSet;
+        for seed in 0..40u64 {
+            let mut next = rng(seed + 1);
+            let mut r = Relation::new(2);
+            let mut oracle: BTreeSet<Tuple> = BTreeSet::new();
+            for _step in 0..400 {
+                let a = next(12) as i64;
+                let b = next(12) as i64;
+                let t = ituple![a, b];
+                match next(3) {
+                    0 | 1 => {
+                        let watermark = r.len();
+                        let fresh = r.insert(t.clone()).unwrap();
+                        assert_eq!(fresh, oracle.insert(t.clone()), "seed {seed}");
+                        if fresh {
+                            // Fresh tuples (first inserts AND re-inserts)
+                            // appear in the arena suffix above the
+                            // pre-insert watermark.
+                            assert!(r.rows()[watermark..].contains(&t), "seed {seed}");
+                            assert!(r.is_live((r.len() - 1) as u32));
+                        } else {
+                            assert_eq!(r.len(), watermark, "dup must not append");
+                        }
+                    }
+                    _ => {
+                        assert_eq!(r.delete(&t), oracle.remove(&t), "seed {seed}");
+                        assert!(!r.contains(&t));
+                    }
+                }
+                assert_eq!(r.live_len(), oracle.len(), "seed {seed}");
+                assert_eq!(r.len(), r.live_len() + r.dead_count(), "seed {seed}");
+            }
+            // Final views agree with the oracle.
+            let expect: Vec<Tuple> = oracle.iter().cloned().collect();
+            assert_eq!(r.sorted(), expect, "seed {seed}");
+            for t in &expect {
+                assert!(r.contains(t), "seed {seed}");
+            }
+            // Every live row is in the table exactly once (via contains),
+            // every dead row is absent, and liveness partitions the arena.
+            let live_rows = (0..r.len() as u32).filter(|&row| r.is_live(row)).count();
+            assert_eq!(live_rows, r.live_len(), "seed {seed}");
+        }
+    }
+
+    /// Property: posting lists built over a tombstoned arena contain
+    /// only live rows, and dedup probing stays correct after heavy
+    /// backward-shift churn concentrated in few buckets (stress for the
+    /// chain-compaction path in `RowTable::remove`).
+    #[test]
+    fn dedup_table_survives_backward_shift_churn() {
+        for seed in 0..10u64 {
+            let mut next = rng(seed ^ 0xDEAD);
+            let mut r = Relation::new(1);
+            // Load up, then delete-and-reinsert in waves so probe chains
+            // repeatedly form, break, and compact.
+            for i in 0..512i64 {
+                r.insert(ituple![i]).unwrap();
+            }
+            for _wave in 0..6 {
+                for _ in 0..200 {
+                    let v = next(512) as i64;
+                    r.delete(&ituple![v]);
+                }
+                for _ in 0..200 {
+                    let v = next(512) as i64;
+                    r.insert(ituple![v]).unwrap();
+                }
+                // The table and the bitmap must agree exactly.
+                for v in 0..512i64 {
+                    let t = ituple![v];
+                    let live_somewhere = (0..r.len() as u32)
+                        .any(|row| r.is_live(row) && r.row(row) == &t);
+                    assert_eq!(r.contains(&t), live_somewhere, "seed {seed} v {v}");
+                }
+            }
+        }
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! pdatalog run <file.dl> [--workers N] [--scheme S] [--print PRED/ARITY] [--stats]
 //!                        [--max-restarts N] [--trace] [--trace-out FILE]
+//!                        [--updates FILE]
 //!                        [--sim [--seed N] [--faults PLAN]]
 //! pdatalog analyze <file.dl>
 //! pdatalog network <file.dl> [--bits | --linear c1,c2,...]
@@ -18,6 +19,26 @@
 //! or simulated. `--trace-out FILE` writes the same journal as Chrome
 //! trace-event JSON, loadable in Perfetto or `chrome://tracing` (one
 //! track per worker, rounds as spans). See DESIGN.md §9.
+//!
+//! `--updates FILE` turns a parallel run into a live, incrementally
+//! maintained view (DRed; see DESIGN.md §11). After the initial fixpoint
+//! the file is replayed as a stream of base-fact updates, one directive
+//! per line:
+//!
+//! ```text
+//! +edge(4, 9).        % insert a base fact
+//! -edge(1, 2).        % delete a base fact (absent facts are no-ops)
+//! commit.             % apply everything since the last commit as one batch
+//! ```
+//!
+//! `%` starts a comment, the trailing `.` is optional, and a final
+//! uncommitted group is applied implicitly. Each batch is maintained
+//! incrementally — deletion cones are retracted and rederived rather
+//! than recomputing from scratch — and the relations printed at the end
+//! are the maintained view after the last batch. With `--workers 1` the
+//! whole stream is maintained in-process by the single-worker fast
+//! path; with `--sim` every update round runs under the deterministic
+//! simulation transport (faults included).
 //!
 //! `--sim` replaces the OS threads with the deterministic simulation
 //! transport: one virtual clock, a seeded scheduler, and (via `--faults`)
@@ -83,7 +104,7 @@ fn run(args: Vec<String>) -> std::result::Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--print PRED/ARITY] [--stats] [--max-restarts N] [--trace] [--trace-out FILE] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...][,crash=W@T[,recover]]]]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]".into()
+    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--print PRED/ARITY] [--stats] [--max-restarts N] [--trace] [--trace-out FILE] [--updates FILE] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...][,crash=W@T[,recover]]]]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]\n\nupdate files (--updates): one `+fact(…).`, `-fact(…).`, or `commit.` per line;\neach commit applies the group as one incrementally maintained batch.".into()
 }
 
 /// Parse `PRED/ARITY`, e.g. `anc/2`.
@@ -118,6 +139,7 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     let mut show_trace = false;
     let mut trace_out: Option<String> = None;
     let mut max_restarts: Option<u32> = None;
+    let mut updates: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -157,6 +179,9 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                         .ok_or("--max-restarts needs an unsigned integer")?,
                 );
             }
+            "--updates" => {
+                updates = Some(it.next().ok_or("--updates needs a file path")?);
+            }
             other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -179,6 +204,16 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     }
     if max_restarts.is_some() && matches!(scheme_name.as_str(), "seq" | "naive") {
         return Err("--max-restarts needs a parallel scheme (it sizes the supervisor's restart budget)".into());
+    }
+    if updates.is_some() && matches!(scheme_name.as_str(), "seq" | "naive") {
+        return Err(
+            "--updates needs a parallel scheme (the maintained view lives in the workers; \
+             use --scheme general --workers 1 for a single-process session)"
+                .into(),
+        );
+    }
+    if updates.is_some() && (show_trace || trace_out.is_some()) {
+        return Err("--trace covers a single fixpoint; it does not compose with --updates".into());
     }
     let (program, db) = load(&file)?;
     let interner = program.interner.clone();
@@ -232,6 +267,70 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 config.supervisor.max_restarts = budget;
             }
             config.trace = show_trace || trace_out.is_some();
+            if let Some(upath) = &updates {
+                let stream = std::fs::read_to_string(upath)
+                    .map_err(|e| format!("cannot read {upath}: {e}"))?;
+                let batches = parse_updates(&stream, &program)?;
+                let transport: Box<dyn Transport> = if sim {
+                    let plan = FaultPlan::parse(&faults).map_err(|e| e.to_string())?;
+                    Box::new(SimTransport::with_faults(seed, plan))
+                } else {
+                    Box::new(ThreadedTransport)
+                };
+                let mut session =
+                    UpdateSession::new(&scheme, &program, &db).map_err(|e| e.to_string())?;
+                session
+                    .initialize(transport.as_ref(), &config)
+                    .map_err(|e| e.to_string())?;
+                for batch in &batches {
+                    let report = session
+                        .apply(batch, transport.as_ref(), &config)
+                        .map_err(|e| e.to_string())?;
+                    if show_stats {
+                        eprintln!(
+                            "% round {}: +{} -{} overdeleted={} rederived={}",
+                            report.round,
+                            report.inserted_base,
+                            report.deleted_base,
+                            report.overdeleted,
+                            report.rederive_seeds
+                        );
+                    }
+                }
+                let (mut sent, mut retracts, mut messages) = (0u64, 0u64, 0u64);
+                for report in session.reports() {
+                    for phase in report.phase_a.iter().chain(report.phase_b.iter()) {
+                        sent += phase.total_tuples_sent();
+                        retracts += phase.total_retract_tuples_sent();
+                        messages += phase.total_messages();
+                    }
+                }
+                let mode = if sim {
+                    format!(" sim seed={seed} faults={faults}")
+                } else {
+                    String::new()
+                };
+                let rels = print_ids
+                    .iter()
+                    .map(|(label, id)| (label.clone(), session.answer(*id)))
+                    .collect();
+                return finish_run(
+                    rels,
+                    format!(
+                        "processors={} update_rounds={} tuples_sent={} retract_tuples_sent={} messages={}{mode}",
+                        scheme.processors(),
+                        session.rounds().saturating_sub(1),
+                        sent,
+                        retracts,
+                        messages
+                    ),
+                    String::new(),
+                    &interner,
+                    &scheme_name,
+                    show_stats,
+                    started,
+                );
+            }
             let outcome = if sim {
                 let plan = FaultPlan::parse(&faults).map_err(|e| e.to_string())?;
                 if config.trace {
@@ -304,13 +403,34 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             )
         }
     };
-    let elapsed = started.elapsed();
+    finish_run(
+        relations,
+        stats_line,
+        stats_tables,
+        &interner,
+        &scheme_name,
+        show_stats,
+        started,
+    )
+}
 
+/// Shared tail of `cmd_run`: print the relations and the stats footer.
+#[allow(clippy::too_many_arguments)]
+fn finish_run(
+    relations: Vec<(String, Relation)>,
+    stats_line: String,
+    stats_tables: String,
+    interner: &Interner,
+    scheme_name: &str,
+    show_stats: bool,
+    started: std::time::Instant,
+) -> std::result::Result<(), String> {
+    let elapsed = started.elapsed();
     for (label, rel) in &relations {
         println!("% {label}: {} tuples", rel.len());
         let name = label.split('/').next().unwrap_or(label);
         for t in rel.sorted() {
-            let cols: Vec<String> = t.iter().map(|v| v.display(&interner)).collect();
+            let cols: Vec<String> = t.iter().map(|v| v.display(interner)).collect();
             println!("{name}({}).", cols.join(", "));
         }
     }
@@ -319,6 +439,74 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
         eprint!("{stats_tables}");
     }
     Ok(())
+}
+
+/// Parse an `--updates` stream: one `+fact(…).`, `-fact(…).`, or
+/// `commit.` directive per line (`%` comments, trailing `.` optional).
+/// Each `commit` closes one [`UpdateBatch`]; a trailing uncommitted
+/// group becomes a final implicit batch.
+fn parse_updates(
+    src: &str,
+    program: &Program,
+) -> std::result::Result<Vec<UpdateBatch>, String> {
+    let mut batches = Vec::new();
+    let mut current = UpdateBatch::default();
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('%').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let line = line.strip_suffix('.').unwrap_or(line).trim();
+        if line == "commit" {
+            if !current.is_empty() {
+                batches.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        let (insert, fact_src) = match line.chars().next() {
+            Some('+') => (true, line[1..].trim()),
+            Some('-') => (false, line[1..].trim()),
+            _ => {
+                return Err(format!(
+                    "updates line {lineno}: expected `+fact(…)`, `-fact(…)`, or `commit`, got `{raw}`"
+                ))
+            }
+        };
+        // Parse the fact by wrapping it in a throwaway rule over the
+        // program's interner, so constants unify with its symbols.
+        let wrapped = format!("upd__ :- {fact_src}.");
+        let unit =
+            parallel_datalog::frontend::parser::parse_program_with(&wrapped, &program.interner)
+                .map_err(|e| format!("updates line {lineno}: {e}"))?;
+        let atom = unit.program.rules[0]
+            .body_atoms()
+            .next()
+            .ok_or_else(|| format!("updates line {lineno}: no atom in `{fact_src}`"))?
+            .clone();
+        let mut values = Vec::with_capacity(atom.terms.len());
+        for term in &atom.terms {
+            match term {
+                Term::Const(c) => values.push(*c),
+                Term::Var(_) => {
+                    return Err(format!(
+                        "updates line {lineno}: update facts must be ground, got `{fact_src}`"
+                    ))
+                }
+            }
+        }
+        let id = (atom.predicate, atom.terms.len());
+        let tuple = Tuple::new(&values);
+        if insert {
+            current.inserts.push((id, tuple));
+        } else {
+            current.deletes.push((id, tuple));
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    Ok(batches)
 }
 
 /// Write the journal as Chrome trace-event JSON, creating parent dirs.

@@ -72,7 +72,7 @@ pub mod prelude {
     };
     pub use gst_runtime::{
         execute_processors, ChannelOut, ExecutionOutcome, ProcessorProgram, RuntimeConfig,
-        WorkerSpec,
+        SessionSeed, ThreadedTransport, Transport, WorkerSpec,
     };
     pub use gst_storage::{
         hash_fragment, round_robin_fragment, Database, Fragmentation, HashIndex, Relation,

@@ -389,3 +389,115 @@ fn analyze_shows_advisor_recommendations() {
         "{stdout}"
     );
 }
+
+/// `--updates`: a live incrementally maintained session over the general
+/// scheme. After a stream of insert/delete batches (two explicit commits
+/// plus an implicit trailing batch whose only delete is absent, a no-op)
+/// the printed model must equal a from-scratch sequential run over the
+/// updated fact base, and `--stats` must report every round.
+#[test]
+fn updates_stream_matches_recompute_and_reports_rounds() {
+    let file = write_program("updates.dl", ANCESTOR);
+    let ups = write_program(
+        "updates.stream",
+        "% grow the chain, then cut it and heal around the cut\n\
+         +par(4,5).\n\
+         commit.\n\
+         -par(2,3).\n\
+         +par(2,5).\n\
+         commit.\n\
+         -par(99,100).\n",
+    );
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args(["--scheme", "general", "--workers", "3", "--stats", "--updates"])
+        .arg(&ups)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+
+    // The same final database, recomputed from scratch sequentially.
+    let final_file = write_program(
+        "updates_final.dl",
+        "anc(X,Y) :- par(X,Y).\n\
+         anc(X,Y) :- par(X,Z), anc(Z,Y).\n\
+         par(1,2). par(3,4). par(4,5). par(2,5).",
+    );
+    let seq = pdatalog().args(["run"]).arg(&final_file).output().unwrap();
+    assert!(seq.status.success());
+    let reference = String::from_utf8(seq.stdout).unwrap();
+    assert_eq!(stdout, reference, "maintained view differs from the recompute");
+
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("update_rounds=3"), "{stderr}");
+    assert!(stderr.contains("% round 1:"), "{stderr}");
+    assert!(stderr.contains("% round 3:"), "{stderr}");
+    assert!(stderr.contains("retract_tuples_sent="), "{stderr}");
+}
+
+/// `--updates` composes with the deterministic simulation transport: the
+/// maintained model is the same one the threaded transport computes.
+#[test]
+fn updates_under_simulation_match_threaded() {
+    let file = write_program("updates_sim.dl", ANCESTOR);
+    let ups = write_program("updates_sim.stream", "-par(2,3).\n+par(2,4).\ncommit.\n");
+    let run = |extra: &[&str]| {
+        let out = pdatalog()
+            .args(["run"])
+            .arg(&file)
+            .args(["--scheme", "general", "--workers", "3", "--updates"])
+            .arg(&ups)
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let threaded = run(&[]);
+    let simulated = run(&["--sim", "--seed", "9", "--faults", "jitter"]);
+    assert_eq!(threaded, simulated, "sim and threaded sessions disagree");
+}
+
+/// `--updates` misuse fails cleanly: sequential schemes have no workers
+/// to maintain state in, and a malformed stream names its line.
+#[test]
+fn updates_usage_errors_are_clean() {
+    let file = write_program("updates_bad.dl", ANCESTOR);
+    let ups = write_program("updates_bad.stream", "+par(9,10).\n");
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args(["--scheme", "seq", "--updates"])
+        .arg(&ups)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("parallel scheme"), "{stderr}");
+
+    let garbled = write_program("updates_garbled.stream", "+par(1,2).\nfrobnicate!\n");
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args(["--scheme", "general", "--workers", "2", "--updates"])
+        .arg(&garbled)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line 2"), "{stderr}");
+
+    let nonground = write_program("updates_nonground.stream", "+par(X,2).\n");
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args(["--scheme", "general", "--workers", "2", "--updates"])
+        .arg(&nonground)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("ground"), "{stderr}");
+}

@@ -187,6 +187,79 @@ fn nonredundant_on_random_digraph_recovers_from_40_crash_schedules() {
     assert!(replayed > 0, "random-digraph sweep must witness at least one replayed batch");
 }
 
+/// Crash-mid-update sweep: an incremental maintenance session whose
+/// every phase — the initial fixpoint, the DRed over-deletion cone, the
+/// rederive/insert run — executes on a simulated transport that crashes
+/// worker `seed % n` a few ticks in and recovers it (restart, `Recover`
+/// broadcast, replay handshake). After every batch the maintained view
+/// must still equal a from-scratch sequential recompute, and the sweep
+/// as a whole must witness real restarts (the crash tick is early
+/// enough to land inside the short update phases on most seeds).
+#[test]
+fn update_rounds_recover_from_crash_schedules() {
+    let fx = linear_ancestor();
+    let (anc, edge) = (fx.output_id(), fx.input_id(0));
+    let edges = graphs::chain(8);
+    let config = RuntimeConfig::default();
+    let mut restarts = 0u64;
+
+    for seed in 0..24u64 {
+        let db = fx.database(&edges);
+        let h: DiscriminatorRef = Arc::new(HashMod::new(3, seed ^ 0x5bd1));
+        let var = |name: &str| Variable(fx.program.interner.get(name).unwrap());
+        let choices = vec![
+            RuleChoice { v: vec![var("Y")], h: h.clone() },
+            RuleChoice { v: vec![var("Z")], h },
+        ];
+        let scheme =
+            rewrite_general(&fx.program, &choices, &db, BaseDistribution::Shared).unwrap();
+        let mut session = UpdateSession::new(&scheme, &fx.program, &db).unwrap();
+
+        let plan = FaultPlan::with_recovering_crash((seed as usize) % 3, 2 + (seed % 8));
+        let transport =
+            SimTransport::with_faults(seed.wrapping_mul(0x9e3779b97f4a7c15), plan);
+        session.initialize(&transport, &config).unwrap();
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for round in 1..=3 {
+            let live: Vec<Tuple> = session
+                .edb()
+                .relation(edge)
+                .map(|r| r.iter().cloned().collect())
+                .unwrap_or_default();
+            let mut batch = UpdateBatch::default();
+            for _ in 0..rng.gen_inclusive(1, 4) {
+                if rng.gen_bool(0.5) {
+                    if let Some(t) = rng.choose(&live) {
+                        batch.deletes.push((edge, t.clone()));
+                    }
+                } else {
+                    let (a, b) = (rng.gen_below(12) as i64, rng.gen_below(12) as i64);
+                    batch.inserts.push((edge, ituple![a, b]));
+                }
+            }
+            session.apply(&batch, &transport, &config).unwrap();
+            let oracle = seminaive_eval(&fx.program, session.edb()).unwrap();
+            assert!(
+                session.answer(anc).set_eq(&oracle.relation(anc)),
+                "seed {seed} round {round}: view maintained across a worker crash \
+                 diverges from the sequential recompute"
+            );
+        }
+        restarts += session
+            .reports()
+            .iter()
+            .flat_map(|r| [r.phase_a.as_ref(), r.phase_b.as_ref()])
+            .flatten()
+            .map(|s| s.restarts)
+            .sum::<u64>();
+    }
+    assert!(
+        restarts > 0,
+        "the sweep must witness at least one recovered crash inside an update phase"
+    );
+}
+
 /// Satellite property: duplicated *and* reordered batch delivery leaves
 /// the least model unchanged (set-semantics idempotence). Every batch is
 /// duplicated (`dup=1.0`) and delivery order is scrambled by a wide delay
