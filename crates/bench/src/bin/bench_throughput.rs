@@ -23,7 +23,10 @@
 //! fixed full-size cells (grid/qi-hash/N=4 and chain/ex2-broadcast/N=4),
 //! asserts oracle correctness and bit-identical firing counts against the
 //! committed row-format reference, and fails unless `bytes_shipped` is at
-//! least 2× smaller than that reference. The reference file
+//! least 2× smaller than that reference. Each cell is measured twice: on
+//! the threaded transport and over the TCP multi-process transport
+//! (loopback sockets via `NetCoordinator`), so the framed wire protocol
+//! is held to the same byte envelope. The reference file
 //! (`BENCH_wire_guard.json`) is a frozen snapshot of the pre-columnar
 //! baseline and is intentionally *not* regenerated with
 //! `BENCH_throughput_baseline.json` — regenerating it would make the guard
@@ -51,7 +54,7 @@ use gst_core::prelude::{example1_wolfson, example2_valduriez, example3_hash_part
 use gst_core::schemes::CompiledScheme;
 use gst_eval::seminaive_eval;
 use gst_frontend::LinearSirup;
-use gst_runtime::RuntimeConfig;
+use gst_runtime::{RuntimeConfig, Transport};
 use gst_storage::{round_robin_fragment, Relation};
 use gst_workloads::{chain, grid, layered, linear_ancestor, random_digraph};
 
@@ -272,6 +275,47 @@ fn run_guard(baseline_path: &str, batch_baseline: Option<&str>) -> i32 {
                 "guard FAIL: {wname}/{sname}/n={n} fired {} rules; \
                  reference fired {} (semantics fingerprint changed)",
                 row.firings, base_firings,
+            );
+            ok = false;
+        }
+
+        // TCP-loopback pass: the same cell through the multi-process
+        // transport (real loopback sockets, one length-prefixed frame
+        // stream per worker) must stay inside the same frozen wire
+        // envelope — the framing layer may not bloat shipments past the
+        // 2x-under-row-format bar, and the least model must not change.
+        let net = gst_runtime::NetCoordinator::new(
+            std::sync::Arc::new(gst_runtime::InProcessLauncher {
+                decoder: Some(gst_core::prelude::decode_constraint),
+            }),
+            gst_runtime::NetConfig::default(),
+        );
+        let net_outcome = net
+            .execute(scheme.workers.clone(), &RuntimeConfig::default())
+            .expect("tcp-loopback guard run failed");
+        let net_bytes = net_outcome.stats.total_bytes_sent();
+        let net_correct = net_outcome.relation(anc).set_eq(&reference);
+        let net_shrink_ok = net_bytes * 2 <= base_bytes;
+        println!(
+            "guard {wname}/{sname}/n={n} (tcp loopback): bytes {} -> {} ({:.2}x), \
+             correct={net_correct} shrink_ok={net_shrink_ok}",
+            base_bytes,
+            net_bytes,
+            base_bytes as f64 / net_bytes.max(1) as f64,
+        );
+        if !net_correct {
+            eprintln!(
+                "guard FAIL: {wname}/{sname}/n={n} over TCP diverged from the sequential oracle"
+            );
+            ok = false;
+        }
+        if !net_shrink_ok {
+            eprintln!(
+                "guard FAIL: {wname}/{sname}/n={n} over TCP shipped {} bytes; \
+                 needs <= {} (2x under the row-format reference {})",
+                net_bytes,
+                base_bytes / 2,
+                base_bytes,
             );
             ok = false;
         }

@@ -35,7 +35,7 @@
 use std::sync::Arc;
 
 use gst_common::fxhash::hash_one;
-use gst_common::{Interner, Value};
+use gst_common::{Error, Interner, Result, Value};
 use gst_frontend::{Constraint, Variable};
 use gst_storage::Fragmentation;
 
@@ -58,6 +58,18 @@ pub trait Discriminator: Send + Sync {
 
     /// Human-readable name for reports.
     fn describe(&self) -> String;
+
+    /// Append this function's wire encoding to `buf`, or return `false`
+    /// when the implementation cannot travel across a process boundary.
+    ///
+    /// Every concrete function in this module encodes itself (the format
+    /// lives in [`decode_constraint`]); the default covers out-of-tree
+    /// implementations, which a multi-process transport rejects with a
+    /// clean error instead of shipping an unevaluable rule.
+    fn wire_encode_into(&self, buf: &mut Vec<u8>) -> bool {
+        let _ = buf;
+        false
+    }
 }
 
 /// Shared handle to a discriminating function.
@@ -115,6 +127,13 @@ impl Discriminator for HashMod {
     fn describe(&self) -> String {
         format!("hash mod {}", self.n)
     }
+
+    fn wire_encode_into(&self, buf: &mut Vec<u8>) -> bool {
+        buf.push(wire::DISC_HASH_MOD);
+        wire::put_uv(buf, self.n as u64);
+        wire::put_uv(buf, self.seed);
+        true
+    }
 }
 
 /// Order-invariant hash partition: `h(ā) = (Σ hash(a_k)) mod n`.
@@ -152,6 +171,13 @@ impl Discriminator for SymmetricHashMod {
 
     fn describe(&self) -> String {
         format!("symmetric hash mod {}", self.n)
+    }
+
+    fn wire_encode_into(&self, buf: &mut Vec<u8>) -> bool {
+        buf.push(wire::DISC_SYMMETRIC);
+        wire::put_uv(buf, self.n as u64);
+        wire::put_uv(buf, self.seed);
+        true
     }
 }
 
@@ -197,6 +223,13 @@ impl Discriminator for BitVector {
 
     fn describe(&self) -> String {
         format!("(g(a1),…,g(a{})) bit vector", self.len)
+    }
+
+    fn wire_encode_into(&self, buf: &mut Vec<u8>) -> bool {
+        buf.push(wire::DISC_BIT_VECTOR);
+        wire::put_uv(buf, self.g.seed);
+        wire::put_uv(buf, self.len as u64);
+        true
     }
 }
 
@@ -284,6 +317,16 @@ impl Discriminator for Linear {
             .collect();
         format!("linear {}", terms.join(" "))
     }
+
+    fn wire_encode_into(&self, buf: &mut Vec<u8>) -> bool {
+        buf.push(wire::DISC_LINEAR);
+        wire::put_uv(buf, self.g.seed);
+        wire::put_uv(buf, self.coefficients.len() as u64);
+        for &c in &self.coefficients {
+            wire::put_sv(buf, c);
+        }
+        true
+    }
 }
 
 /// Example 2's function: `h(t) = i ⇔ t ∈ fragmentⁱ`. Only the site
@@ -321,6 +364,28 @@ impl Discriminator for FragmentOwner {
     fn describe(&self) -> String {
         format!("fragment owner over {} fragments", self.fragmentation.len())
     }
+
+    fn wire_encode_into(&self, buf: &mut Vec<u8>) -> bool {
+        // The fragments themselves travel: ownership is defined by
+        // membership, so the function *is* the data.
+        buf.push(wire::DISC_FRAGMENT_OWNER);
+        wire::put_uv(buf, self.fragmentation.len() as u64);
+        let arity = self
+            .fragmentation
+            .fragments()
+            .first()
+            .map_or(0, |f| f.arity());
+        wire::put_uv(buf, arity as u64);
+        for fragment in self.fragmentation.fragments() {
+            wire::put_uv(buf, fragment.len() as u64);
+            for tuple in fragment.iter() {
+                for &value in tuple.as_slice() {
+                    wire::put_value(buf, value);
+                }
+            }
+        }
+        true
+    }
 }
 
 /// `h_i(x) = i` — route everything to a fixed processor (§6: with every
@@ -350,6 +415,13 @@ impl Discriminator for Constant {
 
     fn describe(&self) -> String {
         format!("constant {}", self.target)
+    }
+
+    fn wire_encode_into(&self, buf: &mut Vec<u8>) -> bool {
+        buf.push(wire::DISC_CONSTANT);
+        wire::put_uv(buf, self.n as u64);
+        wire::put_uv(buf, self.target as u64);
+        true
     }
 }
 
@@ -401,6 +473,14 @@ impl Discriminator for Mixed {
             self.base.describe()
         )
     }
+
+    fn wire_encode_into(&self, buf: &mut Vec<u8>) -> bool {
+        buf.push(wire::DISC_MIXED);
+        wire::put_uv(buf, self.local as u64);
+        wire::put_uv(buf, self.alpha.to_bits());
+        wire::put_uv(buf, self.seed);
+        self.base.wire_encode_into(buf)
+    }
 }
 
 /// The constraint literal `h(v) = expect` that the rewriting schemes
@@ -443,6 +523,289 @@ impl Constraint for DiscConstraint {
             self.disc.describe()
         )
     }
+
+    fn wire_encode(&self) -> Option<Vec<u8>> {
+        let mut buf = Vec::with_capacity(16 + self.vars.len() * 2);
+        buf.push(wire::CONSTRAINT_MAGIC);
+        wire::put_uv(&mut buf, self.vars.len() as u64);
+        for v in &self.vars {
+            wire::put_uv(&mut buf, v.0 .0 as u64);
+        }
+        wire::put_uv(&mut buf, self.expect as u64);
+        if self.disc.wire_encode_into(&mut buf) {
+            Some(buf)
+        } else {
+            None
+        }
+    }
+}
+
+/// Byte format of serialized constraints (`h(v) = i` literals).
+///
+/// Shared between [`Discriminator::wire_encode_into`] producers and the
+/// [`decode_constraint`] consumer; symbol ids are raw interner indexes, so
+/// the decoding side must have rebuilt the sender's symbol table first
+/// (the multi-process transport ships it once per job).
+///
+/// ```text
+/// constraint := 0xD5 | nvars:uv | symid:uv × nvars | expect:uv | disc
+/// disc       := tag:u8 | body
+///   0 HashMod          n:uv seed:uv
+///   1 SymmetricHashMod n:uv seed:uv
+///   2 BitVector        gseed:uv len:uv
+///   3 Linear           gseed:uv ncoef:uv coef:sv × ncoef
+///   4 FragmentOwner    nfrags:uv arity:uv × (count:uv (value × arity) × count)
+///   5 Constant         n:uv target:uv
+///   6 Mixed            local:uv alpha:uv(f64 bits) seed:uv base:disc
+/// value      := 0 int:sv | 1 sym:uv
+/// uv = unsigned LEB128 varint, sv = zigzag LEB128 varint
+/// ```
+mod wire {
+    use gst_common::{SymbolId, Value};
+
+    pub(super) const CONSTRAINT_MAGIC: u8 = 0xD5;
+    pub(super) const DISC_HASH_MOD: u8 = 0;
+    pub(super) const DISC_SYMMETRIC: u8 = 1;
+    pub(super) const DISC_BIT_VECTOR: u8 = 2;
+    pub(super) const DISC_LINEAR: u8 = 3;
+    pub(super) const DISC_FRAGMENT_OWNER: u8 = 4;
+    pub(super) const DISC_CONSTANT: u8 = 5;
+    pub(super) const DISC_MIXED: u8 = 6;
+    const VALUE_INT: u8 = 0;
+    const VALUE_SYM: u8 = 1;
+
+    pub(super) fn put_uv(buf: &mut Vec<u8>, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                buf.push(byte);
+                return;
+            }
+            buf.push(byte | 0x80);
+        }
+    }
+
+    pub(super) fn put_sv(buf: &mut Vec<u8>, n: i64) {
+        put_uv(buf, ((n << 1) ^ (n >> 63)) as u64);
+    }
+
+    pub(super) fn put_value(buf: &mut Vec<u8>, value: Value) {
+        match value {
+            Value::Int(n) => {
+                buf.push(VALUE_INT);
+                put_sv(buf, n);
+            }
+            Value::Sym(s) => {
+                buf.push(VALUE_SYM);
+                put_uv(buf, s.0 as u64);
+            }
+        }
+    }
+
+    /// A bounds-checked reader mirroring the runtime codec's discipline:
+    /// truncation and overlong varints yield `None`, never a panic.
+    pub(super) struct Reader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        pub(super) fn new(bytes: &'a [u8]) -> Self {
+            Reader { bytes, pos: 0 }
+        }
+
+        pub(super) fn remaining(&self) -> usize {
+            self.bytes.len() - self.pos
+        }
+
+        pub(super) fn get_u8(&mut self) -> Option<u8> {
+            let b = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            Some(b)
+        }
+
+        pub(super) fn get_uv(&mut self) -> Option<u64> {
+            let mut value = 0u64;
+            for shift in 0..10 {
+                let byte = self.get_u8()?;
+                let bits = (byte & 0x7f) as u64;
+                if shift == 9 && bits > 1 {
+                    return None;
+                }
+                value |= bits << (shift * 7);
+                if byte & 0x80 == 0 {
+                    return Some(value);
+                }
+            }
+            None
+        }
+
+        pub(super) fn get_sv(&mut self) -> Option<i64> {
+            let v = self.get_uv()?;
+            Some(((v >> 1) as i64) ^ -((v & 1) as i64))
+        }
+
+        pub(super) fn get_value(&mut self) -> Option<Value> {
+            match self.get_u8()? {
+                VALUE_INT => Some(Value::Int(self.get_sv()?)),
+                VALUE_SYM => {
+                    let v = self.get_uv()?;
+                    u32::try_from(v).ok().map(|s| Value::Sym(SymbolId(s)))
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Sanity bound shared with the runtime codec: no real scheme uses 65k
+/// processors, variables, or coefficients.
+const IMPLAUSIBLE: usize = 1 << 16;
+
+fn corrupt(what: &str) -> Error {
+    Error::Discriminator(format!("corrupt constraint encoding: {what}"))
+}
+
+fn decode_disc(r: &mut wire::Reader<'_>, depth: usize) -> Result<DiscriminatorRef> {
+    if depth > 8 {
+        return Err(corrupt("discriminator nesting too deep"));
+    }
+    let bounded = |name: &str, v: u64| -> Result<usize> {
+        let v = v as usize;
+        if v == 0 || v > IMPLAUSIBLE {
+            return Err(corrupt(&format!("implausible {name} {v}")));
+        }
+        Ok(v)
+    };
+    match r.get_u8() {
+        None => Err(corrupt("truncated discriminator tag")),
+        Some(wire::DISC_HASH_MOD) => {
+            let n = bounded("processor count", r.get_uv().ok_or_else(|| corrupt("truncated HashMod"))?)?;
+            let seed = r.get_uv().ok_or_else(|| corrupt("truncated HashMod"))?;
+            Ok(Arc::new(HashMod::new(n, seed)))
+        }
+        Some(wire::DISC_SYMMETRIC) => {
+            let n = bounded("processor count", r.get_uv().ok_or_else(|| corrupt("truncated SymmetricHashMod"))?)?;
+            let seed = r.get_uv().ok_or_else(|| corrupt("truncated SymmetricHashMod"))?;
+            Ok(Arc::new(SymmetricHashMod::new(n, seed)))
+        }
+        Some(wire::DISC_BIT_VECTOR) => {
+            let seed = r.get_uv().ok_or_else(|| corrupt("truncated BitVector"))?;
+            let len = r.get_uv().ok_or_else(|| corrupt("truncated BitVector"))? as usize;
+            if !(1..=16).contains(&len) {
+                return Err(corrupt("BitVector length out of range"));
+            }
+            Ok(Arc::new(BitVector::new(BitFn::new(seed), len)))
+        }
+        Some(wire::DISC_LINEAR) => {
+            let seed = r.get_uv().ok_or_else(|| corrupt("truncated Linear"))?;
+            let ncoef = r.get_uv().ok_or_else(|| corrupt("truncated Linear"))? as usize;
+            if !(1..=20).contains(&ncoef) {
+                return Err(corrupt("Linear coefficient count out of range"));
+            }
+            let mut coefficients = Vec::with_capacity(ncoef);
+            for _ in 0..ncoef {
+                coefficients.push(r.get_sv().ok_or_else(|| corrupt("truncated Linear coefficient"))?);
+            }
+            Ok(Arc::new(Linear::new(BitFn::new(seed), coefficients)))
+        }
+        Some(wire::DISC_FRAGMENT_OWNER) => {
+            let nfrags = bounded("fragment count", r.get_uv().ok_or_else(|| corrupt("truncated FragmentOwner"))?)?;
+            let arity = r.get_uv().ok_or_else(|| corrupt("truncated FragmentOwner"))? as usize;
+            if arity > IMPLAUSIBLE {
+                return Err(corrupt("implausible fragment arity"));
+            }
+            let mut fragments = Vec::with_capacity(nfrags);
+            for _ in 0..nfrags {
+                let count = r.get_uv().ok_or_else(|| corrupt("truncated fragment"))? as usize;
+                // Every value costs at least one tag byte, so a lying
+                // count is rejected before any allocation is sized by it.
+                if count
+                    .checked_mul(arity.max(1))
+                    .is_none_or(|b| b > r.remaining() + 1)
+                {
+                    return Err(corrupt("fragment count implausible for payload size"));
+                }
+                let mut fragment = gst_storage::Relation::with_capacity(arity, count);
+                let mut row = Vec::with_capacity(arity);
+                for _ in 0..count {
+                    row.clear();
+                    for _ in 0..arity {
+                        row.push(r.get_value().ok_or_else(|| corrupt("truncated fragment tuple"))?);
+                    }
+                    fragment
+                        .insert(gst_common::Tuple::new(&row))
+                        .map_err(|e| corrupt(&format!("fragment tuple rejected: {e}")))?;
+                }
+                fragments.push(fragment);
+            }
+            let fragmentation = Fragmentation::from_fragments(fragments)
+                .map_err(|e| corrupt(&format!("fragmentation rejected: {e}")))?;
+            Ok(Arc::new(FragmentOwner::new(Arc::new(fragmentation))))
+        }
+        Some(wire::DISC_CONSTANT) => {
+            let n = bounded("processor count", r.get_uv().ok_or_else(|| corrupt("truncated Constant"))?)?;
+            let target = r.get_uv().ok_or_else(|| corrupt("truncated Constant"))? as usize;
+            if target >= n {
+                return Err(corrupt("Constant target out of range"));
+            }
+            Ok(Arc::new(Constant::new(n, target)))
+        }
+        Some(wire::DISC_MIXED) => {
+            let local = r.get_uv().ok_or_else(|| corrupt("truncated Mixed"))? as usize;
+            let alpha = f64::from_bits(r.get_uv().ok_or_else(|| corrupt("truncated Mixed"))?);
+            let seed = r.get_uv().ok_or_else(|| corrupt("truncated Mixed"))?;
+            if !(0.0..=1.0).contains(&alpha) {
+                return Err(corrupt("Mixed alpha out of range"));
+            }
+            let base = decode_disc(r, depth + 1)?;
+            if local >= base.processors() {
+                return Err(corrupt("Mixed local processor out of range"));
+            }
+            Ok(Arc::new(Mixed::new(local, base, alpha, seed)))
+        }
+        Some(tag) => Err(corrupt(&format!("unknown discriminator tag {tag}"))),
+    }
+}
+
+/// Decode a constraint serialized by [`Constraint::wire_encode`] back into
+/// an evaluable literal.
+///
+/// This is the callback a multi-process transport injects into its worker
+/// loop (`gst-runtime` cannot depend on this crate, so the binary wires
+/// the two together). Malformed input never panics: every failure is a
+/// typed [`Error::Discriminator`].
+///
+/// # Errors
+/// Rejects truncated input, unknown tags, out-of-range parameters, and
+/// trailing bytes.
+pub fn decode_constraint(bytes: &[u8]) -> Result<gst_frontend::ast::ConstraintRef> {
+    let mut r = wire::Reader::new(bytes);
+    match r.get_u8() {
+        Some(wire::CONSTRAINT_MAGIC) => {}
+        Some(b) => return Err(corrupt(&format!("bad magic byte {b:#x}"))),
+        None => return Err(corrupt("empty input")),
+    }
+    let nvars = r.get_uv().ok_or_else(|| corrupt("truncated variable count"))? as usize;
+    if nvars > IMPLAUSIBLE || nvars > r.remaining() {
+        return Err(corrupt("implausible variable count"));
+    }
+    let mut vars = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        let raw = r.get_uv().ok_or_else(|| corrupt("truncated variable id"))?;
+        let raw = u32::try_from(raw).map_err(|_| corrupt("variable id overflows u32"))?;
+        vars.push(Variable(gst_common::SymbolId(raw)));
+    }
+    let expect = r.get_uv().ok_or_else(|| corrupt("truncated expected processor"))? as usize;
+    let disc = decode_disc(&mut r, 0)?;
+    if r.remaining() > 0 {
+        return Err(corrupt("trailing bytes"));
+    }
+    if expect >= disc.processors() {
+        return Err(corrupt("expected processor out of range"));
+    }
+    Ok(DiscConstraint::literal(vars, disc, expect))
 }
 
 #[cfg(test)]

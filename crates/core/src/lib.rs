@@ -37,8 +37,8 @@ pub mod prelude {
     pub use crate::advisor::{advise, candidates, ArchitecturePreference, Candidate};
     pub use crate::dataflow::{zero_comm_choice, DataflowGraph, ZeroCommChoice};
     pub use crate::discriminator::{
-        BitFn, BitVector, Constant, DiscConstraint, Discriminator, DiscriminatorRef,
-        FragmentOwner, HashMod, Linear, Mixed, SymmetricHashMod,
+        decode_constraint, BitFn, BitVector, Constant, DiscConstraint, Discriminator,
+        DiscriminatorRef, FragmentOwner, HashMod, Linear, Mixed, SymmetricHashMod,
     };
     pub use crate::network::{derive_network, NetworkGraph, SymbolicDisc};
     pub use crate::schemes::general::{rewrite_general, RuleChoice};

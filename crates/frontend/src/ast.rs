@@ -133,6 +133,18 @@ pub trait Constraint: Send + Sync {
 
     /// Human-readable rendering, e.g. `h(Y, Z) = 3`.
     fn describe(&self, interner: &Interner) -> String;
+
+    /// Serialize the constraint for a multi-process deployment, or `None`
+    /// if this implementation cannot travel (the default).
+    ///
+    /// The front end defines only the hook: the byte format and the
+    /// matching decoder live with the implementations (in `gst-core`),
+    /// and a transport that needs to ship rules across an OS-process
+    /// boundary turns a `None` into a clean typed error rather than
+    /// silently dropping the condition.
+    fn wire_encode(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// A shared, immutable constraint literal.

@@ -48,10 +48,12 @@ const VTAG_INT: u8 = 0;
 const VTAG_SYM: u8 = 1;
 
 /// Sanity bound on header fields: no real scheme ships arity-65k tuples
-/// or arity-0 batches with more than 65k units.
-const IMPLAUSIBLE: usize = 1 << 16;
+/// or arity-0 batches with more than 65k units. Shared with the stream
+/// framing layer ([`crate::wire`]), which applies the same bound to the
+/// relation arities it decodes.
+pub(crate) const IMPLAUSIBLE: usize = 1 << 16;
 
-fn put_uv(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_uv(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -71,7 +73,7 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_sv(buf: &mut Vec<u8>, n: i64) {
+pub(crate) fn put_sv(buf: &mut Vec<u8>, n: i64) {
     put_uv(buf, zigzag(n));
 }
 
@@ -163,30 +165,44 @@ fn encode_column(buf: &mut Vec<u8>, tuples: &[Tuple], c: usize) {
     }
 }
 
-/// A bounds-checked varint reader over a byte slice.
-struct Cursor<'a> {
+/// A bounds-checked varint reader over a byte slice. Shared with the
+/// stream-framing layer ([`crate::wire`]), which extends the same
+/// never-panic discipline to whole frames.
+pub(crate) struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Cursor { bytes, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
 
-    fn get_u8(&mut self) -> Option<u8> {
+    pub(crate) fn get_u8(&mut self) -> Option<u8> {
         let b = *self.bytes.get(self.pos)?;
         self.pos += 1;
         Some(b)
     }
 
+    /// A length-prefixed byte run (`len:uv | bytes`), borrowed from the
+    /// underlying slice; `None` on truncation.
+    pub(crate) fn get_bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.get_uv()? as usize;
+        if self.remaining() < len {
+            return None;
+        }
+        let slice = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Some(slice)
+    }
+
     /// LEB128; `None` on truncation or an encoding longer than 10 bytes /
     /// overflowing 64 bits (an adversarial stream must terminate).
-    fn get_uv(&mut self) -> Option<u64> {
+    pub(crate) fn get_uv(&mut self) -> Option<u64> {
         let mut value = 0u64;
         for shift in 0..10 {
             let byte = self.get_u8()?;
@@ -202,9 +218,15 @@ impl<'a> Cursor<'a> {
         None
     }
 
-    fn get_sv(&mut self) -> Option<i64> {
+    pub(crate) fn get_sv(&mut self) -> Option<i64> {
         self.get_uv().map(unzigzag)
     }
+}
+
+/// A length-prefixed byte run for [`Cursor::get_bytes`].
+pub(crate) fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_uv(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
 }
 
 /// The batch header `(arity, count)`, read without decoding the body —
@@ -353,6 +375,97 @@ fn decode_column(cur: &mut Cursor<'_>, count: usize, flat: &mut Vec<Value>) -> R
                     tag => return Err(corrupt(&format!("unknown value tag {tag}"))),
                 };
                 flat.push(value);
+            }
+            Ok(())
+        }
+        Some(tag) => Err(corrupt(&format!("unknown column tag {tag}"))),
+    }
+}
+
+/// Walk a batch payload end to end without materializing a single tuple:
+/// header, every column tag, every varint, and the no-trailing-bytes
+/// invariant — exactly the checks [`decode_batch_into`] performs, minus
+/// the allocation. Returns `(arity, count)`.
+///
+/// This is the relay's admission check: a frame can be structurally
+/// complete at the framing layer yet carry a corrupted body (a fault that
+/// overwrites a stream's tail cuts exactly this shape), and corruption
+/// must be charged to the *sender's* link, not delivered to a receiver
+/// whose deferred decode would treat it as its own fatal error.
+///
+/// # Errors
+/// Returns [`Error::Runtime`] (never panics) on any malformed input.
+pub fn validate_batch(bytes: &[u8]) -> Result<(usize, usize)> {
+    let mut cur = Cursor::new(bytes);
+    let (arity, count) = read_header(&mut cur)?;
+    if count == 0 || arity == 0 {
+        if arity == 0 && count > IMPLAUSIBLE {
+            return Err(corrupt("implausible arity-0 tuple count"));
+        }
+        if cur.remaining() > 0 {
+            return Err(corrupt("trailing bytes"));
+        }
+        return Ok((arity, count));
+    }
+    let min_needed = count
+        .checked_add(1)
+        .and_then(|per_col| per_col.checked_mul(arity))
+        .ok_or_else(|| corrupt("implausible tuple count"))?;
+    if cur.remaining() < min_needed {
+        return Err(corrupt("tuple count implausible for payload size"));
+    }
+    for _ in 0..arity {
+        validate_column(&mut cur, count)?;
+    }
+    if cur.remaining() > 0 {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok((arity, count))
+}
+
+fn validate_column(cur: &mut Cursor<'_>, count: usize) -> Result<()> {
+    match cur.get_u8() {
+        None => Err(corrupt("truncated column tag")),
+        Some(COL_INT) => {
+            for _ in 0..count {
+                cur.get_sv().ok_or_else(|| corrupt("truncated Int column"))?;
+            }
+            Ok(())
+        }
+        Some(COL_SYM) => {
+            for _ in 0..count {
+                let v = cur.get_uv().ok_or_else(|| corrupt("truncated Sym column"))?;
+                u32::try_from(v).map_err(|_| corrupt("symbol id overflows u32"))?;
+            }
+            Ok(())
+        }
+        Some(COL_INT_DELTA) => {
+            cur.get_sv().ok_or_else(|| corrupt("truncated delta column"))?;
+            for _ in 0..count - 1 {
+                cur.get_uv().ok_or_else(|| corrupt("truncated delta column"))?;
+            }
+            Ok(())
+        }
+        Some(COL_MIXED) => {
+            let start = cur.pos;
+            if cur.remaining() < count {
+                return Err(corrupt("truncated tag run"));
+            }
+            cur.pos += count;
+            for k in 0..count {
+                match cur.bytes[start + k] {
+                    VTAG_INT => {
+                        cur.get_sv()
+                            .ok_or_else(|| corrupt("truncated mixed Int value"))?;
+                    }
+                    VTAG_SYM => {
+                        let v = cur
+                            .get_uv()
+                            .ok_or_else(|| corrupt("truncated mixed Sym value"))?;
+                        u32::try_from(v).map_err(|_| corrupt("symbol id overflows u32"))?;
+                    }
+                    tag => return Err(corrupt(&format!("unknown value tag {tag}"))),
+                }
             }
             Ok(())
         }

@@ -37,6 +37,7 @@ pub mod coordinator;
 pub mod explore;
 pub mod fault;
 pub mod message;
+pub mod net;
 pub mod obs;
 pub mod sim;
 pub mod spec;
@@ -45,11 +46,16 @@ pub mod stats;
 pub mod sync;
 pub mod termination;
 pub mod transport;
+pub(crate) mod wire;
 pub mod worker;
 
 pub use coordinator::{execute_processors, FailPoint, RuntimeConfig, SupervisorConfig};
 pub use explore::{shrink_failure, sweep_seeds, ExpectedModel, Shrunk, SweepReport};
 pub use fault::{CrashSpec, FaultPlan};
+pub use net::{
+    run_net_worker, ConstraintDecoderFn, InProcessLauncher, KillSpec, Launcher, NetConfig,
+    NetCoordinator, NetFault, NetFaultPlan, NetWorkerArgs, ProcessLauncher,
+};
 pub use obs::{Journal, ObsEvent, ObsKind, TimeBase, TraceSink};
 pub use sim::{SimTrace, SimTransport, TraceEvent};
 pub use simulate::{simulate_bsp, MachineModel, RoundTrace};

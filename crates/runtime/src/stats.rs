@@ -94,6 +94,14 @@ pub struct ParallelStats {
     /// Worker restarts the supervisor performed (crash recovery). Zero on
     /// a fault-free run.
     pub restarts: u64,
+    /// Worker reconnections the network coordinator accepted (TCP
+    /// transport only; zero for in-process transports). Tracks `restarts`
+    /// unless a replacement incarnation died before reconnecting.
+    pub reconnects: u64,
+    /// Framed wire bytes of worker-to-worker envelopes the network
+    /// coordinator relayed — actual bytes on the wire, frame headers
+    /// included (TCP transport only; zero for in-process transports).
+    pub relay_bytes: u64,
     /// Wall-clock time of the parallel section.
     pub wall_time: Duration,
 }
@@ -268,6 +276,8 @@ mod tests {
             workers: vec![report(0, vec![5, 3]), report(1, vec![2, 7])],
             channel_matrix: vec![vec![5, 3], vec![2, 7]],
             restarts: 0,
+            reconnects: 0,
+            relay_bytes: 0,
             wall_time: Duration::ZERO,
         };
         assert_eq!(stats.total_tuples_sent(), 5);
@@ -288,6 +298,8 @@ mod tests {
             workers: vec![report(0, vec![0, 0]), report(1, vec![0, 0])],
             channel_matrix: vec![vec![0, 0], vec![0, 0]],
             restarts: 0,
+            reconnects: 0,
+            relay_bytes: 0,
             wall_time: Duration::ZERO,
         };
         assert!(stats.communication_free());

@@ -261,6 +261,8 @@ pub fn execute_synchronous_traced(
                 workers,
                 channel_matrix,
                 restarts: 0,
+                reconnects: 0,
+                relay_bytes: 0,
                 wall_time: started.elapsed(),
             },
             journal: crate::obs::Journal::default(),

@@ -142,6 +142,8 @@ pub(crate) fn assemble_outcome(
             workers: reports,
             channel_matrix,
             restarts,
+            reconnects: 0,
+            relay_bytes: 0,
             wall_time,
         },
         journal,

@@ -1,0 +1,1304 @@
+//! Framed wire protocol for the multi-process TCP transport.
+//!
+//! Everything a worker process exchanges with its coordinator travels as
+//! length-prefixed frames:
+//!
+//! ```text
+//! frame   := len:u32le  kind:u8  body[len-1]
+//! ```
+//!
+//! `len` counts the kind byte plus the body, so an empty-bodied frame has
+//! `len == 1`. A length above [`MAX_FRAME`] is rejected before any
+//! allocation — a garbage prefix (or a peer speaking a different
+//! protocol) costs a typed error, not an OOM.
+//!
+//! Frame kinds:
+//!
+//! | kind | name     | direction | body                                   |
+//! |------|----------|-----------|----------------------------------------|
+//! | 0    | Hello    | w → c     | `index uv, incarnation uv`             |
+//! | 1    | Job      | c → w     | epoch, fleet size, worker config, symbol table, spec |
+//! | 2    | Envelope | both      | `dest uv` then the serialized envelope |
+//! | 3    | Result   | w → c     | [`WorkerReport`] + pooled relations    |
+//! | 4    | Error    | w → c     | `fatal u8, message utf8`               |
+//! | 5    | Ping     | c → w     | `nonce uv`                             |
+//! | 6    | Pong     | w → c     | `nonce uv`                             |
+//! | 7    | Shutdown | c → w     | empty                                  |
+//!
+//! The `Envelope` body leads with the *destination* processor. The
+//! coordinator relays worker-to-worker traffic by validating the whole
+//! envelope (a structurally complete frame can still carry a corrupt
+//! body — the garbage fault cuts exactly that shape, and corruption must
+//! be charged to the *sender's* link) and then forwarding the original
+//! frame bytes verbatim — validate, never re-encode.
+//!
+//! Scalars are the codec's LEB128 varints ([`crate::codec`]); tuple data
+//! reuses [`crate::codec::encode_batch`] so batches cross the process
+//! boundary in the same columnar format they cross thread boundaries in.
+//! Every decode path shares the codec's never-panic contract: truncated,
+//! corrupt, or adversarial bytes yield a typed [`Error::Runtime`] (see
+//! the fuzz sweep in this module's tests).
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gst_common::{Error, Interner, Result, SymbolId, Tuple};
+use gst_eval::plan::RelationId;
+use gst_eval::{EvalStats, RoundSample};
+use gst_frontend::ast::{
+    Atom, ConstraintRef, Literal, Program, Rule, Term, Variable,
+};
+use gst_storage::{Database, Relation};
+
+use crate::codec::{self, put_bytes, put_uv, put_sv, Cursor};
+use crate::message::{Envelope, Message, Payload};
+use crate::spec::{ChannelOut, ProcessorProgram, SessionSeed, WorkerSpec};
+use crate::stats::WorkerReport;
+use crate::termination::{Color, TokenMsg};
+use crate::worker::{PooledRelations, WorkerConfig};
+
+/// Upper bound on a frame's declared length (256 MiB). A length prefix
+/// beyond this is treated as corruption before any buffer is allocated.
+pub(crate) const MAX_FRAME: u32 = 1 << 28;
+
+/// Worker → coordinator: identify yourself after connecting.
+pub(crate) const FRAME_HELLO: u8 = 0;
+/// Coordinator → worker: the job to run (spec, config, symbols).
+pub(crate) const FRAME_JOB: u8 = 1;
+/// Either direction: a routed worker-to-worker [`Envelope`].
+pub(crate) const FRAME_ENVELOPE: u8 = 2;
+/// Worker → coordinator: terminated cleanly; report + pooled relations.
+pub(crate) const FRAME_RESULT: u8 = 3;
+/// Worker → coordinator: a typed error (fatal or recoverable).
+pub(crate) const FRAME_ERROR: u8 = 4;
+/// Coordinator → worker: heartbeat probe.
+pub(crate) const FRAME_PING: u8 = 5;
+/// Worker → coordinator: heartbeat reply (echoes the nonce).
+pub(crate) const FRAME_PONG: u8 = 6;
+/// Coordinator → worker: tear down and exit cleanly.
+pub(crate) const FRAME_SHUTDOWN: u8 = 7;
+
+/// A decoder for constraint literals shipped inside a [`FRAME_JOB`].
+///
+/// The runtime cannot depend on `gst-core` (where the discriminating
+/// functions live), so whoever launches a net worker injects the decoder
+/// — typically `gst_core::prelude::decode_constraint`.
+pub(crate) type ConstraintDecode<'a> =
+    Option<&'a (dyn Fn(&[u8]) -> Result<ConstraintRef> + Send + Sync)>;
+
+fn corrupt(what: &str) -> Error {
+    Error::Runtime(format!("corrupt frame: {what}"))
+}
+
+// ---------------------------------------------------------------------
+// Frame layer
+// ---------------------------------------------------------------------
+
+/// Write one frame. Failures are I/O failures (the peer is gone).
+pub(crate) fn write_frame(w: &mut dyn Write, kind: u8, body: &[u8]) -> Result<()> {
+    if body.len() as u64 + 1 > u64::from(MAX_FRAME) {
+        return Err(Error::Runtime(format!(
+            "frame too large to send: {} bytes",
+            body.len()
+        )));
+    }
+    let len = body.len() as u32 + 1;
+    let mut head = [0u8; 5];
+    head[..4].copy_from_slice(&len.to_le_bytes());
+    head[4] = kind;
+    w.write_all(&head)
+        .and_then(|()| w.write_all(body))
+        .and_then(|()| w.flush())
+        .map_err(|e| Error::Runtime(format!("link write failed: {e}")))
+}
+
+/// Read one frame. `Ok(None)` is a clean EOF at a frame boundary (the
+/// peer closed deliberately); EOF inside a frame, an oversized length
+/// prefix, or any I/O error (including a read timeout) is an `Err`.
+pub(crate) fn read_frame(r: &mut dyn Read) -> Result<Option<(u8, Vec<u8>)>> {
+    let mut head = [0u8; 5];
+    let mut got = 0;
+    // The header is assembled byte by byte so a split read (TCP hands
+    // back whatever is buffered) never loses data, and an EOF before the
+    // first byte is distinguishable as a deliberate close.
+    while got < head.len() {
+        match r.read(&mut head[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(corrupt("EOF inside frame header")),
+            Ok(k) => got += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::Runtime(format!("link read failed: {e}"))),
+        }
+        if got >= 4 {
+            let len = u32::from_le_bytes(head[..4].try_into().expect("four bytes"));
+            if len == 0 {
+                return Err(corrupt("zero-length frame"));
+            }
+            if len > MAX_FRAME {
+                return Err(corrupt(&format!("implausible frame length {len}")));
+            }
+        }
+    }
+    let len = u32::from_le_bytes(head[..4].try_into().expect("four bytes"));
+    let kind = head[4];
+    let mut body = vec![0u8; len as usize - 1];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            corrupt("EOF inside frame body")
+        } else {
+            Error::Runtime(format!("link read failed: {e}"))
+        }
+    })?;
+    Ok(Some((kind, body)))
+}
+
+// ---------------------------------------------------------------------
+// Shared decode helpers
+// ---------------------------------------------------------------------
+
+/// Read a count that prefixes a list whose elements occupy at least one
+/// byte each: anything larger than the remaining bytes is corruption,
+/// which also bounds allocations by the (already bounded) frame size.
+fn get_count(c: &mut Cursor, what: &str) -> Result<usize> {
+    let n = c.get_uv().ok_or_else(|| corrupt(what))?;
+    if n > c.remaining() as u64 {
+        return Err(corrupt(&format!("implausible {what} count {n}")));
+    }
+    Ok(n as usize)
+}
+
+fn get_usize(c: &mut Cursor, what: &str) -> Result<usize> {
+    let v = c.get_uv().ok_or_else(|| corrupt(what))?;
+    usize::try_from(v).map_err(|_| corrupt(what))
+}
+
+fn get_symbol(c: &mut Cursor, interner: &Interner, what: &str) -> Result<SymbolId> {
+    let idx = c.get_uv().ok_or_else(|| corrupt(what))?;
+    if idx >= interner.len() as u64 {
+        return Err(corrupt(&format!("{what}: symbol {idx} outside table")));
+    }
+    Ok(SymbolId(idx as u32))
+}
+
+fn put_relation_id(buf: &mut Vec<u8>, id: RelationId) {
+    put_uv(buf, u64::from(id.0 .0));
+    put_uv(buf, id.1 as u64);
+}
+
+fn get_relation_id(c: &mut Cursor, interner: &Interner) -> Result<RelationId> {
+    let sym = get_symbol(c, interner, "relation id")?;
+    let arity = get_usize(c, "relation arity")?;
+    if arity > codec::IMPLAUSIBLE {
+        return Err(corrupt(&format!("implausible relation arity {arity}")));
+    }
+    Ok((sym, arity))
+}
+
+/// Encode a relation's live tuples as one columnar batch (sorted, so the
+/// encoding is deterministic across runs and processes).
+fn put_relation_tuples(buf: &mut Vec<u8>, arity: usize, rel: &Relation) -> Result<()> {
+    let mut tuples: Vec<Tuple> = rel.iter().cloned().collect();
+    tuples.sort();
+    put_bytes(buf, &codec::encode_batch(arity, &tuples)?);
+    Ok(())
+}
+
+fn get_relation_tuples(c: &mut Cursor, arity: usize) -> Result<Relation> {
+    let bytes = c.get_bytes().ok_or_else(|| corrupt("relation payload"))?;
+    let tuples = codec::decode_batch(bytes)?;
+    let mut rel = Relation::with_capacity(arity, tuples.len());
+    for t in tuples {
+        rel.insert(t)?;
+    }
+    Ok(rel)
+}
+
+// ---------------------------------------------------------------------
+// Hello / Error / heartbeat bodies
+// ---------------------------------------------------------------------
+
+pub(crate) fn encode_hello(index: usize, incarnation: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12);
+    put_uv(&mut buf, index as u64);
+    put_uv(&mut buf, incarnation);
+    buf
+}
+
+pub(crate) fn decode_hello(bytes: &[u8]) -> Result<(usize, u64)> {
+    let mut c = Cursor::new(bytes);
+    let index = get_usize(&mut c, "hello index")?;
+    let incarnation = c.get_uv().ok_or_else(|| corrupt("hello incarnation"))?;
+    if c.remaining() != 0 {
+        return Err(corrupt("trailing bytes after hello"));
+    }
+    Ok((index, incarnation))
+}
+
+pub(crate) fn encode_error(fatal: bool, message: &str) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(message.len() + 2);
+    buf.push(u8::from(fatal));
+    put_bytes(&mut buf, message.as_bytes());
+    buf
+}
+
+pub(crate) fn decode_error(bytes: &[u8]) -> Result<(bool, String)> {
+    let mut c = Cursor::new(bytes);
+    let fatal = match c.get_u8().ok_or_else(|| corrupt("error flag"))? {
+        0 => false,
+        1 => true,
+        other => return Err(corrupt(&format!("unknown error flag {other}"))),
+    };
+    let msg = c.get_bytes().ok_or_else(|| corrupt("error message"))?;
+    let msg = std::str::from_utf8(msg).map_err(|_| corrupt("error message utf8"))?;
+    if c.remaining() != 0 {
+        return Err(corrupt("trailing bytes after error"));
+    }
+    Ok((fatal, msg.to_string()))
+}
+
+pub(crate) fn encode_nonce(nonce: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(10);
+    put_uv(&mut buf, nonce);
+    buf
+}
+
+pub(crate) fn decode_nonce(bytes: &[u8]) -> Result<u64> {
+    let mut c = Cursor::new(bytes);
+    let nonce = c.get_uv().ok_or_else(|| corrupt("nonce"))?;
+    if c.remaining() != 0 {
+        return Err(corrupt("trailing bytes after nonce"));
+    }
+    Ok(nonce)
+}
+
+// ---------------------------------------------------------------------
+// Job frames
+// ---------------------------------------------------------------------
+
+/// A decoded [`FRAME_JOB`]: everything a fresh worker process needs.
+pub(crate) struct JobFrame {
+    /// Recovery epoch this incarnation starts in.
+    pub(crate) epoch: u64,
+    /// Fleet size.
+    pub(crate) n: usize,
+    /// Per-worker runtime knobs.
+    pub(crate) worker: WorkerConfig,
+    /// What to run (program, routing, EDB, optional session seed).
+    pub(crate) spec: WorkerSpec,
+    /// A pending `Recover` the incarnation must absorb before its first
+    /// engine step. Embedding it in the job (rather than sending it as a
+    /// separate envelope frame) removes the race between the reader
+    /// thread delivering it and the main loop stepping: a replacement
+    /// that fires a batch before absorbing `Recover` has that send
+    /// erased when `on_recover` zeroes its Safra counter, leaving the
+    /// termination ring permanently unbalanced.
+    pub(crate) recover: Option<Envelope>,
+}
+
+pub(crate) fn encode_job(
+    epoch: u64,
+    n: usize,
+    worker: &WorkerConfig,
+    spec: &WorkerSpec,
+    recover: Option<&Envelope>,
+) -> Result<Vec<u8>> {
+    let mut buf = Vec::with_capacity(1024);
+    put_uv(&mut buf, epoch);
+    put_uv(&mut buf, n as u64);
+    put_uv(&mut buf, worker.idle_poll.as_micros() as u64);
+    put_uv(&mut buf, worker.idle_watchdog.as_micros() as u64);
+    buf.push(u8::from(worker.pool_results));
+
+    // Symbol table: the entire interner, ids 0..len in order. The worker
+    // re-interns into a fresh table and every SymbolId below resolves to
+    // the same string on both sides.
+    let interner = &spec.program.program.interner;
+    put_uv(&mut buf, interner.len() as u64);
+    for idx in 0..interner.len() {
+        put_bytes(&mut buf, interner.resolve(SymbolId(idx as u32)).as_bytes());
+    }
+
+    put_processor_program(&mut buf, &spec.program)?;
+
+    // EDB: live tuples per relation, deterministic relation order.
+    let mut rels: Vec<(&RelationId, &Relation)> = spec.edb.iter().collect();
+    rels.sort_by_key(|(id, _)| **id);
+    put_uv(&mut buf, rels.len() as u64);
+    for (id, rel) in rels {
+        put_relation_id(&mut buf, *id);
+        put_relation_tuples(&mut buf, id.1, rel)?;
+    }
+
+    // Update-session seed.
+    match &spec.session {
+        None => buf.push(0),
+        Some(seed) => {
+            buf.push(1);
+            put_uv(&mut buf, seed.preseed.len() as u64);
+            for (id, rel) in &seed.preseed {
+                put_relation_id(&mut buf, *id);
+                put_relation_tuples(&mut buf, id.1, rel)?;
+            }
+            put_uv(&mut buf, seed.inject.len() as u64);
+            for (id, tuples) in &seed.inject {
+                put_relation_id(&mut buf, *id);
+                put_bytes(&mut buf, &codec::encode_batch(id.1, tuples)?);
+            }
+        }
+    }
+
+    // Pending recovery handshake, absorbed before the first engine step.
+    match recover {
+        None => buf.push(0),
+        Some(env) => {
+            buf.push(1);
+            put_bytes(&mut buf, &encode_envelope(spec.program.processor, env));
+        }
+    }
+    Ok(buf)
+}
+
+pub(crate) fn decode_job(bytes: &[u8], decode_constraint: ConstraintDecode) -> Result<JobFrame> {
+    let mut c = Cursor::new(bytes);
+    let epoch = c.get_uv().ok_or_else(|| corrupt("job epoch"))?;
+    let n = get_usize(&mut c, "job fleet size")?;
+    if n == 0 || n > 1 << 16 {
+        return Err(corrupt(&format!("implausible fleet size {n}")));
+    }
+    let idle_poll = c.get_uv().ok_or_else(|| corrupt("job idle_poll"))?;
+    let idle_watchdog = c.get_uv().ok_or_else(|| corrupt("job idle_watchdog"))?;
+    let pool_results = match c.get_u8().ok_or_else(|| corrupt("job pool flag"))? {
+        0 => false,
+        1 => true,
+        other => return Err(corrupt(&format!("unknown pool flag {other}"))),
+    };
+    let worker = WorkerConfig {
+        idle_poll: Duration::from_micros(idle_poll),
+        idle_watchdog: Duration::from_micros(idle_watchdog),
+        pool_results,
+    };
+
+    // Rebuild the symbol table; sequential re-interning must reproduce
+    // the shipped ids exactly (the interner hands them out densely).
+    let interner = Interner::new();
+    let nsyms = get_count(&mut c, "symbol table")?;
+    for idx in 0..nsyms {
+        let name = c.get_bytes().ok_or_else(|| corrupt("symbol"))?;
+        let name = std::str::from_utf8(name).map_err(|_| corrupt("symbol utf8"))?;
+        let id = interner.intern(name);
+        if id.index() != idx {
+            return Err(corrupt(&format!(
+                "duplicate symbol {name:?} in table (id {} at position {idx})",
+                id.index()
+            )));
+        }
+    }
+
+    let program = get_processor_program(&mut c, &interner, decode_constraint)?;
+    if program.processor >= n {
+        return Err(corrupt(&format!(
+            "processor {} outside fleet of {n}",
+            program.processor
+        )));
+    }
+
+    let mut edb = Database::new(interner.clone());
+    let nrels = get_count(&mut c, "edb relations")?;
+    for _ in 0..nrels {
+        let id = get_relation_id(&mut c, &interner)?;
+        let rel = get_relation_tuples(&mut c, id.1)?;
+        edb.put_relation(id, rel)?;
+    }
+
+    let session = match c.get_u8().ok_or_else(|| corrupt("session flag"))? {
+        0 => None,
+        1 => {
+            let npre = get_count(&mut c, "preseed relations")?;
+            let mut preseed = Vec::with_capacity(npre.min(1024));
+            for _ in 0..npre {
+                let id = get_relation_id(&mut c, &interner)?;
+                preseed.push((id, get_relation_tuples(&mut c, id.1)?));
+            }
+            let ninj = get_count(&mut c, "inject relations")?;
+            let mut inject = Vec::with_capacity(ninj.min(1024));
+            for _ in 0..ninj {
+                let id = get_relation_id(&mut c, &interner)?;
+                let bytes = c.get_bytes().ok_or_else(|| corrupt("inject payload"))?;
+                inject.push((id, codec::decode_batch(bytes)?));
+            }
+            Some(Arc::new(SessionSeed { preseed, inject }))
+        }
+        other => return Err(corrupt(&format!("unknown session flag {other}"))),
+    };
+    let recover = match c.get_u8().ok_or_else(|| corrupt("recover flag"))? {
+        0 => None,
+        1 => {
+            let bytes = c.get_bytes().ok_or_else(|| corrupt("recover envelope"))?;
+            let (_, env) = decode_envelope(bytes, &interner)?;
+            if !matches!(env.message, Message::Recover { .. }) {
+                return Err(corrupt("job recovery slot holds a non-Recover message"));
+            }
+            Some(env)
+        }
+        other => return Err(corrupt(&format!("unknown recover flag {other}"))),
+    };
+    if c.remaining() != 0 {
+        return Err(corrupt("trailing bytes after job"));
+    }
+    Ok(JobFrame {
+        epoch,
+        n,
+        worker,
+        spec: WorkerSpec { program, edb: Arc::new(edb), session },
+        recover,
+    })
+}
+
+fn put_processor_program(buf: &mut Vec<u8>, pp: &ProcessorProgram) -> Result<()> {
+    put_uv(buf, pp.processor as u64);
+    put_program(buf, &pp.program)?;
+    put_uv(buf, pp.outgoing.len() as u64);
+    for ch in &pp.outgoing {
+        put_relation_id(buf, ch.channel);
+        put_uv(buf, ch.dest as u64);
+        put_relation_id(buf, ch.inbox);
+    }
+    put_uv(buf, pp.inboxes.len() as u64);
+    for id in &pp.inboxes {
+        put_relation_id(buf, *id);
+    }
+    put_uv(buf, pp.processing_rules.len() as u64);
+    for r in &pp.processing_rules {
+        put_uv(buf, *r as u64);
+    }
+    put_uv(buf, pp.pooling.len() as u64);
+    for (local, global) in &pp.pooling {
+        put_relation_id(buf, *local);
+        put_relation_id(buf, *global);
+    }
+    put_uv(buf, pp.local_idb.len() as u64);
+    for id in &pp.local_idb {
+        put_relation_id(buf, *id);
+    }
+    put_uv(buf, pp.retract_channels.len() as u64);
+    for id in &pp.retract_channels {
+        put_relation_id(buf, *id);
+    }
+    Ok(())
+}
+
+fn get_processor_program(
+    c: &mut Cursor,
+    interner: &Interner,
+    decode_constraint: ConstraintDecode,
+) -> Result<ProcessorProgram> {
+    let processor = get_usize(c, "processor index")?;
+    let program = get_program(c, interner, decode_constraint)?;
+    let nout = get_count(c, "outgoing channels")?;
+    let mut outgoing = Vec::with_capacity(nout.min(1024));
+    for _ in 0..nout {
+        let channel = get_relation_id(c, interner)?;
+        let dest = get_usize(c, "channel dest")?;
+        let inbox = get_relation_id(c, interner)?;
+        outgoing.push(ChannelOut { channel, dest, inbox });
+    }
+    let read_ids = |c: &mut Cursor, what: &str| -> Result<Vec<RelationId>> {
+        let k = get_count(c, what)?;
+        let mut v = Vec::with_capacity(k.min(1024));
+        for _ in 0..k {
+            v.push(get_relation_id(c, interner)?);
+        }
+        Ok(v)
+    };
+    let inboxes = read_ids(c, "inboxes")?;
+    let nproc = get_count(c, "processing rules")?;
+    let mut processing_rules = Vec::with_capacity(nproc.min(1024));
+    for _ in 0..nproc {
+        processing_rules.push(get_usize(c, "processing rule index")?);
+    }
+    let npool = get_count(c, "pooling pairs")?;
+    let mut pooling = Vec::with_capacity(npool.min(1024));
+    for _ in 0..npool {
+        let local = get_relation_id(c, interner)?;
+        let global = get_relation_id(c, interner)?;
+        pooling.push((local, global));
+    }
+    let local_idb = read_ids(c, "local idb")?;
+    let retract_channels = read_ids(c, "retract channels")?;
+    Ok(ProcessorProgram {
+        processor,
+        program,
+        outgoing,
+        inboxes,
+        processing_rules,
+        pooling,
+        local_idb,
+        retract_channels,
+    })
+}
+
+const LIT_ATOM: u8 = 0;
+const LIT_CONSTRAINT: u8 = 1;
+const TERM_VAR: u8 = 0;
+const TERM_INT: u8 = 1;
+const TERM_SYM: u8 = 2;
+
+fn put_program(buf: &mut Vec<u8>, program: &Program) -> Result<()> {
+    put_uv(buf, program.rules.len() as u64);
+    for rule in &program.rules {
+        put_atom(buf, &rule.head);
+        put_uv(buf, rule.body.len() as u64);
+        for lit in &rule.body {
+            match lit {
+                Literal::Atom(a) => {
+                    buf.push(LIT_ATOM);
+                    put_atom(buf, a);
+                }
+                Literal::Constraint(cref) => {
+                    let encoded = cref.wire_encode().ok_or_else(|| {
+                        Error::Runtime(format!(
+                            "constraint {} cannot travel to a worker process \
+                             (no wire encoding)",
+                            cref.describe(&program.interner)
+                        ))
+                    })?;
+                    buf.push(LIT_CONSTRAINT);
+                    put_bytes(buf, &encoded);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn put_atom(buf: &mut Vec<u8>, atom: &Atom) {
+    put_uv(buf, u64::from(atom.predicate.0));
+    put_uv(buf, atom.terms.len() as u64);
+    for term in &atom.terms {
+        match term {
+            Term::Var(v) => {
+                buf.push(TERM_VAR);
+                put_uv(buf, u64::from(v.0 .0));
+            }
+            Term::Const(gst_common::Value::Int(i)) => {
+                buf.push(TERM_INT);
+                put_sv(buf, *i);
+            }
+            Term::Const(gst_common::Value::Sym(s)) => {
+                buf.push(TERM_SYM);
+                put_uv(buf, u64::from(s.0));
+            }
+        }
+    }
+}
+
+fn get_program(
+    c: &mut Cursor,
+    interner: &Interner,
+    decode_constraint: ConstraintDecode,
+) -> Result<Program> {
+    let nrules = get_count(c, "rules")?;
+    let mut rules = Vec::with_capacity(nrules.min(1024));
+    for _ in 0..nrules {
+        let head = get_atom(c, interner)?;
+        let nbody = get_count(c, "body literals")?;
+        let mut body = Vec::with_capacity(nbody.min(1024));
+        for _ in 0..nbody {
+            match c.get_u8().ok_or_else(|| corrupt("literal tag"))? {
+                LIT_ATOM => body.push(Literal::Atom(get_atom(c, interner)?)),
+                LIT_CONSTRAINT => {
+                    let bytes = c.get_bytes().ok_or_else(|| corrupt("constraint bytes"))?;
+                    let decode = decode_constraint.ok_or_else(|| {
+                        Error::Runtime(
+                            "job carries a constraint literal but this worker has \
+                             no constraint decoder"
+                                .into(),
+                        )
+                    })?;
+                    body.push(Literal::Constraint(decode(bytes)?));
+                }
+                other => return Err(corrupt(&format!("unknown literal tag {other}"))),
+            }
+        }
+        rules.push(Rule { head, body });
+    }
+    Ok(Program::new(rules, interner.clone()))
+}
+
+fn get_atom(c: &mut Cursor, interner: &Interner) -> Result<Atom> {
+    let predicate = get_symbol(c, interner, "atom predicate")?;
+    let nterms = get_count(c, "atom terms")?;
+    let mut terms = Vec::with_capacity(nterms.min(64));
+    for _ in 0..nterms {
+        terms.push(match c.get_u8().ok_or_else(|| corrupt("term tag"))? {
+            TERM_VAR => Term::Var(Variable(get_symbol(c, interner, "term variable")?)),
+            TERM_INT => Term::Const(gst_common::Value::Int(
+                c.get_sv().ok_or_else(|| corrupt("term int"))?,
+            )),
+            TERM_SYM => Term::Const(gst_common::Value::Sym(get_symbol(
+                c, interner, "term symbol",
+            )?)),
+            other => return Err(corrupt(&format!("unknown term tag {other}"))),
+        });
+    }
+    Ok(Atom { predicate, terms })
+}
+
+// ---------------------------------------------------------------------
+// Envelope frames
+// ---------------------------------------------------------------------
+
+const MSG_BATCH: u8 = 0;
+const MSG_TOKEN: u8 = 1;
+const MSG_TERMINATE: u8 = 2;
+const MSG_RECOVER: u8 = 3;
+const MSG_ACK_SYNC: u8 = 4;
+const MSG_SNAPSHOT: u8 = 5;
+const MSG_ABORT: u8 = 6;
+
+/// Encode a routed envelope. The destination leads so a relay can route
+/// the frame without decoding the rest.
+pub(crate) fn encode_envelope(dest: usize, env: &Envelope) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_uv(&mut buf, dest as u64);
+    put_uv(&mut buf, env.from as u64);
+    put_uv(&mut buf, env.seq);
+    put_uv(&mut buf, env.epoch);
+    put_uv(&mut buf, env.ack);
+    match &env.message {
+        Message::Batch { inbox, payload, retract } => {
+            buf.push(MSG_BATCH);
+            put_relation_id(&mut buf, *inbox);
+            buf.push(u8::from(*retract));
+            put_bytes(&mut buf, payload);
+        }
+        Message::Token(t) => {
+            buf.push(MSG_TOKEN);
+            buf.push(match t.color {
+                Color::White => 0,
+                Color::Black => 1,
+            });
+            put_sv(&mut buf, t.count);
+            put_uv(&mut buf, t.epoch);
+        }
+        Message::Terminate => buf.push(MSG_TERMINATE),
+        Message::Recover { epoch, restarted } => {
+            buf.push(MSG_RECOVER);
+            put_uv(&mut buf, *epoch);
+            put_uv(&mut buf, *restarted as u64);
+        }
+        Message::AckSync { acked } => {
+            buf.push(MSG_ACK_SYNC);
+            put_uv(&mut buf, *acked);
+        }
+        Message::Snapshot { payloads, upto } => {
+            buf.push(MSG_SNAPSHOT);
+            put_uv(&mut buf, *upto);
+            put_uv(&mut buf, payloads.len() as u64);
+            for (inbox, payload) in payloads {
+                put_relation_id(&mut buf, *inbox);
+                put_bytes(&mut buf, payload);
+            }
+        }
+        Message::Abort { reason } => {
+            buf.push(MSG_ABORT);
+            put_bytes(&mut buf, reason.as_bytes());
+        }
+    }
+    buf
+}
+
+/// Read just the destination off an envelope body without decoding the
+/// rest (the relay validates the full envelope separately before
+/// forwarding, but routing-layer tests pin the dest-leads-the-body
+/// invariant through this).
+#[cfg(test)]
+pub(crate) fn peek_envelope_dest(bytes: &[u8]) -> Result<usize> {
+    let mut c = Cursor::new(bytes);
+    get_usize(&mut c, "envelope dest")
+}
+
+/// Decode a routed envelope body into `(dest, envelope)`.
+pub(crate) fn decode_envelope(bytes: &[u8], interner: &Interner) -> Result<(usize, Envelope)> {
+    let mut c = Cursor::new(bytes);
+    let dest = get_usize(&mut c, "envelope dest")?;
+    let from = get_usize(&mut c, "envelope from")?;
+    let seq = c.get_uv().ok_or_else(|| corrupt("envelope seq"))?;
+    let epoch = c.get_uv().ok_or_else(|| corrupt("envelope epoch"))?;
+    let ack = c.get_uv().ok_or_else(|| corrupt("envelope ack"))?;
+    let message = match c.get_u8().ok_or_else(|| corrupt("message tag"))? {
+        MSG_BATCH => {
+            let inbox = get_relation_id(&mut c, interner)?;
+            let retract = match c.get_u8().ok_or_else(|| corrupt("retract flag"))? {
+                0 => false,
+                1 => true,
+                other => return Err(corrupt(&format!("unknown retract flag {other}"))),
+            };
+            let payload = c.get_bytes().ok_or_else(|| corrupt("batch payload"))?;
+            // Full structural walk, not just the header: a corrupt
+            // payload must die at the link (recoverable) instead of in
+            // the worker's deferred decode (fatal).
+            codec::validate_batch(payload)?;
+            Message::Batch {
+                inbox,
+                payload: Payload::new(payload.to_vec()),
+                retract,
+            }
+        }
+        MSG_TOKEN => {
+            let color = match c.get_u8().ok_or_else(|| corrupt("token color"))? {
+                0 => Color::White,
+                1 => Color::Black,
+                other => return Err(corrupt(&format!("unknown token color {other}"))),
+            };
+            let count = c.get_sv().ok_or_else(|| corrupt("token count"))?;
+            let tepoch = c.get_uv().ok_or_else(|| corrupt("token epoch"))?;
+            Message::Token(TokenMsg { color, count, epoch: tepoch })
+        }
+        MSG_TERMINATE => Message::Terminate,
+        MSG_RECOVER => {
+            let repoch = c.get_uv().ok_or_else(|| corrupt("recover epoch"))?;
+            let restarted = get_usize(&mut c, "recover restarted")?;
+            Message::Recover { epoch: repoch, restarted }
+        }
+        MSG_ACK_SYNC => Message::AckSync {
+            acked: c.get_uv().ok_or_else(|| corrupt("ack-sync watermark"))?,
+        },
+        MSG_SNAPSHOT => {
+            let upto = c.get_uv().ok_or_else(|| corrupt("snapshot watermark"))?;
+            let npay = get_count(&mut c, "snapshot payloads")?;
+            let mut payloads = Vec::with_capacity(npay.min(1024));
+            for _ in 0..npay {
+                let inbox = get_relation_id(&mut c, interner)?;
+                let payload = c.get_bytes().ok_or_else(|| corrupt("snapshot payload"))?;
+                codec::validate_batch(payload)?;
+                payloads.push((inbox, Payload::new(payload.to_vec())));
+            }
+            Message::Snapshot { payloads, upto }
+        }
+        MSG_ABORT => {
+            let reason = c.get_bytes().ok_or_else(|| corrupt("abort reason"))?;
+            let reason =
+                std::str::from_utf8(reason).map_err(|_| corrupt("abort reason utf8"))?;
+            Message::Abort { reason: reason.to_string() }
+        }
+        other => return Err(corrupt(&format!("unknown message tag {other}"))),
+    };
+    if c.remaining() != 0 {
+        return Err(corrupt("trailing bytes after envelope"));
+    }
+    Ok((dest, Envelope { from, seq, epoch, ack, message }))
+}
+
+// ---------------------------------------------------------------------
+// Result frames
+// ---------------------------------------------------------------------
+
+pub(crate) fn encode_result(
+    report: &WorkerReport,
+    pooled: &[(RelationId, Relation)],
+) -> Result<Vec<u8>> {
+    let mut buf = Vec::with_capacity(256);
+    put_uv(&mut buf, report.processor as u64);
+    put_uv(&mut buf, report.eval.rounds);
+    put_uv(&mut buf, report.eval.firings);
+    put_uv(&mut buf, report.eval.derived);
+    put_uv(&mut buf, report.eval.duplicates);
+    put_uv(&mut buf, report.eval.firings_by_rule.len() as u64);
+    for f in &report.eval.firings_by_rule {
+        put_uv(&mut buf, *f);
+    }
+    put_uv(&mut buf, report.eval.per_round.len() as u64);
+    for s in &report.eval.per_round {
+        put_uv(&mut buf, s.round);
+        put_uv(&mut buf, s.submitted);
+        put_uv(&mut buf, s.fresh);
+    }
+    put_uv(&mut buf, report.processing_firings);
+    put_uv(&mut buf, report.sent_tuples_to.len() as u64);
+    for v in &report.sent_tuples_to {
+        put_uv(&mut buf, *v);
+    }
+    for v in &report.sent_bytes_to {
+        put_uv(&mut buf, *v);
+    }
+    for v in [
+        report.sent_messages,
+        report.received_tuples,
+        report.received_bytes,
+        report.encode_calls,
+        report.encoded_bytes,
+        report.encoded_raw_bytes,
+        report.duplicate_batches,
+        report.replayed_batches,
+        report.stale_dropped,
+        report.retract_tuples_sent,
+        report.retract_tuples_received,
+        report.pooled_tuples,
+        report.busy.as_micros() as u64,
+    ] {
+        put_uv(&mut buf, v);
+    }
+    put_uv(&mut buf, report.sent_per_round.len() as u64);
+    for (round, tuples) in &report.sent_per_round {
+        put_uv(&mut buf, *round);
+        put_uv(&mut buf, *tuples);
+    }
+    put_uv(&mut buf, pooled.len() as u64);
+    for (id, rel) in pooled {
+        put_relation_id(&mut buf, *id);
+        put_relation_tuples(&mut buf, id.1, rel)?;
+    }
+    Ok(buf)
+}
+
+pub(crate) fn decode_result(
+    bytes: &[u8],
+    interner: &Interner,
+) -> Result<(WorkerReport, PooledRelations)> {
+    let mut c = Cursor::new(bytes);
+    let processor = get_usize(&mut c, "result processor")?;
+    let rounds = c.get_uv().ok_or_else(|| corrupt("eval rounds"))?;
+    let firings = c.get_uv().ok_or_else(|| corrupt("eval firings"))?;
+    let derived = c.get_uv().ok_or_else(|| corrupt("eval derived"))?;
+    let duplicates = c.get_uv().ok_or_else(|| corrupt("eval duplicates"))?;
+    let nrules = get_count(&mut c, "firings by rule")?;
+    let mut firings_by_rule = Vec::with_capacity(nrules.min(1024));
+    for _ in 0..nrules {
+        firings_by_rule.push(c.get_uv().ok_or_else(|| corrupt("rule firings"))?);
+    }
+    let nsamples = get_count(&mut c, "round samples")?;
+    let mut per_round = Vec::with_capacity(nsamples.min(1024));
+    for _ in 0..nsamples {
+        per_round.push(RoundSample {
+            round: c.get_uv().ok_or_else(|| corrupt("sample round"))?,
+            submitted: c.get_uv().ok_or_else(|| corrupt("sample submitted"))?,
+            fresh: c.get_uv().ok_or_else(|| corrupt("sample fresh"))?,
+        });
+    }
+    let eval = EvalStats { rounds, firings, derived, duplicates, firings_by_rule, per_round };
+    let processing_firings = c.get_uv().ok_or_else(|| corrupt("processing firings"))?;
+    let nlinks = get_count(&mut c, "link counters")?;
+    let mut sent_tuples_to = Vec::with_capacity(nlinks.min(1024));
+    for _ in 0..nlinks {
+        sent_tuples_to.push(c.get_uv().ok_or_else(|| corrupt("sent tuples"))?);
+    }
+    let mut sent_bytes_to = Vec::with_capacity(nlinks.min(1024));
+    for _ in 0..nlinks {
+        sent_bytes_to.push(c.get_uv().ok_or_else(|| corrupt("sent bytes"))?);
+    }
+    let mut scalars = [0u64; 13];
+    for (k, slot) in scalars.iter_mut().enumerate() {
+        *slot = c
+            .get_uv()
+            .ok_or_else(|| corrupt(&format!("report scalar {k}")))?;
+    }
+    let nrounds = get_count(&mut c, "send rounds")?;
+    let mut sent_per_round = Vec::with_capacity(nrounds.min(1024));
+    for _ in 0..nrounds {
+        let round = c.get_uv().ok_or_else(|| corrupt("send round"))?;
+        let tuples = c.get_uv().ok_or_else(|| corrupt("send round tuples"))?;
+        sent_per_round.push((round, tuples));
+    }
+    let report = WorkerReport {
+        processor,
+        eval,
+        processing_firings,
+        sent_tuples_to,
+        sent_bytes_to,
+        sent_messages: scalars[0],
+        received_tuples: scalars[1],
+        received_bytes: scalars[2],
+        encode_calls: scalars[3],
+        encoded_bytes: scalars[4],
+        encoded_raw_bytes: scalars[5],
+        duplicate_batches: scalars[6],
+        replayed_batches: scalars[7],
+        stale_dropped: scalars[8],
+        retract_tuples_sent: scalars[9],
+        retract_tuples_received: scalars[10],
+        pooled_tuples: scalars[11],
+        busy: Duration::from_micros(scalars[12]),
+        sent_per_round,
+    };
+    let npooled = get_count(&mut c, "pooled relations")?;
+    let mut pooled: PooledRelations = Vec::with_capacity(npooled.min(1024));
+    for _ in 0..npooled {
+        let id = get_relation_id(&mut c, interner)?;
+        pooled.push((id, get_relation_tuples(&mut c, id.1)?));
+    }
+    if c.remaining() != 0 {
+        return Err(corrupt("trailing bytes after result"));
+    }
+    Ok((report, pooled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gst_common::{ituple, SmallRng, Value};
+    use gst_frontend::parse_program;
+
+    fn sample_spec() -> WorkerSpec {
+        let unit = parse_program(
+            "t(X,Y) :- e(X,Y).\n\
+             t(X,Y) :- e(X,Z), t(Z,Y).\n\
+             ship(X,Y) :- t(X,Y).",
+        )
+        .unwrap();
+        let interner = unit.program.interner.clone();
+        let e = (interner.get("e").unwrap(), 2);
+        let t = (interner.get("t").unwrap(), 2);
+        let ship = (interner.get("ship").unwrap(), 2);
+        let inbox = (interner.intern("t@in"), 2);
+        let answer = (interner.intern("answer"), 2);
+        let sym = interner.intern("leaf");
+        let mut db = Database::new(interner.clone());
+        for k in 0..5i64 {
+            db.insert(e, ituple![k, k + 1]).unwrap();
+        }
+        db.insert(e, Tuple::new(&[Value::Sym(sym), Value::Int(-3)])).unwrap();
+        WorkerSpec {
+            program: ProcessorProgram {
+                processor: 1,
+                program: unit.program,
+                outgoing: vec![ChannelOut { channel: ship, dest: 0, inbox }],
+                inboxes: vec![inbox],
+                processing_rules: vec![0, 1],
+                pooling: vec![(t, answer)],
+                local_idb: vec![],
+                retract_channels: vec![ship],
+            },
+            edb: Arc::new(db),
+            session: None,
+        }
+    }
+
+    fn roundtrip_job(spec: &WorkerSpec) -> JobFrame {
+        let body = encode_job(3, 4, &WorkerConfig::default(), spec, None).unwrap();
+        decode_job(&body, None).unwrap()
+    }
+
+    #[test]
+    fn job_round_trips_spec_and_config() {
+        let spec = sample_spec();
+        let job = roundtrip_job(&spec);
+        assert_eq!(job.epoch, 3);
+        assert_eq!(job.n, 4);
+        assert_eq!(job.worker.idle_poll, WorkerConfig::default().idle_poll);
+        assert_eq!(job.worker.idle_watchdog, WorkerConfig::default().idle_watchdog);
+        assert!(job.worker.pool_results);
+        assert_eq!(job.spec.program.processor, 1);
+        assert_eq!(job.spec.program.program.rules, spec.program.program.rules);
+        assert_eq!(job.spec.program.outgoing, spec.program.outgoing);
+        assert_eq!(job.spec.program.inboxes, spec.program.inboxes);
+        assert_eq!(job.spec.program.processing_rules, spec.program.processing_rules);
+        assert_eq!(job.spec.program.pooling, spec.program.pooling);
+        assert_eq!(job.spec.program.retract_channels, spec.program.retract_channels);
+        // The decoded interner resolves every shipped symbol identically.
+        let a = &spec.program.program.interner;
+        let b = &job.spec.program.program.interner;
+        assert_eq!(a.len(), b.len());
+        for idx in 0..a.len() {
+            assert_eq!(
+                a.resolve(SymbolId(idx as u32)),
+                b.resolve(SymbolId(idx as u32))
+            );
+        }
+        // EDB relations survive as sets.
+        for (id, rel) in spec.edb.iter() {
+            let got = job.spec.edb.relation(*id).expect("relation shipped");
+            assert!(rel.set_eq(got), "relation {id:?} differs");
+        }
+        assert_eq!(job.spec.edb.relation_count(), spec.edb.relation_count());
+    }
+
+    #[test]
+    fn job_round_trips_session_seed() {
+        let mut spec = sample_spec();
+        let interner = spec.program.program.interner.clone();
+        let t = (interner.get("t").unwrap(), 2);
+        let mut state = Relation::new(2);
+        state.insert(ituple![10, 11]).unwrap();
+        state.insert(ituple![11, 12]).unwrap();
+        spec.session = Some(Arc::new(SessionSeed {
+            preseed: vec![(t, state.clone())],
+            inject: vec![(t, vec![ituple![99, 100]])],
+        }));
+        let job = roundtrip_job(&spec);
+        let seed = job.spec.session.expect("seed shipped");
+        assert_eq!(seed.preseed.len(), 1);
+        assert!(seed.preseed[0].1.set_eq(&state));
+        assert_eq!(seed.inject, vec![(t, vec![ituple![99, 100]])]);
+    }
+
+    #[test]
+    fn job_with_untravelable_constraint_is_a_clean_error() {
+        struct Opaque(Vec<Variable>);
+        impl gst_frontend::ast::Constraint for Opaque {
+            fn variables(&self) -> &[Variable] {
+                &self.0
+            }
+            fn holds(&self, _: &[Value]) -> bool {
+                true
+            }
+            fn describe(&self, _: &Interner) -> String {
+                "opaque".into()
+            }
+        }
+        let mut spec = sample_spec();
+        spec.program.program.rules[0]
+            .body
+            .push(Literal::Constraint(Arc::new(Opaque(vec![]))));
+        let err = encode_job(0, 2, &WorkerConfig::default(), &spec, None).unwrap_err();
+        assert!(err.to_string().contains("cannot travel"), "got: {err}");
+    }
+
+    #[test]
+    fn envelope_round_trips_every_message_kind() {
+        let spec = sample_spec();
+        let interner = spec.program.program.interner.clone();
+        let inbox = (interner.get("t@in").unwrap(), 2);
+        let payload = codec::encode_batch(2, &[ituple![1, 2], ituple![3, 4]]).unwrap();
+        let messages = vec![
+            Message::Batch { inbox, payload: payload.clone(), retract: true },
+            Message::Token(TokenMsg { color: Color::Black, count: -7, epoch: 2 }),
+            Message::Terminate,
+            Message::Recover { epoch: 5, restarted: 3 },
+            Message::AckSync { acked: 42 },
+            Message::Snapshot { payloads: vec![(inbox, payload)], upto: 9 },
+            Message::Abort { reason: "boom".into() },
+        ];
+        for (k, message) in messages.into_iter().enumerate() {
+            let env = Envelope { from: 2, seq: k as u64, epoch: 1, ack: 8, message };
+            let body = encode_envelope(3, &env);
+            assert_eq!(peek_envelope_dest(&body).unwrap(), 3, "kind {k}");
+            let (dest, decoded) = decode_envelope(&body, &interner).unwrap();
+            assert_eq!(dest, 3);
+            assert_eq!(decoded, env, "message kind {k}");
+        }
+    }
+
+    #[test]
+    fn result_round_trips_report_and_pooled() {
+        let report = WorkerReport {
+            processor: 2,
+            eval: EvalStats {
+                rounds: 7,
+                firings: 100,
+                derived: 60,
+                duplicates: 40,
+                firings_by_rule: vec![10, 90],
+                per_round: vec![RoundSample { round: 1, submitted: 5, fresh: 3 }],
+            },
+            processing_firings: 90,
+            sent_tuples_to: vec![0, 4, 9],
+            sent_bytes_to: vec![0, 44, 99],
+            sent_messages: 6,
+            received_tuples: 11,
+            received_bytes: 220,
+            encode_calls: 3,
+            encoded_bytes: 150,
+            encoded_raw_bytes: 600,
+            duplicate_batches: 1,
+            replayed_batches: 2,
+            stale_dropped: 3,
+            retract_tuples_sent: 4,
+            retract_tuples_received: 5,
+            pooled_tuples: 2,
+            busy: Duration::from_micros(12345),
+            sent_per_round: vec![(2, 4), (5, 5)],
+        };
+        let interner = Interner::new();
+        let answer = (interner.intern("answer"), 2);
+        let mut rel = Relation::new(2);
+        rel.insert(ituple![1, 2]).unwrap();
+        rel.insert(ituple![3, 4]).unwrap();
+        let pooled: PooledRelations = vec![(answer, rel.clone())];
+        let body = encode_result(&report, &pooled).unwrap();
+        let (got_report, got_pooled) = decode_result(&body, &interner).unwrap();
+        assert_eq!(got_report.processor, 2);
+        assert_eq!(got_report.eval.firings, 100);
+        assert_eq!(got_report.eval.firings_by_rule, vec![10, 90]);
+        assert_eq!(got_report.eval.per_round.len(), 1);
+        assert_eq!(got_report.sent_tuples_to, vec![0, 4, 9]);
+        assert_eq!(got_report.sent_bytes_to, vec![0, 44, 99]);
+        assert_eq!(got_report.replayed_batches, 2);
+        assert_eq!(got_report.busy, Duration::from_micros(12345));
+        assert_eq!(got_report.sent_per_round, vec![(2, 4), (5, 5)]);
+        assert_eq!(got_pooled.len(), 1);
+        assert_eq!(got_pooled[0].0, answer);
+        assert!(got_pooled[0].1.set_eq(&rel));
+    }
+
+    #[test]
+    fn hello_error_and_nonce_round_trip() {
+        assert_eq!(decode_hello(&encode_hello(3, 2)).unwrap(), (3, 2));
+        assert_eq!(
+            decode_error(&encode_error(true, "watchdog expired")).unwrap(),
+            (true, "watchdog expired".to_string())
+        );
+        assert_eq!(decode_nonce(&encode_nonce(0xFEED)).unwrap(), 0xFEED);
+    }
+
+    /// A `Read` that hands out at most `chunk` bytes per call — the
+    /// split-read shape a real TCP stream produces.
+    struct Chunked<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Read for Chunked<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            let n = out
+                .len()
+                .min(self.chunk)
+                .min(self.bytes.len() - self.pos);
+            out[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frames_survive_arbitrarily_split_reads() {
+        let body = encode_hello(7, 3);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, FRAME_HELLO, &body).unwrap();
+        write_frame(&mut stream, FRAME_SHUTDOWN, &[]).unwrap();
+        for chunk in 1..=stream.len() {
+            let mut r = Chunked { bytes: &stream, pos: 0, chunk };
+            let (kind, got) = read_frame(&mut r).unwrap().expect("first frame");
+            assert_eq!((kind, got.as_slice()), (FRAME_HELLO, body.as_slice()));
+            let (kind, got) = read_frame(&mut r).unwrap().expect("second frame");
+            assert_eq!((kind, got.as_slice()), (FRAME_SHUTDOWN, &[] as &[u8]));
+            assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+        }
+    }
+
+    #[test]
+    fn garbage_length_prefix_is_rejected_before_allocation() {
+        // Length far beyond MAX_FRAME: must fail fast, not allocate 4 GB.
+        let mut bytes = u32::MAX.to_le_bytes().to_vec();
+        bytes.push(FRAME_HELLO);
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("implausible frame length"));
+
+        let err = read_frame(&mut 0u32.to_le_bytes().as_slice()).unwrap_err();
+        assert!(err.to_string().contains("zero-length frame"));
+    }
+
+    /// Every strict prefix of a framed stream is either a clean EOF (cut
+    /// at a frame boundary) or a typed error — never a panic, never an
+    /// accepted partial frame.
+    #[test]
+    fn every_frame_truncation_is_clean_eof_or_typed_error() {
+        let spec = sample_spec();
+        let job = encode_job(0, 2, &WorkerConfig::default(), &spec, None).unwrap();
+        let mut stream = Vec::new();
+        write_frame(&mut stream, FRAME_JOB, &job).unwrap();
+        let boundary = stream.len();
+        write_frame(&mut stream, FRAME_PING, &encode_nonce(1)).unwrap();
+        for len in 0..stream.len() {
+            let result = std::panic::catch_unwind(|| {
+                let mut r = &stream[..len];
+                loop {
+                    match read_frame(&mut r) {
+                        Ok(Some(_)) => {}
+                        Ok(None) => return Ok(()),
+                        Err(e) => return Err(e),
+                    }
+                }
+            })
+            .unwrap_or_else(|_| panic!("prefix {len} panicked"));
+            match result {
+                Ok(()) => assert!(
+                    len == 0 || len == boundary,
+                    "prefix {len} accepted but is not a frame boundary"
+                ),
+                Err(e) => {
+                    assert!(matches!(e, Error::Runtime(_)), "prefix {len}: {e:?}")
+                }
+            }
+        }
+    }
+
+    /// Truncating and mutating *decoded bodies* (past the frame layer)
+    /// must also yield typed errors, never panics: the seeded sweep runs
+    /// every body decoder over every strict prefix and a batch of
+    /// single-byte corruptions.
+    #[test]
+    fn fuzz_body_decoders_never_panic() {
+        let spec = sample_spec();
+        let interner = spec.program.program.interner.clone();
+        let inbox = (interner.get("t@in").unwrap(), 2);
+        let payload = codec::encode_batch(2, &[ituple![1, 2]]).unwrap();
+        let env = Envelope {
+            from: 0,
+            seq: 5,
+            epoch: 1,
+            ack: 2,
+            message: Message::Batch { inbox, payload, retract: false },
+        };
+        let report = WorkerReport {
+            processor: 0,
+            eval: EvalStats::new(2),
+            processing_firings: 0,
+            sent_tuples_to: vec![0, 0],
+            sent_bytes_to: vec![0, 0],
+            sent_messages: 0,
+            received_tuples: 0,
+            received_bytes: 0,
+            encode_calls: 0,
+            encoded_bytes: 0,
+            encoded_raw_bytes: 0,
+            duplicate_batches: 0,
+            replayed_batches: 0,
+            stale_dropped: 0,
+            retract_tuples_sent: 0,
+            retract_tuples_received: 0,
+            pooled_tuples: 0,
+            busy: Duration::ZERO,
+            sent_per_round: vec![],
+        };
+        let bodies: Vec<(&str, Vec<u8>)> = vec![
+            ("hello", encode_hello(1, 0)),
+            ("job", encode_job(0, 2, &WorkerConfig::default(), &spec, None).unwrap()),
+            ("envelope", encode_envelope(1, &env)),
+            ("result", encode_result(&report, &[]).unwrap()),
+            ("error", encode_error(false, "x")),
+            ("nonce", encode_nonce(7)),
+        ];
+        let decode_all = |name: &str, bytes: &[u8]| {
+            // Each decoder must return cleanly (Ok or typed Err) on any
+            // input; panics propagate out of catch_unwind and fail the
+            // test with the case context.
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = decode_hello(bytes);
+                let _ = decode_job(bytes, None);
+                let _ = decode_envelope(bytes, &interner);
+                let _ = decode_result(bytes, &interner);
+                let _ = decode_error(bytes);
+                let _ = decode_nonce(bytes);
+            }));
+            assert!(r.is_ok(), "decoder panicked on corrupted {name} body");
+        };
+        let mut rng = SmallRng::seed_from_u64(0x0F_F1CE);
+        for (name, body) in &bodies {
+            for len in 0..body.len() {
+                decode_all(name, &body[..len]);
+            }
+            for _ in 0..200 {
+                let mut mutated = body.clone();
+                if mutated.is_empty() {
+                    continue;
+                }
+                let at = rng.gen_below(mutated.len() as u64) as usize;
+                mutated[at] = rng.gen_below(256) as u8;
+                decode_all(name, &mutated);
+            }
+        }
+    }
+}

@@ -1225,6 +1225,113 @@ mod tests {
         assert_eq!(core.replay_tail_len(1), 0, "acked prefix is compacted out of the tail");
     }
 
+    /// The link-level recovery contract behind the TCP transport's
+    /// reconnect: acks that arrived *before* a crash compact the sender's
+    /// replay log, and the compacted prefix is **not** re-replayed after
+    /// the epoch bump — a surviving peer whose watermark already covers
+    /// it receives nothing, while a fresh incarnation (watermark 0) gets
+    /// the full pre-epoch history.
+    #[test]
+    fn acked_prefix_is_not_replayed_after_epoch_bump() {
+        let interner = Interner::new();
+        let unit =
+            gst_frontend::parser::parse_program_with("send(X) :- src(X).", &interner).unwrap();
+        let src = (interner.intern("src"), 1);
+        let send = (interner.get("send").unwrap(), 1);
+        let inbox = (interner.intern("inbox"), 1);
+        let mut db = Database::new(interner.clone());
+        for k in 0..3i64 {
+            db.insert(src, ituple![k]).unwrap();
+        }
+        let spec = WorkerSpec {
+            program: ProcessorProgram {
+                processor: 0,
+                program: unit.program,
+                outgoing: vec![
+                    crate::spec::ChannelOut { channel: send, dest: 1, inbox },
+                    crate::spec::ChannelOut { channel: send, dest: 2, inbox },
+                ],
+                inboxes: vec![],
+                processing_rules: vec![0],
+                pooling: vec![],
+                local_idb: vec![],
+                retract_channels: vec![],
+            },
+            edb: Arc::new(db),
+            session: None,
+        };
+        let mut core = WorkerCore::new(spec, 3).unwrap();
+        let mut out = Recorder::default();
+        while core.step(&mut out).unwrap() == Step::Worked {}
+        assert_eq!(core.replay_tail_len(1), 1, "one batch retained per destination");
+        assert_eq!(core.replay_tail_len(2), 1);
+
+        // Peer 1 acks seq 0 before anything crashes: the prefix is folded
+        // into the snapshot and the tail drains.
+        core.enqueue(Envelope {
+            from: 1,
+            seq: 0,
+            epoch: 0,
+            ack: 1,
+            message: Message::Token(TokenMsg { color: Color::White, count: 0, epoch: 0 }),
+        });
+        core.step(&mut out).unwrap();
+        assert_eq!(core.replay_tail_len(1), 0, "pre-crash ack compacts the tail");
+
+        // Peer 2 crashes; the supervisor bumps the epoch. The core must
+        // answer with an `AckSync` to every peer so replay can begin.
+        core.enqueue(Envelope {
+            from: 2,
+            seq: 0,
+            epoch: 1,
+            ack: 0,
+            message: Message::Recover { epoch: 1, restarted: 2 },
+        });
+        core.step(&mut out).unwrap();
+        let acksyncs = out
+            .sent
+            .iter()
+            .filter(|(_, env)| matches!(env.message, Message::AckSync { .. }))
+            .map(|(to, _)| *to)
+            .collect::<Vec<_>>();
+        assert_eq!(acksyncs, vec![1, 2], "recovery handshake reaches every peer");
+        let mark = out.sent.len();
+
+        // The surviving peer's watermark already covers the compacted
+        // prefix: its `AckSync` must trigger no retransmission at all.
+        core.enqueue(Envelope {
+            from: 1,
+            seq: 1,
+            epoch: 1,
+            ack: 1,
+            message: Message::AckSync { acked: 1 },
+        });
+        core.step(&mut out).unwrap();
+        assert_eq!(
+            out.sent.len(),
+            mark,
+            "an acked prefix is never re-replayed after the epoch bump"
+        );
+        assert_eq!(core.replayed_batches, 0);
+
+        // The crashed peer's fresh incarnation starts at watermark 0 and
+        // gets exactly the retained pre-epoch batch back.
+        core.enqueue(Envelope {
+            from: 2,
+            seq: 0,
+            epoch: 1,
+            ack: 0,
+            message: Message::AckSync { acked: 0 },
+        });
+        core.step(&mut out).unwrap();
+        let replayed = out.sent[mark..]
+            .iter()
+            .filter(|(to, env)| *to == 2 && matches!(env.message, Message::Batch { .. }))
+            .count();
+        assert_eq!(replayed, 1, "the fresh incarnation receives the full history");
+        assert_eq!(core.replayed_batches, 1);
+    }
+
     /// A channel feeding several destinations (the broadcast scheme's
     /// shared head predicate) is encoded exactly once per fixpoint: every
     /// destination's envelope shares the same payload `Arc`, and the

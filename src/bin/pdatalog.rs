@@ -2,9 +2,12 @@
 //!
 //! ```text
 //! pdatalog run <file.dl> [--workers N] [--scheme S] [--print PRED/ARITY] [--stats]
-//!                        [--max-restarts N] [--trace] [--trace-out FILE]
+//!                        [--max-restarts N] [--watchdog-ms MS] [--restart-backoff-ms MS]
+//!                        [--trace] [--trace-out FILE]
 //!                        [--updates FILE]
 //!                        [--sim [--seed N] [--faults PLAN]]
+//!                        [--net [--net-faults PLAN] [--net-kill W@N] ...]
+//! pdatalog net-worker --connect HOST:PORT --index I ...
 //! pdatalog analyze <file.dl>
 //! pdatalog network <file.dl> [--bits | --linear c1,c2,...]
 //! ```
@@ -39,6 +42,26 @@
 //! whole stream is maintained in-process by the single-worker fast
 //! path; with `--sim` every update round runs under the deterministic
 //! simulation transport (faults included).
+//!
+//! `--net` replaces the OS threads with one OS **process** per worker:
+//! the coordinator binds a loopback TCP listener, re-executes this binary
+//! with the `net-worker` subcommand once per processor, and relays all
+//! worker-to-worker traffic (DESIGN.md §12). A worker process that dies —
+//! crash, SIGKILL, or a socket fault injected with `--net-faults
+//! W:kind@BYTES[!]` (kinds `delay`, `disconnect`, `truncate`, `garbage`)
+//! or `--net-kill W@BYTES` — is restarted under a bumped recovery epoch
+//! and peers replay their logged traffic, up to `--max-restarts` total.
+//! Timing knobs: `--heartbeat-ms` (ping cadence, default 1000),
+//! `--heartbeat-timeout-ms` (silence before a link is declared dead,
+//! default 20000), `--connect-timeout-ms` (total connect budget, default
+//! 10000), `--connect-backoff-ms` (initial reconnect pause, doubled per
+//! failure, default 50).
+//!
+//! Supervision knobs shared by every parallel transport: `--watchdog-ms`
+//! aborts a worker passive that long without termination (default 30000 —
+//! the backstop behind a lost peer), `--max-restarts` caps recoverable
+//! restarts fleet-wide (default 1), and `--restart-backoff-ms` scales the
+//! pause before each restart by the worker's restart count (default 10).
 //!
 //! `--sim` replaces the OS threads with the deterministic simulation
 //! transport: one virtual clock, a seeded scheduler, and (via `--faults`)
@@ -92,6 +115,7 @@ fn run(args: Vec<String>) -> std::result::Result<(), String> {
     let command = it.next().ok_or_else(usage)?;
     match command.as_str() {
         "run" => cmd_run(it.collect()),
+        "net-worker" => cmd_net_worker(it.collect()),
         "query" => cmd_query(it.collect()),
         "analyze" => cmd_analyze(it.collect()),
         "network" => cmd_network(it.collect()),
@@ -104,7 +128,7 @@ fn run(args: Vec<String>) -> std::result::Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--print PRED/ARITY] [--stats] [--max-restarts N] [--trace] [--trace-out FILE] [--updates FILE] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...][,crash=W@T[,recover]]]]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]\n\nupdate files (--updates): one `+fact(…).`, `-fact(…).`, or `commit.` per line;\neach commit applies the group as one incrementally maintained batch.".into()
+    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--print PRED/ARITY] [--stats] [--max-restarts N] [--watchdog-ms MS] [--restart-backoff-ms MS] [--trace] [--trace-out FILE] [--updates FILE] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...][,crash=W@T[,recover]]]] [--net [--net-faults W:kind@BYTES[!][;...]] [--net-kill W@BYTES] [--heartbeat-ms MS] [--heartbeat-timeout-ms MS] [--connect-timeout-ms MS] [--connect-backoff-ms MS]]\n  pdatalog net-worker --connect HOST:PORT --index I [--incarnation K] [timing flags]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]\n\nsupervision defaults: --watchdog-ms 30000, --max-restarts 1, --restart-backoff-ms 10.\n--net runs one OS process per worker over loopback TCP (net-worker is the\nworker mode the coordinator re-executes); faults: delay|disconnect|truncate|garbage.\n\nupdate files (--updates): one `+fact(…).`, `-fact(…).`, or `commit.` per line;\neach commit applies the group as one incrementally maintained batch.".into()
 }
 
 /// Parse `PRED/ARITY`, e.g. `anc/2`.
@@ -140,6 +164,22 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     let mut trace_out: Option<String> = None;
     let mut max_restarts: Option<u32> = None;
     let mut updates: Option<String> = None;
+    let mut net = false;
+    let mut net_faults: Option<String> = None;
+    let mut net_kill: Option<String> = None;
+    let mut net_config = parallel_datalog::runtime::NetConfig::default();
+    let mut watchdog_ms: Option<u64> = None;
+    let mut restart_backoff_ms: Option<u64> = None;
+
+    fn next_ms(
+        flag: &str,
+        it: &mut std::vec::IntoIter<String>,
+    ) -> std::result::Result<std::time::Duration, String> {
+        it.next()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(std::time::Duration::from_millis)
+            .ok_or_else(|| format!("{flag} needs a duration in milliseconds"))
+    }
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -182,6 +222,37 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             "--updates" => {
                 updates = Some(it.next().ok_or("--updates needs a file path")?);
             }
+            "--net" => net = true,
+            "--net-faults" => {
+                net_faults = Some(it.next().ok_or("--net-faults needs W:kind@BYTES[!][;...]")?);
+            }
+            "--net-kill" => {
+                net_kill = Some(it.next().ok_or("--net-kill needs W@BYTES")?);
+            }
+            "--heartbeat-ms" => net_config.heartbeat_interval = next_ms("--heartbeat-ms", &mut it)?,
+            "--heartbeat-timeout-ms" => {
+                net_config.heartbeat_timeout = next_ms("--heartbeat-timeout-ms", &mut it)?;
+            }
+            "--connect-timeout-ms" => {
+                net_config.connect_timeout = next_ms("--connect-timeout-ms", &mut it)?;
+            }
+            "--connect-backoff-ms" => {
+                net_config.connect_backoff = next_ms("--connect-backoff-ms", &mut it)?;
+            }
+            "--watchdog-ms" => {
+                watchdog_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--watchdog-ms needs a duration in milliseconds")?,
+                );
+            }
+            "--restart-backoff-ms" => {
+                restart_backoff_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--restart-backoff-ms needs a duration in milliseconds")?,
+                );
+            }
             other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -204,6 +275,23 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     }
     if max_restarts.is_some() && matches!(scheme_name.as_str(), "seq" | "naive") {
         return Err("--max-restarts needs a parallel scheme (it sizes the supervisor's restart budget)".into());
+    }
+    if (watchdog_ms.is_some() || restart_backoff_ms.is_some())
+        && matches!(scheme_name.as_str(), "seq" | "naive")
+    {
+        return Err(
+            "--watchdog-ms/--restart-backoff-ms need a parallel scheme (they tune the supervisor)"
+                .into(),
+        );
+    }
+    if net && sim {
+        return Err("--net and --sim are exclusive: pick OS processes or the simulator".into());
+    }
+    if net && matches!(scheme_name.as_str(), "seq" | "naive") {
+        return Err("--net needs a parallel scheme (try --scheme example3)".into());
+    }
+    if !net && (net_faults.is_some() || net_kill.is_some()) {
+        return Err("--net-faults/--net-kill only make sense with --net".into());
     }
     if updates.is_some() && matches!(scheme_name.as_str(), "seq" | "naive") {
         return Err(
@@ -266,6 +354,12 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             if let Some(budget) = max_restarts {
                 config.supervisor.max_restarts = budget;
             }
+            if let Some(ms) = watchdog_ms {
+                config.worker.idle_watchdog = std::time::Duration::from_millis(ms);
+            }
+            if let Some(ms) = restart_backoff_ms {
+                config.supervisor.restart_backoff = std::time::Duration::from_millis(ms);
+            }
             config.trace = show_trace || trace_out.is_some();
             if let Some(upath) = &updates {
                 let stream = std::fs::read_to_string(upath)
@@ -274,6 +368,12 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 let transport: Box<dyn Transport> = if sim {
                     let plan = FaultPlan::parse(&faults).map_err(|e| e.to_string())?;
                     Box::new(SimTransport::with_faults(seed, plan))
+                } else if net {
+                    Box::new(build_net_coordinator(
+                        net_config.clone(),
+                        net_faults.as_deref(),
+                        net_kill.as_deref(),
+                    )?)
                 } else {
                     Box::new(ThreadedTransport)
                 };
@@ -298,15 +398,25 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                     }
                 }
                 let (mut sent, mut retracts, mut messages) = (0u64, 0u64, 0u64);
+                let (mut restarts, mut reconnects) = (0u64, 0u64);
                 for report in session.reports() {
                     for phase in report.phase_a.iter().chain(report.phase_b.iter()) {
                         sent += phase.total_tuples_sent();
                         retracts += phase.total_retract_tuples_sent();
                         messages += phase.total_messages();
+                        restarts += phase.restarts;
+                        reconnects += phase.reconnects;
                     }
                 }
                 let mode = if sim {
                     format!(" sim seed={seed} faults={faults}")
+                } else if net {
+                    format!(" net reconnects={reconnects}")
+                } else {
+                    String::new()
+                };
+                let recovery = if restarts > 0 {
+                    format!(" restarts={restarts}")
                 } else {
                     String::new()
                 };
@@ -317,7 +427,7 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 return finish_run(
                     rels,
                     format!(
-                        "processors={} update_rounds={} tuples_sent={} retract_tuples_sent={} messages={}{mode}",
+                        "processors={} update_rounds={} tuples_sent={} retract_tuples_sent={} messages={}{recovery}{mode}",
                         scheme.processors(),
                         session.rounds().saturating_sub(1),
                         sent,
@@ -351,6 +461,15 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                         .run_simulated_with(seed, plan, &config)
                         .map_err(|e| e.to_string())?
                 }
+            } else if net {
+                let coordinator = build_net_coordinator(
+                    net_config.clone(),
+                    net_faults.as_deref(),
+                    net_kill.as_deref(),
+                )?;
+                coordinator
+                    .execute(scheme.workers.clone(), &config)
+                    .map_err(|e| e.to_string())?
             } else {
                 scheme.execute(&config).map_err(|e| e.to_string())?
             };
@@ -362,6 +481,11 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             }
             let mode = if sim {
                 format!(" sim seed={seed} faults={faults}")
+            } else if net {
+                format!(
+                    " net reconnects={} relay_bytes={}",
+                    outcome.stats.reconnects, outcome.stats.relay_bytes
+                )
             } else {
                 String::new()
             };
@@ -412,6 +536,42 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
         show_stats,
         started,
     )
+}
+
+/// Build the TCP coordinator behind `--net`: this very binary re-executed
+/// in `net-worker` mode, one process per worker, over loopback.
+fn build_net_coordinator(
+    net_config: parallel_datalog::runtime::NetConfig,
+    net_faults: Option<&str>,
+    net_kill: Option<&str>,
+) -> std::result::Result<parallel_datalog::runtime::NetCoordinator, String> {
+    use parallel_datalog::runtime::{KillSpec, NetCoordinator, NetFaultPlan, ProcessLauncher};
+    let program = std::env::current_exe()
+        .map_err(|e| format!("cannot locate this executable for worker spawns: {e}"))?;
+    let launcher = ProcessLauncher { program, prefix: vec!["net-worker".into()] };
+    let mut coordinator = NetCoordinator::new(Arc::new(launcher), net_config);
+    if let Some(plan) = net_faults {
+        coordinator =
+            coordinator.with_faults(NetFaultPlan::parse(plan).map_err(|e| e.to_string())?);
+    }
+    if let Some(spec) = net_kill {
+        coordinator = coordinator.with_kill(KillSpec::parse(spec).map_err(|e| e.to_string())?);
+    }
+    Ok(coordinator)
+}
+
+/// `pdatalog net-worker --connect HOST:PORT --index I ...` — the worker
+/// mode `--net` coordinators spawn. Connects back, receives its job over
+/// the socket, runs the fixpoint, and ships its pooled slice; never
+/// invoked by hand except to debug the handshake.
+fn cmd_net_worker(args: Vec<String>) -> std::result::Result<(), String> {
+    let parsed = parallel_datalog::runtime::NetWorkerArgs::parse(&args)
+        .map_err(|e| format!("{e}\n{}", usage()))?;
+    parallel_datalog::runtime::run_net_worker(
+        &parsed,
+        Some(parallel_datalog::core::prelude::decode_constraint),
+    )
+    .map_err(|e| e.to_string())
 }
 
 /// Shared tail of `cmd_run`: print the relations and the stats footer.

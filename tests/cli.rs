@@ -501,3 +501,172 @@ fn updates_usage_errors_are_clean() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("ground"), "{stderr}");
 }
+
+// ---------------------------------------------------------------------
+// `--net`: one OS process per worker over loopback TCP (DESIGN.md §12).
+// ---------------------------------------------------------------------
+
+/// A chain long enough that every worker ships well over the fault/kill
+/// byte thresholds used below (which must sit far under the minimum
+/// traffic: token counts jitter run-to-run, so a threshold near the
+/// total would fire only sometimes).
+fn chain_program(n: i64) -> String {
+    let mut src = String::from("anc(X,Y) :- par(X,Y).\nanc(X,Y) :- par(X,Z), anc(Z,Y).\n");
+    for i in 1..n {
+        src.push_str(&format!("par({i},{}).\n", i + 1));
+    }
+    src
+}
+
+/// A deterministic pseudo-random digraph (LCG), denser than the chain.
+fn random_program() -> String {
+    let mut src = String::from("t(X,Y) :- e(X,Y).\nt(X,Y) :- e(X,Z), t(Z,Y).\n");
+    let mut state = 0xC0FFEEu64;
+    for _ in 0..60 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let a = (state >> 33) % 15;
+        let b = (state >> 17) % 15;
+        src.push_str(&format!("e({a},{}).\n", (b + 1) % 15));
+    }
+    src
+}
+
+fn run_sorted(file: &std::path::Path, extra: &[&str]) -> (bool, String, String) {
+    let out = pdatalog().args(["run"]).arg(file).args(extra).output().unwrap();
+    let mut lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    lines.sort_unstable();
+    (
+        out.status.success(),
+        lines.join("\n"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// The TCP multi-process transport computes the same least model as the
+/// in-process threads, for both a chain and a random graph under two
+/// rewriting schemes.
+#[test]
+fn net_transport_matches_threaded() {
+    for (name, src, preds) in [
+        ("chain", chain_program(30), "anc/2"),
+        ("random", random_program(), "t/2"),
+    ] {
+        let file = write_program(&format!("net_{name}.dl"), &src);
+        for scheme in ["example3", "general"] {
+            let base = ["--scheme", scheme, "--workers", "4", "--print", preds];
+            let (ok, threaded, err) = run_sorted(&file, &base);
+            assert!(ok, "{name}/{scheme} threaded: {err}");
+            let mut net_args = base.to_vec();
+            net_args.push("--net");
+            let (ok, net, err) = run_sorted(&file, &net_args);
+            assert!(ok, "{name}/{scheme} net: {err}");
+            assert_eq!(net, threaded, "{name}/{scheme}: --net must be bit-identical");
+        }
+    }
+}
+
+/// SIGKILL a live worker process mid-fixpoint (byte-counted, so it lands
+/// while traffic is in flight): the supervisor restarts it, survivors
+/// replay, and stdout is bit-identical to the undisturbed run.
+#[test]
+fn net_sigkill_mid_fixpoint_recovers_bit_exact() {
+    for (name, src) in [("chain", chain_program(30)), ("random", random_program())] {
+        let file = write_program(&format!("net_kill_{name}.dl"), &src);
+        for scheme in ["example3", "general"] {
+            let base = ["--scheme", scheme, "--workers", "4"];
+            let (ok, reference, err) = run_sorted(&file, &base);
+            assert!(ok, "{name}/{scheme}: {err}");
+            let (ok, recovered, stderr) = run_sorted(
+                &file,
+                &["--scheme", scheme, "--workers", "4", "--net", "--net-kill", "1@300", "--stats"],
+            );
+            assert!(ok, "{name}/{scheme}: {stderr}");
+            assert_eq!(
+                recovered, reference,
+                "{name}/{scheme}: recovery must converge to the least model"
+            );
+            assert!(stderr.contains("restarts=1"), "{name}/{scheme}: {stderr}");
+            assert!(stderr.contains("reconnects=1"), "{name}/{scheme}: {stderr}");
+        }
+    }
+}
+
+/// SIGKILL during a live `--updates` session: the maintained view after
+/// every batch matches the threaded run's, through the crash.
+#[test]
+fn net_sigkill_mid_updates_recovers_bit_exact() {
+    let file = write_program("net_kill_upd.dl", &chain_program(30));
+    let ups = write_program(
+        "net_kill_upd.stream",
+        "+par(30,31).\ncommit.\n-par(5,6).\ncommit.\n+par(5,6).\ncommit.\n",
+    );
+    let base = ["--scheme", "general", "--workers", "3", "--updates"];
+    let out = pdatalog().args(["run"]).arg(&file).args(base).arg(&ups).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let reference = String::from_utf8(out.stdout).unwrap();
+
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args(["--scheme", "general", "--workers", "3", "--net", "--net-kill", "1@300", "--stats", "--updates"])
+        .arg(&ups)
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), reference);
+    assert!(stderr.contains("restarts=1"), "{stderr}");
+}
+
+/// Socket-level faults on a worker's write path — clean disconnect,
+/// truncated frame, garbage bytes — all recover to the exact least
+/// model via restart + replay.
+#[test]
+fn net_socket_faults_recover_bit_exact() {
+    let file = write_program("net_faults.dl", &chain_program(30));
+    let (ok, reference, err) =
+        run_sorted(&file, &["--scheme", "example3", "--workers", "4"]);
+    assert!(ok, "{err}");
+    for fault in ["1:disconnect@300", "1:truncate@300", "1:garbage@300"] {
+        let (ok, recovered, stderr) = run_sorted(
+            &file,
+            &["--scheme", "example3", "--workers", "4", "--net", "--net-faults", fault, "--stats"],
+        );
+        assert!(ok, "{fault}: {stderr}");
+        assert_eq!(recovered, reference, "{fault}: must match the clean run");
+        assert!(stderr.contains("restarts=1"), "{fault}: {stderr}");
+    }
+}
+
+/// A persistent fault (`!`) kills every incarnation: the restart budget
+/// runs out and the run fails fast with the link-level cause — no hang.
+#[test]
+fn net_persistent_fault_fails_fast() {
+    let file = write_program("net_persist.dl", &chain_program(30));
+    let (ok, _, stderr) = run_sorted(
+        &file,
+        &["--scheme", "example3", "--workers", "4", "--net", "--net-faults", "1:disconnect@300!"],
+    );
+    assert!(!ok, "a persistent fault must exhaust the budget");
+    assert!(
+        stderr.contains("link") || stderr.contains("frame") || stderr.contains("EOF"),
+        "{stderr}"
+    );
+}
+
+/// `--net` misuse fails with a clear message instead of a broken fleet.
+#[test]
+fn net_usage_errors_are_clean() {
+    let file = write_program("net_usage.dl", &chain_program(5));
+    for (args, want) in [
+        (vec!["--scheme", "example3", "--net", "--sim"], "exclusive"),
+        (vec!["--scheme", "seq", "--net"], "parallel scheme"),
+        (vec!["--scheme", "example3", "--net-kill", "1@100"], "--net"),
+        (vec!["--scheme", "seq", "--watchdog-ms", "100"], "parallel scheme"),
+    ] {
+        let out = pdatalog().args(["run"]).arg(&file).args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(want), "{args:?}: {stderr}");
+    }
+}
