@@ -6,10 +6,17 @@
 //! second, per-round latency, and wire bytes shipped — across the
 //! transitive-closure workload matrix:
 //!
-//! * graphs: chain, grid, random digraph, layered DAG;
+//! * graphs: chain, grid, random digraph, layered DAG, star, zipf
+//!   (power-law out-degree — the skew stressor);
 //! * processors: N ∈ {1, 2, 4, 8};
 //! * schemes: §4 Example 1 (zero-communication), §3 Q_i (Example 3 hash
-//!   partition), §4 Example 2 (broadcast).
+//!   partition), §4 Example 2 (broadcast); on the skewed workloads also
+//!   `skew-hash` (hot keys split, §6 R_i) and, on zipf, `skew-morsels`
+//!   (skew-aware + 4 morsel threads per worker).
+//!
+//! Every row records a `worker_firings` array (per-processor processing
+//! firings in processor order) so per-cell load skew is visible in the
+//! JSON, not just the aggregate.
 //!
 //! ```text
 //! cargo run --release -p gst-bench --bin bench_throughput                  # full matrix
@@ -50,13 +57,16 @@ use std::time::Instant;
 
 use gst_bench::json::{count, num, s, Json};
 use gst_bench::table::Table;
-use gst_core::prelude::{example1_wolfson, example2_valduriez, example3_hash_partition};
+use gst_core::prelude::{
+    example1_wolfson, example2_valduriez, example3_hash_partition, skew_aware_hash_partition,
+    SkewPolicy,
+};
 use gst_core::schemes::CompiledScheme;
 use gst_eval::seminaive_eval;
 use gst_frontend::LinearSirup;
 use gst_runtime::{RuntimeConfig, Transport};
 use gst_storage::{round_robin_fragment, Relation};
-use gst_workloads::{chain, grid, layered, linear_ancestor, random_digraph};
+use gst_workloads::{chain, grid, layered, linear_ancestor, random_digraph, star, zipf_digraph};
 
 /// One measured configuration.
 struct Row {
@@ -79,6 +89,9 @@ struct Row {
     comm_tuples: u64,
     /// Total rule firings across workers (semantics fingerprint).
     firings: u64,
+    /// Processing firings per worker, in processor order — the per-cell
+    /// load-skew record.
+    worker_firings: Vec<u64>,
     /// Model equals the sequential oracle.
     correct: bool,
     /// Per-worker round time series + channel matrix of the kept rep,
@@ -139,13 +152,13 @@ fn measure(
     oracle: &Relation,
     anc: (gst_common::SymbolId, usize),
     reps: usize,
+    config: &RuntimeConfig,
 ) -> Row {
-    let config = RuntimeConfig::default();
     let mut best_ms = f64::INFINITY;
     let mut kept = None;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let outcome = scheme.execute(&config).expect("benchmark run failed");
+        let outcome = scheme.execute(config).expect("benchmark run failed");
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         if wall_ms < best_ms {
             best_ms = wall_ms;
@@ -162,6 +175,14 @@ fn measure(
         .unwrap_or(0);
     let answer = outcome.relation(anc);
     let tuples = answer.len() as u64;
+    let mut by_worker: Vec<(usize, u64)> = outcome
+        .stats
+        .workers
+        .iter()
+        .map(|w| (w.processor, w.processing_firings))
+        .collect();
+    by_worker.sort_by_key(|(p, _)| *p);
+    let worker_firings = by_worker.into_iter().map(|(_, f)| f).collect();
     Row {
         workload: label.0,
         scheme: label.1,
@@ -174,6 +195,7 @@ fn measure(
         bytes_shipped: outcome.stats.total_bytes_sent(),
         comm_tuples: outcome.stats.total_tuples_sent(),
         firings: outcome.stats.total_firings(),
+        worker_firings,
         correct: answer.set_eq(oracle),
         rounds_series: rounds_series(&outcome),
     }
@@ -231,7 +253,15 @@ fn run_guard(baseline_path: &str, batch_baseline: Option<&str>) -> i32 {
             }
             other => panic!("unknown guard scheme {other}"),
         };
-        let row = measure((*wname, *sname), n, &scheme, &reference, anc, 1);
+        let row = measure(
+            (*wname, *sname),
+            n,
+            &scheme,
+            &reference,
+            anc,
+            1,
+            &RuntimeConfig::default(),
+        );
 
         let Some(base_row) = baseline_row(&base, wname, sname, n) else {
             eprintln!("guard: {wname}/{sname}/n={n} missing from {baseline_path}");
@@ -401,6 +431,7 @@ fn main() {
         vec![
             ("chain", chain(64)),
             ("random", random_digraph(120, 360, 42)),
+            ("zipf", zipf_digraph(300, 240, 30, 42)),
         ]
     } else {
         vec![
@@ -408,6 +439,8 @@ fn main() {
             ("grid", grid(20, 20)),
             ("random", random_digraph(280, 840, 42)),
             ("layered", layered(6, 90, 3, 99)),
+            ("star", star(256)),
+            ("zipf", zipf_digraph(6000, 4800, 30, 42)),
         ]
     };
     let ns: &[usize] = if smoke { &[2] } else { &[1, 2, 4, 8] };
@@ -449,22 +482,47 @@ fn main() {
 
         for &n in ns {
             let frag = round_robin_fragment(data, n).unwrap();
-            let schemes: Vec<(&'static str, CompiledScheme)> = vec![
-                ("ex1-zerocomm", example1_wolfson(&sirup, n, &db).unwrap()),
-                ("qi-hash", example3_hash_partition(&sirup, n, &db).unwrap()),
-                ("ex2-broadcast", example2_valduriez(&sirup, frag, &db).unwrap()),
+            let plain = RuntimeConfig::default();
+            let mut schemes: Vec<(&'static str, CompiledScheme, RuntimeConfig)> = vec![
+                ("ex1-zerocomm", example1_wolfson(&sirup, n, &db).unwrap(), plain.clone()),
+                ("qi-hash", example3_hash_partition(&sirup, n, &db).unwrap(), plain.clone()),
+                ("ex2-broadcast", example2_valduriez(&sirup, frag, &db).unwrap(), plain.clone()),
             ];
-            for (sname, scheme) in &schemes {
-                rows.push(measure((wname, sname), n, scheme, &reference, anc, reps));
+            // The skewed workloads additionally run the skew-aware
+            // partition, and zipf composes it with 4 morsel threads per
+            // worker — the acceptance cells for hot-key splitting.
+            if matches!(*wname, "star" | "zipf") {
+                let skew = SkewPolicy::default();
+                schemes.push((
+                    "skew-hash",
+                    skew_aware_hash_partition(&sirup, n, &db, &skew).unwrap(),
+                    plain.clone(),
+                ));
+                if *wname == "zipf" {
+                    let mut morsels = RuntimeConfig::default();
+                    morsels.worker.morsel_threads = 4;
+                    schemes.push((
+                        "skew-morsels",
+                        skew_aware_hash_partition(&sirup, n, &db, &skew).unwrap(),
+                        morsels,
+                    ));
+                }
+            }
+            for (sname, scheme, config) in &schemes {
+                rows.push(measure((wname, sname), n, scheme, &reference, anc, reps, config));
             }
         }
     }
 
     let mut t = Table::new(vec![
         "workload", "scheme", "n", "wall ms", "ktuples/s", "rounds", "round ms", "KiB shipped",
-        "ok",
+        "skew", "ok",
     ]);
     for r in &rows {
+        let max = r.worker_firings.iter().copied().max().unwrap_or(0);
+        let mean =
+            r.worker_firings.iter().sum::<u64>() as f64 / r.worker_firings.len().max(1) as f64;
+        let skew = if mean > 0.0 { max as f64 / mean } else { 0.0 };
         t.row(vec![
             r.workload.to_string(),
             r.scheme.to_string(),
@@ -474,6 +532,7 @@ fn main() {
             r.rounds.to_string(),
             format!("{:.3}", r.round_ms),
             format!("{:.1}", r.bytes_shipped as f64 / 1024.0),
+            format!("{skew:.2}"),
             r.correct.to_string(),
         ]);
     }
@@ -507,6 +566,10 @@ fn main() {
                             ("bytes_shipped", count(r.bytes_shipped)),
                             ("comm_tuples", count(r.comm_tuples)),
                             ("firings", count(r.firings)),
+                            (
+                                "worker_firings",
+                                Json::Arr(r.worker_firings.iter().map(|&f| count(f)).collect()),
+                            ),
                             ("correct", Json::Bool(r.correct)),
                         ])
                     })

@@ -280,18 +280,29 @@ fn main() {
     if want("l1") {
         banner("L1 — load balance / processor utilization (§8 future work)");
         let rows = load_balance(4);
-        let mut t = Table::new(vec!["scheme / workload", "per-worker firings", "skew (max/mean)"]);
+        let mut t = Table::new(vec![
+            "scheme / workload",
+            "per-worker firings",
+            "skew (max/mean)",
+            "bytes skew",
+        ]);
         for r in &rows {
             t.row(vec![
                 r.label.clone(),
                 format!("{:?}", r.per_worker),
                 format!("{:.2}", r.skew),
+                if r.bytes_skew > 0.0 {
+                    format!("{:.2}", r.bytes_skew)
+                } else {
+                    "-".into()
+                },
             ]);
         }
         println!("{}\n", t.render());
         println!(
             "hash discrimination balances bushy workloads; degenerate choices (the\n\
-             star's hub as v(e)) concentrate all firings on one processor.\n"
+             star's hub as v(e)) concentrate all firings on one processor; the\n\
+             skew-aware partition splits hot keys to rebalance star/zipf.\n"
         );
     }
 

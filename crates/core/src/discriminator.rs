@@ -70,6 +70,21 @@ pub trait Discriminator: Send + Sync {
         let _ = buf;
         false
     }
+
+    /// The set of processors a ground instance could be assigned to when
+    /// only a leading `prefix` of the discriminating sequence is known, or
+    /// `None` when the prefix does not narrow the range (the default).
+    ///
+    /// This is the hook behind §6-style replication: a fragmenting base
+    /// atom that binds only the key prefix of an extended sequence keeps a
+    /// tuple at every processor in the returned set. Implementations must
+    /// stay consistent with [`Discriminator::assign`]: for every full
+    /// ground instance extending `prefix`, the assigned processor must be
+    /// a member of the returned set.
+    fn assign_prefix(&self, prefix: &[Value]) -> Option<Vec<usize>> {
+        let _ = prefix;
+        None
+    }
 }
 
 /// Shared handle to a discriminating function.
@@ -483,6 +498,148 @@ impl Discriminator for Mixed {
     }
 }
 
+/// Skew-aware hash partition over an *extended* discriminating sequence
+/// (ROADMAP item 4 / §6 `R_i` trade-off).
+///
+/// The sequence is `key ++ rest`: the first `key_len` positions are the
+/// join key the classic [`HashMod`] would partition on, the remainder are
+/// the other variables of the recursive atom. Cold keys route exactly like
+/// `HashMod` on the key prefix, so the scheme degenerates to the uniform
+/// plan when no skew is detected. Keys sampled as *hot* at compile time
+/// carry an explicit split set of `k` processors, and each full instance
+/// picks one member by a secondary hash over the whole sequence — the
+/// firings of one hot key spread across `k` workers instead of melting
+/// one. Correctness is the standard Theorem 1/2 argument: this is just a
+/// deterministic total function over a longer valid discriminating
+/// sequence. The price is §6's `R_i` redundancy: the complementary base
+/// fragment of a hot key must be replicated to every processor in its
+/// split set, which [`Discriminator::assign_prefix`] exposes to the
+/// fragmenter.
+#[derive(Debug, Clone)]
+pub struct SkewAwareHashMod {
+    n: usize,
+    key_len: usize,
+    seed: u64,
+    secondary_seed: u64,
+    /// Hot keys with their split sets, sorted by key for deterministic
+    /// lookup and wire encoding. Split sets are sorted, deduplicated, and
+    /// non-empty, with every member `< n`.
+    hot: Vec<(Vec<Value>, Vec<usize>)>,
+}
+
+impl SkewAwareHashMod {
+    /// A skew-aware partition over `n` processors with a `key_len`-value
+    /// key prefix and no hot keys (behaves exactly like [`HashMod`] over
+    /// the prefix).
+    pub fn new(n: usize, key_len: usize, seed: u64, secondary_seed: u64) -> Self {
+        assert!(n >= 1, "need at least one processor");
+        assert!(key_len >= 1, "key prefix must be non-empty");
+        SkewAwareHashMod {
+            n,
+            key_len,
+            seed,
+            secondary_seed,
+            hot: Vec::new(),
+        }
+    }
+
+    /// Register hot keys with their split sets. Keys must have exactly
+    /// `key_len` values; split sets are sorted and deduplicated, must be
+    /// non-empty, and every member must be a valid processor.
+    pub fn with_hot_keys(mut self, hot: impl IntoIterator<Item = (Vec<Value>, Vec<usize>)>) -> Self {
+        for (key, mut targets) in hot {
+            assert_eq!(key.len(), self.key_len, "hot key length mismatch");
+            targets.sort_unstable();
+            targets.dedup();
+            assert!(!targets.is_empty(), "hot key needs at least one target");
+            assert!(
+                targets.iter().all(|&t| t < self.n),
+                "hot key target out of range"
+            );
+            self.hot.push((key, targets));
+        }
+        self.hot.sort();
+        self.hot.dedup_by(|a, b| a.0 == b.0);
+        self
+    }
+
+    /// Number of hot keys carrying a split set — the `hot_keys_split`
+    /// figure surfaced in `--stats`.
+    pub fn hot_key_count(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// The base assignment of a key prefix, ignoring hot-key splitting.
+    fn base_assign(&self, key: &[Value]) -> usize {
+        (hash_one(&(self.seed, key)) % self.n as u64) as usize
+    }
+
+    /// The split set of a hot key, if the key is hot.
+    fn split_set(&self, key: &[Value]) -> Option<&[usize]> {
+        self.hot
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| self.hot[i].1.as_slice())
+    }
+}
+
+impl Discriminator for SkewAwareHashMod {
+    fn processors(&self) -> usize {
+        self.n
+    }
+
+    fn assign(&self, ground: &[Value]) -> usize {
+        debug_assert!(ground.len() >= self.key_len);
+        let key = &ground[..self.key_len.min(ground.len())];
+        match self.split_set(key) {
+            Some(targets) => {
+                let pick = hash_one(&(self.secondary_seed, ground)) % targets.len() as u64;
+                targets[pick as usize]
+            }
+            None => self.base_assign(key),
+        }
+    }
+
+    fn assign_prefix(&self, prefix: &[Value]) -> Option<Vec<usize>> {
+        if prefix.len() < self.key_len {
+            return None;
+        }
+        let key = &prefix[..self.key_len];
+        Some(match self.split_set(key) {
+            Some(targets) => targets.to_vec(),
+            None => vec![self.base_assign(key)],
+        })
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "skew-aware hash mod {} (key {}, {} hot)",
+            self.n,
+            self.key_len,
+            self.hot.len()
+        )
+    }
+
+    fn wire_encode_into(&self, buf: &mut Vec<u8>) -> bool {
+        buf.push(wire::DISC_SKEW_AWARE);
+        wire::put_uv(buf, self.n as u64);
+        wire::put_uv(buf, self.key_len as u64);
+        wire::put_uv(buf, self.seed);
+        wire::put_uv(buf, self.secondary_seed);
+        wire::put_uv(buf, self.hot.len() as u64);
+        for (key, targets) in &self.hot {
+            for &value in key {
+                wire::put_value(buf, value);
+            }
+            wire::put_uv(buf, targets.len() as u64);
+            for &t in targets {
+                wire::put_uv(buf, t as u64);
+            }
+        }
+        true
+    }
+}
+
 /// The constraint literal `h(v) = expect` that the rewriting schemes
 /// insert into rule bodies.
 pub struct DiscConstraint {
@@ -538,6 +695,16 @@ impl Constraint for DiscConstraint {
             None
         }
     }
+
+    fn may_hold_prefix(&self, bound: &[Value]) -> bool {
+        if bound.len() == self.vars.len() {
+            return self.holds(bound);
+        }
+        match self.disc.assign_prefix(bound) {
+            Some(targets) => targets.contains(&self.expect),
+            None => true,
+        }
+    }
 }
 
 /// Byte format of serialized constraints (`h(v) = i` literals).
@@ -557,6 +724,8 @@ impl Constraint for DiscConstraint {
 ///   4 FragmentOwner    nfrags:uv arity:uv × (count:uv (value × arity) × count)
 ///   5 Constant         n:uv target:uv
 ///   6 Mixed            local:uv alpha:uv(f64 bits) seed:uv base:disc
+///   7 SkewAwareHashMod n:uv keylen:uv seed:uv seed2:uv nhot:uv
+///                      × (value × keylen ntargets:uv target:uv × ntargets)
 /// value      := 0 int:sv | 1 sym:uv
 /// uv = unsigned LEB128 varint, sv = zigzag LEB128 varint
 /// ```
@@ -571,6 +740,7 @@ mod wire {
     pub(super) const DISC_FRAGMENT_OWNER: u8 = 4;
     pub(super) const DISC_CONSTANT: u8 = 5;
     pub(super) const DISC_MIXED: u8 = 6;
+    pub(super) const DISC_SKEW_AWARE: u8 = 7;
     const VALUE_INT: u8 = 0;
     const VALUE_SYM: u8 = 1;
 
@@ -764,6 +934,45 @@ fn decode_disc(r: &mut wire::Reader<'_>, depth: usize) -> Result<DiscriminatorRe
                 return Err(corrupt("Mixed local processor out of range"));
             }
             Ok(Arc::new(Mixed::new(local, base, alpha, seed)))
+        }
+        Some(wire::DISC_SKEW_AWARE) => {
+            let n = bounded("processor count", r.get_uv().ok_or_else(|| corrupt("truncated SkewAware"))?)?;
+            let key_len = bounded("key length", r.get_uv().ok_or_else(|| corrupt("truncated SkewAware"))?)?;
+            let seed = r.get_uv().ok_or_else(|| corrupt("truncated SkewAware"))?;
+            let secondary_seed = r.get_uv().ok_or_else(|| corrupt("truncated SkewAware"))?;
+            let nhot = r.get_uv().ok_or_else(|| corrupt("truncated SkewAware"))? as usize;
+            // Every hot entry costs at least keylen value tags plus one
+            // count byte, so a lying count is rejected before any
+            // allocation is sized by it.
+            if nhot
+                .checked_mul(key_len + 1)
+                .is_none_or(|b| b > r.remaining() + 1)
+            {
+                return Err(corrupt("hot key count implausible for payload size"));
+            }
+            let mut hot = Vec::with_capacity(nhot);
+            for _ in 0..nhot {
+                let mut key = Vec::with_capacity(key_len);
+                for _ in 0..key_len {
+                    key.push(r.get_value().ok_or_else(|| corrupt("truncated hot key"))?);
+                }
+                let ntargets = r.get_uv().ok_or_else(|| corrupt("truncated hot key targets"))? as usize;
+                if ntargets == 0 || ntargets > n || ntargets > r.remaining() + 1 {
+                    return Err(corrupt("hot key target count out of range"));
+                }
+                let mut targets = Vec::with_capacity(ntargets);
+                for _ in 0..ntargets {
+                    let t = r.get_uv().ok_or_else(|| corrupt("truncated hot key target"))? as usize;
+                    if t >= n {
+                        return Err(corrupt("hot key target out of range"));
+                    }
+                    targets.push(t);
+                }
+                hot.push((key, targets));
+            }
+            Ok(Arc::new(
+                SkewAwareHashMod::new(n, key_len, seed, secondary_seed).with_hot_keys(hot),
+            ))
         }
         Some(tag) => Err(corrupt(&format!("unknown discriminator tag {tag}"))),
     }
@@ -966,5 +1175,132 @@ mod tests {
         let g2 = BitFn::new(2);
         let differs = (0..64i64).any(|k| g1.bit(Value::Int(k)) != g2.bit(Value::Int(k)));
         assert!(differs);
+    }
+
+    #[test]
+    fn skew_aware_cold_keys_match_prefix_hash() {
+        let h = SkewAwareHashMod::new(4, 1, 0x5A, 0x5B);
+        let plain = HashMod::new(4, 0x5A);
+        for k in 0..100i64 {
+            // Cold key routing depends only on the key prefix, matching a
+            // plain hash of the one-value key.
+            let a = h.assign(&vals(&[k, 7]));
+            assert_eq!(a, h.assign(&vals(&[k, 99])));
+            assert_eq!(a, plain.assign(&vals(&[k])));
+        }
+    }
+
+    #[test]
+    fn skew_aware_splits_hot_key_across_targets() {
+        let h = SkewAwareHashMod::new(8, 1, 1, 2)
+            .with_hot_keys([(vals(&[0]), vec![1, 3, 5])]);
+        let mut hit = [0usize; 8];
+        for y in 0..300i64 {
+            let a = h.assign(&vals(&[0, y]));
+            assert!([1, 3, 5].contains(&a), "hot key stays in its split set");
+            assert_eq!(a, h.assign(&vals(&[0, y])), "deterministic");
+            hit[a] += 1;
+        }
+        assert!(hit[1] > 50 && hit[3] > 50 && hit[5] > 50, "spread: {hit:?}");
+        // Cold keys are untouched by the hot table.
+        let cold = SkewAwareHashMod::new(8, 1, 1, 2);
+        for k in 1..50i64 {
+            assert_eq!(h.assign(&vals(&[k, 0])), cold.assign(&vals(&[k, 0])));
+        }
+    }
+
+    #[test]
+    fn skew_aware_prefix_is_consistent_with_assign() {
+        let h = SkewAwareHashMod::new(6, 1, 3, 4)
+            .with_hot_keys([(vals(&[2]), vec![0, 4]), (vals(&[5]), vec![1, 2, 3])]);
+        assert_eq!(h.assign_prefix(&[]), None, "short prefix narrows nothing");
+        for k in 0..20i64 {
+            let targets = h.assign_prefix(&vals(&[k])).unwrap();
+            for y in 0..40i64 {
+                let a = h.assign(&vals(&[k, y]));
+                assert!(targets.contains(&a), "assign ∈ assign_prefix set");
+            }
+        }
+        assert_eq!(h.assign_prefix(&vals(&[2])).unwrap(), vec![0, 4]);
+        assert_eq!(h.assign_prefix(&vals(&[5])).unwrap().len(), 3);
+        assert_eq!(h.assign_prefix(&vals(&[7])).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn skew_aware_constraint_prefix_replicates_hot_keys() {
+        let interner = Interner::new();
+        let z = Variable(interner.intern("Z"));
+        let y = Variable(interner.intern("Y"));
+        let h: DiscriminatorRef = Arc::new(
+            SkewAwareHashMod::new(4, 1, 9, 10).with_hot_keys([(vals(&[1]), vec![0, 2])]),
+        );
+        for expect in 0..4 {
+            let c = DiscConstraint::literal(vec![z, y], h.clone(), expect);
+            // Hot key 1 may land on workers 0 and 2 only.
+            assert_eq!(c.may_hold_prefix(&vals(&[1])), expect == 0 || expect == 2);
+            // Cold keys land exactly where the base hash says.
+            let base = h.assign_prefix(&vals(&[3])).unwrap()[0];
+            assert_eq!(c.may_hold_prefix(&vals(&[3])), expect == base);
+            // A full binding decides exactly.
+            assert_eq!(c.may_hold_prefix(&vals(&[1, 8])), h.assign(&vals(&[1, 8])) == expect);
+        }
+    }
+
+    #[test]
+    fn default_constraint_prefix_is_conservative() {
+        let interner = Interner::new();
+        let z = Variable(interner.intern("Z"));
+        let y = Variable(interner.intern("Y"));
+        let h: DiscriminatorRef = Arc::new(HashMod::new(4, 1));
+        let c = DiscConstraint::literal(vec![z, y], h, 3);
+        // HashMod cannot narrow a prefix, so fragmentation must keep the
+        // tuple.
+        assert!(c.may_hold_prefix(&vals(&[5])));
+    }
+
+    #[test]
+    fn skew_aware_wire_roundtrip() {
+        let interner = Interner::new();
+        let z = Variable(interner.intern("Z"));
+        let y = Variable(interner.intern("Y"));
+        let h: DiscriminatorRef = Arc::new(
+            SkewAwareHashMod::new(4, 1, 0xAB, 0xCD)
+                .with_hot_keys([(vals(&[0]), vec![0, 1, 2, 3]), (vals(&[-7]), vec![1, 3])]),
+        );
+        let c = DiscConstraint::literal(vec![z, y], h.clone(), 2);
+        let bytes = c.wire_encode().expect("skew-aware travels");
+        let decoded = decode_constraint(&bytes).expect("roundtrip");
+        assert_eq!(decoded.variables(), c.variables());
+        for k in -10..10i64 {
+            for v in 0..10i64 {
+                let ground = vals(&[k, v]);
+                assert_eq!(decoded.holds(&ground), c.holds(&ground));
+                assert_eq!(
+                    decoded.may_hold_prefix(&vals(&[k])),
+                    c.may_hold_prefix(&vals(&[k]))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skew_aware_decode_rejects_corruption() {
+        let interner = Interner::new();
+        let z = Variable(interner.intern("Z"));
+        let h: DiscriminatorRef =
+            Arc::new(SkewAwareHashMod::new(4, 1, 1, 2).with_hot_keys([(vals(&[0]), vec![1, 2])]));
+        let bytes = DiscConstraint::literal(vec![z], h, 1)
+            .wire_encode()
+            .unwrap();
+        // Truncations never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_constraint(&bytes[..cut]).is_err());
+        }
+        // A lying hot-key count is rejected by the plausibility bound.
+        let mut lying = bytes.clone();
+        // Find the nhot byte: magic, nvars=1, symid, expect=1, tag=7,
+        // n=4, keylen=1, seed=1, seed2=2, nhot — position 9.
+        lying[9] = 0x7f;
+        assert!(decode_constraint(&lying).is_err());
     }
 }

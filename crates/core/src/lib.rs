@@ -38,7 +38,8 @@ pub mod prelude {
     pub use crate::dataflow::{zero_comm_choice, DataflowGraph, ZeroCommChoice};
     pub use crate::discriminator::{
         decode_constraint, BitFn, BitVector, Constant, DiscConstraint, Discriminator,
-        DiscriminatorRef, FragmentOwner, HashMod, Linear, Mixed, SymmetricHashMod,
+        DiscriminatorRef, FragmentOwner, HashMod, Linear, Mixed, SkewAwareHashMod,
+        SymmetricHashMod,
     };
     pub use crate::network::{derive_network, NetworkGraph, SymbolicDisc};
     pub use crate::schemes::general::{rewrite_general, RuleChoice};
@@ -46,9 +47,12 @@ pub mod prelude {
     pub use crate::schemes::nocomm::{rewrite_no_comm, NoCommConfig};
     pub use crate::schemes::nonredundant::{rewrite_non_redundant, NonRedundantConfig};
     pub use crate::schemes::presets::{
-        example1_wolfson, example2_valduriez, example3_hash_partition,
+        example1_wolfson, example2_valduriez, example3_hash_partition, skew_aware_hash_partition,
     };
     pub use crate::schemes::{BaseDistribution, CompiledScheme};
     pub use crate::session::{RoundReport, UpdateBatch, UpdateSession};
-    pub use crate::strategy::{choose, crossover, CostModel, SchemeProfile};
+    pub use crate::strategy::{
+        choose, crossover, sample_key_frequencies, CostModel, KeyFrequencyProfile, SchemeProfile,
+        SkewPolicy,
+    };
 }

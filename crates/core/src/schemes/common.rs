@@ -142,6 +142,15 @@ pub fn worker_databases(
 /// every base atom of every rule, the tuples passing some constraint of
 /// that rule whose variables the atom binds — or the full relation if any
 /// rule reads the atom unconstrained.
+///
+/// An atom that binds only a leading *prefix* of a constraint's variables
+/// still fragments, via [`Constraint::may_hold_prefix`]: a tuple is kept
+/// exactly when some extension of the prefix could satisfy the constraint.
+/// For a plain hash function the prefix narrows nothing and the worker
+/// keeps the whole relation (the old behaviour); for a skew-aware function
+/// over an extended discriminating sequence this is precisely §6's `R_i`
+/// replication — a hot key's complementary base fragment lands at every
+/// worker of its split set, a cold key's at exactly one.
 fn fragment_database(global: &Database, pp: &ProcessorProgram) -> Result<Database> {
     let derived: Vec<RelationId> = pp
         .program
@@ -173,28 +182,49 @@ fn fragment_database(global: &Database, pp: &ProcessorProgram) -> Result<Databas
             let Some(relation) = global.relation(id) else {
                 continue; // no data: nothing to distribute
             };
-            // A constraint covers the atom if the atom binds all its vars.
-            let covering = constraints.iter().find(|c| {
-                c.variables().iter().all(|v| {
-                    atom.terms
-                        .iter()
-                        .any(|t| matches!(t, Term::Var(tv) if tv == v))
-                })
-            });
+            // How many leading constraint variables the atom binds: a full
+            // cover decides exactly, a non-empty prefix may still narrow
+            // (skew-aware functions), zero tells us nothing.
+            let bound_prefix = |c: &gst_frontend::ast::ConstraintRef| {
+                c.variables()
+                    .iter()
+                    .take_while(|v| {
+                        atom.terms
+                            .iter()
+                            .any(|t| matches!(t, Term::Var(tv) if tv == *v))
+                    })
+                    .count()
+            };
+            // Prefer a full cover over a prefix, a longer prefix over a
+            // shorter one, and the earliest constraint on ties (matching
+            // the pre-prefix behaviour of taking the first full cover).
+            let mut covering: Option<(&gst_frontend::ast::ConstraintRef, usize)> = None;
+            for c in &constraints {
+                let m = bound_prefix(c);
+                if m == 0 {
+                    continue;
+                }
+                let rank = (m == c.variables().len(), m);
+                let current = covering.map(|(bc, bm)| (bm == bc.variables().len(), bm));
+                if current.is_none_or(|best| rank > best) {
+                    covering = Some((c, m));
+                }
+            }
             match covering {
                 None => {
                     needed.insert(id, None); // full
                 }
-                Some(c) => {
-                    // Positions of each constraint variable in the atom.
+                Some((c, m)) => {
+                    // Positions of each bound constraint variable in the atom.
                     let positions: Vec<usize> = c
                         .variables()
                         .iter()
+                        .take(m)
                         .map(|v| {
                             atom.terms
                                 .iter()
                                 .position(|t| matches!(t, Term::Var(tv) if tv == v))
-                                .expect("covering constraint")
+                                .expect("prefix variable is bound")
                         })
                         .collect();
                     let entry = needed
@@ -204,7 +234,7 @@ fn fragment_database(global: &Database, pp: &ProcessorProgram) -> Result<Databas
                         for t in relation.iter() {
                             let ground: Vec<gst_common::Value> =
                                 positions.iter().map(|&p| t.get(p)).collect();
-                            if c.holds(&ground) {
+                            if c.may_hold_prefix(&ground) {
                                 fragment.insert_unchecked(t.clone());
                             }
                         }

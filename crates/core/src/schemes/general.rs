@@ -216,6 +216,7 @@ pub fn rewrite_general(
         workers,
         answers: derived,
         kind: "general scheme (§7 T_i)",
+        hot_keys_split: 0,
     })
 }
 

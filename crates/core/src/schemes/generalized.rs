@@ -196,6 +196,7 @@ pub fn rewrite_generalized(
         workers,
         answers: vec![t],
         kind: "generalized trade-off (§6 R_i)",
+        hot_keys_split: 0,
     })
 }
 

@@ -38,6 +38,10 @@ pub struct CompiledScheme {
     pub answers: Vec<RelationId>,
     /// Which rewriting produced this (for reports).
     pub kind: &'static str,
+    /// Keys the compile-time skew sampler split across processors — zero
+    /// for every scheme except the skew-aware preset. Surfaced in
+    /// `--stats` as `hot_keys_split`.
+    pub hot_keys_split: usize,
 }
 
 impl CompiledScheme {

@@ -223,6 +223,7 @@ pub fn rewrite_non_redundant(
         workers,
         answers: vec![t],
         kind: "non-redundant (§3 Q_i)",
+        hot_keys_split: 0,
     })
 }
 

@@ -20,10 +20,13 @@ use gst_frontend::{LinearSirup, Variable};
 use gst_storage::{Database, Fragmentation};
 
 use crate::dataflow::zero_comm_choice;
-use crate::discriminator::{DiscriminatorRef, FragmentOwner, HashMod, SymmetricHashMod};
+use crate::discriminator::{
+    Discriminator, DiscriminatorRef, FragmentOwner, HashMod, SkewAwareHashMod, SymmetricHashMod,
+};
 use crate::schemes::common::BaseDistribution;
 use crate::schemes::nonredundant::{rewrite_non_redundant, NonRedundantConfig};
 use crate::schemes::CompiledScheme;
+use crate::strategy::{sample_key_frequencies, SkewPolicy};
 
 /// Example 1 — the Wolfson–Silberschatz algorithm \[19\]: discriminate on a
 /// dataflow-graph cycle, so no tuple ever changes processors. Works for
@@ -139,6 +142,148 @@ pub fn example3_hash_partition(
     let mut scheme = rewrite_non_redundant(sirup, &cfg, db)?;
     scheme.kind = "Example 3 (hash partition, point-to-point)";
     Ok(scheme)
+}
+
+/// Skew-aware variant of Example 3 (ROADMAP item 4): the same hash
+/// partition on the recursive position, except `h` and `h'` sample the EDB
+/// at compile time and split each *hot* key across `k` processors.
+///
+/// Mechanically this is still the §3 non-redundant scheme — only over an
+/// *extended* discriminating sequence: the Example-3 key variable followed
+/// by the remaining variables of the recursive atom (resp. exit head), so
+/// the secondary hash has something to split on. A [`SkewAwareHashMod`]
+/// routes cold keys exactly like Example 3's `HashMod` (same seed, same
+/// key hash) and spreads a hot key's instances across its split set; the
+/// fragmenter replicates the hot key's complementary base fragment to
+/// every member of that set via the prefix-coverage rule (§6 `R_i`: pay
+/// redundant storage, keep every firing local). With no hot keys detected
+/// the compiled scheme routes tuple-for-tuple like Example 3.
+pub fn skew_aware_hash_partition(
+    sirup: &LinearSirup,
+    n: usize,
+    db: &Database,
+    policy: &SkewPolicy,
+) -> Result<CompiledScheme> {
+    let base_vars: Vec<Variable> = sirup
+        .base_atoms
+        .iter()
+        .flat_map(|a| a.variables().collect::<Vec<_>>())
+        .collect();
+    let mut picked = None;
+    for (p, term) in sirup.recursive_args.iter().enumerate() {
+        if let Term::Var(v) = term {
+            if base_vars.contains(v) {
+                if let Some(Term::Var(e)) = sirup.exit_head.get(p) {
+                    picked = Some((*v, *e));
+                    break;
+                }
+            }
+        }
+    }
+    let Some((v_r_var, v_e_var)) = picked else {
+        return Err(Error::Shape(
+            "skew-aware partition needs a recursive-atom position whose variable \
+             occurs in a base atom and whose exit-head position is a variable"
+                .into(),
+        ));
+    };
+
+    // Extended sequences: the key variable first, then the remaining
+    // distinct variables of the recursive atom / exit head. Every extended
+    // variable still appears in the corresponding rule body, so the
+    // sequences stay valid and the sending rules stay point-to-point.
+    let v_r = extend_sequence(v_r_var, &sirup.recursive_args);
+    let v_e = extend_sequence(v_e_var, &sirup.exit_head);
+
+    let split_k = if policy.split_k == 0 {
+        n
+    } else {
+        policy.split_k.min(n)
+    };
+    // Example 3's seed: with no hot keys, cold routing is bit-identical.
+    //
+    // Both functions census the *exit-seed* column. The recursive atom's
+    // fragment is seeded by the exit rule's output and then grows by
+    // self-join, so the compile-time proxy for "how many recursive tuples
+    // carry key value v" is the frequency of v in the column the exit body
+    // reads for the key position — not the column a recursive-rule base
+    // atom happens to bind. For ancestor both land on `par`'s first column
+    // (out-degree): the hub of a star or the head of a zipf distribution.
+    let h = skew_hash(sirup, db, v_e_var, n, split_k, policy, 0xE3, 0x53);
+    let h_prime = skew_hash(sirup, db, v_e_var, n, split_k, policy, 0xE3, 0x54);
+    let hot_keys_split = h.hot_key_count() + h_prime.hot_key_count();
+
+    let cfg = NonRedundantConfig {
+        v_r,
+        v_e,
+        h: Arc::new(h),
+        h_prime: Arc::new(h_prime),
+        base: BaseDistribution::MinimalFragments,
+    };
+    let mut scheme = rewrite_non_redundant(sirup, &cfg, db)?;
+    scheme.kind = "skew-aware hash partition (sampled hot-key split, §6 R_i)";
+    scheme.hot_keys_split = hot_keys_split;
+    Ok(scheme)
+}
+
+/// `key` followed by the other distinct variables of `terms`, in order.
+fn extend_sequence(key: Variable, terms: &[Term]) -> Vec<Variable> {
+    let mut seq = vec![key];
+    for term in terms {
+        if let Term::Var(v) = term {
+            if !seq.contains(v) {
+                seq.push(*v);
+            }
+        }
+    }
+    seq
+}
+
+/// Build the skew-aware function for one key variable: census the first
+/// base-relation column binding it, flag hot keys per `policy`, and hand
+/// each a split set of `split_k` processors starting at its cold-routing
+/// home (so one of the replicas is always the worker a plain hash would
+/// have used).
+#[allow(clippy::too_many_arguments)] // internal builder, one call site per function
+fn skew_hash(
+    sirup: &LinearSirup,
+    db: &Database,
+    key_var: Variable,
+    n: usize,
+    split_k: usize,
+    policy: &SkewPolicy,
+    seed: u64,
+    secondary_seed: u64,
+) -> SkewAwareHashMod {
+    let cold = SkewAwareHashMod::new(n, 1, seed, secondary_seed);
+    // The column to census: where the key variable reads a base relation.
+    // The recursive rule's base atoms bind v(r); the exit body binds v(e).
+    let exit_atoms: Vec<_> = sirup.exit_rule().body_atoms().cloned().collect();
+    let site = sirup
+        .base_atoms
+        .iter()
+        .chain(exit_atoms.iter())
+        .find_map(|a| {
+            a.terms
+                .iter()
+                .position(|t| matches!(t, Term::Var(v) if *v == key_var))
+                .map(|col| ((a.predicate, a.terms.len()), col))
+        });
+    let Some((id, col)) = site else {
+        return cold; // key never reads a base relation: nothing to sample
+    };
+    let Some(rel) = db.relation(id) else {
+        return cold; // no data: nothing to split
+    };
+    let profile = sample_key_frequencies(rel, &[col]);
+    let hot = profile.hot_keys(n, policy).into_iter().map(|(key, _)| {
+        let home = cold
+            .assign_prefix(&key)
+            .expect("full key prefix always narrows")[0];
+        let targets = (0..split_k).map(|j| (home + j) % n).collect();
+        (key, targets)
+    });
+    SkewAwareHashMod::new(n, 1, seed, secondary_seed).with_hot_keys(hot)
 }
 
 fn vars_of(terms: &[Term], what: &str) -> Result<Vec<Variable>> {
@@ -306,5 +451,99 @@ mod tests {
         let s = LinearSirup::from_program(&fx.program).unwrap();
         let db = Database::new(fx.program.interner.clone());
         assert!(example1_wolfson(&s, 2, &db).is_err());
+    }
+
+    #[test]
+    fn skew_aware_matches_oracle_on_skewed_graph() {
+        let (s, fx) = setup();
+        // A star melts one worker under any key hash: node 0 is the only
+        // exit-side key and carries the whole relation.
+        let db = fx.database(&gst_workloads::star(40));
+        let policy = crate::strategy::SkewPolicy::default();
+        let scheme = skew_aware_hash_partition(&s, 4, &db, &policy).unwrap();
+        assert!(scheme.hot_keys_split >= 1, "star's hub must be flagged hot");
+        let outcome = scheme.run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        let anc = fx.output_id();
+        assert!(outcome.relation(anc).set_eq(&seq.relation(anc)));
+    }
+
+    #[test]
+    fn skew_aware_without_hot_keys_matches_example3_routing() {
+        let (s, fx) = setup();
+        // A chain is perfectly uniform: no key exceeds two fair shares, so
+        // the sampler flags nothing and cold routing is Example 3's hash.
+        let db = fx.database(&chain(30));
+        let policy = crate::strategy::SkewPolicy::default();
+        let skew = skew_aware_hash_partition(&s, 4, &db, &policy).unwrap();
+        assert_eq!(skew.hot_keys_split, 0);
+        let ex3 = example3_hash_partition(&s, 4, &db).unwrap();
+        let a = skew.run().unwrap();
+        let b = ex3.run().unwrap();
+        let anc = fx.output_id();
+        assert!(a.relation(anc).set_eq(&b.relation(anc)));
+        // Same per-worker firings: every instance routed to the same home.
+        for w in 0..4 {
+            assert_eq!(
+                a.stats.workers[w].processing_firings,
+                b.stats.workers[w].processing_firings,
+                "worker {w} diverged from Example 3 routing"
+            );
+        }
+        assert_eq!(
+            a.stats.total_tuples_sent(),
+            b.stats.total_tuples_sent(),
+            "cold-only routing ships the same tuples"
+        );
+    }
+
+    #[test]
+    fn skew_aware_replicates_hot_fragment_only() {
+        let (s, fx) = setup();
+        let edges = gst_workloads::star(32);
+        let db = fx.database(&edges);
+        let policy = crate::strategy::SkewPolicy::default();
+        let scheme = skew_aware_hash_partition(&s, 4, &db, &policy).unwrap();
+        let par = fx.input_id(0);
+        // The hub key is split across all 4 workers, so its complementary
+        // fragment (the whole star) is replicated — but total storage is
+        // still bounded by the split factor, not silently "share all".
+        let total: usize = scheme
+            .workers
+            .iter()
+            .map(|w| w.edb.relation(par).map(|r| r.len()).unwrap_or(0))
+            .sum();
+        assert!(total >= edges.len(), "every worker in the split set holds the hub fragment");
+        let outcome = scheme.run().unwrap();
+        let seq = seminaive_eval(&fx.program, &db).unwrap();
+        let anc = fx.output_id();
+        assert!(outcome.relation(anc).set_eq(&seq.relation(anc)));
+    }
+
+    #[test]
+    fn skew_aware_balances_star_init_firings() {
+        let (s, fx) = setup();
+        let db = fx.database(&gst_workloads::star(64));
+        let n = 4;
+        let skew_fn = |outcome: &gst_runtime::ExecutionOutcome| {
+            let per: Vec<u64> = (0..n)
+                .map(|w| outcome.stats.workers[w].processing_firings)
+                .collect();
+            let max = *per.iter().max().unwrap() as f64;
+            let mean = per.iter().sum::<u64>() as f64 / n as f64;
+            if mean == 0.0 { 1.0 } else { max / mean }
+        };
+        let plain = example3_hash_partition(&s, n, &db).unwrap().run().unwrap();
+        let policy = crate::strategy::SkewPolicy::default();
+        let skewed = skew_aware_hash_partition(&s, n, &db, &policy)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            skew_fn(&skewed) * 2.0 <= skew_fn(&plain),
+            "hot-key splitting must at least halve star skew: {} vs {}",
+            skew_fn(&skewed),
+            skew_fn(&plain)
+        );
     }
 }

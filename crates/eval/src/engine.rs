@@ -23,7 +23,7 @@ use gst_common::{Error, FxHashMap, Result, Tuple};
 use gst_frontend::{Program, ProgramAnalysis};
 use gst_storage::{Database, HashIndex, Relation};
 
-use crate::exec::{run_plan, Access};
+use crate::exec::{run_plan, run_plan_morsels, Access, MorselConfig, MorselPool};
 use crate::plan::{compile_rule_with, idb_occurrence_count, AtomSource, PlanOptions, PlanStep, RelationId, RulePlan};
 use crate::stats::EvalStats;
 
@@ -92,6 +92,14 @@ pub struct FixpointEngine {
     /// Predicates installed by [`FixpointEngine::preseed`]: bootstrap
     /// must not seed these again from the EDB.
     preseeded: Vec<RelationId>,
+    /// Morsel-parallel join settings (disabled by default; the sequential
+    /// and morsel paths produce bit-identical results, see
+    /// [`run_plan_morsels`]).
+    morsels: MorselConfig,
+    /// Persistent helper threads for the morsel path, created by
+    /// [`FixpointEngine::set_morsels`] when it enables morsels. Spawning
+    /// threads per round would cost more than a medium delta's join work.
+    pool: Option<MorselPool>,
 }
 
 impl FixpointEngine {
@@ -158,7 +166,23 @@ impl FixpointEngine {
             stats,
             bootstrapped: false,
             preseeded: Vec::new(),
+            morsels: MorselConfig::default(),
+            pool: None,
         })
+    }
+
+    /// Set the morsel-parallel join configuration. Safe to call at any
+    /// point: the morsel path is bit-identical to the sequential one, so
+    /// this only changes how large leading scans are executed.
+    pub fn set_morsels(&mut self, morsels: MorselConfig) {
+        self.morsels = morsels;
+        if morsels.enabled() {
+            if self.pool.as_ref().map(MorselPool::participants) != Some(morsels.threads) {
+                self.pool = Some(MorselPool::new(morsels.threads));
+            }
+        } else {
+            self.pool = None;
+        }
     }
 
     /// Install `state` as the complete already-derived relation for
@@ -380,9 +404,10 @@ impl FixpointEngine {
             self.sync_indexes_for(PlanSet::Bootstrap, i);
             let head = self.bootstrap_plans[i].head;
             let mut pending = self.take_pending(head);
-            let firings = self.run_one_into(PlanSet::Bootstrap, i, &mut pending);
+            let (firings, morsels) = self.run_one_into(PlanSet::Bootstrap, i, &mut pending);
             let rule_index = self.bootstrap_plans[i].rule_index;
             self.stats.record_firings(rule_index, firings);
+            self.stats.record_morsels(morsels);
             self.put_pending(head, pending);
         }
         Ok(())
@@ -423,9 +448,10 @@ impl FixpointEngine {
             self.sync_indexes_for(PlanSet::Round, i);
             let head = self.round_plans[i].head;
             let mut pending = self.take_pending(head);
-            let firings = self.run_one_into(PlanSet::Round, i, &mut pending);
+            let (firings, morsels) = self.run_one_into(PlanSet::Round, i, &mut pending);
             let rule_index = self.round_plans[i].rule_index;
             self.stats.record_firings(rule_index, firings);
+            self.stats.record_morsels(morsels);
             self.put_pending(head, pending);
         }
     }
@@ -538,7 +564,10 @@ impl FixpointEngine {
             .pending = pending;
     }
 
-    fn run_one_into(&self, set: PlanSet, i: usize, out: &mut Vec<Tuple>) -> u64 {
+    /// Execute one plan against current state, emitting into `out`.
+    /// Returns `(firings, morsel_chunks)` — chunks is zero when the
+    /// sequential path ran.
+    fn run_one_into(&self, set: PlanSet, i: usize, out: &mut Vec<Tuple>) -> (u64, u64) {
         let plan = self.plan(set, i);
         // EDB relations referenced without data need a live empty relation
         // to borrow; collect owned empties first.
@@ -550,7 +579,18 @@ impl FixpointEngine {
                 PlanStep::Scan(sc) => Some(self.access_for(sc)),
             })
             .collect();
-        run_plan(plan, &accesses, &mut |t| out.push(t))
+        if self.morsels.enabled() {
+            if let Some((firings, chunks)) = run_plan_morsels(
+                plan,
+                &accesses,
+                &self.morsels,
+                self.pool.as_ref(),
+                &mut |t| out.push(t),
+            ) {
+                return (firings, chunks);
+            }
+        }
+        (run_plan(plan, &accesses, &mut |t| out.push(t)), 0)
     }
 
     fn access_for<'a>(&'a self, scan: &crate::plan::ScanStep) -> Access<'a> {

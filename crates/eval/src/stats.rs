@@ -34,6 +34,10 @@ pub struct EvalStats {
     pub duplicates: u64,
     /// Firings per rule, indexed by the rule's position in the program.
     pub firings_by_rule: Vec<u64>,
+    /// Rule executions that ran through the morsel-parallel executor.
+    pub morsel_runs: u64,
+    /// Total morsel chunks claimed across all morsel-parallel executions.
+    pub morsel_chunks: u64,
     /// Per-round delta sizes, one sample per completed round.
     pub per_round: Vec<RoundSample>,
 }
@@ -52,6 +56,16 @@ impl EvalStats {
         self.firings += n;
         if let Some(slot) = self.firings_by_rule.get_mut(rule_index) {
             *slot += n;
+        }
+    }
+
+    /// Record a morsel-parallel execution that split a delta scan into
+    /// `chunks` morsels. A `chunks` of 0 means the executor declined and
+    /// fell back to the sequential path — not counted.
+    pub fn record_morsels(&mut self, chunks: u64) {
+        if chunks > 0 {
+            self.morsel_runs += 1;
+            self.morsel_chunks += chunks;
         }
     }
 
@@ -90,6 +104,8 @@ impl EvalStats {
         self.firings += other.firings;
         self.derived += other.derived;
         self.duplicates += other.duplicates;
+        self.morsel_runs += other.morsel_runs;
+        self.morsel_chunks += other.morsel_chunks;
         if self.firings_by_rule.len() < other.firings_by_rule.len() {
             self.firings_by_rule.resize(other.firings_by_rule.len(), 0);
         }

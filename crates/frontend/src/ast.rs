@@ -145,6 +145,21 @@ pub trait Constraint: Send + Sync {
     fn wire_encode(&self) -> Option<Vec<u8>> {
         None
     }
+
+    /// Decide whether the constraint *could* hold given values for only a
+    /// leading prefix of [`Constraint::variables`]. Used when fragmenting a
+    /// base relation whose atom binds some but not all of the constraint's
+    /// variables: `false` means no extension of the prefix satisfies the
+    /// constraint, so the tuple can be dropped from the fragment. The
+    /// default is conservative — a full binding decides exactly, anything
+    /// shorter is assumed possible.
+    fn may_hold_prefix(&self, bound: &[Value]) -> bool {
+        if bound.len() == self.variables().len() {
+            self.holds(bound)
+        } else {
+            true
+        }
+    }
 }
 
 /// A shared, immutable constraint literal.

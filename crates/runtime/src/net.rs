@@ -620,6 +620,7 @@ pub fn run_net_worker(args: &NetWorkerArgs, decoder: Option<ConstraintDecoderFn>
             return Err(e);
         }
     };
+    core.set_morsel_threads(worker_cfg.morsel_threads);
     if let Some(recover) = job.recover {
         // Absorbed before any engine step (and before any stashed
         // traffic): the epoch repair must precede every send this

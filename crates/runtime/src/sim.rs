@@ -306,6 +306,9 @@ impl SimTransport {
             .into_iter()
             .map(|spec| WorkerCore::new(spec, n))
             .collect::<Result<Vec<_>>>()?;
+        for core in cores.iter_mut() {
+            core.set_morsel_threads(config.worker.morsel_threads);
+        }
         if config.trace {
             // Virtual-clock sinks: the journal then carries only virtual
             // ticks and counters, so same-seed runs are bit-identical.
@@ -439,6 +442,7 @@ impl SimTransport {
                     // replacement drops it.
                     lost_events.extend(cores[w].take_trace_events());
                     cores[w] = WorkerCore::with_epoch(specs[w].clone(), n, epoch)?;
+                    cores[w].set_morsel_threads(config.worker.morsel_threads);
                     if config.trace {
                         cores[w].set_sink(TraceSink::virtual_clock(w));
                         cores[w].set_trace_now(now);

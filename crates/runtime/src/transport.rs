@@ -173,6 +173,7 @@ fn run_local(spec: &WorkerSpec, n: usize, config: &RuntimeConfig) -> Result<Work
     // the N=1 fast path maintains exactly the state a distributed run
     // would.
     let mut engine = spec.build_engine()?;
+    engine.set_morsels(gst_eval::MorselConfig::with_threads(config.worker.morsel_threads));
     engine.bootstrap()?;
     let mut ship_from = vec![0usize; spec.program.outgoing.len()];
     loop {
@@ -337,6 +338,7 @@ fn run_threaded(
         Ok(core) => core,
         Err(e) => return WorkerExit::Fatal(e),
     };
+    core.set_morsel_threads(config.worker.morsel_threads);
     if let Some(origin) = trace_origin {
         // All sinks share the run's origin so the tracks line up.
         core.set_sink(TraceSink::wall(core.id(), origin));

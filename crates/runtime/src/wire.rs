@@ -309,6 +309,7 @@ pub(crate) fn encode_job(
     put_uv(&mut buf, worker.idle_poll.as_micros() as u64);
     put_uv(&mut buf, worker.idle_watchdog.as_micros() as u64);
     buf.push(u8::from(worker.pool_results));
+    put_uv(&mut buf, worker.morsel_threads as u64);
 
     // Symbol table: the entire interner, ids 0..len in order. The worker
     // re-interns into a fresh table and every SymbolId below resolves to
@@ -373,10 +374,17 @@ pub(crate) fn decode_job(bytes: &[u8], decode_constraint: ConstraintDecode) -> R
         1 => true,
         other => return Err(corrupt(&format!("unknown pool flag {other}"))),
     };
+    let morsel_threads = get_usize(&mut c, "job morsel threads")?;
+    if morsel_threads == 0 || morsel_threads > 1 << 12 {
+        return Err(corrupt(&format!(
+            "implausible morsel thread count {morsel_threads}"
+        )));
+    }
     let worker = WorkerConfig {
         idle_poll: Duration::from_micros(idle_poll),
         idle_watchdog: Duration::from_micros(idle_watchdog),
         pool_results,
+        morsel_threads,
     };
 
     // Rebuild the symbol table; sequential re-interning must reproduce
@@ -805,6 +813,8 @@ pub(crate) fn encode_result(
     put_uv(&mut buf, report.eval.firings);
     put_uv(&mut buf, report.eval.derived);
     put_uv(&mut buf, report.eval.duplicates);
+    put_uv(&mut buf, report.eval.morsel_runs);
+    put_uv(&mut buf, report.eval.morsel_chunks);
     put_uv(&mut buf, report.eval.firings_by_rule.len() as u64);
     for f in &report.eval.firings_by_rule {
         put_uv(&mut buf, *f);
@@ -863,6 +873,8 @@ pub(crate) fn decode_result(
     let firings = c.get_uv().ok_or_else(|| corrupt("eval firings"))?;
     let derived = c.get_uv().ok_or_else(|| corrupt("eval derived"))?;
     let duplicates = c.get_uv().ok_or_else(|| corrupt("eval duplicates"))?;
+    let morsel_runs = c.get_uv().ok_or_else(|| corrupt("eval morsel runs"))?;
+    let morsel_chunks = c.get_uv().ok_or_else(|| corrupt("eval morsel chunks"))?;
     let nrules = get_count(&mut c, "firings by rule")?;
     let mut firings_by_rule = Vec::with_capacity(nrules.min(1024));
     for _ in 0..nrules {
@@ -877,7 +889,16 @@ pub(crate) fn decode_result(
             fresh: c.get_uv().ok_or_else(|| corrupt("sample fresh"))?,
         });
     }
-    let eval = EvalStats { rounds, firings, derived, duplicates, firings_by_rule, per_round };
+    let eval = EvalStats {
+        rounds,
+        firings,
+        derived,
+        duplicates,
+        morsel_runs,
+        morsel_chunks,
+        firings_by_rule,
+        per_round,
+    };
     let processing_firings = c.get_uv().ok_or_else(|| corrupt("processing firings"))?;
     let nlinks = get_count(&mut c, "link counters")?;
     let mut sent_tuples_to = Vec::with_capacity(nlinks.min(1024));
@@ -989,6 +1010,7 @@ mod tests {
         assert_eq!(job.worker.idle_poll, WorkerConfig::default().idle_poll);
         assert_eq!(job.worker.idle_watchdog, WorkerConfig::default().idle_watchdog);
         assert!(job.worker.pool_results);
+        assert_eq!(job.worker.morsel_threads, 1);
         assert_eq!(job.spec.program.processor, 1);
         assert_eq!(job.spec.program.program.rules, spec.program.program.rules);
         assert_eq!(job.spec.program.outgoing, spec.program.outgoing);
@@ -1012,6 +1034,29 @@ mod tests {
             assert!(rel.set_eq(got), "relation {id:?} differs");
         }
         assert_eq!(job.spec.edb.relation_count(), spec.edb.relation_count());
+    }
+
+    #[test]
+    fn job_carries_morsel_threads() {
+        let spec = sample_spec();
+        let config = WorkerConfig {
+            morsel_threads: 6,
+            ..WorkerConfig::default()
+        };
+        let body = encode_job(0, 2, &config, &spec, None).unwrap();
+        let job = decode_job(&body, None).unwrap();
+        assert_eq!(job.worker.morsel_threads, 6);
+    }
+
+    #[test]
+    fn job_rejects_zero_morsel_threads() {
+        let spec = sample_spec();
+        let config = WorkerConfig {
+            morsel_threads: 0,
+            ..WorkerConfig::default()
+        };
+        let body = encode_job(0, 2, &config, &spec, None).unwrap();
+        assert!(decode_job(&body, None).is_err());
     }
 
     #[test]
@@ -1089,6 +1134,8 @@ mod tests {
                 firings: 100,
                 derived: 60,
                 duplicates: 40,
+                morsel_runs: 2,
+                morsel_chunks: 9,
                 firings_by_rule: vec![10, 90],
                 per_round: vec![RoundSample { round: 1, submitted: 5, fresh: 3 }],
             },

@@ -53,6 +53,10 @@ pub struct WorkerConfig {
     /// ("might require communication from all processors to a single
     /// processor", §3 step 5).
     pub pool_results: bool,
+    /// Intra-worker morsel parallelism: threads each worker's engine may
+    /// fan a large semi-naive delta across. 1 (the default) keeps the
+    /// engine strictly sequential.
+    pub morsel_threads: usize,
 }
 
 impl Default for WorkerConfig {
@@ -61,6 +65,7 @@ impl Default for WorkerConfig {
             idle_poll: Duration::from_millis(1),
             idle_watchdog: Duration::from_secs(30),
             pool_results: true,
+            morsel_threads: 1,
         }
     }
 }
@@ -339,6 +344,15 @@ impl WorkerCore {
     /// clock: wall-origin for threads, virtual for the simulator.
     pub(crate) fn set_sink(&mut self, sink: TraceSink) {
         self.sink = sink;
+    }
+
+    /// Apply the transport's [`WorkerConfig::morsel_threads`] knob to this
+    /// core's engine. Chunk-order merging keeps firings and models
+    /// bit-identical to the sequential path, so this is purely a
+    /// wall-clock knob.
+    pub(crate) fn set_morsel_threads(&mut self, threads: usize) {
+        self.engine
+            .set_morsels(gst_eval::MorselConfig::with_threads(threads));
     }
 
     /// Push the simulator's virtual clock into the sink (no-op for

@@ -55,6 +55,48 @@ pub fn random_digraph(nodes: u64, edges: u64, seed: u64) -> Relation {
     rel
 }
 
+/// A skewed random DAG: sources are drawn zipf-distributed (node `i` with
+/// weight ∝ `1/(i+1)^s`, `s` given in tenths) and each edge points from
+/// its source to a uniformly-drawn *higher-numbered* node, so
+/// low-numbered nodes carry most of the out-degree — the power-law shape
+/// of real graphs — and the closure stays hub-dominated instead of
+/// collapsing into one strongly-connected component (where every key
+/// drags the same giant closure and no partition can help). Hash
+/// partitioning the TC join key then concentrates the hot nodes' closures
+/// on whichever processors own them — the adversarial input for
+/// skew-aware partitioning. Deterministic in `seed`. At `s_tenths = 20`
+/// (s = 2) node 0 alone is the source of well over half of all edges.
+pub fn zipf_digraph(nodes: u64, edges: u64, s_tenths: u32, seed: u64) -> Relation {
+    assert!(nodes >= 2, "need at least two nodes for non-loop edges");
+    // Integer cumulative-weight table: w_i = round(K / (i+1)^s) with a
+    // fixed-point power, so the distribution is identical on every
+    // platform (no float summation order concerns at these sizes, but
+    // integers make that obvious).
+    let s = f64::from(s_tenths) / 10.0;
+    let mut cumulative: Vec<u64> = Vec::with_capacity(nodes as usize);
+    let mut total = 0u64;
+    for i in 0..nodes {
+        let w = (1e9 / ((i + 1) as f64).powf(s)).round() as u64;
+        total += w.max(1);
+        cumulative.push(total);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rel = Relation::with_capacity(2, edges as usize);
+    let mut attempts = 0u64;
+    let max_attempts = edges.saturating_mul(20).max(1000);
+    while (rel.len() as u64) < edges && attempts < max_attempts {
+        attempts += 1;
+        let pick = rng.gen_below(total);
+        let a = cumulative.partition_point(|&c| c <= pick) as u64;
+        if a + 1 >= nodes {
+            continue; // the last node has no higher-numbered target
+        }
+        let b = a + 1 + rng.gen_below(nodes - a - 1);
+        rel.insert_unchecked(ituple![a as i64, b as i64]);
+    }
+    rel
+}
+
 /// A layered DAG: `layers` layers of `width` nodes, every node wired to
 /// `fanout` random nodes of the next layer. Node id = `layer * width +
 /// position`. Models the bushy, bounded-depth workloads where parallel TC
@@ -175,6 +217,33 @@ mod tests {
         // 3 nodes admit at most 6 non-loop edges; asking for more stops.
         let g = random_digraph(3, 100, 1);
         assert!(g.len() <= 6);
+    }
+
+    #[test]
+    fn zipf_digraph_is_deterministic_and_loop_free() {
+        let a = zipf_digraph(100, 300, 15, 5);
+        let b = zipf_digraph(100, 300, 15, 5);
+        assert!(a.set_eq(&b));
+        assert!(a.iter().all(|t| t.get(0) != t.get(1)));
+        let c = zipf_digraph(100, 300, 15, 6);
+        assert!(!a.set_eq(&c));
+    }
+
+    #[test]
+    fn zipf_digraph_is_actually_skewed() {
+        // With s = 2 over 100 nodes, the top source must beat the uniform
+        // out-degree expectation (edges/nodes) by a wide margin and sit at
+        // the head of the distribution.
+        let g = zipf_digraph(100, 300, 20, 42);
+        let mut outdeg = vec![0u64; 100];
+        for t in g.iter() {
+            outdeg[t.get(0).as_int().unwrap() as usize] += 1;
+        }
+        let mean = (g.len() as u64 / 100).max(1);
+        let max = *outdeg.iter().max().unwrap();
+        assert!(max >= 10 * mean, "max out-degree {max} not skewed vs mean {mean}");
+        let argmax = outdeg.iter().enumerate().max_by_key(|(_, &d)| d).unwrap().0;
+        assert_eq!(argmax, 0, "the hot source should be node 0");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! `pdatalog` — command-line front end for the parallel-datalog library.
 //!
 //! ```text
-//! pdatalog run <file.dl> [--workers N] [--scheme S] [--print PRED/ARITY] [--stats]
+//! pdatalog run <file.dl> [--workers N] [--scheme S] [--skew-aware] [--morsels T]
+//!                        [--print PRED/ARITY] [--stats]
 //!                        [--max-restarts N] [--watchdog-ms MS] [--restart-backoff-ms MS]
 //!                        [--trace] [--trace-out FILE]
 //!                        [--updates FILE]
@@ -16,6 +17,13 @@
 //! (zero communication), `example2` (fragmented + broadcast), `example3`
 //! (hash partition), `nocomm` (redundant zero-comm), `general` (§7, works
 //! for any program; discriminates each rule on its first body variable).
+//!
+//! `--skew-aware` (with `--scheme example3`) samples EDB key frequencies
+//! at compile time and splits hot keys across processors under the §6
+//! `R_i` replication trade-off; `--morsels T` lets each worker fan large
+//! semi-naive deltas across `T` threads (bit-identical results; see
+//! DESIGN.md §13). `--stats` then also reports `hot_keys_split`,
+//! `firing_skew` (max/mean per-worker firings) and morsel counters.
 //!
 //! `--trace` prints the unified event journal (rounds, sends, receives,
 //! tokens, idles, recoveries) on stderr for any parallel run — threaded
@@ -128,7 +136,7 @@ fn run(args: Vec<String>) -> std::result::Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--print PRED/ARITY] [--stats] [--max-restarts N] [--watchdog-ms MS] [--restart-backoff-ms MS] [--trace] [--trace-out FILE] [--updates FILE] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...][,crash=W@T[,recover]]]] [--net [--net-faults W:kind@BYTES[!][;...]] [--net-kill W@BYTES] [--heartbeat-ms MS] [--heartbeat-timeout-ms MS] [--connect-timeout-ms MS] [--connect-backoff-ms MS]]\n  pdatalog net-worker --connect HOST:PORT --index I [--incarnation K] [timing flags]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]\n\nsupervision defaults: --watchdog-ms 30000, --max-restarts 1, --restart-backoff-ms 10.\n--net runs one OS process per worker over loopback TCP (net-worker is the\nworker mode the coordinator re-executes); faults: delay|disconnect|truncate|garbage.\n\nupdate files (--updates): one `+fact(…).`, `-fact(…).`, or `commit.` per line;\neach commit applies the group as one incrementally maintained batch.".into()
+    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--skew-aware] [--morsels T] [--print PRED/ARITY] [--stats] [--max-restarts N] [--watchdog-ms MS] [--restart-backoff-ms MS] [--trace] [--trace-out FILE] [--updates FILE] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...][,crash=W@T[,recover]]]] [--net [--net-faults W:kind@BYTES[!][;...]] [--net-kill W@BYTES] [--heartbeat-ms MS] [--heartbeat-timeout-ms MS] [--connect-timeout-ms MS] [--connect-backoff-ms MS]]\n  pdatalog net-worker --connect HOST:PORT --index I [--incarnation K] [timing flags]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]\n\nsupervision defaults: --watchdog-ms 30000, --max-restarts 1, --restart-backoff-ms 10.\n--net runs one OS process per worker over loopback TCP (net-worker is the\nworker mode the coordinator re-executes); faults: delay|disconnect|truncate|garbage.\n\nupdate files (--updates): one `+fact(…).`, `-fact(…).`, or `commit.` per line;\neach commit applies the group as one incrementally maintained batch.".into()
 }
 
 /// Parse `PRED/ARITY`, e.g. `anc/2`.
@@ -170,6 +178,8 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     let mut net_config = parallel_datalog::runtime::NetConfig::default();
     let mut watchdog_ms: Option<u64> = None;
     let mut restart_backoff_ms: Option<u64> = None;
+    let mut skew_aware = false;
+    let mut morsels = 1usize;
 
     fn next_ms(
         flag: &str,
@@ -198,6 +208,14 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 print_pred = Some(parse_pred_spec(&spec)?);
             }
             "--stats" => show_stats = true,
+            "--skew-aware" => skew_aware = true,
+            "--morsels" => {
+                morsels = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .ok_or("--morsels needs a thread count of at least 1")?;
+            }
             "--sim" => sim = true,
             "--seed" => {
                 seed = it
@@ -284,6 +302,14 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 .into(),
         );
     }
+    if skew_aware && scheme_name != "example3" {
+        return Err(
+            "--skew-aware replaces example3's hash partition; use --scheme example3".into(),
+        );
+    }
+    if morsels > 1 && matches!(scheme_name.as_str(), "seq" | "naive") {
+        return Err("--morsels needs a parallel scheme (it threads each worker's engine)".into());
+    }
     if net && sim {
         return Err("--net and --sim are exclusive: pick OS processes or the simulator".into());
     }
@@ -349,8 +375,9 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             )
         }
         parallel => {
-            let scheme = build_scheme(parallel, &program, &db, workers)?;
+            let scheme = build_scheme(parallel, &program, &db, workers, skew_aware)?;
             let mut config = RuntimeConfig::default();
+            config.worker.morsel_threads = morsels;
             if let Some(budget) = max_restarts {
                 config.supervisor.max_restarts = budget;
             }
@@ -499,6 +526,33 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             } else {
                 String::new()
             };
+            // Per-worker firing balance (max/mean), plus the skew/morsel
+            // counters when those features are engaged: hot_keys_split
+            // comes from compile time, the morsel counters from the
+            // workers' engines.
+            let extra = {
+                let firings: Vec<u64> = outcome
+                    .stats
+                    .workers
+                    .iter()
+                    .map(|w| w.processing_firings)
+                    .collect();
+                let max = firings.iter().copied().max().unwrap_or(0);
+                let mean = firings.iter().sum::<u64>() as f64 / firings.len().max(1) as f64;
+                let skew = if mean > 0.0 { max as f64 / mean } else { 0.0 };
+                let mut s = format!(" firing_skew={skew:.2}");
+                if skew_aware {
+                    s.push_str(&format!(" hot_keys_split={}", scheme.hot_keys_split));
+                }
+                if morsels > 1 {
+                    let runs: u64 =
+                        outcome.stats.workers.iter().map(|w| w.eval.morsel_runs).sum();
+                    let chunks: u64 =
+                        outcome.stats.workers.iter().map(|w| w.eval.morsel_chunks).sum();
+                    s.push_str(&format!(" morsel_runs={runs} morsel_chunks={chunks}"));
+                }
+                s
+            };
             let rels = print_ids
                 .iter()
                 .map(|(label, id)| (label.clone(), outcome.relation(*id)))
@@ -516,7 +570,7 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             (
                 rels,
                 format!(
-                    "processors={} tuples_sent={} messages={} processing_firings={} wall={:?}{recovery}{mode}",
+                    "processors={} tuples_sent={} messages={} processing_firings={} wall={:?}{extra}{recovery}{mode}",
                     scheme.processors(),
                     outcome.stats.total_tuples_sent(),
                     outcome.stats.total_messages(),
@@ -802,9 +856,18 @@ fn build_scheme(
     program: &Program,
     db: &Database,
     workers: usize,
+    skew_aware: bool,
 ) -> std::result::Result<parallel_datalog::core::schemes::CompiledScheme, String> {
     use parallel_datalog::core::schemes::BaseDistribution;
     let err = |e: Error| e.to_string();
+    if skew_aware {
+        // Same discriminating choice as example3, but with EDB key
+        // frequencies sampled at compile time and hot keys split across
+        // processors (§6 R_i; DESIGN.md §13).
+        let sirup = LinearSirup::from_program(program).map_err(err)?;
+        return skew_aware_hash_partition(&sirup, workers, db, &SkewPolicy::default())
+            .map_err(err);
+    }
     match name {
         "example1" => {
             let sirup = LinearSirup::from_program(program).map_err(err)?;
