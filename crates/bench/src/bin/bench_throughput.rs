@@ -92,6 +92,10 @@ struct Row {
     /// Processing firings per worker, in processor order — the per-cell
     /// load-skew record.
     worker_firings: Vec<u64>,
+    /// Merged phase-attributed time across workers, microseconds, in
+    /// `[compute, encode, decode, replay, idle]` order (all zeros when
+    /// the run was not profiled, e.g. under `--guard`).
+    phase_us: [u64; 5],
     /// Model equals the sequential oracle.
     correct: bool,
     /// Per-worker round time series + channel matrix of the kept rep,
@@ -183,6 +187,14 @@ fn measure(
         .collect();
     by_worker.sort_by_key(|(p, _)| *p);
     let worker_firings = by_worker.into_iter().map(|(_, f)| f).collect();
+    let mut phase_us = [0u64; 5];
+    for w in &outcome.stats.workers {
+        if let Some(p) = &w.profile {
+            for (total, v) in phase_us.iter_mut().zip(p.phases.as_array()) {
+                *total += v;
+            }
+        }
+    }
     Row {
         workload: label.0,
         scheme: label.1,
@@ -196,6 +208,7 @@ fn measure(
         comm_tuples: outcome.stats.total_tuples_sent(),
         firings: outcome.stats.total_firings(),
         worker_firings,
+        phase_us,
         correct: answer.set_eq(oracle),
         rounds_series: rounds_series(&outcome),
     }
@@ -482,7 +495,11 @@ fn main() {
 
         for &n in ns {
             let frag = round_robin_fragment(data, n).unwrap();
-            let plain = RuntimeConfig::default();
+            // Phase timers stay on for the measured matrix (one Instant
+            // read per phase per round — noise, not signal, at these cell
+            // sizes); the wire guard keeps its plain default config.
+            let mut plain = RuntimeConfig::default();
+            plain.worker.profile = true;
             let mut schemes: Vec<(&'static str, CompiledScheme, RuntimeConfig)> = vec![
                 ("ex1-zerocomm", example1_wolfson(&sirup, n, &db).unwrap(), plain.clone()),
                 ("qi-hash", example3_hash_partition(&sirup, n, &db).unwrap(), plain.clone()),
@@ -501,6 +518,7 @@ fn main() {
                 if *wname == "zipf" {
                     let mut morsels = RuntimeConfig::default();
                     morsels.worker.morsel_threads = 4;
+                    morsels.worker.profile = true;
                     schemes.push((
                         "skew-morsels",
                         skew_aware_hash_partition(&sirup, n, &db, &skew).unwrap(),
@@ -516,13 +534,14 @@ fn main() {
 
     let mut t = Table::new(vec![
         "workload", "scheme", "n", "wall ms", "ktuples/s", "rounds", "round ms", "KiB shipped",
-        "skew", "ok",
+        "skew", "compute ms", "comm ms", "idle ms", "ok",
     ]);
     for r in &rows {
         let max = r.worker_firings.iter().copied().max().unwrap_or(0);
         let mean =
             r.worker_firings.iter().sum::<u64>() as f64 / r.worker_firings.len().max(1) as f64;
         let skew = if mean > 0.0 { max as f64 / mean } else { 0.0 };
+        let [compute, encode, decode, replay, idle] = r.phase_us;
         t.row(vec![
             r.workload.to_string(),
             r.scheme.to_string(),
@@ -533,6 +552,9 @@ fn main() {
             format!("{:.3}", r.round_ms),
             format!("{:.1}", r.bytes_shipped as f64 / 1024.0),
             format!("{skew:.2}"),
+            format!("{:.1}", compute as f64 / 1e3),
+            format!("{:.1}", (encode + decode + replay) as f64 / 1e3),
+            format!("{:.1}", idle as f64 / 1e3),
             r.correct.to_string(),
         ]);
     }
@@ -570,6 +592,11 @@ fn main() {
                                 "worker_firings",
                                 Json::Arr(r.worker_firings.iter().map(|&f| count(f)).collect()),
                             ),
+                            ("phase_compute_us", count(r.phase_us[0])),
+                            ("phase_encode_us", count(r.phase_us[1])),
+                            ("phase_decode_us", count(r.phase_us[2])),
+                            ("phase_replay_us", count(r.phase_us[3])),
+                            ("phase_idle_us", count(r.phase_us[4])),
                             ("correct", Json::Bool(r.correct)),
                         ])
                     })

@@ -1,16 +1,21 @@
-//! CI validator for Chrome traces exported by `pdatalog --trace-out`.
+//! CI validator for Chrome traces exported by `pdatalog --trace-out`
+//! and profile JSON exported by `pdatalog --profile-json`.
 //!
 //! ```text
 //! trace_check <trace.json> [--workers N] [--require-sends]
+//! trace_check --profile <profile.json> [--workers N] [--require-idle]
 //! ```
 //!
-//! Exits 0 and prints a one-line summary if the trace is structurally
-//! sound (see [`gst_bench::tracecheck::check_chrome_trace`]); exits 1
-//! with the violation otherwise. `--workers N` additionally requires
-//! worker tracks `0..N`, each with a termination marker; `--require-sends`
-//! fails traces with no communication events.
+//! Exits 0 and prints a one-line summary if the file is structurally
+//! sound (see [`gst_bench::tracecheck`]); exits 1 with the violation
+//! otherwise. For traces, `--workers N` additionally requires worker
+//! tracks `0..N`, each with a termination marker, and `--require-sends`
+//! fails traces with no communication events. For profiles, `--workers
+//! N` requires exactly N worker profiles and `--require-idle` fails
+//! profiles where no worker ever waited (a parallel run that never
+//! idles is a vacuous profile — the phase timers were not exercised).
 
-use gst_bench::tracecheck::check_chrome_trace;
+use gst_bench::tracecheck::{check_chrome_trace, check_profile_json};
 
 fn main() {
     std::process::exit(match run() {
@@ -23,25 +28,57 @@ fn main() {
 }
 
 fn run() -> Result<(), String> {
-    let mut args = std::env::args().skip(1);
-    let path = args
-        .next()
-        .ok_or("usage: trace_check <trace.json> [--workers N] [--require-sends]")?;
+    const USAGE: &str = "usage: trace_check <trace.json> [--workers N] [--require-sends]\n   or: trace_check --profile <profile.json> [--workers N] [--require-idle]";
+    let mut path = None;
+    let mut profile_mode = false;
     let mut expect_workers = None;
     let mut require_sends = false;
+    let mut require_idle = false;
+    let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--profile" => profile_mode = true,
             "--workers" => {
                 let n = args.next().ok_or("--workers needs a count")?;
                 expect_workers =
                     Some(n.parse::<usize>().map_err(|_| format!("bad worker count {n:?}"))?);
             }
             "--require-sends" => require_sends = true,
-            other => return Err(format!("unknown argument {other:?}")),
+            "--require-idle" => require_idle = true,
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
         }
     }
+    let path = path.ok_or(USAGE)?;
     let text =
         std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if profile_mode {
+        if require_sends {
+            return Err("--require-sends applies to traces, not profiles".into());
+        }
+        let summary = check_profile_json(&text)?;
+        if let Some(n) = expect_workers {
+            if summary.workers != n {
+                return Err(format!(
+                    "{path}: expected {n} worker profiles, found {}",
+                    summary.workers
+                ));
+            }
+        }
+        if require_idle && summary.idle_total == 0 {
+            return Err(format!(
+                "{path}: no idle time in any worker (phase timers not exercised?)"
+            ));
+        }
+        println!(
+            "{path}: ok ({} worker profiles, {} critical-path rounds, idle total {})",
+            summary.workers, summary.rounds, summary.idle_total
+        );
+        return Ok(());
+    }
+    if require_idle {
+        return Err("--require-idle applies to profiles, not traces".into());
+    }
     let summary = check_chrome_trace(&text, expect_workers, require_sends)?;
     println!(
         "{path}: ok ({} events, {} spans, {} worker tracks)",

@@ -13,6 +13,7 @@
 
 pub mod error;
 pub mod fxhash;
+pub mod hist;
 pub mod interner;
 pub mod rng;
 pub mod tuple;
@@ -20,6 +21,7 @@ pub mod value;
 
 pub use error::{Error, Result};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use hist::{Histogram, HIST_BUCKETS};
 pub use interner::{Interner, SymbolId};
 pub use rng::SmallRng;
 pub use tuple::Tuple;

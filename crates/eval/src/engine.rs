@@ -23,9 +23,9 @@ use gst_common::{Error, FxHashMap, Result, Tuple};
 use gst_frontend::{Program, ProgramAnalysis};
 use gst_storage::{Database, HashIndex, Relation};
 
-use crate::exec::{run_plan, run_plan_morsels, Access, MorselConfig, MorselPool};
+use crate::exec::{run_plan, run_plan_morsels_profiled, Access, MorselConfig, MorselPool};
 use crate::plan::{compile_rule_with, idb_occurrence_count, AtomSource, PlanOptions, PlanStep, RelationId, RulePlan};
-use crate::stats::EvalStats;
+use crate::stats::{EvalStats, TimeMode};
 
 /// Derived-relation state under semi-naive iteration.
 ///
@@ -100,6 +100,12 @@ pub struct FixpointEngine {
     /// [`FixpointEngine::set_morsels`] when it enables morsels. Spawning
     /// threads per round would cost more than a medium delta's join work.
     pool: Option<MorselPool>,
+    /// Per-rule / per-chunk time attribution mode (off by default; the
+    /// unprofiled path pays one branch per rule execution).
+    time_mode: TimeMode,
+    /// Scratch buffer for morsel chunk `(micros, tuples)` samples,
+    /// reused across rule executions to avoid per-rule allocation.
+    chunk_scratch: Vec<(u64, u64)>,
 }
 
 impl FixpointEngine {
@@ -168,6 +174,8 @@ impl FixpointEngine {
             preseeded: Vec::new(),
             morsels: MorselConfig::default(),
             pool: None,
+            time_mode: TimeMode::Off,
+            chunk_scratch: Vec::new(),
         })
     }
 
@@ -183,6 +191,15 @@ impl FixpointEngine {
         } else {
             self.pool = None;
         }
+    }
+
+    /// Set the time-attribution mode. `Wall` splits per-rule compute time
+    /// in microseconds; `Ticks` uses deterministic work proxies (firings,
+    /// tuples) so simulated runs profile reproducibly; `Off` (default)
+    /// records nothing. Safe to call at any point — attribution is purely
+    /// observational.
+    pub fn set_time_mode(&mut self, mode: TimeMode) {
+        self.time_mode = mode;
     }
 
     /// Install `state` as the complete already-derived relation for
@@ -401,14 +418,7 @@ impl FixpointEngine {
         }
 
         for i in 0..self.bootstrap_plans.len() {
-            self.sync_indexes_for(PlanSet::Bootstrap, i);
-            let head = self.bootstrap_plans[i].head;
-            let mut pending = self.take_pending(head);
-            let (firings, morsels) = self.run_one_into(PlanSet::Bootstrap, i, &mut pending);
-            let rule_index = self.bootstrap_plans[i].rule_index;
-            self.stats.record_firings(rule_index, firings);
-            self.stats.record_morsels(morsels);
-            self.put_pending(head, pending);
+            self.run_plan_step(PlanSet::Bootstrap, i);
         }
         Ok(())
     }
@@ -445,15 +455,45 @@ impl FixpointEngine {
     /// Fire every delta-version plan once, pushing results into pending.
     pub fn process_round(&mut self) {
         for i in 0..self.round_plans.len() {
-            self.sync_indexes_for(PlanSet::Round, i);
-            let head = self.round_plans[i].head;
-            let mut pending = self.take_pending(head);
-            let (firings, morsels) = self.run_one_into(PlanSet::Round, i, &mut pending);
-            let rule_index = self.round_plans[i].rule_index;
-            self.stats.record_firings(rule_index, firings);
-            self.stats.record_morsels(morsels);
-            self.put_pending(head, pending);
+            self.run_plan_step(PlanSet::Round, i);
         }
+    }
+
+    /// Sync indexes, run one plan, and record its firings — plus, when a
+    /// [`TimeMode`] is active, its time attribution: per-rule compute
+    /// time (wall micros or firings-as-ticks) and per-chunk morsel
+    /// service samples. The `Off` path is the pre-profiling code exactly,
+    /// modulo two predictable branches.
+    fn run_plan_step(&mut self, set: PlanSet, i: usize) {
+        self.sync_indexes_for(set, i);
+        let plan = self.plan(set, i);
+        let head = plan.head;
+        let rule_index = plan.rule_index;
+        let mut pending = self.take_pending(head);
+        let timing = self.time_mode;
+        let mut chunk_scratch = std::mem::take(&mut self.chunk_scratch);
+        chunk_scratch.clear();
+        let t0 = (timing == TimeMode::Wall).then(std::time::Instant::now);
+        let collector = (timing != TimeMode::Off).then_some(&mut chunk_scratch);
+        let (firings, morsels) = self.run_one_into(set, i, &mut pending, collector);
+        match timing {
+            TimeMode::Off => {}
+            TimeMode::Wall => {
+                let micros = t0.expect("wall timer set").elapsed().as_micros() as u64;
+                self.stats.record_rule_time(rule_index, micros);
+            }
+            TimeMode::Ticks => self.stats.record_rule_time(rule_index, firings),
+        }
+        if timing != TimeMode::Off {
+            for &(micros, tuples) in &chunk_scratch {
+                let sample = if timing == TimeMode::Wall { micros } else { tuples };
+                self.stats.chunk_service.record(sample);
+            }
+        }
+        self.chunk_scratch = chunk_scratch;
+        self.stats.record_firings(rule_index, firings);
+        self.stats.record_morsels(morsels);
+        self.put_pending(head, pending);
     }
 
     /// Run to the local fixpoint: bootstrap, then advance/process rounds
@@ -567,7 +607,13 @@ impl FixpointEngine {
     /// Execute one plan against current state, emitting into `out`.
     /// Returns `(firings, morsel_chunks)` — chunks is zero when the
     /// sequential path ran.
-    fn run_one_into(&self, set: PlanSet, i: usize, out: &mut Vec<Tuple>) -> (u64, u64) {
+    fn run_one_into(
+        &self,
+        set: PlanSet,
+        i: usize,
+        out: &mut Vec<Tuple>,
+        chunk_times: Option<&mut Vec<(u64, u64)>>,
+    ) -> (u64, u64) {
         let plan = self.plan(set, i);
         // EDB relations referenced without data need a live empty relation
         // to borrow; collect owned empties first.
@@ -580,11 +626,12 @@ impl FixpointEngine {
             })
             .collect();
         if self.morsels.enabled() {
-            if let Some((firings, chunks)) = run_plan_morsels(
+            if let Some((firings, chunks)) = run_plan_morsels_profiled(
                 plan,
                 &accesses,
                 &self.morsels,
                 self.pool.as_ref(),
+                chunk_times,
                 &mut |t| out.push(t),
             ) {
                 return (firings, chunks);

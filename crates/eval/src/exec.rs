@@ -353,6 +353,24 @@ pub fn run_plan_morsels(
     pool: Option<&MorselPool>,
     emit: &mut impl FnMut(Tuple),
 ) -> Option<(u64, u64)> {
+    run_plan_morsels_profiled(plan, accesses, cfg, pool, None, emit)
+}
+
+/// [`run_plan_morsels`] with per-chunk service-time collection. When
+/// `chunk_times` is supplied, each executed chunk appends one
+/// `(wall_micros, tuples_emitted)` pair, in chunk order — the profiler
+/// records whichever component matches its time mode (micros under wall
+/// clocks, the deterministic tuple count under virtual ticks). Timing is
+/// only measured when the collector is present, so the unprofiled path
+/// pays nothing.
+pub fn run_plan_morsels_profiled(
+    plan: &RulePlan,
+    accesses: &[Option<Access<'_>>],
+    cfg: &MorselConfig,
+    pool: Option<&MorselPool>,
+    chunk_times: Option<&mut Vec<(u64, u64)>>,
+    emit: &mut impl FnMut(Tuple),
+) -> Option<(u64, u64)> {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     if !cfg.enabled() {
@@ -375,10 +393,13 @@ pub fn run_plan_morsels(
     }
     let threads = cfg.threads.min(nchunks);
 
+    let timed = chunk_times.is_some();
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, u64, Vec<Tuple>)>> = Mutex::new(Vec::with_capacity(nchunks));
+    #[allow(clippy::type_complexity)]
+    let results: Mutex<Vec<(usize, u64, u64, Vec<Tuple>)>> =
+        Mutex::new(Vec::with_capacity(nchunks));
     let work = || {
-        let mut local: Vec<(usize, u64, Vec<Tuple>)> = Vec::new();
+        let mut local: Vec<(usize, u64, u64, Vec<Tuple>)> = Vec::new();
         loop {
             let c = next.fetch_add(1, Ordering::Relaxed);
             if c >= nchunks {
@@ -393,8 +414,10 @@ pub fn run_plan_morsels(
                 end: hi,
             });
             let mut tuples = Vec::new();
+            let t0 = timed.then(std::time::Instant::now);
             let firings = run_plan(plan, &sub, &mut |t| tuples.push(t));
-            local.push((c, firings, tuples));
+            let micros = t0.map_or(0, |t| t.elapsed().as_micros() as u64);
+            local.push((c, firings, micros, tuples));
         }
         if !local.is_empty() {
             results.lock().unwrap().append(&mut local);
@@ -413,10 +436,14 @@ pub fn run_plan_morsels(
     }
     // Chunk-order concatenation = sequential row order (see above).
     let mut per_chunk = results.into_inner().unwrap();
-    per_chunk.sort_unstable_by_key(|&(c, _, _)| c);
+    per_chunk.sort_unstable_by_key(|&(c, _, _, _)| c);
     let mut firings = 0u64;
-    for (_, f, tuples) in per_chunk {
+    let mut collector = chunk_times;
+    for (_, f, micros, tuples) in per_chunk {
         firings += f;
+        if let Some(times) = collector.as_deref_mut() {
+            times.push((micros, tuples.len() as u64));
+        }
         for t in tuples {
             emit(t);
         }

@@ -22,6 +22,6 @@ pub mod plan;
 pub mod stats;
 
 pub use engine::{fire_once, naive_eval, seminaive_eval, seminaive_eval_with, EvalResult, FixpointEngine};
-pub use exec::{run_plan_morsels, MorselConfig, MorselPool};
+pub use exec::{run_plan_morsels, run_plan_morsels_profiled, MorselConfig, MorselPool};
 pub use plan::{compile_rule, compile_rule_with, AtomSource, PlanOptions, PlanStep, RulePlan};
-pub use stats::{EvalStats, RoundSample};
+pub use stats::{EvalStats, RoundSample, TimeMode};

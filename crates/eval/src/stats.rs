@@ -7,6 +7,27 @@
 //! reason about. `duplicates` counts firings whose head tuple was already
 //! known (wasted work — the redundancy the §6 trade-off spends).
 
+use gst_common::Histogram;
+
+/// How the engine attributes time to rules and morsel chunks.
+///
+/// `Wall` records wall-clock microseconds — the right unit for threaded
+/// and TCP runs. `Ticks` records deterministic *work proxies* (firings
+/// per rule execution, tuples per morsel chunk) so the simulated
+/// transport's profiles are bit-identical across same-seed reruns while
+/// still ranking rules and chunks by actual work done. `Off` (the
+/// default) records nothing and costs one branch per rule execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TimeMode {
+    /// No time attribution (default).
+    #[default]
+    Off,
+    /// Wall-clock microseconds.
+    Wall,
+    /// Deterministic work proxies (firings / tuples).
+    Ticks,
+}
+
 /// One row of the per-round time series: what a single semi-naive
 /// advance admitted. `submitted - fresh` is the round's duplicate work —
 /// the §6 trade-off, observable round by round instead of only as a
@@ -34,12 +55,19 @@ pub struct EvalStats {
     pub duplicates: u64,
     /// Firings per rule, indexed by the rule's position in the program.
     pub firings_by_rule: Vec<u64>,
+    /// Time attributed per rule, same indexing as `firings_by_rule`.
+    /// Unit depends on the engine's [`TimeMode`]: microseconds under
+    /// `Wall`, firings under `Ticks`, all zeros under `Off`.
+    pub time_by_rule: Vec<u64>,
     /// Rule executions that ran through the morsel-parallel executor.
     pub morsel_runs: u64,
     /// Total morsel chunks claimed across all morsel-parallel executions.
     pub morsel_chunks: u64,
     /// Per-round delta sizes, one sample per completed round.
     pub per_round: Vec<RoundSample>,
+    /// Morsel chunk service times ([`TimeMode`] units; empty when
+    /// profiling is off or the morsel path never engaged).
+    pub chunk_service: Histogram,
 }
 
 impl EvalStats {
@@ -47,6 +75,7 @@ impl EvalStats {
     pub fn new(rule_count: usize) -> Self {
         EvalStats {
             firings_by_rule: vec![0; rule_count],
+            time_by_rule: vec![0; rule_count],
             ..Default::default()
         }
     }
@@ -57,6 +86,21 @@ impl EvalStats {
         if let Some(slot) = self.firings_by_rule.get_mut(rule_index) {
             *slot += n;
         }
+    }
+
+    /// Attribute `t` time units ([`TimeMode`]-dependent) to rule
+    /// `rule_index`. Out-of-range indices are ignored, mirroring
+    /// [`EvalStats::record_firings`].
+    pub fn record_rule_time(&mut self, rule_index: usize, t: u64) {
+        if let Some(slot) = self.time_by_rule.get_mut(rule_index) {
+            *slot += t;
+        }
+    }
+
+    /// Total time attributed across all rules (the profiler's `compute`
+    /// phase as seen from inside the engine).
+    pub fn rule_time_total(&self) -> u64 {
+        self.time_by_rule.iter().sum()
     }
 
     /// Record a morsel-parallel execution that split a delta scan into
@@ -112,6 +156,13 @@ impl EvalStats {
         for (i, &n) in other.firings_by_rule.iter().enumerate() {
             self.firings_by_rule[i] += n;
         }
+        if self.time_by_rule.len() < other.time_by_rule.len() {
+            self.time_by_rule.resize(other.time_by_rule.len(), 0);
+        }
+        for (i, &t) in other.time_by_rule.iter().enumerate() {
+            self.time_by_rule[i] += t;
+        }
+        self.chunk_service.merge(&other.chunk_service);
         // Per-round samples combine index-wise: round r of the aggregate
         // is the sum over engines of each one's round r.
         if self.per_round.len() < other.per_round.len() {

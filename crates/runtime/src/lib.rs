@@ -39,6 +39,7 @@ pub mod fault;
 pub mod message;
 pub mod net;
 pub mod obs;
+pub mod profile;
 pub mod sim;
 pub mod spec;
 pub mod simulate;
@@ -57,6 +58,9 @@ pub use net::{
     NetCoordinator, NetFault, NetFaultPlan, NetWorkerArgs, ProcessLauncher,
 };
 pub use obs::{Journal, ObsEvent, ObsKind, TimeBase, TraceSink};
+pub use profile::{
+    HotRule, IdleGap, PhaseTotals, ProfileReport, RoundCost, WorkerProfile, PHASES,
+};
 pub use sim::{SimTrace, SimTransport, TraceEvent};
 pub use simulate::{simulate_bsp, MachineModel, RoundTrace};
 pub use sync::{execute_synchronous, execute_synchronous_traced};

@@ -621,6 +621,12 @@ pub fn run_net_worker(args: &NetWorkerArgs, decoder: Option<ConstraintDecoderFn>
         }
     };
     core.set_morsel_threads(worker_cfg.morsel_threads);
+    if worker_cfg.profile {
+        // Per-process wall clock: the profile carries durations only, so
+        // worker-local origins are fine — the coordinator merges the
+        // shipped profiles, never compares absolute stamps.
+        core.set_profiler(crate::profile::Profiler::wall(), gst_eval::TimeMode::Wall);
+    }
     if let Some(recover) = job.recover {
         // Absorbed before any engine step (and before any stashed
         // traffic): the epoch repair must precede every send this

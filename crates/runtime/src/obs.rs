@@ -332,6 +332,14 @@ impl Journal {
     /// Well-formedness: timestamps globally non-decreasing, and on every
     /// worker each `RoundBegin` is closed by the matching `RoundEnd`
     /// before the next round opens, with none left open at the end.
+    ///
+    /// Crash-aware: a `Crashed` event force-closes whatever round its
+    /// worker had open — the incarnation died mid-round and its buffered
+    /// `RoundEnd` died with it, so the dangling span is the *expected*
+    /// shape of a crash, not a malformed journal. The replacement
+    /// incarnation restarts its round numbering, so the round after a
+    /// `Restarted` may legally repeat an index the dead incarnation
+    /// already used.
     pub fn validate(&self) -> std::result::Result<(), String> {
         let mut last_time = 0u64;
         for e in &self.events {
@@ -368,6 +376,11 @@ impl Journal {
                             return Err(format!("w{w}: round {round} closed but never opened"));
                         }
                     },
+                    ObsKind::Crashed => {
+                        // The crash tore the incarnation down mid-round;
+                        // its span is implicitly closed here.
+                        open = None;
+                    }
                     _ => {}
                 }
             }
@@ -401,14 +414,34 @@ impl Journal {
                  \"args\":{{\"name\":\"worker {w}\"}}}}"
             );
         }
+        // Open round span per worker: a `Crashed` event must close its
+        // worker's span (the incarnation's own `RoundEnd` died with it),
+        // or the viewer misnests every later span on that track.
+        let mut open_round: std::collections::BTreeMap<usize, u64> = Default::default();
         for e in &self.events {
+            if matches!(e.kind, ObsKind::Crashed) {
+                if let Some(round) = open_round.remove(&e.worker) {
+                    let _ = write!(
+                        out,
+                        ",{{\"name\":\"round\",\"ph\":\"E\",\"ts\":{},\"pid\":0,\
+                         \"tid\":{},\"args\":{{\"round\":{round},\"aborted\":true}}}}",
+                        e.time, e.worker
+                    );
+                }
+            }
             let name = e.kind.name();
             let (ph, args) = match &e.kind {
-                ObsKind::RoundBegin { round } => ("B", format!("\"round\":{round}")),
-                ObsKind::RoundEnd { round, fresh, firings } => (
-                    "E",
-                    format!("\"round\":{round},\"fresh\":{fresh},\"firings\":{firings}"),
-                ),
+                ObsKind::RoundBegin { round } => {
+                    open_round.insert(e.worker, *round);
+                    ("B", format!("\"round\":{round}"))
+                }
+                ObsKind::RoundEnd { round, fresh, firings } => {
+                    open_round.remove(&e.worker);
+                    (
+                        "E",
+                        format!("\"round\":{round},\"fresh\":{fresh},\"firings\":{firings}"),
+                    )
+                }
                 ObsKind::BatchEncoded { channel, tuples, bytes, raw_bytes } => (
                     "i",
                     format!(
@@ -621,6 +654,57 @@ mod tests {
             ],
         );
         journal.validate().expect("interleaved per-worker rounds are fine");
+    }
+
+    #[test]
+    fn validate_accepts_crash_mid_round() {
+        // The incarnation died between RoundBegin and RoundEnd: its
+        // buffered end event is gone, the supervisor's Crashed marker
+        // stands in for it. The replacement restarts round numbering.
+        let journal = Journal {
+            base: TimeBase::VirtualTicks,
+            events: vec![
+                ev(1, 0, ObsKind::RoundBegin { round: 3 }),
+                ev(2, 0, ObsKind::Crashed),
+                ev(2, 0, ObsKind::Restarted { epoch: 1 }),
+                ev(4, 0, ObsKind::RoundBegin { round: 0 }),
+                ev(5, 0, ObsKind::RoundEnd { round: 0, fresh: 1, firings: 1 }),
+            ],
+        };
+        journal.validate().expect("crash closes the dangling span");
+    }
+
+    #[test]
+    fn validate_still_rejects_dangling_round_without_crash() {
+        let journal = Journal {
+            base: TimeBase::VirtualTicks,
+            events: vec![
+                ev(1, 0, ObsKind::RoundBegin { round: 3 }),
+                ev(2, 0, ObsKind::Restarted { epoch: 1 }),
+            ],
+        };
+        let err = journal.validate().unwrap_err();
+        assert!(err.contains("never closed"), "{err}");
+    }
+
+    #[test]
+    fn chrome_trace_closes_span_on_crash() {
+        let journal = Journal {
+            base: TimeBase::VirtualTicks,
+            events: vec![
+                ev(1, 0, ObsKind::RoundBegin { round: 3 }),
+                ev(2, 0, ObsKind::Crashed),
+                ev(3, 0, ObsKind::RoundBegin { round: 0 }),
+                ev(4, 0, ObsKind::RoundEnd { round: 0, fresh: 1, firings: 1 }),
+            ],
+        };
+        let json = journal.chrome_trace();
+        assert!(json.contains("\"aborted\":true"), "{json}");
+        assert_eq!(
+            json.matches("\"ph\":\"B\"").count(),
+            json.matches("\"ph\":\"E\"").count(),
+            "crash-closed span keeps B/E balanced"
+        );
     }
 
     #[test]

@@ -316,6 +316,16 @@ impl SimTransport {
                 core.set_sink(TraceSink::virtual_clock(w));
             }
         }
+        if config.worker.profile {
+            // Virtual-clock profilers: durations are deterministic work
+            // proxies, so same-seed profiles are bit-identical too.
+            for core in cores.iter_mut() {
+                core.set_profiler(
+                    crate::profile::Profiler::ticks(),
+                    gst_eval::TimeMode::Ticks,
+                );
+            }
+        }
         // Journal buffers salvaged from crashed incarnations (the threaded
         // transport loses these with the thread; the simulator can do
         // better).
@@ -443,6 +453,15 @@ impl SimTransport {
                     lost_events.extend(cores[w].take_trace_events());
                     cores[w] = WorkerCore::with_epoch(specs[w].clone(), n, epoch)?;
                     cores[w].set_morsel_threads(config.worker.morsel_threads);
+                    if config.worker.profile {
+                        // The crashed incarnation's partial profile dies
+                        // with it (as its stats do); the replacement
+                        // accounts from its restart onward.
+                        cores[w].set_profiler(
+                            crate::profile::Profiler::ticks(),
+                            gst_eval::TimeMode::Ticks,
+                        );
+                    }
                     if config.trace {
                         cores[w].set_sink(TraceSink::virtual_clock(w));
                         cores[w].set_trace_now(now);

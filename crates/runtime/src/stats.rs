@@ -72,6 +72,9 @@ pub struct WorkerReport {
     /// sparse (rounds shipping nothing are absent). Together with
     /// `eval.per_round` this is the §6 trade-off as a time series.
     pub sent_per_round: Vec<(u64, u64)>,
+    /// Phase-attributed profile — `None` unless the run enabled
+    /// [`crate::worker::WorkerConfig::profile`].
+    pub profile: Option<crate::profile::WorkerProfile>,
 }
 
 impl WorkerReport {
@@ -267,6 +270,7 @@ mod tests {
             pooled_tuples: 0,
             busy: Duration::ZERO,
             sent_per_round: Vec::new(),
+            profile: None,
         }
     }
 

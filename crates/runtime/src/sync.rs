@@ -249,6 +249,7 @@ pub fn execute_synchronous_traced(
                 pooled_tuples: pooled_tuples[i],
                 busy: busy[i],
                 sent_per_round,
+                profile: None,
             }
         })
         .collect();

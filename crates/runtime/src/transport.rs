@@ -229,6 +229,7 @@ fn run_local(spec: &WorkerSpec, n: usize, config: &RuntimeConfig) -> Result<Work
         pooled_tuples,
         busy: t0.elapsed(),
         sent_per_round: Vec::new(),
+        profile: None,
     };
     Ok((report, pooled, Vec::new()))
 }
@@ -343,6 +344,9 @@ fn run_threaded(
         // All sinks share the run's origin so the tracks line up.
         core.set_sink(TraceSink::wall(core.id(), origin));
     }
+    if config.worker.profile {
+        core.set_profiler(crate::profile::Profiler::wall(), gst_eval::TimeMode::Wall);
+    }
     let mut out = ThreadOutbox { senders };
     let mut idle_since: Option<Instant> = None;
     let mut steps = 0u64;
@@ -399,8 +403,14 @@ impl Transport for ThreadedTransport {
         validate_specs(&specs)?;
         // A silent network needs none of the machinery below. Keep the
         // full path when tracing (the journal wants round/termination
-        // events) or when a fail-point asks for supervised crashes.
-        if network_is_silent(&specs) && !config.trace && config.supervisor.fail_point.is_none() {
+        // events), when profiling (phase attribution lives in the worker
+        // state machine), or when a fail-point asks for supervised
+        // crashes.
+        if network_is_silent(&specs)
+            && !config.trace
+            && !config.worker.profile
+            && config.supervisor.fail_point.is_none()
+        {
             return execute_silent(&specs, config);
         }
         let n = specs.len();

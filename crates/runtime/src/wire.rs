@@ -310,6 +310,7 @@ pub(crate) fn encode_job(
     put_uv(&mut buf, worker.idle_watchdog.as_micros() as u64);
     buf.push(u8::from(worker.pool_results));
     put_uv(&mut buf, worker.morsel_threads as u64);
+    buf.push(u8::from(worker.profile));
 
     // Symbol table: the entire interner, ids 0..len in order. The worker
     // re-interns into a fresh table and every SymbolId below resolves to
@@ -380,11 +381,17 @@ pub(crate) fn decode_job(bytes: &[u8], decode_constraint: ConstraintDecode) -> R
             "implausible morsel thread count {morsel_threads}"
         )));
     }
+    let profile = match c.get_u8().ok_or_else(|| corrupt("job profile flag"))? {
+        0 => false,
+        1 => true,
+        other => return Err(corrupt(&format!("unknown profile flag {other}"))),
+    };
     let worker = WorkerConfig {
         idle_poll: Duration::from_micros(idle_poll),
         idle_watchdog: Duration::from_micros(idle_watchdog),
         pool_results,
         morsel_threads,
+        profile,
     };
 
     // Rebuild the symbol table; sequential re-interning must reproduce
@@ -803,6 +810,60 @@ pub(crate) fn decode_envelope(bytes: &[u8], interner: &Interner) -> Result<(usiz
 // Result frames
 // ---------------------------------------------------------------------
 
+/// Sparse histogram encoding: the scalar summary plus only the nonzero
+/// buckets as `(index, count)` pairs — a handful of varints for typical
+/// profiles instead of 64 fixed slots.
+fn put_histogram(buf: &mut Vec<u8>, h: &gst_common::Histogram) {
+    put_uv(buf, h.count);
+    put_uv(buf, h.sum);
+    put_uv(buf, h.min);
+    put_uv(buf, h.max);
+    let nonzero = h.nonzero_buckets().count() as u64;
+    put_uv(buf, nonzero);
+    for (i, n) in h.nonzero_buckets() {
+        put_uv(buf, i as u64);
+        put_uv(buf, n);
+    }
+}
+
+fn get_histogram(c: &mut Cursor, what: &str) -> Result<gst_common::Histogram> {
+    let count = c.get_uv().ok_or_else(|| corrupt(what))?;
+    let sum = c.get_uv().ok_or_else(|| corrupt(what))?;
+    let min = c.get_uv().ok_or_else(|| corrupt(what))?;
+    let max = c.get_uv().ok_or_else(|| corrupt(what))?;
+    let npairs = get_count(c, what)?;
+    if npairs > gst_common::HIST_BUCKETS {
+        return Err(corrupt(&format!("implausible {what} bucket count {npairs}")));
+    }
+    let mut pairs = Vec::with_capacity(npairs);
+    for _ in 0..npairs {
+        let i = get_usize(c, what)?;
+        let n = c.get_uv().ok_or_else(|| corrupt(what))?;
+        pairs.push((i, n));
+    }
+    Ok(gst_common::Histogram::from_sparse(&pairs, count, sum, min, max))
+}
+
+fn put_phase_totals(buf: &mut Vec<u8>, p: &crate::profile::PhaseTotals) {
+    for v in p.as_array() {
+        put_uv(buf, v);
+    }
+}
+
+fn get_phase_totals(c: &mut Cursor, what: &str) -> Result<crate::profile::PhaseTotals> {
+    let mut vals = [0u64; 5];
+    for slot in vals.iter_mut() {
+        *slot = c.get_uv().ok_or_else(|| corrupt(what))?;
+    }
+    Ok(crate::profile::PhaseTotals {
+        compute: vals[0],
+        encode: vals[1],
+        decode: vals[2],
+        replay: vals[3],
+        idle: vals[4],
+    })
+}
+
 pub(crate) fn encode_result(
     report: &WorkerReport,
     pooled: &[(RelationId, Relation)],
@@ -819,12 +880,17 @@ pub(crate) fn encode_result(
     for f in &report.eval.firings_by_rule {
         put_uv(&mut buf, *f);
     }
+    put_uv(&mut buf, report.eval.time_by_rule.len() as u64);
+    for t in &report.eval.time_by_rule {
+        put_uv(&mut buf, *t);
+    }
     put_uv(&mut buf, report.eval.per_round.len() as u64);
     for s in &report.eval.per_round {
         put_uv(&mut buf, s.round);
         put_uv(&mut buf, s.submitted);
         put_uv(&mut buf, s.fresh);
     }
+    put_histogram(&mut buf, &report.eval.chunk_service);
     put_uv(&mut buf, report.processing_firings);
     put_uv(&mut buf, report.sent_tuples_to.len() as u64);
     for v in &report.sent_tuples_to {
@@ -855,6 +921,22 @@ pub(crate) fn encode_result(
         put_uv(&mut buf, *round);
         put_uv(&mut buf, *tuples);
     }
+    match &report.profile {
+        None => buf.push(0),
+        Some(p) => {
+            buf.push(1);
+            put_phase_totals(&mut buf, &p.phases);
+            put_histogram(&mut buf, &p.round_latency);
+            put_histogram(&mut buf, &p.encode_time);
+            put_histogram(&mut buf, &p.decode_time);
+            put_histogram(&mut buf, &p.batch_bytes);
+            put_uv(&mut buf, p.per_round.len() as u64);
+            for (round, totals) in &p.per_round {
+                put_uv(&mut buf, *round);
+                put_phase_totals(&mut buf, totals);
+            }
+        }
+    }
     put_uv(&mut buf, pooled.len() as u64);
     for (id, rel) in pooled {
         put_relation_id(&mut buf, *id);
@@ -880,6 +962,11 @@ pub(crate) fn decode_result(
     for _ in 0..nrules {
         firings_by_rule.push(c.get_uv().ok_or_else(|| corrupt("rule firings"))?);
     }
+    let ntimes = get_count(&mut c, "time by rule")?;
+    let mut time_by_rule = Vec::with_capacity(ntimes.min(1024));
+    for _ in 0..ntimes {
+        time_by_rule.push(c.get_uv().ok_or_else(|| corrupt("rule time"))?);
+    }
     let nsamples = get_count(&mut c, "round samples")?;
     let mut per_round = Vec::with_capacity(nsamples.min(1024));
     for _ in 0..nsamples {
@@ -889,6 +976,7 @@ pub(crate) fn decode_result(
             fresh: c.get_uv().ok_or_else(|| corrupt("sample fresh"))?,
         });
     }
+    let chunk_service = get_histogram(&mut c, "chunk service histogram")?;
     let eval = EvalStats {
         rounds,
         firings,
@@ -897,7 +985,9 @@ pub(crate) fn decode_result(
         morsel_runs,
         morsel_chunks,
         firings_by_rule,
+        time_by_rule,
         per_round,
+        chunk_service,
     };
     let processing_firings = c.get_uv().ok_or_else(|| corrupt("processing firings"))?;
     let nlinks = get_count(&mut c, "link counters")?;
@@ -922,6 +1012,32 @@ pub(crate) fn decode_result(
         let tuples = c.get_uv().ok_or_else(|| corrupt("send round tuples"))?;
         sent_per_round.push((round, tuples));
     }
+    let profile = match c.get_u8().ok_or_else(|| corrupt("profile flag"))? {
+        0 => None,
+        1 => {
+            let phases = get_phase_totals(&mut c, "profile phases")?;
+            let round_latency = get_histogram(&mut c, "round latency histogram")?;
+            let encode_time = get_histogram(&mut c, "encode time histogram")?;
+            let decode_time = get_histogram(&mut c, "decode time histogram")?;
+            let batch_bytes = get_histogram(&mut c, "batch bytes histogram")?;
+            let nprofrounds = get_count(&mut c, "profile rounds")?;
+            let mut prof_per_round = Vec::with_capacity(nprofrounds.min(1024));
+            for _ in 0..nprofrounds {
+                let round = c.get_uv().ok_or_else(|| corrupt("profile round"))?;
+                let totals = get_phase_totals(&mut c, "profile round phases")?;
+                prof_per_round.push((round, totals));
+            }
+            Some(crate::profile::WorkerProfile {
+                phases,
+                round_latency,
+                encode_time,
+                decode_time,
+                batch_bytes,
+                per_round: prof_per_round,
+            })
+        }
+        other => return Err(corrupt(&format!("unknown profile flag {other}"))),
+    };
     let report = WorkerReport {
         processor,
         eval,
@@ -942,6 +1058,7 @@ pub(crate) fn decode_result(
         pooled_tuples: scalars[11],
         busy: Duration::from_micros(scalars[12]),
         sent_per_round,
+        profile,
     };
     let npooled = get_count(&mut c, "pooled relations")?;
     let mut pooled: PooledRelations = Vec::with_capacity(npooled.min(1024));
@@ -1137,7 +1254,14 @@ mod tests {
                 morsel_runs: 2,
                 morsel_chunks: 9,
                 firings_by_rule: vec![10, 90],
+                time_by_rule: vec![3, 1200],
                 per_round: vec![RoundSample { round: 1, submitted: 5, fresh: 3 }],
+                chunk_service: {
+                    let mut h = gst_common::Histogram::new();
+                    h.record(40);
+                    h.record(512);
+                    h
+                },
             },
             processing_firings: 90,
             sent_tuples_to: vec![0, 4, 9],
@@ -1156,6 +1280,41 @@ mod tests {
             pooled_tuples: 2,
             busy: Duration::from_micros(12345),
             sent_per_round: vec![(2, 4), (5, 5)],
+            profile: Some({
+                let mut p = crate::profile::WorkerProfile {
+                    phases: crate::profile::PhaseTotals {
+                        compute: 900,
+                        encode: 50,
+                        decode: 30,
+                        replay: 7,
+                        idle: 400,
+                    },
+                    ..Default::default()
+                };
+                p.round_latency.record(120);
+                p.round_latency.record(300);
+                p.encode_time.record(25);
+                p.decode_time.record(15);
+                p.batch_bytes.record(4096);
+                p.per_round = vec![
+                    (
+                        0,
+                        crate::profile::PhaseTotals {
+                            compute: 120,
+                            ..Default::default()
+                        },
+                    ),
+                    (
+                        3,
+                        crate::profile::PhaseTotals {
+                            compute: 300,
+                            idle: 400,
+                            ..Default::default()
+                        },
+                    ),
+                ];
+                p
+            }),
         };
         let interner = Interner::new();
         let answer = (interner.intern("answer"), 2);
@@ -1174,6 +1333,9 @@ mod tests {
         assert_eq!(got_report.replayed_batches, 2);
         assert_eq!(got_report.busy, Duration::from_micros(12345));
         assert_eq!(got_report.sent_per_round, vec![(2, 4), (5, 5)]);
+        assert_eq!(got_report.eval.time_by_rule, vec![3, 1200]);
+        assert_eq!(got_report.eval.chunk_service, report.eval.chunk_service);
+        assert_eq!(got_report.profile, report.profile);
         assert_eq!(got_pooled.len(), 1);
         assert_eq!(got_pooled[0].0, answer);
         assert!(got_pooled[0].1.set_eq(&rel));
@@ -1309,6 +1471,12 @@ mod tests {
             pooled_tuples: 0,
             busy: Duration::ZERO,
             sent_per_round: vec![],
+            profile: Some({
+                let mut p = crate::profile::WorkerProfile::default();
+                p.round_latency.record(77);
+                p.per_round = vec![(1, crate::profile::PhaseTotals::default())];
+                p
+            }),
         };
         let bodies: Vec<(&str, Vec<u8>)> = vec![
             ("hello", encode_hello(1, 0)),

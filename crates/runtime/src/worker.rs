@@ -37,6 +37,7 @@ use gst_eval::FixpointEngine;
 
 use crate::message::{Envelope, Message, Payload};
 use crate::obs::{ObsEvent, ObsKind, TraceSink};
+use crate::profile::{Profiler, PHASE_COMPUTE, PHASE_DECODE, PHASE_ENCODE, PHASE_REPLAY};
 use crate::spec::WorkerSpec;
 use crate::stats::WorkerReport;
 use crate::termination::{Safra, TokenAction, TokenMsg};
@@ -57,6 +58,10 @@ pub struct WorkerConfig {
     /// fan a large semi-naive delta across. 1 (the default) keeps the
     /// engine strictly sequential.
     pub morsel_threads: usize,
+    /// Phase-attributed profiling: account every step's time to
+    /// compute/encode/decode/replay/idle and record latency histograms.
+    /// Off (the default) costs one `Option` branch per phase site.
+    pub profile: bool,
 }
 
 impl Default for WorkerConfig {
@@ -66,6 +71,7 @@ impl Default for WorkerConfig {
             idle_watchdog: Duration::from_secs(30),
             pool_results: true,
             morsel_threads: 1,
+            profile: false,
         }
     }
 }
@@ -259,6 +265,8 @@ pub(crate) struct WorkerCore {
     sent_per_round: Vec<(u64, u64)>,
     /// Event journal buffer; disabled (free) unless tracing is on.
     sink: TraceSink,
+    /// Phase-attributed profiler; `None` (free) unless profiling is on.
+    prof: Option<Box<Profiler>>,
     /// True while the previous step reported `Idle` — the idle-wait event
     /// fires on the transition, not on every 1 ms poll.
     was_idle: bool,
@@ -336,6 +344,7 @@ impl WorkerCore {
             busy: Duration::ZERO,
             sent_per_round: Vec::new(),
             sink: TraceSink::disabled(),
+            prof: None,
             was_idle: false,
         })
     }
@@ -355,10 +364,24 @@ impl WorkerCore {
             .set_morsels(gst_eval::MorselConfig::with_threads(threads));
     }
 
-    /// Push the simulator's virtual clock into the sink (no-op for
-    /// disabled or wall-clock sinks).
+    /// Install a phase profiler (profiling on). The transport decides the
+    /// clock, exactly as for [`set_sink`]: wall time for threads and TCP,
+    /// virtual ticks for the simulator. Also switches the engine into the
+    /// matching per-rule time accounting mode.
+    ///
+    /// [`set_sink`]: WorkerCore::set_sink
+    pub(crate) fn set_profiler(&mut self, prof: Profiler, mode: gst_eval::TimeMode) {
+        self.engine.set_time_mode(mode);
+        self.prof = Some(Box::new(prof));
+    }
+
+    /// Push the simulator's virtual clock into the sink and profiler
+    /// (no-op for disabled or wall-clock sinks).
     pub(crate) fn set_trace_now(&mut self, now: u64) {
         self.sink.set_virtual_now(now);
+        if let Some(p) = self.prof.as_mut() {
+            p.set_now(now);
+        }
     }
 
     /// Drain this incarnation's journal buffer.
@@ -384,9 +407,20 @@ impl WorkerCore {
     /// One scheduling quantum: absorb everything pending, then do at most
     /// one unit of work (an engine round, or token handling when passive).
     pub(crate) fn step(&mut self, out: &mut dyn Outbox) -> Result<Step> {
+        if self.prof.is_some() && self.was_idle {
+            // The gap since the previous step's end was spent waiting for
+            // messages or the termination probe: idle time.
+            let round = self.engine.stats().rounds;
+            if let Some(p) = self.prof.as_mut() {
+                p.idle_gap(round);
+            }
+        }
         let t0 = std::time::Instant::now();
         let result = self.step_inner(out);
         self.busy += t0.elapsed();
+        if let Some(p) = self.prof.as_mut() {
+            p.step_end();
+        }
         if self.sink.enabled() {
             // Journal the *transition* into idleness: the threaded
             // transport re-polls an idle worker every `idle_poll`, and one
@@ -399,6 +433,8 @@ impl WorkerCore {
             } else {
                 self.was_idle = false;
             }
+        } else {
+            self.was_idle = matches!(result, Ok(Step::Idle));
         }
         result
     }
@@ -409,7 +445,15 @@ impl WorkerCore {
         }
         if !self.bootstrapped {
             self.bootstrapped = true;
+            let t0 = self.prof.as_ref().map(|p| (p.start(), self.engine.stats().firings));
             self.engine.bootstrap()?;
+            if let Some((t0, firings_before)) = t0 {
+                let firings = self.engine.stats().firings - firings_before;
+                if let Some(p) = self.prof.as_mut() {
+                    let d = p.stop(t0, firings);
+                    p.add(PHASE_COMPUTE, 0, d);
+                }
+            }
         }
 
         // Receiving step: absorb what the transport delivered.
@@ -423,22 +467,43 @@ impl WorkerCore {
 
         // Coalesced receive: one decode-and-inject pass per inbox over
         // everything stashed since the last engine step.
-        self.drain_stash()?;
+        let t0 = (self.prof.is_some() && self.stash_count > 0)
+            .then(|| self.prof.as_ref().expect("checked").start());
+        let decoded = self.drain_stash()?;
+        if let Some(t0) = t0 {
+            let round = self.engine.stats().rounds;
+            if let Some(p) = self.prof.as_mut() {
+                let d = p.stop(t0, decoded);
+                p.add(PHASE_DECODE, round, d);
+                p.profile.decode_time.record(d);
+            }
+        }
 
         // Processing step: one engine round.
         let fresh = self.engine.advance();
         if fresh > 0 {
+            // `advance` already closed the round in the stats, so the
+            // round that is now processing is `rounds - 1`.
+            let round = self.engine.stats().rounds - 1;
+            let observing = self.sink.enabled() || self.prof.is_some();
+            let firings_before = if observing { self.engine.stats().firings } else { 0 };
+            let t0 = self.prof.as_ref().map(|p| p.start());
             if self.sink.enabled() {
-                // `advance` already closed the round in the stats, so the
-                // round that is now processing is `rounds - 1`.
-                let round = self.engine.stats().rounds - 1;
-                let firings_before = self.engine.stats().firings;
                 self.sink.emit(ObsKind::RoundBegin { round });
-                self.engine.process_round();
+            }
+            self.engine.process_round();
+            if observing {
                 let firings = self.engine.stats().firings - firings_before;
-                self.sink.emit(ObsKind::RoundEnd { round, fresh, firings });
-            } else {
-                self.engine.process_round();
+                if self.sink.enabled() {
+                    self.sink.emit(ObsKind::RoundEnd { round, fresh, firings });
+                }
+                if let Some(t0) = t0 {
+                    if let Some(p) = self.prof.as_mut() {
+                        let d = p.stop(t0, firings);
+                        p.add(PHASE_COMPUTE, round, d);
+                        p.profile.round_latency.record(d);
+                    }
+                }
             }
             return Ok(Step::Worked);
         }
@@ -570,6 +635,7 @@ impl WorkerCore {
     /// already shipped in the current epoch are skipped: their original
     /// send was counted post-recovery and the transport delivers it.
     fn replay_link(&mut self, to: usize, acked: u64, out: &mut dyn Outbox) -> Result<()> {
+        let t0 = self.prof.as_ref().map(|p| p.start());
         self.replay[to].truncate_to(acked)?;
         let replayed_before = self.replayed_batches;
         let base = self.replay[to].base;
@@ -610,6 +676,13 @@ impl WorkerCore {
         let messages = self.replayed_batches - replayed_before;
         if messages > 0 {
             self.sink.emit(ObsKind::ReplaySent { to, messages });
+            if let Some(t0) = t0 {
+                let round = self.engine.stats().rounds;
+                if let Some(p) = self.prof.as_mut() {
+                    let d = p.stop(t0, messages);
+                    p.add(PHASE_REPLAY, round, d);
+                }
+            }
         }
         Ok(())
     }
@@ -708,27 +781,29 @@ impl WorkerCore {
 
     /// Coalesced receiving step: decode every stashed payload of an inbox
     /// inside a single `inject_with` — one index sync per inbox, however
-    /// many batches arrived since the last drain.
-    fn drain_stash(&mut self) -> Result<()> {
+    /// many batches arrived since the last drain. Returns the number of
+    /// tuples decoded (the profiler's deterministic decode proxy).
+    fn drain_stash(&mut self) -> Result<u64> {
         if self.stash_count == 0 {
-            return Ok(());
+            return Ok(0);
         }
         self.stash_count = 0;
+        let mut decoded = 0u64;
         for idx in 0..self.stash.len() {
             if self.stash[idx].is_empty() {
                 continue;
             }
             let batches = std::mem::take(&mut self.stash[idx]);
             let inbox = self.spec.program.inboxes[idx];
-            self.engine.inject_with(inbox, |out| {
+            decoded += self.engine.inject_with(inbox, |out| {
                 let mut total = 0;
                 for payload in &batches {
                     total += crate::codec::decode_batch_into(payload, out)?;
                 }
                 Ok(total)
-            })?;
+            })? as u64;
         }
-        Ok(())
+        Ok(decoded)
     }
 
     /// Slide the contiguous watermark for `from` over any absorbed
@@ -759,6 +834,7 @@ impl WorkerCore {
             self.ship_groups[k].from_row = from_row + count;
             shipped = true;
             let payload = if self.ship_groups[k].dests.iter().any(|(d, _)| *d != self.id) {
+                let t0 = self.prof.as_ref().map(|p| p.start());
                 let payload = {
                     let tuples = self.engine.rows_from(channel, from_row);
                     crate::codec::encode_batch(channel.1, tuples)?
@@ -773,6 +849,16 @@ impl WorkerCore {
                     bytes: payload.len() as u64,
                     raw_bytes,
                 });
+                if let Some(t0) = t0 {
+                    let round = self.engine.stats().rounds;
+                    let bytes = payload.len() as u64;
+                    if let Some(p) = self.prof.as_mut() {
+                        let d = p.stop(t0, bytes);
+                        p.add(PHASE_ENCODE, round, d);
+                        p.profile.encode_time.record(d);
+                        p.profile.batch_bytes.record(bytes);
+                    }
+                }
                 Some(payload)
             } else {
                 None
@@ -908,6 +994,7 @@ impl WorkerCore {
     pub(crate) fn into_report(self, pooled_tuples: u64) -> WorkerReport {
         let stats = self.engine.stats().clone();
         let processing_firings = stats.firings_for_rules(&self.spec.program.processing_rules);
+        let profile = self.prof.map(|p| p.profile);
         WorkerReport {
             processor: self.id,
             eval: stats,
@@ -928,6 +1015,7 @@ impl WorkerCore {
             pooled_tuples: 0,
             busy: self.busy,
             sent_per_round: self.sent_per_round,
+            profile,
         }
         .with_pooled(pooled_tuples)
     }

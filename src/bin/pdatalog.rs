@@ -5,6 +5,7 @@
 //!                        [--print PRED/ARITY] [--stats]
 //!                        [--max-restarts N] [--watchdog-ms MS] [--restart-backoff-ms MS]
 //!                        [--trace] [--trace-out FILE]
+//!                        [--profile] [--profile-json FILE] [--metrics-out FILE]
 //!                        [--updates FILE]
 //!                        [--sim [--seed N] [--faults PLAN]]
 //!                        [--net [--net-faults PLAN] [--net-kill W@N] ...]
@@ -30,6 +31,18 @@
 //! or simulated. `--trace-out FILE` writes the same journal as Chrome
 //! trace-event JSON, loadable in Perfetto or `chrome://tracing` (one
 //! track per worker, rounds as spans). See DESIGN.md §9.
+//!
+//! `--profile` turns on per-phase time accounting in every worker
+//! (compute, encode, decode, replay, idle) and prints a report on
+//! stderr: per-worker phase totals, latency histograms, hot rules by
+//! time, the per-round critical path (which worker was the straggler
+//! and in which phase), and the largest idle gaps. `--profile-json
+//! FILE` writes the same report as deterministic JSON (validated by
+//! `trace_check --profile`); `--metrics-out FILE` writes
+//! Prometheus-style text metrics. Threaded and `--net` profiles count
+//! wall-clock microseconds; `--sim` profiles count deterministic work
+//! proxies (virtual ticks) so same-seed reruns produce bit-identical
+//! JSON. See DESIGN.md §14.
 //!
 //! `--updates FILE` turns a parallel run into a live, incrementally
 //! maintained view (DRed; see DESIGN.md §11). After the initial fixpoint
@@ -136,7 +149,7 @@ fn run(args: Vec<String>) -> std::result::Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--skew-aware] [--morsels T] [--print PRED/ARITY] [--stats] [--max-restarts N] [--watchdog-ms MS] [--restart-backoff-ms MS] [--trace] [--trace-out FILE] [--updates FILE] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...][,crash=W@T[,recover]]]] [--net [--net-faults W:kind@BYTES[!][;...]] [--net-kill W@BYTES] [--heartbeat-ms MS] [--heartbeat-timeout-ms MS] [--connect-timeout-ms MS] [--connect-backoff-ms MS]]\n  pdatalog net-worker --connect HOST:PORT --index I [--incarnation K] [timing flags]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]\n\nsupervision defaults: --watchdog-ms 30000, --max-restarts 1, --restart-backoff-ms 10.\n--net runs one OS process per worker over loopback TCP (net-worker is the\nworker mode the coordinator re-executes); faults: delay|disconnect|truncate|garbage.\n\nupdate files (--updates): one `+fact(…).`, `-fact(…).`, or `commit.` per line;\neach commit applies the group as one incrementally maintained batch.".into()
+    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--skew-aware] [--morsels T] [--print PRED/ARITY] [--stats] [--max-restarts N] [--watchdog-ms MS] [--restart-backoff-ms MS] [--trace] [--trace-out FILE] [--profile] [--profile-json FILE] [--metrics-out FILE] [--updates FILE] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...][,crash=W@T[,recover]]]] [--net [--net-faults W:kind@BYTES[!][;...]] [--net-kill W@BYTES] [--heartbeat-ms MS] [--heartbeat-timeout-ms MS] [--connect-timeout-ms MS] [--connect-backoff-ms MS]]\n  pdatalog net-worker --connect HOST:PORT --index I [--incarnation K] [timing flags]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]\n\nsupervision defaults: --watchdog-ms 30000, --max-restarts 1, --restart-backoff-ms 10.\n--net runs one OS process per worker over loopback TCP (net-worker is the\nworker mode the coordinator re-executes); faults: delay|disconnect|truncate|garbage.\n\nupdate files (--updates): one `+fact(…).`, `-fact(…).`, or `commit.` per line;\neach commit applies the group as one incrementally maintained batch.".into()
 }
 
 /// Parse `PRED/ARITY`, e.g. `anc/2`.
@@ -180,6 +193,9 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     let mut restart_backoff_ms: Option<u64> = None;
     let mut skew_aware = false;
     let mut morsels = 1usize;
+    let mut show_profile = false;
+    let mut profile_json: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
 
     fn next_ms(
         flag: &str,
@@ -229,6 +245,13 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             "--trace" => show_trace = true,
             "--trace-out" => {
                 trace_out = Some(it.next().ok_or("--trace-out needs a file path")?);
+            }
+            "--profile" => show_profile = true,
+            "--profile-json" => {
+                profile_json = Some(it.next().ok_or("--profile-json needs a file path")?);
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or("--metrics-out needs a file path")?);
             }
             "--max-restarts" => {
                 max_restarts = Some(
@@ -291,6 +314,13 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 .into(),
         );
     }
+    let profiling = show_profile || profile_json.is_some() || metrics_out.is_some();
+    if profiling && matches!(scheme_name.as_str(), "seq" | "naive") {
+        return Err(
+            "--profile/--profile-json/--metrics-out need a parallel scheme (phase timers live in the workers)"
+                .into(),
+        );
+    }
     if max_restarts.is_some() && matches!(scheme_name.as_str(), "seq" | "naive") {
         return Err("--max-restarts needs a parallel scheme (it sizes the supervisor's restart budget)".into());
     }
@@ -328,6 +358,11 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     }
     if updates.is_some() && (show_trace || trace_out.is_some()) {
         return Err("--trace covers a single fixpoint; it does not compose with --updates".into());
+    }
+    if updates.is_some() && profiling {
+        return Err(
+            "--profile covers a single fixpoint; it does not compose with --updates".into(),
+        );
     }
     let (program, db) = load(&file)?;
     let interner = program.interner.clone();
@@ -378,6 +413,7 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             let scheme = build_scheme(parallel, &program, &db, workers, skew_aware)?;
             let mut config = RuntimeConfig::default();
             config.worker.morsel_threads = morsels;
+            config.worker.profile = profiling;
             if let Some(budget) = max_restarts {
                 config.supervisor.max_restarts = budget;
             }
@@ -506,6 +542,28 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             if let Some(path) = &trace_out {
                 write_chrome_trace(path, &outcome.journal)?;
             }
+            if profiling {
+                use parallel_datalog::runtime::{ProfileReport, TimeBase};
+                // Sim profiles count deterministic work proxies (virtual
+                // ticks); threaded and net profiles count wall micros.
+                let base = if sim { TimeBase::VirtualTicks } else { TimeBase::WallMicros };
+                match ProfileReport::build(&outcome.stats, base) {
+                    Some(report) => {
+                        if show_profile {
+                            for line in report.render_human().lines() {
+                                eprintln!("% {line}");
+                            }
+                        }
+                        if let Some(path) = &profile_json {
+                            write_text(path, &report.to_json())?;
+                        }
+                        if let Some(path) = &metrics_out {
+                            write_text(path, &report.to_prometheus())?;
+                        }
+                    }
+                    None => eprintln!("% profile: no worker reported phase timers"),
+                }
+            }
             let mode = if sim {
                 format!(" sim seed={seed} faults={faults}")
             } else if net {
@@ -540,7 +598,10 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 let max = firings.iter().copied().max().unwrap_or(0);
                 let mean = firings.iter().sum::<u64>() as f64 / firings.len().max(1) as f64;
                 let skew = if mean > 0.0 { max as f64 / mean } else { 0.0 };
-                let mut s = format!(" firing_skew={skew:.2}");
+                let mut s = format!(
+                    " firing_skew={skew:.2} utilization={:.2}",
+                    outcome.stats.utilization()
+                );
                 if skew_aware {
                     s.push_str(&format!(" hot_keys_split={}", scheme.hot_keys_split));
                 }
@@ -559,10 +620,11 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 .collect();
             let tables = if show_stats {
                 format!(
-                    "{}{}{}",
+                    "{}{}{}{}",
                     render_channel_matrix(&outcome.stats.channel_matrix),
                     render_wire_table(&outcome.stats),
-                    render_round_table(&outcome.stats)
+                    render_round_table(&outcome.stats),
+                    render_busy_table(&outcome.stats)
                 )
             } else {
                 String::new()
@@ -728,13 +790,47 @@ fn write_chrome_trace(
     path: &str,
     journal: &parallel_datalog::runtime::Journal,
 ) -> std::result::Result<(), String> {
+    write_text(path, &journal.chrome_trace())
+}
+
+/// Write a text artifact (trace JSON, profile JSON, metrics), creating
+/// parent directories as needed.
+fn write_text(path: &str, text: &str) -> std::result::Result<(), String> {
     if let Some(parent) = std::path::Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)
                 .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
         }
     }
-    std::fs::write(path, journal.chrome_trace()).map_err(|e| format!("cannot write {path}: {e}"))
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Per-worker wall-clock busy time (time spent inside `step`, measured
+/// identically on every transport) against the slowest worker.
+fn render_busy_table(stats: &parallel_datalog::runtime::ParallelStats) -> String {
+    use std::fmt::Write;
+    let max = stats.workers.iter().map(|w| w.busy).max().unwrap_or_default();
+    if max.is_zero() {
+        return String::new();
+    }
+    let mut out = String::from("% worker busy (wall time inside step; 100% = slowest worker):\n");
+    for w in &stats.workers {
+        let pct = 100.0 * w.busy.as_secs_f64() / max.as_secs_f64();
+        let _ = writeln!(
+            out,
+            "% {:>6} {:>12?} {:>5.1}%",
+            format!("w{}", w.processor),
+            w.busy,
+            pct
+        );
+    }
+    let _ = writeln!(
+        out,
+        "% {:>6} utilization={:.2} (mean busy / max busy)",
+        "total",
+        stats.utilization()
+    );
+    out
 }
 
 /// The `channel_matrix[i][j]` table: rows are senders, columns receivers.

@@ -376,6 +376,87 @@ fn sim_trace_is_deterministic_per_seed() {
 }
 
 #[test]
+fn profile_flags_write_all_three_exports() {
+    let file = write_program("profile.dl", ANCESTOR);
+    let dir = std::env::temp_dir().join("pdatalog-cli-tests");
+    let json = dir.join("profile_threaded.json");
+    let metrics = dir.join("profile_threaded.prom");
+    let _ = std::fs::remove_file(&json);
+    let _ = std::fs::remove_file(&metrics);
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args(["--scheme", "example3", "--workers", "4", "--profile", "--profile-json"])
+        .arg(&json)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .args(["--stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("% profile (us"), "{stderr}");
+    assert!(stderr.contains("critical path"), "{stderr}");
+    // The --stats footer gains the per-worker busy table and the
+    // utilization figure on the summary line.
+    assert!(stderr.contains("worker busy"), "{stderr}");
+    assert!(stderr.contains("utilization="), "{stderr}");
+    let body = std::fs::read_to_string(&json).unwrap();
+    assert!(body.starts_with("{\"time_base\":\"wall_micros\""), "{body}");
+    assert!(body.contains("\"hot_rules\""), "{body}");
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    assert!(prom.contains("pdatalog_phase_time_total{worker=\"0\",phase=\"compute\"}"), "{prom}");
+    assert!(prom.contains("pdatalog_rule_time_total"), "{prom}");
+}
+
+#[test]
+fn sim_profile_json_is_deterministic_per_seed() {
+    let file = write_program("profilesim.dl", ANCESTOR);
+    let dir = std::env::temp_dir().join("pdatalog-cli-tests");
+    let run = |name: &str| {
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        let out = pdatalog()
+            .args(["run"])
+            .arg(&file)
+            .args([
+                "--scheme", "example3", "--workers", "3", "--sim", "--seed", "11",
+                "--faults", "jitter", "--profile-json",
+            ])
+            .arg(&path)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        std::fs::read_to_string(&path).unwrap()
+    };
+    let first = run("profile_sim_a.json");
+    assert!(first.starts_with("{\"time_base\":\"virtual_ticks\""), "{first}");
+    assert_eq!(
+        first,
+        run("profile_sim_b.json"),
+        "same seed must export a bit-identical profile"
+    );
+}
+
+#[test]
+fn profile_requires_a_parallel_scheme() {
+    let file = write_program("profileseq.dl", ANCESTOR);
+    for flag in ["--profile", "--metrics-out"] {
+        let mut cmd = pdatalog();
+        cmd.args(["run"]).arg(&file).args(["--scheme", "seq", flag]);
+        if flag == "--metrics-out" {
+            cmd.arg("/tmp/unused.prom");
+        }
+        let out = cmd.output().unwrap();
+        assert!(!out.status.success());
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("parallel scheme"),
+            "{flag}"
+        );
+    }
+}
+
+#[test]
 fn analyze_shows_advisor_recommendations() {
     let file = write_program("advise.dl", ANCESTOR);
     let out = pdatalog().args(["analyze"]).arg(&file).output().unwrap();
@@ -640,12 +721,16 @@ fn net_socket_faults_recover_bit_exact() {
 
 /// A persistent fault (`!`) kills every incarnation: the restart budget
 /// runs out and the run fails fast with the link-level cause — no hang.
+/// The trip point must sit below the smallest write any incarnation can
+/// make (handshake + RESULT frame): a replay-assisted restart sends very
+/// little data-plane traffic, and a threshold it can duck under lets the
+/// run legitimately recover instead of exhausting the budget.
 #[test]
 fn net_persistent_fault_fails_fast() {
     let file = write_program("net_persist.dl", &chain_program(30));
     let (ok, _, stderr) = run_sorted(
         &file,
-        &["--scheme", "example3", "--workers", "4", "--net", "--net-faults", "1:disconnect@300!"],
+        &["--scheme", "example3", "--workers", "4", "--net", "--net-faults", "1:disconnect@150!"],
     );
     assert!(!ok, "a persistent fault must exhaust the budget");
     assert!(
