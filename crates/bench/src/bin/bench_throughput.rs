@@ -14,6 +14,15 @@
 //!   `skew-hash` (hot keys split, §6 R_i) and, on zipf, `skew-morsels`
 //!   (skew-aware + 4 morsel threads per worker).
 //!
+//! The chain/random/zipf workloads additionally run two demand-driven
+//! point-query cells (DESIGN.md §15): `rl-full` computes the whole
+//! closure of the right-linear TC under the Q_i hash partition, and
+//! `magic-point` answers one bound-first goal over the same EDB via the
+//! magic rewrite on the demand-aware partition. The `magic-point` row
+//! carries a `demand_ratio` field — its firings divided by the
+//! `rl-full` cell's — so the fraction of full-closure work a point
+//! query pays is visible per cell.
+//!
 //! Every row records a `worker_firings` array (per-processor processing
 //! firings in processor order) so per-cell load skew is visible in the
 //! JSON, not just the aggregate.
@@ -57,16 +66,21 @@ use std::time::Instant;
 
 use gst_bench::json::{count, num, s, Json};
 use gst_bench::table::Table;
+use gst_common::Value;
 use gst_core::prelude::{
-    example1_wolfson, example2_valduriez, example3_hash_partition, skew_aware_hash_partition,
-    SkewPolicy,
+    compile_demand, example1_wolfson, example2_valduriez, example3_hash_partition,
+    skew_aware_hash_partition, SkewPolicy,
 };
 use gst_core::schemes::CompiledScheme;
 use gst_eval::seminaive_eval;
-use gst_frontend::LinearSirup;
+use gst_frontend::magic::magic_rewrite;
+use gst_frontend::{Atom, LinearSirup, Term, Variable};
 use gst_runtime::{RuntimeConfig, Transport};
 use gst_storage::{round_robin_fragment, Relation};
-use gst_workloads::{chain, grid, layered, linear_ancestor, random_digraph, star, zipf_digraph};
+use gst_workloads::{
+    chain, grid, layered, linear_ancestor, random_digraph, right_linear_ancestor, star,
+    zipf_digraph,
+};
 
 /// One measured configuration.
 struct Row {
@@ -98,6 +112,9 @@ struct Row {
     phase_us: [u64; 5],
     /// Model equals the sequential oracle.
     correct: bool,
+    /// Point-query cells only: this row's firings over the matching
+    /// `rl-full` full-closure cell's firings. `None` everywhere else.
+    demand_ratio: Option<f64>,
     /// Per-worker round time series + channel matrix of the kept rep,
     /// for the `<out>_rounds.json` companion report.
     rounds_series: Json,
@@ -210,7 +227,20 @@ fn measure(
         worker_firings,
         phase_us,
         correct: answer.set_eq(oracle),
+        demand_ratio: None,
         rounds_series: rounds_series(&outcome),
+    }
+}
+
+/// The bound-first query constant a workload's point-query cells use,
+/// if it runs any. Fixed non-hub nodes that exist at both smoke and
+/// full sizes, so smoke and full reports stay comparable.
+fn point_constant(workload: &str) -> Option<i64> {
+    match workload {
+        "chain" => Some(3),
+        "random" => Some(77),
+        "zipf" => Some(3),
+        _ => None,
     }
 }
 
@@ -529,12 +559,59 @@ fn main() {
             for (sname, scheme, config) in &schemes {
                 rows.push(measure((wname, sname), n, scheme, &reference, anc, reps, config));
             }
+
+            // Demand-driven point-query cells (DESIGN.md §15): the same
+            // TC written right-linear, queried at one bound-first
+            // constant. `rl-full` is the full closure under the Q_i hash
+            // partition; `magic-point` runs the magic rewrite under the
+            // demand-aware partition and records what fraction of the
+            // full-closure firings the point query paid.
+            if let Some(c) = point_constant(wname) {
+                let rlfx = right_linear_ancestor();
+                let rl_db = rlfx.database(data);
+                let rl_sirup = LinearSirup::from_program(&rlfx.program).unwrap();
+                let full = measure(
+                    (wname, "rl-full"),
+                    n,
+                    &example3_hash_partition(&rl_sirup, n, &rl_db).unwrap(),
+                    &reference,
+                    rlfx.output_id(),
+                    reps,
+                    &plain,
+                );
+                let goal = Atom::new(
+                    rlfx.output_id().0,
+                    vec![
+                        Term::Const(Value::Int(c)),
+                        Term::Var(Variable(rlfx.program.interner.intern("QY"))),
+                    ],
+                );
+                let rw = magic_rewrite(&rlfx.program, &goal).unwrap();
+                let mut filtered = Relation::new(rw.answer.arity);
+                for t in reference.iter() {
+                    if rw.answer_matches(t) {
+                        filtered.insert(t.clone()).unwrap();
+                    }
+                }
+                let mut magic = measure(
+                    (wname, "magic-point"),
+                    n,
+                    &compile_demand(&rw, &rl_db, n).unwrap(),
+                    &filtered,
+                    (rw.answer.name, rw.answer.arity),
+                    reps,
+                    &plain,
+                );
+                magic.demand_ratio = Some(magic.firings as f64 / full.firings.max(1) as f64);
+                rows.push(full);
+                rows.push(magic);
+            }
         }
     }
 
     let mut t = Table::new(vec![
         "workload", "scheme", "n", "wall ms", "ktuples/s", "rounds", "round ms", "KiB shipped",
-        "skew", "compute ms", "comm ms", "idle ms", "ok",
+        "skew", "compute ms", "comm ms", "idle ms", "d-ratio", "ok",
     ]);
     for r in &rows {
         let max = r.worker_firings.iter().copied().max().unwrap_or(0);
@@ -555,6 +632,7 @@ fn main() {
             format!("{:.1}", compute as f64 / 1e3),
             format!("{:.1}", (encode + decode + replay) as f64 / 1e3),
             format!("{:.1}", idle as f64 / 1e3),
+            r.demand_ratio.map_or_else(|| "-".to_string(), |d| format!("{d:.4}")),
             r.correct.to_string(),
         ]);
     }
@@ -576,7 +654,7 @@ fn main() {
             Json::Arr(
                 rows.iter()
                     .map(|r| {
-                        Json::obj(vec![
+                        let mut fields = vec![
                             ("workload", s(r.workload)),
                             ("scheme", s(r.scheme)),
                             ("n", count(r.n as u64)),
@@ -598,7 +676,11 @@ fn main() {
                             ("phase_replay_us", count(r.phase_us[3])),
                             ("phase_idle_us", count(r.phase_us[4])),
                             ("correct", Json::Bool(r.correct)),
-                        ])
+                        ];
+                        if let Some(d) = r.demand_ratio {
+                            fields.push(("demand_ratio", num(d)));
+                        }
+                        Json::obj(fields)
                     })
                     .collect(),
             ),

@@ -42,6 +42,7 @@ pub mod prelude {
         SymmetricHashMod,
     };
     pub use crate::network::{derive_network, NetworkGraph, SymbolicDisc};
+    pub use crate::schemes::demand::compile_demand;
     pub use crate::schemes::general::{rewrite_general, RuleChoice};
     pub use crate::schemes::generalized::{rewrite_generalized, GeneralizedConfig};
     pub use crate::schemes::nocomm::{rewrite_no_comm, NoCommConfig};
@@ -52,7 +53,7 @@ pub mod prelude {
     pub use crate::schemes::{BaseDistribution, CompiledScheme};
     pub use crate::session::{RoundReport, UpdateBatch, UpdateSession};
     pub use crate::strategy::{
-        choose, crossover, sample_key_frequencies, CostModel, KeyFrequencyProfile, SchemeProfile,
-        SkewPolicy,
+        choose, crossover, demand_choices, sample_key_frequencies, CostModel,
+        KeyFrequencyProfile, SchemeProfile, SkewPolicy, DEMAND_HASH_SEED,
     };
 }

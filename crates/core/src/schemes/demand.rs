@@ -1,0 +1,187 @@
+//! Demand-driven point-query scheme: the §7 general scheme `T_i` applied
+//! to a magic-sets rewrite under demand-aware partitioning.
+//!
+//! The front end ([`gst_frontend::magic`]) turns `?- anc("ann", Y).` into
+//! an ordinary program of magic and adorned rules plus one seed fact;
+//! [`compile_demand`] loads the seed under its auxiliary base predicate,
+//! partitions every generated rule on its *demand key* (the magic
+//! guard's bound columns) with one shared hash
+//! ([`crate::strategy::demand_choices`]), and hands the result to
+//! [`rewrite_general`] — so semi-naive evaluation, every transport,
+//! crash recovery, update sessions and profiling run the demand-bounded
+//! fixpoint unchanged.
+//!
+//! Base relations are distributed as
+//! [`BaseDistribution::MinimalFragments`]: a base atom whose join column
+//! carries the demand key is fragmented by the same hash that routes the
+//! demand tuples, co-locating demand with data.
+
+use gst_common::Result;
+use gst_frontend::magic::MagicRewrite;
+use gst_storage::Database;
+
+use crate::schemes::common::BaseDistribution;
+use crate::schemes::general::rewrite_general;
+use crate::schemes::CompiledScheme;
+use crate::strategy::{demand_choices, DEMAND_HASH_SEED};
+
+/// Compile a magic-sets rewrite into a demand-partitioned parallel
+/// scheme over `workers` processors.
+///
+/// The returned scheme's answer relations are the rewrite's derived
+/// predicates; filter [`MagicRewrite::answer`]'s relation through
+/// [`MagicRewrite::answer_matches`] to obtain exactly the query's
+/// answers (the adorned relation also holds answers for transitively
+/// demanded bindings).
+pub fn compile_demand(
+    rewrite: &MagicRewrite,
+    db: &Database,
+    workers: usize,
+) -> Result<CompiledScheme> {
+    let mut seeded = db.clone();
+    seeded.insert(
+        (rewrite.seed_predicate.name, rewrite.seed_predicate.arity),
+        rewrite.seed_fact.clone(),
+    )?;
+    let choices = demand_choices(rewrite, workers, DEMAND_HASH_SEED)?;
+    let mut scheme = rewrite_general(
+        &rewrite.program,
+        &choices,
+        &seeded,
+        BaseDistribution::MinimalFragments,
+    )?;
+    scheme.kind = "demand-driven magic (§7 T_i, demand-keyed)";
+    Ok(scheme)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gst_common::{Value, Tuple};
+    use gst_eval::seminaive_eval;
+    use gst_frontend::magic::magic_rewrite;
+    use gst_frontend::{Atom, Term, Variable};
+    use gst_storage::Relation;
+    use gst_workloads::{
+        chain, linear_ancestor, random_digraph, right_linear_ancestor, zipf_digraph, Fixture,
+    };
+
+    /// Bound-first point query `anc(c, Y)` against a fixture.
+    fn point_query(fx: &Fixture, c: i64) -> Atom {
+        let anc = fx.output_id().0;
+        let y = Variable(fx.program.interner.intern("QY"));
+        Atom::new(anc, vec![Term::Const(Value::Int(c)), Term::Var(y)])
+    }
+
+    /// The full closure filtered to the query, via sequential evaluation
+    /// of the *original* program.
+    fn oracle(fx: &Fixture, db: &Database, rw: &MagicRewrite) -> Relation {
+        let seq = seminaive_eval(&fx.program, db).unwrap();
+        let mut out = Relation::new(fx.output_id().1);
+        for t in seq.relation(fx.output_id()).iter() {
+            if rw.answer_matches(t) {
+                out.insert(t.clone()).unwrap();
+            }
+        }
+        out
+    }
+
+    fn answers(outcome: &gst_runtime::ExecutionOutcome, rw: &MagicRewrite) -> Relation {
+        let rel = outcome.relation((rw.answer.name, rw.answer.arity));
+        let mut out = Relation::new(rw.answer.arity);
+        for t in rel.iter() {
+            if rw.answer_matches(t) {
+                out.insert(t.clone()).unwrap();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn left_linear_point_query_matches_filtered_closure() {
+        let fx = linear_ancestor();
+        let db = fx.database(&chain(24));
+        let rw = magic_rewrite(&fx.program, &point_query(&fx, 5)).unwrap();
+        let scheme = compile_demand(&rw, &db, 3).unwrap();
+        let outcome = scheme.run().unwrap();
+        assert!(answers(&outcome, &rw).set_eq(&oracle(&fx, &db, &rw)));
+    }
+
+    #[test]
+    fn right_linear_demand_stays_at_the_seed() {
+        // Right-linear recursion keeps the demand set = {c}: the adorned
+        // relation holds answers for the queried constant only.
+        let fx = right_linear_ancestor();
+        let db = fx.database(&random_digraph(40, 90, 7));
+        let rw = magic_rewrite(&fx.program, &point_query(&fx, 0)).unwrap();
+        let scheme = compile_demand(&rw, &db, 4).unwrap();
+        let outcome = scheme.run().unwrap();
+        let adorned = outcome.relation((rw.answer.name, rw.answer.arity));
+        assert!(adorned.iter().all(|t| t.get(0) == Value::Int(0)));
+        assert!(answers(&outcome, &rw).set_eq(&oracle(&fx, &db, &rw)));
+    }
+
+    #[test]
+    fn magic_tuples_route_instead_of_broadcasting() {
+        // Every magic atom's pattern contains its rule's demand key, so
+        // demand never broadcasts. With right-linear recursion *nothing*
+        // broadcasts: all traffic is keyed on h(c), and a single-source
+        // query touches a single worker's partition — communication stays
+        // a small constant, independent of the closure size.
+        let fx = right_linear_ancestor();
+        let db = fx.database(&chain(64));
+        let rw = magic_rewrite(&fx.program, &point_query(&fx, 0)).unwrap();
+        let scheme = compile_demand(&rw, &db, 4).unwrap();
+        let outcome = scheme.run().unwrap();
+        let sent = outcome.stats.total_tuples_sent();
+        assert!(
+            sent <= 4,
+            "expected near-zero shipping for a co-located point query, sent {sent}"
+        );
+        assert!(answers(&outcome, &rw).set_eq(&oracle(&fx, &db, &rw)));
+    }
+
+    #[test]
+    fn demand_run_beats_full_closure_on_firings_and_bytes() {
+        // The acceptance bound: ≤10% of the firings and ≤25% of the bytes
+        // of a full-closure parallel run, random and zipf EDBs, N=4.
+        for (data, c) in [
+            (random_digraph(120, 360, 42), 0),
+            (zipf_digraph(300, 240, 30, 42), 7),
+        ] {
+            let fx = right_linear_ancestor();
+            let db = fx.database(&data);
+            let rw = magic_rewrite(&fx.program, &point_query(&fx, c)).unwrap();
+            let scheme = compile_demand(&rw, &db, 4).unwrap();
+            let outcome = scheme.run().unwrap();
+            assert!(answers(&outcome, &rw).set_eq(&oracle(&fx, &db, &rw)));
+
+            let sirup = gst_frontend::LinearSirup::from_program(&fx.program).unwrap();
+            let full = crate::schemes::presets::example3_hash_partition(&sirup, 4, &db)
+                .unwrap()
+                .run()
+                .unwrap();
+            let (mf, ff) = (outcome.stats.total_firings(), full.stats.total_firings());
+            let (mb, fb) = (outcome.stats.total_bytes_sent(), full.stats.total_bytes_sent());
+            assert!(mf * 10 <= ff, "firings {mf} vs full {ff}");
+            assert!(mb * 4 <= fb, "bytes {mb} vs full {fb}");
+        }
+    }
+
+    #[test]
+    fn ground_query_runs_with_fully_bound_adornment() {
+        let fx = linear_ancestor();
+        let db = fx.database(&chain(10));
+        let anc = fx.output_id().0;
+        let goal = Atom::new(
+            anc,
+            vec![Term::Const(Value::Int(2)), Term::Const(Value::Int(7))],
+        );
+        let rw = magic_rewrite(&fx.program, &goal).unwrap();
+        let scheme = compile_demand(&rw, &db, 3).unwrap();
+        let outcome = scheme.run().unwrap();
+        let got = answers(&outcome, &rw);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.iter().next().unwrap(), &Tuple::new(&[Value::Int(2), Value::Int(7)]));
+    }
+}

@@ -14,6 +14,7 @@
 //! runtime and returns pooled relations plus communication statistics.
 
 pub mod common;
+pub mod demand;
 pub mod general;
 pub mod generalized;
 pub mod nocomm;

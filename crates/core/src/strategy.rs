@@ -13,9 +13,16 @@
 //! one worker under a uniform hash partition.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use gst_common::Value;
+use gst_common::{Error, Result, Value};
+use gst_frontend::magic::MagicRewrite;
+use gst_frontend::Variable;
 use gst_storage::Relation;
+
+use crate::discriminator::{DiscriminatorRef, HashMod};
+use crate::schemes::common::validate_sequence;
+use crate::schemes::general::RuleChoice;
 
 /// Knobs of the hot-key detector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -199,6 +206,66 @@ pub fn crossover(a: &SchemeProfile, b: &SchemeProfile) -> Option<f64> {
     }
     let r = df / ds;
     (r > 0.0).then_some(r)
+}
+
+/// Hash seed shared by every rule of a demand-partitioned magic program.
+///
+/// One seed across all rules is what makes the strategy *co-locating*:
+/// `h(c)` computes the same worker whether `c` arrives as a magic
+/// (demand) tuple, as the bound column of an adorned answer, or as the
+/// join column of a base fragment.
+pub const DEMAND_HASH_SEED: u64 = 0xD17;
+
+/// Demand-aware partitioning for a magic-sets rewrite: one
+/// [`RuleChoice`] per generated rule, discriminating on the rule's
+/// *demand key* — the variables of its magic guard, i.e. the bound
+/// columns of the demanded predicate — under a single shared
+/// [`HashMod`].
+///
+/// Why this beats the generic first-body-variable choice for magic
+/// programs: every magic atom's argument pattern *is* its guard key, so
+/// magic (demand) tuples always route point-to-point to `h(key)` — they
+/// never broadcast — and [`crate::schemes::BaseDistribution::MinimalFragments`] places
+/// the base fragments whose join column carries the same key on the same
+/// worker. Demand lands where the data lives. An adorned answer
+/// occurrence whose pattern does not contain the demand key (e.g. the
+/// recursive atom of the *left*-linear ancestor rule) falls back to
+/// replication — `rewrite_general`'s broadcast path — which ships only
+/// the demand-bounded answer set, not the full closure.
+///
+/// Rules whose guard binds no variable (an all-free sub-adornment, or a
+/// constant-bound head) fall back to the first body-atom variable.
+pub fn demand_choices(
+    rewrite: &MagicRewrite,
+    workers: usize,
+    seed: u64,
+) -> Result<Vec<RuleChoice>> {
+    let h: DiscriminatorRef = Arc::new(HashMod::new(workers, seed));
+    rewrite
+        .program
+        .rules
+        .iter()
+        .zip(&rewrite.rules)
+        .enumerate()
+        .map(|(k, (rule, info))| {
+            let v: Vec<Variable> = if info.guard.is_empty() {
+                rule.body_atoms()
+                    .flat_map(|a| a.variables().collect::<Vec<_>>())
+                    .take(1)
+                    .collect()
+            } else {
+                info.guard.clone()
+            };
+            if v.is_empty() {
+                return Err(Error::Discriminator(format!(
+                    "rule {k} of the magic program has no body variable to \
+                     discriminate on"
+                )));
+            }
+            validate_sequence(rule, &v, &format!("demand v(r{k})"))?;
+            Ok(RuleChoice { v, h: h.clone() })
+        })
+        .collect()
 }
 
 #[cfg(test)]

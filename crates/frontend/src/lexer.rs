@@ -6,7 +6,8 @@
 //! * identifiers starting with an uppercase letter or `_` → variables
 //!   (`X`, `_Tmp`);
 //! * signed integers (`42`, `-7`);
-//! * punctuation `(`, `)`, `,`, `.` and the rule arrow `:-`;
+//! * punctuation `(`, `)`, `,`, `.`, the rule arrow `:-`, and the query
+//!   arrow `?-`;
 //! * comments: `%` or `//` to end of line.
 //!
 //! Every token carries its 1-based line/column for error reporting.
@@ -45,6 +46,8 @@ pub enum TokenKind {
     Dot,
     /// `:-`
     ColonDash,
+    /// `?-` — starts a query goal.
+    QuestionDash,
     /// `<`
     Lt,
     /// `<=`
@@ -74,6 +77,7 @@ impl TokenKind {
             TokenKind::Comma => "`,`".into(),
             TokenKind::Dot => "`.`".into(),
             TokenKind::ColonDash => "`:-`".into(),
+            TokenKind::QuestionDash => "`?-`".into(),
             TokenKind::Lt => "`<`".into(),
             TokenKind::Le => "`<=`".into(),
             TokenKind::Gt => "`>`".into(),
@@ -171,6 +175,14 @@ impl<'a> Lexer<'a> {
                         TokenKind::ColonDash
                     } else {
                         return Err(Error::parse(line, column, "expected `:-`"));
+                    }
+                }
+                '?' => {
+                    if self.chars.peek() == Some(&'-') {
+                        self.bump();
+                        TokenKind::QuestionDash
+                    } else {
+                        return Err(Error::parse(line, column, "expected `?-`"));
                     }
                 }
                 '<' => {
@@ -433,6 +445,24 @@ mod tests {
     #[test]
     fn error_on_unknown_character() {
         assert!(tokenize("p(X) ? q(X)").is_err());
+    }
+
+    #[test]
+    fn lexes_query_arrow() {
+        assert_eq!(
+            kinds("?- anc(ann, Y)."),
+            vec![
+                TokenKind::QuestionDash,
+                TokenKind::Ident("anc".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("ann".into()),
+                TokenKind::Comma,
+                TokenKind::UpperIdent("Y".into()),
+                TokenKind::RParen,
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub mod analysis;
 pub mod ast;
 pub mod builtins;
 pub mod lexer;
+pub mod magic;
 pub mod parser;
 pub mod pretty;
 pub mod sirup;
@@ -22,5 +23,6 @@ pub mod sirup;
 pub use analysis::ProgramAnalysis;
 pub use ast::{Atom, Constraint, Literal, Predicate, Program, Rule, Term, Variable};
 pub use builtins::{CompareOp, Comparison};
+pub use magic::{magic_rewrite, MagicRewrite, MagicRuleInfo, MagicRuleKind};
 pub use parser::{parse_program, ParsedUnit};
 pub use sirup::LinearSirup;

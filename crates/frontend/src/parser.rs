@@ -1,8 +1,9 @@
 //! Recursive-descent parser for the Datalog surface syntax.
 //!
 //! ```text
-//! unit   := clause* EOF
+//! unit   := (clause | query)* EOF
 //! clause := atom [ ':-' literal (',' literal)* ] '.'
+//! query  := '?-' atom '.'
 //! literal := atom | term cmp term
 //! cmp    := '<' | '<=' | '>' | '>=' | '=' | '!='
 //! atom   := ident [ '(' term (',' term)* ')' ]
@@ -12,6 +13,11 @@
 //! A clause without a body must be ground and is returned as a *fact*
 //! rather than a rule, matching the paper's split between the program (a
 //! finite set of rules) and its input (a relation per base predicate).
+//!
+//! A query `?- anc("ann", Y).` names a goal atom: constants mark bound
+//! arguments, variables mark requested outputs. Queries are collected on
+//! the side — they are not rules — and drive the magic-sets rewrite in
+//! [`crate::magic`].
 
 use gst_common::{Error, Interner, Result, Tuple, Value};
 
@@ -29,6 +35,8 @@ pub struct ParsedUnit {
     pub program: Program,
     /// Ground facts `(predicate, tuple)` in source order.
     pub facts: Vec<(Predicate, Tuple)>,
+    /// Query goals (`?- atom.`) in source order.
+    pub queries: Vec<Atom>,
 }
 
 /// Parse `source` with a fresh interner.
@@ -86,7 +94,15 @@ impl Parser {
     fn unit(mut self) -> Result<ParsedUnit> {
         let mut rules = Vec::new();
         let mut facts = Vec::new();
+        let mut queries = Vec::new();
         while self.peek().kind != TokenKind::Eof {
+            if self.peek().kind == TokenKind::QuestionDash {
+                self.bump();
+                let goal = self.atom()?;
+                self.expect(&TokenKind::Dot)?;
+                queries.push(goal);
+                continue;
+            }
             let head = self.atom()?;
             match self.peek().kind {
                 TokenKind::ColonDash => {
@@ -128,6 +144,7 @@ impl Parser {
         Ok(ParsedUnit {
             program: Program::new(rules, self.interner),
             facts,
+            queries,
         })
     }
 
@@ -367,5 +384,29 @@ mod tests {
     #[test]
     fn dangling_comma_in_body_is_rejected() {
         assert!(parse_program("p(X) :- q(X), .").is_err());
+    }
+
+    #[test]
+    fn parses_query_goals() {
+        let unit = parse_program(
+            "anc(X,Y) :- par(X,Y).\n\
+             par(ann, bob).\n\
+             ?- anc(\"ann\", Y).",
+        )
+        .unwrap();
+        assert_eq!(unit.queries.len(), 1);
+        let goal = &unit.queries[0];
+        assert_eq!(goal.pred().arity, 2);
+        let i = &unit.program.interner;
+        assert_eq!(goal.terms[0].as_const(), Some(Value::Sym(i.get("ann").unwrap())));
+        assert!(goal.terms[1].as_var().is_some());
+        // Queries are neither rules nor facts.
+        assert_eq!(unit.program.rules.len(), 1);
+        assert_eq!(unit.facts.len(), 1);
+    }
+
+    #[test]
+    fn query_without_dot_is_rejected() {
+        assert!(parse_program("?- anc(ann, Y)").is_err());
     }
 }

@@ -362,6 +362,10 @@ pub struct ProfileReport {
     /// Largest per-(worker, round) idle gaps, descending (deterministic
     /// tie-break by round then worker).
     pub idle_gaps: Vec<IdleGap>,
+    /// Optional provenance labels indexed by rule (e.g. `anc^bf [magic r1]`
+    /// for a magic-sets rewrite). Empty when the run has no provenance;
+    /// rules past the end of the vector are simply unlabeled.
+    pub rule_labels: Vec<String>,
 }
 
 /// How many hot rules and idle gaps the analyzer keeps.
@@ -487,7 +491,24 @@ impl ProfileReport {
             rounds,
             hot_rules,
             idle_gaps,
+            rule_labels: Vec::new(),
         })
+    }
+
+    /// Attach provenance labels (indexed by rule) to the report. Labeled
+    /// rules render as `rule #k <label>` in the human report and carry a
+    /// `"label"` key in the JSON hot-rule objects; unlabeled output is
+    /// unchanged.
+    pub fn with_rule_labels(mut self, labels: Vec<String>) -> Self {
+        self.rule_labels = labels;
+        self
+    }
+
+    fn rule_label(&self, rule: usize) -> Option<&str> {
+        self.rule_labels
+            .get(rule)
+            .map(|s| s.as_str())
+            .filter(|s| !s.is_empty())
     }
 
     /// The time unit's short name ("us" or "ticks").
@@ -579,11 +600,15 @@ impl ProfileReport {
         if !self.hot_rules.is_empty() {
             let _ = writeln!(out, "  hot rules (by time):");
             for h in &self.hot_rules {
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "    rule #{:<3} {:>12} {unit}  {:>12} firings",
                     h.rule, h.time, h.firings
                 );
+                if let Some(label) = self.rule_label(h.rule) {
+                    let _ = write!(out, "  {label}");
+                }
+                out.push('\n');
             }
         }
 
@@ -731,11 +756,11 @@ impl ProfileReport {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "{{\"rule\":{},\"time\":{},\"firings\":{}}}",
-                h.rule, h.time, h.firings
-            );
+            let _ = write!(out, "{{\"rule\":{},\"time\":{},\"firings\":{}", h.rule, h.time, h.firings);
+            if let Some(label) = self.rule_label(h.rule) {
+                let _ = write!(out, ",\"label\":\"{}\"", label.escape_default());
+            }
+            out.push('}');
         }
         out.push_str("],\"idle_gaps\":[");
         for (i, g) in self.idle_gaps.iter().enumerate() {
@@ -919,6 +944,7 @@ mod tests {
             rounds: Vec::new(),
             hot_rules: vec![HotRule { rule: 0, time: 90, firings: 9 }],
             idle_gaps: vec![IdleGap { worker: 0, round: 1, idle: 30 }],
+            rule_labels: Vec::new(),
         };
         let a = report.to_json();
         let b = report.to_json();
@@ -934,5 +960,22 @@ mod tests {
         assert!(prom.contains("pdatalog_phase_time_total{worker=\"0\",phase=\"compute\"} 100"));
         assert!(prom.contains("pdatalog_phase_time_total{worker=\"1\",phase=\"compute\"} 40"));
         assert!(prom.contains("pdatalog_round_latency_count 2"));
+
+        // Provenance labels are strictly additive: labeled rules gain a
+        // "label" key and a human-report suffix, rules without a label
+        // (index past the vector, or an empty string) render as before.
+        let labeled = report
+            .clone()
+            .with_rule_labels(vec!["anc^bf [magic r1]".into()]);
+        let lj = labeled.to_json();
+        assert!(lj.contains(
+            "\"hot_rules\":[{\"rule\":0,\"time\":90,\"firings\":9,\"label\":\"anc^bf [magic r1]\"}]"
+        ));
+        let lh = labeled.render_human();
+        assert!(lh.contains("firings  anc^bf [magic r1]"));
+        let unlabeled = labeled.with_rule_labels(vec![String::new()]);
+        assert!(unlabeled
+            .to_json()
+            .contains("\"hot_rules\":[{\"rule\":0,\"time\":90,\"firings\":9}]"));
     }
 }

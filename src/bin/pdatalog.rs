@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pdatalog run <file.dl> [--workers N] [--scheme S] [--skew-aware] [--morsels T]
+//!                        [--query ["goal(…)"] [--explain-rewrite]]
 //!                        [--print PRED/ARITY] [--stats]
 //!                        [--max-restarts N] [--watchdog-ms MS] [--restart-backoff-ms MS]
 //!                        [--trace] [--trace-out FILE]
@@ -18,6 +19,21 @@
 //! (zero communication), `example2` (fragmented + broadcast), `example3`
 //! (hash partition), `nocomm` (redundant zero-comm), `general` (§7, works
 //! for any program; discriminates each rule on its first body variable).
+//!
+//! `--query` turns the run into a demand-driven *point query*: the goal
+//! (inline, or the file's `?- anc("ann", Y).` line) is rewritten with
+//! magic sets (DESIGN.md §15) — adornments mark which arguments the
+//! goal binds, magic predicates carry the demand tuples, and only the
+//! part of the closure the query can reach is computed. The rewritten
+//! program is ordinary Datalog, so it runs on every transport; under a
+//! parallel scheme each generated rule discriminates on its magic
+//! guard's columns, co-locating demand with the matching base-relation
+//! fragments. Only the goal's answers print, under the original
+//! predicate name. `--explain-rewrite` prints the rewritten program
+//! (with provenance comments) instead of running it; `--stats` adds
+//! `demand_ratio` — magic firings over a full-closure run's firings —
+//! plus the firings/bytes avoided; `--profile` labels magic/adorned
+//! rules in the hot-rule table (e.g. `anc^bf [magic r1]`).
 //!
 //! `--skew-aware` (with `--scheme example3`) samples EDB key frequencies
 //! at compile time and splits hot keys across processors under the §6
@@ -149,7 +165,7 @@ fn run(args: Vec<String>) -> std::result::Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--skew-aware] [--morsels T] [--print PRED/ARITY] [--stats] [--max-restarts N] [--watchdog-ms MS] [--restart-backoff-ms MS] [--trace] [--trace-out FILE] [--profile] [--profile-json FILE] [--metrics-out FILE] [--updates FILE] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...][,crash=W@T[,recover]]]] [--net [--net-faults W:kind@BYTES[!][;...]] [--net-kill W@BYTES] [--heartbeat-ms MS] [--heartbeat-timeout-ms MS] [--connect-timeout-ms MS] [--connect-backoff-ms MS]]\n  pdatalog net-worker --connect HOST:PORT --index I [--incarnation K] [timing flags]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]\n\nsupervision defaults: --watchdog-ms 30000, --max-restarts 1, --restart-backoff-ms 10.\n--net runs one OS process per worker over loopback TCP (net-worker is the\nworker mode the coordinator re-executes); faults: delay|disconnect|truncate|garbage.\n\nupdate files (--updates): one `+fact(…).`, `-fact(…).`, or `commit.` per line;\neach commit applies the group as one incrementally maintained batch.".into()
+    "usage:\n  pdatalog run <file.dl> [--workers N] [--scheme seq|naive|example1|example2|example3|nocomm|general] [--query [\"goal(…)\"] [--explain-rewrite]] [--skew-aware] [--morsels T] [--print PRED/ARITY] [--stats] [--max-restarts N] [--watchdog-ms MS] [--restart-backoff-ms MS] [--trace] [--trace-out FILE] [--profile] [--profile-json FILE] [--metrics-out FILE] [--updates FILE] [--sim [--seed N] [--faults none|jitter|chaos[,k=v...][,crash=W@T[,recover]]]] [--net [--net-faults W:kind@BYTES[!][;...]] [--net-kill W@BYTES] [--heartbeat-ms MS] [--heartbeat-timeout-ms MS] [--connect-timeout-ms MS] [--connect-backoff-ms MS]]\n  pdatalog net-worker --connect HOST:PORT --index I [--incarnation K] [timing flags]\n  pdatalog query <file.dl> \"anc(1, X)\"\n  pdatalog analyze <file.dl>\n  pdatalog network <file.dl> [--bits | --linear c1,c2,...]\n\nsupervision defaults: --watchdog-ms 30000, --max-restarts 1, --restart-backoff-ms 10.\n--net runs one OS process per worker over loopback TCP (net-worker is the\nworker mode the coordinator re-executes); faults: delay|disconnect|truncate|garbage.\n\npoint queries (--query): magic-sets rewrite of the program toward the goal's\nbound arguments (constants), evaluated demand-first; `--query` alone takes the\ngoal from the file's `?- goal.` line, `--explain-rewrite` prints the rewritten\nprogram instead of running it, and `--stats` adds demand_ratio (magic firings /\nfull-closure firings). Schemes: seq, naive, or general (demand-partitioned).\n\nupdate files (--updates): one `+fact(…).`, `-fact(…).`, or `commit.` per line;\neach commit applies the group as one incrementally maintained batch.".into()
 }
 
 /// Parse `PRED/ARITY`, e.g. `anc/2`.
@@ -163,13 +179,13 @@ fn parse_pred_spec(spec: &str) -> std::result::Result<(String, usize), String> {
     Ok((name.to_string(), arity))
 }
 
-fn load(path: &str) -> std::result::Result<(Program, Database), String> {
+fn load(path: &str) -> std::result::Result<(Program, Database, Vec<Atom>), String> {
     let source =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let unit = parse_program(&source).map_err(|e| e.to_string())?;
     let mut db = Database::new(unit.program.interner.clone());
     db.load_facts(unit.facts.clone()).map_err(|e| e.to_string())?;
-    Ok((unit.program, db))
+    Ok((unit.program, db, unit.queries))
 }
 
 fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
@@ -196,10 +212,14 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
     let mut show_profile = false;
     let mut profile_json: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    // `None` = full closure; `Some(None)` = point query from the file's
+    // `?- goal.` line; `Some(Some(src))` = inline goal text.
+    let mut query: Option<Option<String>> = None;
+    let mut explain_rewrite = false;
 
     fn next_ms(
         flag: &str,
-        it: &mut std::vec::IntoIter<String>,
+        it: &mut std::iter::Peekable<std::vec::IntoIter<String>>,
     ) -> std::result::Result<std::time::Duration, String> {
         it.next()
             .and_then(|v| v.parse::<u64>().ok())
@@ -207,7 +227,7 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             .ok_or_else(|| format!("{flag} needs a duration in milliseconds"))
     }
 
-    let mut it = args.into_iter();
+    let mut it = args.into_iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workers" => {
@@ -224,6 +244,17 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 print_pred = Some(parse_pred_spec(&spec)?);
             }
             "--stats" => show_stats = true,
+            "--query" => {
+                // The goal is optional (`--query` alone uses the file's
+                // `?- goal.` line); a goal always contains `(`, which no
+                // flag or file path does, so peek before consuming.
+                let goal = match it.peek() {
+                    Some(next) if next.contains('(') => it.next(),
+                    _ => None,
+                };
+                query = Some(goal);
+            }
+            "--explain-rewrite" => explain_rewrite = true,
             "--skew-aware" => skew_aware = true,
             "--morsels" => {
                 morsels = it
@@ -364,18 +395,103 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             "--profile covers a single fixpoint; it does not compose with --updates".into(),
         );
     }
-    let (program, db) = load(&file)?;
+    if explain_rewrite && query.is_none() {
+        return Err("--explain-rewrite needs --query (it prints the magic-sets rewrite)".into());
+    }
+    if query.is_some() {
+        if print_pred.is_some() {
+            return Err(
+                "--query prints only the goal's answers; it does not compose with --print".into(),
+            );
+        }
+        if updates.is_some() {
+            return Err(
+                "--query runs one demand-bounded fixpoint; it does not compose with --updates \
+                 (apply updates through the library's UpdateSession instead)"
+                    .into(),
+            );
+        }
+        if skew_aware {
+            return Err(
+                "--skew-aware tunes example3's full-closure partition; query mode already \
+                 partitions on the demand key"
+                    .into(),
+            );
+        }
+        if !matches!(scheme_name.as_str(), "seq" | "naive" | "general") {
+            return Err(
+                "query mode supports --scheme seq, naive, or general (the magic program runs \
+                 under the demand-partitioned §7 scheme)"
+                    .into(),
+            );
+        }
+    }
+    let (program, db, file_queries) = load(&file)?;
     let interner = program.interner.clone();
 
-    // Resolve what to print: explicit --print, else every derived pred.
-    let print_ids: Vec<(String, (gst_common::SymbolId, usize))> = match &print_pred {
-        Some((name, arity)) => {
+    // `--query`: magic-sets rewrite (DESIGN.md §15). The rewritten
+    // program is plain Datalog, so everything downstream — schemes,
+    // transports, recovery, profiling — runs it unchanged; only the
+    // partitioning choice (demand keys) and the printed relation differ.
+    let query_ctx = match &query {
+        None => None,
+        Some(goal_src) => {
+            let goal = match goal_src {
+                Some(src) => parse_goal(src, &program)?,
+                None => file_queries.first().cloned().ok_or(
+                    "--query with no goal needs a `?- goal.` line in the program file",
+                )?,
+            };
+            Some(
+                parallel_datalog::frontend::magic_rewrite(&program, &goal)
+                    .map_err(|e| e.to_string())?,
+            )
+        }
+    };
+    if let Some(rw) = &query_ctx {
+        if explain_rewrite {
+            print!("{}", rw.explain());
+            return Ok(());
+        }
+    }
+
+    // In query mode the executed program is the magic program and the
+    // database carries the demand seed; keep the originals around for the
+    // full-closure baseline behind `--stats`.
+    let original = query_ctx.as_ref().map(|_| (program.clone(), db.clone()));
+    let (program, db) = match &query_ctx {
+        Some(rw) => {
+            let mut seeded = db.clone();
+            seeded
+                .insert(
+                    (rw.seed_predicate.name, rw.seed_predicate.arity),
+                    rw.seed_fact.clone(),
+                )
+                .map_err(|e| e.to_string())?;
+            (rw.program.clone(), seeded)
+        }
+        None => (program, db),
+    };
+
+    // Resolve what to print: the query's answer relation (under the
+    // original predicate name), else explicit --print, else every
+    // derived pred.
+    let print_ids: Vec<(String, (gst_common::SymbolId, usize))> = match (&query_ctx, &print_pred)
+    {
+        (Some(rw), _) => {
+            let name = interner.resolve(rw.query.predicate);
+            vec![(
+                format!("{name}/{}", rw.query.terms.len()),
+                (rw.answer.name, rw.answer.arity),
+            )]
+        }
+        (None, Some((name, arity))) => {
             let sym = interner
                 .get(name)
                 .ok_or_else(|| format!("unknown predicate `{name}`"))?;
             vec![(format!("{name}/{arity}"), (sym, *arity))]
         }
-        None => program
+        (None, None) => program
             .derived_predicates()
             .iter()
             .map(|p| (p.display(&interner), (p.name, p.arity)))
@@ -397,20 +513,37 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 .iter()
                 .map(|(label, id)| (label.clone(), result.relation(*id)))
                 .collect();
-            (
-                rels,
-                format!(
-                    "rounds={} firings={} derived={} duplicates={}",
-                    result.stats.rounds,
-                    result.stats.firings,
-                    result.stats.derived,
-                    result.stats.duplicates
-                ),
-                String::new(),
-            )
+            let mut line = format!(
+                "rounds={} firings={} derived={} duplicates={}",
+                result.stats.rounds,
+                result.stats.firings,
+                result.stats.derived,
+                result.stats.duplicates
+            );
+            // Query mode: quantify the work the rewrite avoided against
+            // a full-closure run of the original program.
+            if let (Some((orig_program, orig_db)), true) = (&original, show_stats) {
+                let full = seminaive_eval(orig_program, orig_db).map_err(|e| e.to_string())?;
+                let ratio = if full.stats.firings > 0 {
+                    result.stats.firings as f64 / full.stats.firings as f64
+                } else {
+                    0.0
+                };
+                line.push_str(&format!(
+                    " demand_ratio={ratio:.4} firings_full={}",
+                    full.stats.firings
+                ));
+            }
+            (rels, line, String::new())
         }
         parallel => {
-            let scheme = build_scheme(parallel, &program, &db, workers, skew_aware)?;
+            let scheme = match &query_ctx {
+                // Demand-keyed partitioning: every magic/adorned rule
+                // discriminates on its magic guard's columns, so demand
+                // tuples route to the worker owning the matching data.
+                Some(rw) => compile_demand(rw, &db, workers).map_err(|e| e.to_string())?,
+                None => build_scheme(parallel, &program, &db, workers, skew_aware)?,
+            };
             let mut config = RuntimeConfig::default();
             config.worker.morsel_threads = morsels;
             config.worker.profile = profiling;
@@ -549,6 +682,15 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 let base = if sim { TimeBase::VirtualTicks } else { TimeBase::WallMicros };
                 match ProfileReport::build(&outcome.stats, base) {
                     Some(report) => {
+                        // Magic/adorned rules keep their source indices in
+                        // the processor program (sending rules come after),
+                        // so the rewrite's provenance labels line up.
+                        let report = match &query_ctx {
+                            Some(rw) => report.with_rule_labels(
+                                rw.rules.iter().map(|info| info.label()).collect(),
+                            ),
+                            None => report,
+                        };
                         if show_profile {
                             for line in report.render_human().lines() {
                                 eprintln!("% {line}");
@@ -614,6 +756,25 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
                 }
                 s
             };
+            // Query mode: quantify the work and traffic the rewrite
+            // avoided against a full-closure parallel run (threaded §7
+            // scheme on the original program, same worker count).
+            let extra = match (&original, show_stats) {
+                (Some((orig_program, orig_db)), true) => {
+                    let full = build_scheme("general", orig_program, orig_db, workers, false)?
+                        .run()
+                        .map_err(|e| e.to_string())?;
+                    let (mf, ff) =
+                        (outcome.stats.total_firings(), full.stats.total_firings());
+                    let (mb, fb) =
+                        (outcome.stats.total_bytes_sent(), full.stats.total_bytes_sent());
+                    let ratio = if ff > 0 { mf as f64 / ff as f64 } else { 0.0 };
+                    format!(
+                        "{extra} demand_ratio={ratio:.4} firings={mf}/{ff} bytes={mb}/{fb}"
+                    )
+                }
+                _ => extra,
+            };
             let rels = print_ids
                 .iter()
                 .map(|(label, id)| (label.clone(), outcome.relation(*id)))
@@ -643,6 +804,24 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
             )
         }
     };
+    // The adorned relation also holds answers for transitively demanded
+    // bindings; keep exactly the tuples matching the query's constants.
+    let relations = match &query_ctx {
+        Some(rw) => {
+            let mut filtered = Vec::with_capacity(relations.len());
+            for (label, rel) in relations {
+                let mut out = Relation::new(rw.answer.arity);
+                for t in rel.iter() {
+                    if rw.answer_matches(t) {
+                        out.insert(t.clone()).map_err(|e| e.to_string())?;
+                    }
+                }
+                filtered.push((label, out));
+            }
+            filtered
+        }
+        None => relations,
+    };
     finish_run(
         relations,
         stats_line,
@@ -652,6 +831,18 @@ fn cmd_run(args: Vec<String>) -> std::result::Result<(), String> {
         show_stats,
         started,
     )
+}
+
+/// Parse a goal atom like `anc(1, X)` against a program's interner, by
+/// wrapping it in a throwaway rule (so constants unify with the
+/// program's symbols).
+fn parse_goal(goal_src: &str, program: &Program) -> std::result::Result<Atom, String> {
+    let wrapped = format!("goal__ :- {goal_src}.");
+    let unit =
+        parallel_datalog::frontend::parser::parse_program_with(&wrapped, &program.interner)
+            .map_err(|e| format!("bad goal `{goal_src}`: {e}"))?;
+    let goal = unit.program.rules[0].body_atoms().next().cloned();
+    goal.ok_or_else(|| format!("bad goal `{goal_src}`: no atom"))
 }
 
 /// Build the TCP coordinator behind `--net`: this very binary re-executed
@@ -1027,21 +1218,8 @@ fn cmd_query(args: Vec<String>) -> std::result::Result<(), String> {
     let mut it = args.into_iter().filter(|a| !a.starts_with('-'));
     let file = it.next().ok_or("missing input file")?;
     let goal_src = it.next().ok_or("missing goal, e.g. \"anc(1, X)\"")?;
-    let (program, db) = load(&file)?;
-
-    // Parse the goal by wrapping it in a throwaway rule over the same
-    // interner (so constants unify with the program's symbols).
-    let wrapped = format!("goal__ :- {goal_src}.");
-    let goal_unit = parallel_datalog::frontend::parser::parse_program_with(
-        &wrapped,
-        &program.interner,
-    )
-    .map_err(|e| format!("bad goal: {e}"))?;
-    let goal = goal_unit.program.rules[0]
-        .body_atoms()
-        .next()
-        .ok_or("bad goal: no atom")?
-        .clone();
+    let (program, db, _queries) = load(&file)?;
+    let goal = parse_goal(&goal_src, &program)?;
     let goal_id = (goal.predicate, goal.terms.len());
 
     let result = seminaive_eval(&program, &db).map_err(|e| e.to_string())?;
@@ -1117,7 +1295,7 @@ fn cmd_analyze(args: Vec<String>) -> std::result::Result<(), String> {
         .iter()
         .find(|a| !a.starts_with('-'))
         .ok_or("missing input file")?;
-    let (program, db) = load(file)?;
+    let (program, db, _queries) = load(file)?;
     let interner = program.interner.clone();
 
     println!("rules: {}", program.rules.len());
@@ -1245,7 +1423,7 @@ fn cmd_network(args: Vec<String>) -> std::result::Result<(), String> {
         }
     }
     let file = file.ok_or("missing input file")?;
-    let (program, _db) = load(&file)?;
+    let (program, _db, _queries) = load(&file)?;
     let sirup = LinearSirup::from_program(&program).map_err(|e| e.to_string())?;
 
     // v(r) = variables of Ȳ; v(e) = variables of the exit head, by

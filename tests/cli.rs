@@ -584,6 +584,153 @@ fn updates_usage_errors_are_clean() {
 }
 
 // ---------------------------------------------------------------------
+// `--query`: demand-driven point queries via magic sets (DESIGN.md §15).
+// ---------------------------------------------------------------------
+
+/// `run --query` prints exactly the goal's answers, under the original
+/// predicate name, on the sequential and the demand-partitioned
+/// parallel paths alike (threaded and simulated).
+#[test]
+fn query_mode_prints_only_the_goals_answers() {
+    let file = write_program("magic_query.dl", ANCESTOR);
+    let runs: Vec<Vec<&str>> = vec![
+        vec![],
+        vec!["--scheme", "general", "--workers", "3"],
+        vec!["--scheme", "general", "--workers", "3", "--sim", "--seed", "7", "--faults", "jitter"],
+    ];
+    for extra in runs {
+        let out = pdatalog()
+            .args(["run"])
+            .arg(&file)
+            .args(["--query", "anc(2, Y)"])
+            .args(&extra)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{extra:?}: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("% anc/2: 2 tuples"), "{extra:?}: {stdout}");
+        assert!(stdout.contains("anc(2, 3)."), "{extra:?}: {stdout}");
+        assert!(stdout.contains("anc(2, 4)."), "{extra:?}: {stdout}");
+        assert!(!stdout.contains("anc(1,"), "{extra:?}: leaked non-answers: {stdout}");
+        assert!(!stdout.contains("m_anc"), "{extra:?}: leaked magic relations: {stdout}");
+    }
+}
+
+/// A bare `--query` takes the goal from the file's `?- goal.` line.
+#[test]
+fn query_mode_uses_the_files_embedded_goal() {
+    let file = write_program(
+        "magic_embedded.dl",
+        &format!("{ANCESTOR}\n?- anc(3, Y).\n"),
+    );
+    let out = pdatalog().args(["run"]).arg(&file).arg("--query").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("% anc/2: 1 tuples"), "{stdout}");
+    assert!(stdout.contains("anc(3, 4)."), "{stdout}");
+
+    let bare = write_program("magic_no_goal.dl", ANCESTOR);
+    let out = pdatalog().args(["run"]).arg(&bare).arg("--query").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("?- goal"), "needs a goal");
+}
+
+/// `--explain-rewrite` prints the adorned + magic program with
+/// provenance comments instead of running it.
+#[test]
+fn explain_rewrite_prints_the_magic_program() {
+    let file = write_program("magic_explain.dl", ANCESTOR);
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args(["--query", "anc(1, Y)", "--explain-rewrite"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("anc_bf(X, Y) :- m_anc_bf(X), par(X, Y)."), "{stdout}");
+    assert!(stdout.contains("m_anc_bf(Z) :- m_anc_bf(X), par(X, Z)."), "{stdout}");
+    assert!(stdout.contains("% anc^bf [magic r1]"), "{stdout}");
+    assert!(stdout.contains("% demand seed"), "{stdout}");
+}
+
+/// `--stats` in query mode reports the work avoided against a
+/// full-closure run: a non-vacuous demand_ratio on both paths.
+#[test]
+fn query_stats_report_demand_ratio() {
+    let file = write_program("magic_stats.dl", &chain_program(20));
+    for extra in [vec![], vec!["--scheme", "general", "--workers", "3"]] {
+        let out = pdatalog()
+            .args(["run"])
+            .arg(&file)
+            .args(["--query", "anc(17, Y)", "--stats"])
+            .args(&extra)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{extra:?}: {}", String::from_utf8_lossy(&out.stderr));
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("demand_ratio=0."), "{extra:?}: {stderr}");
+    }
+}
+
+/// `--profile` in query mode labels the magic/adorned rules in the
+/// hot-rule table.
+#[test]
+fn query_profile_labels_magic_rules() {
+    let file = write_program("magic_profile.dl", ANCESTOR);
+    let out = pdatalog()
+        .args(["run"])
+        .arg(&file)
+        .args([
+            "--query", "anc(1, Y)", "--scheme", "general", "--workers", "2",
+            "--sim", "--seed", "3", "--profile",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("hot rules"), "{stderr}");
+    assert!(stderr.contains("anc^bf ["), "{stderr}");
+}
+
+/// Query-mode misuse fails with a clear message.
+#[test]
+fn query_usage_errors_are_clean() {
+    let file = write_program("magic_usage.dl", ANCESTOR);
+    let cases: Vec<(Vec<&str>, &str)> = vec![
+        (vec!["--query", "anc(1, Y)", "--print", "anc/2"], "--print"),
+        (vec!["--explain-rewrite"], "--query"),
+        (vec!["--query", "anc(1, Y)", "--scheme", "example3"], "seq, naive, or general"),
+        (vec!["--query", "anc(X, Y)"], "bound argument"),
+        (vec!["--query", "par(1, Y)"], "derived"),
+    ];
+    for (args, want) in cases {
+        let out = pdatalog().args(["run"]).arg(&file).args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(want), "{args:?}: {stderr}");
+    }
+}
+
+/// The shipped org chart example runs end-to-end in query mode.
+#[test]
+fn org_magic_example_answers_its_embedded_query() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let out = pdatalog()
+        .args(["run"])
+        .arg(root.join("examples/programs/org_magic.dl"))
+        .args(["--query", "--scheme", "general", "--workers", "4", "--stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("% boss/2: 4 tuples"), "{stdout}");
+    assert!(stdout.contains("boss(ivan, ceo)."), "{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("demand_ratio=0."), "{stderr}");
+}
+
+// ---------------------------------------------------------------------
 // `--net`: one OS process per worker over loopback TCP (DESIGN.md §12).
 // ---------------------------------------------------------------------
 
